@@ -1,0 +1,437 @@
+// Package repro holds the repository-level benchmark harness: one
+// benchmark per reproduction experiment of EXPERIMENTS.md (the paper is a
+// theory paper, so the "tables and figures" are its analytical claims —
+// see DESIGN.md §4 for the experiment ↔ claim mapping), plus
+// micro-benchmarks of the hot substrates (wire codec, event scheduler,
+// combinatorial unranking).
+//
+// Custom metrics reported per op:
+//
+//	rounds/op   consensus rounds to decision
+//	msgs/op     point-to-point messages to completion
+//	vtime_ms/op virtual (simulated) time to decision
+//
+// Run with: go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/combin"
+	"repro/internal/core"
+	"repro/internal/ea"
+	"repro/internal/exp"
+	"repro/internal/harness"
+	"repro/internal/network"
+	"repro/internal/proto"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// consensusSpec builds a standard full-synchrony consensus spec.
+func consensusSpec(n int, seed int64, byz func(id types.ProcID) harness.Behavior) runner.Spec {
+	tf := (n - 1) / 3
+	p := types.Params{N: n, T: tf, M: 2}
+	props := make(map[types.ProcID]types.Value)
+	byzm := make(map[types.ProcID]harness.Behavior)
+	for i := 1; i <= n; i++ {
+		id := types.ProcID(i)
+		if byz != nil && i > n-tf {
+			byzm[id] = byz(id)
+			continue
+		}
+		v := types.Value("a")
+		if i%2 == 0 {
+			v = "b"
+		}
+		props[id] = v
+	}
+	return runner.Spec{
+		Params:    p,
+		Topology:  network.FullySynchronous(n, exp.Delta),
+		Seed:      seed,
+		Proposals: props,
+		Byzantine: byzm,
+		Engine:    core.Config{TimeUnit: exp.Unit},
+	}
+}
+
+// reportRun attaches the custom metrics of one consensus run.
+func reportRun(b *testing.B, rounds, msgs, vtimeMS float64) {
+	b.ReportMetric(rounds, "rounds/op")
+	b.ReportMetric(msgs, "msgs/op")
+	b.ReportMetric(vtimeMS, "vtime_ms/op")
+}
+
+// BenchmarkE1RB: one full reliable-broadcast wave (correct sender) per op.
+func BenchmarkE1RB(b *testing.B) {
+	for _, n := range []int{4, 7, 10} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := types.Params{N: n, T: (n - 1) / 3, M: 1}
+			var msgs uint64
+			for i := 0; i < b.N; i++ {
+				ok, _, sent := exp.RBWave(p, "correct", int64(i))
+				if !ok {
+					b.Fatal("RB wave failed")
+				}
+				msgs = sent
+			}
+			b.ReportMetric(float64(msgs), "msgs/op")
+		})
+	}
+}
+
+// BenchmarkE2CB: one cooperative-broadcast instance (with colluding
+// Byzantine value) per op.
+func BenchmarkE2CB(b *testing.B) {
+	for _, n := range []int{4, 7, 10} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := types.Params{N: n, T: (n - 1) / 3, M: 2}
+			for i := 0; i < b.N; i++ {
+				ret, excl, _ := exp.CBWave(p, int64(i))
+				if !ret || !excl {
+					b.Fatal("CB wave failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3AC: one adopt-commit instance (split inputs) per op.
+func BenchmarkE3AC(b *testing.B) {
+	for _, n := range []int{4, 7} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := types.Params{N: n, T: (n - 1) / 3, M: 2}
+			for i := 0; i < b.N; i++ {
+				term, quasi, _ := exp.ACWave(p, false, int64(i))
+				if !term || !quasi {
+					b.Fatal("AC wave failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4EA: one EA round under the fast-path attack scenario per op
+// (FastPathContinue semantics, which terminate).
+func BenchmarkE4EA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		returned, _ := exp.EAScenario(ea.FastPathContinue, int64(i))
+		if len(returned) != 3 {
+			b.Fatal("EA round failed")
+		}
+	}
+}
+
+// BenchmarkE5Consensus: full consensus, mixed inputs, equivocating
+// Byzantine processes, per system size.
+func BenchmarkE5Consensus(b *testing.B) {
+	for _, n := range []int{4, 7, 10, 13} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var last *runner.Result
+			for i := 0; i < b.N; i++ {
+				spec := consensusSpec(n, int64(i), func(types.ProcID) harness.Behavior {
+					return adversary.Equivocator(core.Config{TimeUnit: exp.Unit}, [2]types.Value{"a", "b"})
+				})
+				res, err := runner.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.AllDecided() {
+					b.Fatal("no decision")
+				}
+				last = res
+			}
+			reportRun(b, float64(last.MaxDecideRound()), float64(last.Messages), float64(last.MaxDecideTime())/1e6)
+		})
+	}
+}
+
+// BenchmarkE6Feasibility: the feasible boundary case m = MaxM per op.
+func BenchmarkE6Feasibility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec := consensusSpec(7, int64(i), nil)
+		res, err := runner.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllDecided() {
+			b.Fatal("no decision at the feasibility boundary")
+		}
+	}
+}
+
+// BenchmarkE7AlphaN: minimal-bisource topology under the splitter
+// adversary — the α·n bound workload.
+func BenchmarkE7AlphaN(b *testing.B) {
+	for _, n := range []int{4, 7} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := types.Params{N: n, T: (n - 1) / 3, M: 2}
+			var last *runner.Result
+			for i := 0; i < b.N; i++ {
+				res, err := runner.Run(exp.SplitterDuelSpec(p, int64(i), ea.RelayAnyF, types.ProcID(n)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.AllDecided() {
+					b.Fatal("no decision under minimal synchrony")
+				}
+				last = res
+			}
+			reportRun(b, float64(last.MaxDecideRound()), float64(last.Messages), float64(last.MaxDecideTime())/1e6)
+		})
+	}
+}
+
+// BenchmarkE8KSweep: the §5.4 tuning parameter k.
+func BenchmarkE8KSweep(b *testing.B) {
+	p := types.Params{N: 7, T: 2, M: 2}
+	for k := 0; k <= p.T; k++ {
+		k := k
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var last *runner.Result
+			for i := 0; i < b.N; i++ {
+				spec := consensusSpec(7, int64(i), nil)
+				spec.Engine.K = k
+				res, err := runner.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.AllDecided() {
+					b.Fatal("no decision")
+				}
+				last = res
+			}
+			bound, _ := combin.NewRoundPlan(p.N, p.Quorum()+k)
+			b.ReportMetric(float64(bound.WorstCaseRounds()), "bound_rounds")
+			reportRun(b, float64(last.MaxDecideRound()), float64(last.Messages), float64(last.MaxDecideTime())/1e6)
+		})
+	}
+}
+
+// BenchmarkE9FastPath: the two line-4 semantics on the stall scenario.
+// Literal mode leaves p4 blocked (fewer deliveries, fewer messages);
+// continue mode terminates everyone.
+func BenchmarkE9FastPath(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		m    ea.FastPathMode
+		want int
+	}{
+		{"literal", ea.FastPathReturnOnly, 2},
+		{"continue", ea.FastPathContinue, 3},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var msgs uint64
+			for i := 0; i < b.N; i++ {
+				returned, sent := exp.EAScenario(mode.m, int64(i))
+				if len(returned) != mode.want {
+					b.Fatalf("returned %d, want %d", len(returned), mode.want)
+				}
+				msgs = sent
+			}
+			b.ReportMetric(float64(msgs), "msgs/op")
+		})
+	}
+}
+
+// BenchmarkE10Minimality: paper vs strong-relay baseline under minimal
+// synchrony. The baseline runs to its round cap (no decision).
+func BenchmarkE10Minimality(b *testing.B) {
+	p := types.Params{N: 4, T: 1, M: 2}
+	b.Run("paper", func(b *testing.B) {
+		var last *runner.Result
+		for i := 0; i < b.N; i++ {
+			res, err := runner.Run(exp.SplitterDuelSpec(p, int64(i), ea.RelayAnyF, 4))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.AllDecided() {
+				b.Fatal("paper algorithm must decide")
+			}
+			last = res
+		}
+		reportRun(b, float64(last.MaxDecideRound()), float64(last.Messages), float64(last.MaxDecideTime())/1e6)
+	})
+	b.Run("baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			spec := exp.SplitterDuelSpec(p, int64(i), ea.RelayQuorum, 4)
+			spec.Engine.MaxRounds = 16 // keep the stalling run bounded
+			res, err := runner.Run(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.AllDecided() {
+				b.Fatal("baseline should not decide under minimal synchrony")
+			}
+		}
+	})
+}
+
+// BenchmarkE11Messages: message complexity growth with n.
+func BenchmarkE11Messages(b *testing.B) {
+	for _, n := range []int{4, 7, 10, 13} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var msgs uint64
+			for i := 0; i < b.N; i++ {
+				res, err := runner.Run(consensusSpec(n, int64(i), nil))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.AllDecided() {
+					b.Fatal("no decision")
+				}
+				msgs = res.Messages
+			}
+			b.ReportMetric(float64(msgs), "msgs/op")
+			b.ReportMetric(float64(msgs)/float64(n*n*n), "msgs_per_n3/op")
+		})
+	}
+}
+
+// BenchmarkE12BotVariant: the §7 ⊥-default variant on a full split.
+func BenchmarkE12BotVariant(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec := runner.Spec{
+			Params:    types.Params{N: 4, T: 1, M: 4},
+			Topology:  network.FullySynchronous(4, exp.Delta),
+			Seed:      int64(i),
+			Proposals: map[types.ProcID]types.Value{1: "w", 2: "x", 3: "y", 4: "z"},
+			Engine:    core.Config{TimeUnit: exp.Unit, BotMode: true},
+		}
+		res, err := runner.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, ok := res.CommonDecision()
+		if !ok || v != types.BotValue {
+			b.Fatalf("full split must decide ⊥, got %q (%v)", v, ok)
+		}
+	}
+}
+
+// BenchmarkGSTSweep: one ◇bisource run with GST = 500ms per op (the
+// figure-style latency series is produced by cmd/minsync-exp -exp GST).
+func BenchmarkGSTSweep(b *testing.B) {
+	gst := types.Time(500 * time.Millisecond)
+	var last *runner.Result
+	for i := 0; i < b.N; i++ {
+		topo := network.PlantBisource(4, network.BisourceSpec{
+			P: 2, In: []types.ProcID{1}, Out: []types.ProcID{3}, GST: gst, Delta: exp.Delta,
+		})
+		spec := runner.Spec{
+			Params:    types.Params{N: 4, T: 1, M: 2},
+			Topology:  topo,
+			Policy:    network.UniformDelay{Min: types.Duration(5 * time.Millisecond), Max: types.Duration(60 * time.Millisecond)},
+			Seed:      int64(i),
+			Proposals: map[types.ProcID]types.Value{1: "a", 2: "b", 3: "a"},
+			Byzantine: map[types.ProcID]harness.Behavior{4: adversary.RBRelayOnly()},
+			Engine:    core.Config{TimeUnit: exp.Unit, MaxRounds: 500},
+		}
+		res, err := runner.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllDecided() {
+			b.Fatal("no decision after GST")
+		}
+		last = res
+	}
+	reportRun(b, float64(last.MaxDecideRound()), float64(last.Messages), float64(last.MaxDecideTime())/1e6)
+}
+
+// --- substrate micro-benchmarks ---------------------------------------------
+
+// BenchmarkWireEncode / BenchmarkWireDecode: the codec hot path.
+func BenchmarkWireEncode(b *testing.B) {
+	m := proto.Message{
+		Kind: proto.MsgRBEcho, Tag: proto.Tag{Mod: proto.ModACEst, Round: 42},
+		Origin: 7, Val: "some-consensus-proposal-value",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Encode(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireDecode decodes the same frame repeatedly.
+func BenchmarkWireDecode(b *testing.B) {
+	m := proto.Message{
+		Kind: proto.MsgRBEcho, Tag: proto.Tag{Mod: proto.ModACEst, Round: 42},
+		Origin: 7, Val: "some-consensus-proposal-value",
+	}
+	buf, err := wire.Encode(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduler: raw event throughput of the simulation kernel.
+func BenchmarkScheduler(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.NewScheduler(1)
+	n := 0
+	var spawn func()
+	spawn = func() {
+		n++
+		if n < b.N {
+			s.After(types.Duration(n%100), spawn)
+		}
+	}
+	s.After(0, spawn)
+	s.Run(0, 0)
+	if n == 0 {
+		b.Fatal("no events ran")
+	}
+}
+
+// BenchmarkUnrank: F(r) computation cost (lexicographic unranking).
+func BenchmarkUnrank(b *testing.B) {
+	for _, size := range []struct{ n, k int }{{7, 5}, {13, 9}, {31, 21}} {
+		size := size
+		b.Run(fmt.Sprintf("C(%d,%d)", size.n, size.k), func(b *testing.B) {
+			total := combin.BigBinomial(size.n, size.k)
+			rank := new(big.Int).Rsh(total, 1) // middle of the range
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := combin.Unrank(size.n, size.k, rank); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRoundPlanF: the per-round coordinator+F(r) lookup used by the
+// EA object on every round entry.
+func BenchmarkRoundPlanF(b *testing.B) {
+	plan, err := combin.NewRoundPlan(13, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = plan.F(types.Round(i + 1))
+	}
+}

@@ -1,0 +1,70 @@
+// Command minsync-exp regenerates the reproduction experiments of
+// EXPERIMENTS.md (E5–E12 and the GST sweep). Each experiment prints its
+// claim, a measurement table, and a PASS/FAIL verdict.
+//
+// Usage:
+//
+//	minsync-exp                 # run everything with the default seeds
+//	minsync-exp -exp E7 -seeds 20
+//	minsync-exp -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		which = flag.String("exp", "all", "experiment id (E1..E12,GST) or 'all'")
+		seeds = flag.Int("seeds", 10, "seeds per configuration (statistical experiments)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	catalog := []struct {
+		id  string
+		run func() exp.Result
+	}{
+		{"E1", func() exp.Result { return exp.E1RB(*seeds) }},
+		{"E2", func() exp.Result { return exp.E2CB(*seeds) }},
+		{"E3", func() exp.Result { return exp.E3AC(*seeds) }},
+		{"E4", func() exp.Result { return exp.E4EA(*seeds) }},
+		{"E5", func() exp.Result { return exp.E5Consensus(*seeds) }},
+		{"E6", func() exp.Result { return exp.E6Feasibility() }},
+		{"E7", func() exp.Result { return exp.E7AlphaBound(*seeds) }},
+		{"E8", func() exp.Result { return exp.E8KSweep(*seeds) }},
+		{"E9", func() exp.Result { return exp.E9FastPath() }},
+		{"E10", func() exp.Result { return exp.E10Minimality(*seeds) }},
+		{"E11", func() exp.Result { return exp.E11Messages() }},
+		{"E12", func() exp.Result { return exp.E12BotVariant() }},
+		{"GST", func() exp.Result { return exp.GSTSweep() }},
+	}
+
+	if *list {
+		for _, c := range catalog {
+			fmt.Println(c.id)
+		}
+		return
+	}
+
+	failed := 0
+	for _, c := range catalog {
+		if !strings.EqualFold(*which, "all") && !strings.EqualFold(*which, c.id) {
+			continue
+		}
+		res := c.run()
+		fmt.Println(res)
+		if !res.Pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) FAILED\n", failed)
+		os.Exit(1)
+	}
+}

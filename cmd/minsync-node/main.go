@@ -1,0 +1,133 @@
+// Command minsync-node runs ONE consensus process over real TCP — start n
+// of them (locally or on separate machines), each with the same peer list,
+// and they reach Byzantine consensus on their proposed values.
+//
+// Example (n = 4, t = 1, four terminals):
+//
+//	minsync-node -id 1 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003,127.0.0.1:7004 -t 1 -propose alpha
+//	minsync-node -id 2 -peers ...same... -t 1 -propose beta
+//	minsync-node -id 3 -peers ...same... -t 1 -propose alpha
+//	minsync-node -id 4 -peers ...same... -t 1 -propose beta
+//
+// Each prints its decision and exits 0. The i-th peer address belongs to
+// process i.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netx"
+	"repro/internal/proto"
+	"repro/internal/rt"
+	"repro/internal/types"
+)
+
+func main() {
+	var (
+		idF     = flag.Int("id", 0, "this process's id (1..n)")
+		peersF  = flag.String("peers", "", "comma list of n host:port addresses; the i-th is process i")
+		tF      = flag.Int("t", 1, "Byzantine fault budget (t < n/3)")
+		mF      = flag.Int("m", 2, "distinct proposable values")
+		propose = flag.String("propose", "", "value to propose (required)")
+		unit    = flag.Duration("unit", 50*time.Millisecond, "EA round timer unit")
+		wait    = flag.Duration("wait", 2*time.Minute, "give up after this long")
+		startIn = flag.Duration("start-in", 2*time.Second, "delay before proposing (lets peers come up)")
+	)
+	flag.Parse()
+	if *propose == "" {
+		log.Fatal("-propose is required")
+	}
+	peers := strings.Split(*peersF, ",")
+	n := len(peers)
+	if *idF < 1 || *idF > n {
+		log.Fatalf("-id must be in 1..%d", n)
+	}
+	params := types.Params{N: n, T: *tF, M: *mF}
+	if err := params.Validate(false); err != nil {
+		log.Fatal(err)
+	}
+	self := types.ProcID(*idF)
+	addrs := make(map[types.ProcID]string, n)
+	for i, a := range peers {
+		addrs[types.ProcID(i+1)] = strings.TrimSpace(a)
+	}
+
+	var node *rt.Node
+	tr, err := netx.Listen(netx.Config{
+		Self:  self,
+		Addrs: addrs,
+		Recv: func(from types.ProcID, m proto.Message) {
+			node.Deliver(from, m)
+		},
+		Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+
+	node, err = rt.NewNode(rt.NodeConfig{
+		ID:        self,
+		Params:    params,
+		Transport: sendAdapter{tr},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Stop()
+
+	decided := make(chan types.Value, 1)
+	var engine *core.Engine
+	var engErr error
+	node.Start(func(env proto.Env) proto.Handler {
+		eng, err := core.New(core.Config{
+			Env:      env,
+			TimeUnit: types.Duration(*unit),
+			OnDecide: func(v types.Value) {
+				select {
+				case decided <- v:
+				default:
+				}
+			},
+		})
+		if err != nil {
+			engErr = err
+			return proto.HandlerFunc(func(types.ProcID, proto.Message) {})
+		}
+		engine = eng
+		return eng
+	})
+	if engErr != nil {
+		log.Fatal(engErr)
+	}
+
+	log.Printf("process %v listening on %s, proposing %q in %v", self, tr.Addr(), *propose, *startIn)
+	time.Sleep(*startIn)
+	node.Post(func() {
+		if err := engine.Propose(types.Value(*propose)); err != nil {
+			log.Printf("propose: %v", err)
+		}
+	})
+
+	select {
+	case v := <-decided:
+		fmt.Printf("process %v DECIDED %q (sent %d frames, received %d, rejected %d)\n",
+			self, v, tr.Sent(), tr.Received(), tr.Rejected())
+	case <-time.After(*wait):
+		log.Printf("no decision within %v", *wait)
+		os.Exit(1)
+	}
+}
+
+// sendAdapter adapts *netx.Transport to rt.Transport.
+type sendAdapter struct{ tr *netx.Transport }
+
+func (a sendAdapter) Send(to types.ProcID, m proto.Message) error {
+	return a.tr.Send(to, m)
+}

@@ -1,0 +1,155 @@
+// Command minsync-sim runs one simulated Byzantine consensus execution
+// with configurable parameters, synchrony, faults and seed, and prints the
+// outcome plus the property-check report.
+//
+// Examples:
+//
+//	minsync-sim -n 7 -t 2 -faults silent,equivocate
+//	minsync-sim -n 4 -t 1 -synchrony bisource -seed 9 -v
+//	minsync-sim -n 4 -t 1 -botmode -values w,x,y,z
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/minsync"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 4, "number of processes")
+		t      = flag.Int("t", 1, "Byzantine fault budget (t < n/3)")
+		m      = flag.Int("m", 2, "distinct proposable values (n−t > m·t unless -botmode)")
+		seed   = flag.Int64("seed", 1, "random seed (identical seeds replay identically)")
+		synchS = flag.String("synchrony", "full", "full | eventual | bisource | async")
+		gst    = flag.Duration("gst", 200*time.Millisecond, "stabilization time for eventual/bisource synchrony")
+		delta  = flag.Duration("delta", 5*time.Millisecond, "timely channel bound δ")
+		faultS = flag.String("faults", "silent", "comma list applied to the last processes: silent|crash|equivocate|mutecoord|poison|random|spam|fakedecide (max t entries)")
+		valueS = flag.String("values", "a,b", "comma list of proposal values, assigned round-robin")
+		botMo  = flag.Bool("botmode", false, "§7 ⊥-default validity variant (lifts the m bound)")
+		kParam = flag.Int("k", 0, "§5.4 tuning parameter (F sets of size n−t+k)")
+		deadln = flag.Duration("deadline", 0, "virtual time budget (0 = run to completion)")
+		verbos = flag.Bool("v", false, "print per-process decisions")
+	)
+	flag.Parse()
+
+	values := splitNonEmpty(*valueS)
+	if len(values) == 0 {
+		log.Fatal("need at least one proposal value")
+	}
+	faults := splitNonEmpty(*faultS)
+	if len(faults) > *t {
+		log.Fatalf("%d faults exceed t=%d", len(faults), *t)
+	}
+
+	cfg := minsync.SimConfig{
+		N: *n, T: *t, M: *m,
+		Proposals: make(map[minsync.ProcID]minsync.Value),
+		Byzantine: make(map[minsync.ProcID]minsync.Fault),
+		Seed:      *seed,
+		K:         *kParam,
+		BotMode:   *botMo,
+		Deadline:  *deadln,
+		Check:     true,
+	}
+	switch *synchS {
+	case "full":
+		cfg.Synchrony = minsync.FullSynchrony(*delta)
+	case "eventual":
+		cfg.Synchrony = minsync.EventualSynchrony(*gst, *delta)
+	case "bisource":
+		in := make([]minsync.ProcID, 0, *t)
+		out := make([]minsync.ProcID, 0, *t)
+		for i := 0; i < *t; i++ {
+			in = append(in, minsync.ProcID(2+2*i))
+			out = append(out, minsync.ProcID(3+2*i))
+		}
+		cfg.Synchrony = minsync.Bisource(1, in, out, *gst, *delta)
+	case "async":
+		cfg.Synchrony = minsync.Asynchrony()
+		if cfg.Deadline == 0 {
+			cfg.Deadline = 5 * time.Second
+		}
+	default:
+		log.Fatalf("unknown synchrony %q", *synchS)
+	}
+
+	nByz := len(faults)
+	for i := 1; i <= *n-nByz; i++ {
+		cfg.Proposals[minsync.ProcID(i)] = minsync.Value(values[(i-1)%len(values)])
+	}
+	for i, f := range faults {
+		id := minsync.ProcID(*n - nByz + 1 + i)
+		fault, err := parseFault(f, values)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Byzantine[id] = fault
+	}
+
+	fmt.Printf("minsync-sim: n=%d t=%d m=%d synchrony=%v faults=%v seed=%d\n",
+		*n, *t, *m, cfg.Synchrony, faults, *seed)
+	res, err := minsync.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *verbos {
+		for id, v := range res.Decisions {
+			fmt.Printf("  %v decided %q\n", id, v)
+		}
+	}
+	if res.AllDecided {
+		fmt.Printf("decision : %q (round %d, %v virtual, %d msgs)\n",
+			res.Agreed, res.Rounds, res.Latency, res.Messages)
+	} else {
+		fmt.Printf("no full decision within budget (decided %d, stalled %v)\n",
+			len(res.Decisions), res.Stalled)
+	}
+	fmt.Println(res.Report)
+	if !res.Report.OK() {
+		os.Exit(1)
+	}
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseFault(name string, values []string) (minsync.Fault, error) {
+	v := minsync.Value(values[0])
+	alt := v
+	if len(values) > 1 {
+		alt = minsync.Value(values[1])
+	}
+	switch name {
+	case "silent":
+		return minsync.Fault{Kind: minsync.FaultSilent}, nil
+	case "crash":
+		return minsync.Fault{Kind: minsync.FaultCrashAt, Value: v, After: 50 * time.Millisecond}, nil
+	case "equivocate":
+		return minsync.Fault{Kind: minsync.FaultEquivocate, Value: v, Alt: alt}, nil
+	case "mutecoord":
+		return minsync.Fault{Kind: minsync.FaultMuteCoordinator, Value: v}, nil
+	case "poison":
+		return minsync.Fault{Kind: minsync.FaultPoison, Value: v, Alt: "poison!"}, nil
+	case "random":
+		return minsync.Fault{Kind: minsync.FaultRandom, Value: v, Alt: alt}, nil
+	case "spam":
+		return minsync.Fault{Kind: minsync.FaultSpam, Value: "spam!"}, nil
+	case "fakedecide":
+		return minsync.Fault{Kind: minsync.FaultFakeDecide, Value: "forged!"}, nil
+	default:
+		return minsync.Fault{}, fmt.Errorf("unknown fault %q", name)
+	}
+}

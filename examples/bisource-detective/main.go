@@ -1,0 +1,71 @@
+// Command bisource-detective runs consensus on a topology whose single
+// ◇⟨t+1⟩bisource is "hidden" (planted at an arbitrary position), then
+// re-discovers it from the execution trace alone using the timeliness-graph
+// extraction of internal/timeliness — the measurement counterpart of the
+// paper's synchrony assumption, in the spirit of its reference [12]
+// (Delporte-Gallet et al., "Algorithms for extracting timeliness graphs").
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/network"
+	"repro/internal/runner"
+	"repro/internal/timeliness"
+	"repro/internal/types"
+)
+
+func main() {
+	const n = 4
+	delta := types.Duration(2 * time.Millisecond)
+	// The hidden structure: p3 is the bisource, hearing p1 timely and
+	// reaching p2 timely. Everything else crawls at 50–200ms.
+	secret := network.BisourceSpec{
+		P: 3, In: []types.ProcID{1}, Out: []types.ProcID{2}, GST: 0, Delta: delta,
+	}
+	spec := runner.Spec{
+		Params:   types.Params{N: n, T: 1, M: 2},
+		Topology: network.PlantBisource(n, secret),
+		Policy: network.UniformDelay{
+			Min: types.Duration(50 * time.Millisecond),
+			Max: types.Duration(200 * time.Millisecond),
+		},
+		Seed:   99,
+		Record: true,
+		Proposals: map[types.ProcID]types.Value{
+			1: "east", 2: "west", 3: "east",
+		},
+		Byzantine: map[types.ProcID]harness.Behavior{4: adversary.RBRelayOnly()},
+		Engine:    core.Config{TimeUnit: types.Duration(10 * time.Millisecond), MaxRounds: 300},
+	}
+	res, err := runner.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== consensus ran on a topology with a hidden ⟨t+1⟩bisource ===")
+	fmt.Printf("decided %q at round %d (%d messages)\n\n",
+		res.Decisions[1], res.MaxDecideRound(), res.Messages)
+
+	// Forensics: rebuild the timeliness graph from the trace and look for
+	// ⟨2⟩bisources (t+1 = 2).
+	analyzer := timeliness.FromTrace(n, res.Log)
+	q := timeliness.Query{Delta: types.Duration(10 * time.Millisecond), MinObservations: 3}
+	fmt.Println(analyzer.Report(q))
+
+	fmt.Println("detected timely channels:")
+	for link := range analyzer.TimelyGraph(q) {
+		fmt.Printf("  %v → %v\n", link[0], link[1])
+	}
+	suspects := analyzer.Bisources(2, q)
+	fmt.Printf("\n⟨2⟩bisource suspects: %v (planted: %v)\n", suspects, secret.P)
+	if len(suspects) == 1 && suspects[0] == secret.P {
+		fmt.Println("the detective found the planted bisource from the trace alone ✓")
+	} else {
+		fmt.Println("detection imperfect — try more samples (longer runs)")
+	}
+}

@@ -1,0 +1,51 @@
+// Command bot-validity demonstrates the §7 validity variant: when correct
+// processes may propose arbitrarily many distinct values, the m-valued
+// feasibility condition n−t > m·t cannot hold, and the protocol instead
+// guarantees "decide a correctly-proposed value or the default ⊥". The
+// demo contrasts three scenarios: a full split (decides ⊥), a plurality
+// (may decide the popular value or ⊥), and unanimity (never decides ⊥).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/minsync"
+)
+
+func run(name string, proposals map[minsync.ProcID]minsync.Value, seed int64) {
+	res, err := minsync.Simulate(minsync.SimConfig{
+		N: 4, T: 1, M: 4, // m beyond the m-valued bound: BotMode lifts it
+		Proposals: proposals,
+		Synchrony: minsync.FullSynchrony(5 * time.Millisecond),
+		BotMode:   true,
+		Seed:      seed,
+		Check:     true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	decided := string(res.Agreed)
+	if res.Agreed == minsync.BotValue {
+		decided = "⊥ (default)"
+	}
+	fmt.Printf("%-28s → decided %-14s rounds=%d  check=%v\n",
+		name, decided, res.Rounds, res.Report.OK())
+}
+
+func main() {
+	fmt.Println("=== ⊥-default validity variant (§7): n=4, t=1, unrestricted m ===")
+	run("full 4-way split", map[minsync.ProcID]minsync.Value{
+		1: "w", 2: "x", 3: "y", 4: "z",
+	}, 1)
+	run("3-1 plurality", map[minsync.ProcID]minsync.Value{
+		1: "w", 2: "w", 3: "w", 4: "z",
+	}, 2)
+	run("unanimity", map[minsync.ProcID]minsync.Value{
+		1: "w", 2: "w", 3: "w", 4: "w",
+	}, 3)
+	fmt.Println()
+	fmt.Println("⊥ can only appear when correct processes genuinely disagree;")
+	fmt.Println("unanimous runs always decide the proposed value (AC-Obligation).")
+}

@@ -1,0 +1,75 @@
+// Command byzantine-gauntlet runs consensus (n = 7, t = 2) against every
+// attacker in the adversary library — equivocators, poison coordinators,
+// spammers, random byzantines — and shows that safety and termination
+// survive all of them, with the trace checkers as the judge.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/minsync"
+)
+
+func main() {
+	attacks := []struct {
+		name string
+		byz  map[minsync.ProcID]minsync.Fault
+	}{
+		{"two silent crashes", map[minsync.ProcID]minsync.Fault{
+			6: {Kind: minsync.FaultSilent},
+			7: {Kind: minsync.FaultSilent},
+		}},
+		{"mid-run omission crashes", map[minsync.ProcID]minsync.Fault{
+			6: {Kind: minsync.FaultCrashAt, Value: "a", After: 30 * time.Millisecond},
+			7: {Kind: minsync.FaultCrashAt, Value: "b", After: 60 * time.Millisecond},
+		}},
+		{"equivocators (split values per receiver)", map[minsync.ProcID]minsync.Fault{
+			6: {Kind: minsync.FaultEquivocate, Value: "a", Alt: "b"},
+			7: {Kind: minsync.FaultEquivocate, Value: "b", Alt: "a"},
+		}},
+		{"mute + poison coordinators", map[minsync.ProcID]minsync.Fault{
+			6: {Kind: minsync.FaultMuteCoordinator, Value: "a"},
+			7: {Kind: minsync.FaultPoison, Value: "b", Alt: "unproposed-evil"},
+		}},
+		{"random byzantine (drop 20%, flip 30%)", map[minsync.ProcID]minsync.Fault{
+			6: {Kind: minsync.FaultRandom, Value: "a", Alt: "b"},
+			7: {Kind: minsync.FaultRandom, Value: "b", Alt: "a"},
+		}},
+		{"spam + forged DECIDE", map[minsync.ProcID]minsync.Fault{
+			6: {Kind: minsync.FaultSpam, Value: "flood"},
+			7: {Kind: minsync.FaultFakeDecide, Value: "forged"},
+		}},
+	}
+
+	fmt.Println("=== byzantine gauntlet: n=7, t=2, proposals a/b split 3–2 ===")
+	for i, attack := range attacks {
+		res, err := minsync.Simulate(minsync.SimConfig{
+			N: 7, T: 2, M: 2,
+			Proposals: map[minsync.ProcID]minsync.Value{
+				1: "a", 2: "b", 3: "a", 4: "b", 5: "a",
+			},
+			Byzantine: attack.byz,
+			Synchrony: minsync.FullSynchrony(3 * time.Millisecond),
+			Seed:      int64(1000 + i),
+			Check:     true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "TERMINATED"
+		if !res.AllDecided {
+			status = "NO DECISION"
+		}
+		safety := "safety OK"
+		if !res.Report.OK() {
+			safety = "SAFETY VIOLATED:\n" + res.Report.String()
+		}
+		fmt.Printf("%-42s → %s, decided %q in %d round(s), %5d msgs, %s\n",
+			attack.name, status, res.Agreed, res.Rounds, res.Messages, safety)
+	}
+	fmt.Println()
+	fmt.Println("Every attack: agreement and validity hold, and the correct")
+	fmt.Println("processes decide — the t < n/3 resilience bound in action.")
+}

@@ -1,0 +1,78 @@
+// Command minimal-synchrony demonstrates the paper's headline result: the
+// consensus algorithm terminates in a system where the ONLY synchrony is
+// one eventual ⟨t+1⟩bisource — a single correct process with one timely
+// incoming channel and one timely outgoing channel (t = 1); all 10 other
+// channels are fully asynchronous.
+//
+// The demo runs the same instance twice: once with the bisource planted
+// (terminates) and once fully asynchronous with the same random delays
+// (runs to the deadline without the termination guarantee), making the
+// role of those two timely channels concrete.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/minsync"
+)
+
+func main() {
+	base := minsync.SimConfig{
+		N: 4, T: 1, M: 2,
+		Proposals: map[minsync.ProcID]minsync.Value{
+			1: "blue", 2: "green", 3: "blue",
+		},
+		Byzantine: map[minsync.ProcID]minsync.Fault{
+			4: {Kind: minsync.FaultMuteCoordinator, Value: "green"},
+		},
+		// Asynchronous channels are slow and noisy: 5–80ms.
+		MinDelay: 5 * time.Millisecond,
+		MaxDelay: 80 * time.Millisecond,
+		Seed:     7,
+		Check:    true,
+	}
+
+	fmt.Println("=== with a ◇⟨t+1⟩bisource at p1 (in: p2, out: p3, GST 200ms) ===")
+	withBisource := base
+	withBisource.Synchrony = minsync.Bisource(
+		1,
+		[]minsync.ProcID{2}, // timely channel p2 → p1
+		[]minsync.ProcID{3}, // timely channel p1 → p3
+		200*time.Millisecond,
+		5*time.Millisecond,
+	)
+	res, err := minsync.Simulate(withBisource)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(res)
+
+	fmt.Println()
+	fmt.Println("=== same instance, NO bisource (pure asynchrony, 3s budget) ===")
+	pureAsync := base
+	pureAsync.Synchrony = minsync.Asynchrony()
+	pureAsync.Deadline = 3 * time.Second
+	pureAsync.MaxRounds = 64
+	res2, err := minsync.Simulate(pureAsync)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(res2)
+	fmt.Println()
+	fmt.Println("Note: without any synchrony, termination is not guaranteed (FLP);")
+	fmt.Println("it may still happen by luck — the guarantee, not the outcome, differs.")
+	fmt.Println("Safety (agreement/validity) holds in both runs, as the reports show.")
+}
+
+func report(res *minsync.SimResult) {
+	if res.AllDecided {
+		fmt.Printf("  decided %q at round %d after %v (virtual), %d messages\n",
+			res.Agreed, res.Rounds, res.Latency, res.Messages)
+	} else {
+		fmt.Printf("  no full decision (decided so far: %v, stalled: %v)\n",
+			res.Decisions, res.Stalled)
+	}
+	fmt.Printf("  property check: %s\n", res.Report)
+}

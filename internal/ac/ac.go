@@ -1,0 +1,211 @@
+// Package ac implements the Byzantine-tolerant adopt-commit (AC) object of
+// the paper (§3, Figure 2) — to our knowledge the first adopt-commit
+// construction for Byzantine message-passing systems. The object
+// encapsulates the safety half of agreement:
+//
+//	AC-Termination:      a correct invoker's AC_propose() returns
+//	AC-Output domain:    the decided pair is ⟨commit|adopt, v⟩ with v
+//	                     proposed by a correct process
+//	AC-Obligation:       unanimous correct proposals v ⇒ only ⟨commit, v⟩
+//	AC-Quasi-agreement:  ⟨commit, v⟩ at one correct process ⇒ no correct
+//	                     process decides ⟨−, v′⟩ with v′ ≠ v
+//
+// Algorithm (Fig. 2): est ← CB_broadcast(v); RB-broadcast AC_EST(est);
+// wait until AC_EST RB-delivered from n−t distinct processes whose values
+// are in cb_valid; MFA ← most frequent among those n−t; commit iff all
+// n−t carried MFA, else adopt.
+//
+// Determinism notes (reproduction): a delivered AC_EST "qualifies" when
+// its value enters cb_valid (qualification time = max(delivery,
+// validation)); the n−t messages of line 3 are the first n−t in
+// qualification order; most-frequent ties break toward the value whose
+// qualification came earliest.
+package ac
+
+import (
+	"repro/internal/cb"
+	"repro/internal/proto"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// Outcome is the ⟨tag, value⟩ pair returned by AC_propose.
+type Outcome struct {
+	Commit bool
+	Val    types.Value
+}
+
+// Instance is one adopt-commit object at one process. Its owner routes two
+// RB streams into it: the CB_VAL stream of its embedded CB instance
+// (OnCBDeliver) and the AC_EST stream (OnEstDeliver).
+type Instance struct {
+	cfg Config
+	cb  *cb.Instance
+
+	proposed bool
+	est      types.Value
+	haveEst  bool
+
+	// estOf records the first AC_EST per origin (RB-Unicity gives one).
+	estOf map[types.ProcID]types.Value
+	// qualified is the qualification-ordered list of origins whose AC_EST
+	// value is in cb_valid.
+	qualified    []types.ProcID
+	qualifiedSet types.ProcSet
+	// pending holds delivered-but-not-yet-valid origins in arrival order.
+	pending []types.ProcID
+
+	done    bool
+	outcome Outcome
+}
+
+// Config wires an Instance.
+type Config struct {
+	// Env is the process environment.
+	Env proto.Env
+	// Round is used for trace events and tags (each consensus round uses
+	// a fresh AC object).
+	Round types.Round
+	// BroadcastProp RB-broadcasts this instance's CB_VAL message (the
+	// embedded CB instance of Fig. 2 line 1).
+	BroadcastProp func(v types.Value)
+	// BroadcastEst RB-broadcasts the AC_EST message (Fig. 2 line 2).
+	BroadcastEst func(v types.Value)
+	// BotMode propagates the ⊥-default extension to the embedded CB.
+	BotMode bool
+	// OnDone, if non-nil, receives the outcome exactly once.
+	OnDone func(Outcome)
+}
+
+// New creates an AC instance.
+func New(cfg Config) *Instance {
+	i := &Instance{
+		cfg:   cfg,
+		estOf: make(map[types.ProcID]types.Value),
+	}
+	i.cb = cb.New(cb.Config{
+		Env:       cfg.Env,
+		Tag:       proto.Tag{Mod: proto.ModACCB, Round: cfg.Round},
+		BotMode:   cfg.BotMode,
+		Broadcast: cfg.BroadcastProp,
+		OnValid:   func(types.Value) { i.requalify(); i.maybeFinish() },
+		OnReturn:  func(v types.Value) { i.onCBReturn(v) },
+	})
+	return i
+}
+
+// Propose invokes AC_propose(v) (Fig. 2 line 1). One-shot.
+func (i *Instance) Propose(v types.Value) {
+	if i.proposed {
+		panic("ac: Propose called twice on a one-shot instance")
+	}
+	i.proposed = true
+	i.cfg.Env.Trace().Emit(trace.Event{
+		At: i.cfg.Env.Now(), Kind: trace.KindACPropose, Proc: i.cfg.Env.ID(),
+		Round: i.cfg.Round, Value: v,
+	})
+	i.cb.Start(v)
+}
+
+// onCBReturn is Fig. 2 line 1 completing: est received, RB-broadcast it.
+func (i *Instance) onCBReturn(v types.Value) {
+	i.est = v
+	i.haveEst = true
+	i.cfg.BroadcastEst(v)
+	i.maybeFinish()
+}
+
+// OnCBDeliver feeds RB-deliveries of the embedded CB's CB_VAL stream.
+func (i *Instance) OnCBDeliver(origin types.ProcID, v types.Value) {
+	i.cb.OnRBDeliver(origin, v)
+}
+
+// OnEstDeliver feeds RB-deliveries of the AC_EST stream (Fig. 2 line 3).
+func (i *Instance) OnEstDeliver(origin types.ProcID, v types.Value) {
+	if _, seen := i.estOf[origin]; seen {
+		return // RB-Unicity violation guard
+	}
+	i.estOf[origin] = v
+	if i.cb.IsValid(v) {
+		i.qualify(origin)
+	} else {
+		i.pending = append(i.pending, origin)
+	}
+	i.maybeFinish()
+}
+
+// requalify promotes pending AC_ESTs whose value just became valid,
+// preserving arrival order among them.
+func (i *Instance) requalify() {
+	if len(i.pending) == 0 {
+		return
+	}
+	rest := i.pending[:0]
+	for _, origin := range i.pending {
+		if i.cb.IsValid(i.estOf[origin]) {
+			i.qualify(origin)
+		} else {
+			rest = append(rest, origin)
+		}
+	}
+	i.pending = rest
+}
+
+func (i *Instance) qualify(origin types.ProcID) {
+	if !i.qualifiedSet.Add(origin) {
+		return
+	}
+	i.qualified = append(i.qualified, origin)
+}
+
+// maybeFinish evaluates the Fig. 2 line 3 wait: the operation completes
+// the first time n−t qualified AC_ESTs exist (and we have proposed and
+// RB-broadcast our own est).
+func (i *Instance) maybeFinish() {
+	if i.done || !i.proposed || !i.haveEst {
+		return
+	}
+	p := i.cfg.Env.Params()
+	q := p.Quorum()
+	if len(i.qualified) < q {
+		return
+	}
+	window := i.qualified[:q]
+
+	// Line 4: most frequent value among the quorum window; ties break
+	// toward earliest qualification.
+	counts := make(map[types.Value]int, q)
+	for _, origin := range window {
+		counts[i.estOf[origin]]++
+	}
+	var mfa types.Value
+	best := -1
+	for _, origin := range window {
+		v := i.estOf[origin]
+		if counts[v] > best {
+			best = counts[v]
+			mfa = v
+		}
+	}
+
+	// Lines 5-8: commit iff the whole window is unanimous.
+	i.done = true
+	i.outcome = Outcome{Commit: best == q, Val: mfa}
+	tag := "adopt"
+	if i.outcome.Commit {
+		tag = "commit"
+	}
+	i.cfg.Env.Trace().Emit(trace.Event{
+		At: i.cfg.Env.Now(), Kind: trace.KindACReturn, Proc: i.cfg.Env.ID(),
+		Round: i.cfg.Round, Value: mfa, Aux: tag,
+	})
+	if i.cfg.OnDone != nil {
+		i.cfg.OnDone(i.outcome)
+	}
+}
+
+// Done reports the outcome, if available.
+func (i *Instance) Done() (Outcome, bool) { return i.outcome, i.done }
+
+// CB exposes the embedded CB instance (tests inspect cb_valid).
+func (i *Instance) CB() *cb.Instance { return i.cb }

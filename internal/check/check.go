@@ -1,0 +1,414 @@
+// Package check replays trace logs and verifies the specification
+// properties of every abstraction in the stack — reliable broadcast (§2.2),
+// cooperative broadcast (§2.3), adopt-commit (§3), eventual agreement (§5)
+// and consensus (§6). The checkers operate on drained runs: "eventual"
+// properties are interpreted as "holds at the end of the execution".
+//
+// Checkers need ground truth the trace cannot carry: which processes were
+// correct and what they proposed. Callers provide it via Ground.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// Ground is the ground truth of a run.
+type Ground struct {
+	// Correct lists the correct processes.
+	Correct []types.ProcID
+	// Proposals maps correct processes to their consensus proposals.
+	Proposals map[types.ProcID]types.Value
+	// BotMode marks §7 ⊥-default runs (⊥ is then a legal decision).
+	BotMode bool
+	// ExpectTermination asserts that every correct process decided.
+	ExpectTermination bool
+}
+
+func (g Ground) isCorrect(p types.ProcID) bool {
+	for _, c := range g.Correct {
+		if c == p {
+			return true
+		}
+	}
+	return false
+}
+
+// proposedValues is the set of values proposed by correct processes.
+func (g Ground) proposedValues() map[types.Value]bool {
+	out := make(map[types.Value]bool, len(g.Proposals))
+	for _, v := range g.Proposals {
+		out[v] = true
+	}
+	return out
+}
+
+// Report collects violations; it is empty on a clean run.
+type Report struct {
+	Violations []string
+	// Checked counts property evaluations per family (diagnostics: a
+	// suspiciously low count means the trace lacked the events).
+	Checked map[string]int
+}
+
+// OK reports whether no violation was found.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+func (r *Report) violate(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) count(family string) {
+	if r.Checked == nil {
+		r.Checked = make(map[string]int)
+	}
+	r.Checked[family]++
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	if r.OK() {
+		return "check: all properties hold"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "check: %d violation(s):\n", len(r.Violations))
+	for _, v := range r.Violations {
+		b.WriteString("  - ")
+		b.WriteString(v)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// All runs every checker on the log.
+func All(log *trace.Log, g Ground) *Report {
+	r := &Report{}
+	CheckRB(log, g, r)
+	CheckCB(log, g, r)
+	CheckAC(log, g, r)
+	CheckEA(log, g, r)
+	CheckConsensus(log, g, r)
+	return r
+}
+
+// streamKey identifies an RB stream / CB instance occurrence at a process.
+type streamKey struct {
+	origin types.ProcID
+	tag    string
+}
+
+// CheckRB verifies RB-Unicity, content agreement across correct processes,
+// and RB-Termination-2 (end-of-run reading: a stream delivered anywhere
+// correct is delivered everywhere correct).
+func CheckRB(log *trace.Log, g Ground, r *Report) {
+	type delivKey struct {
+		proc   types.ProcID
+		stream streamKey
+	}
+	delivered := make(map[delivKey]types.Value)
+	content := make(map[streamKey]types.Value)
+	streams := make(map[streamKey]map[types.ProcID]bool)
+	for _, e := range log.Events() {
+		if e.Kind != trace.KindRBDeliver || !g.isCorrect(e.Proc) {
+			continue
+		}
+		sk := streamKey{origin: e.Peer, tag: e.Aux}
+		dk := delivKey{proc: e.Proc, stream: sk}
+		if prev, dup := delivered[dk]; dup {
+			r.violate("RB-Unicity: %v delivered stream %v/%s twice (%q then %q)", e.Proc, sk.origin, sk.tag, prev, e.Value)
+			continue
+		}
+		delivered[dk] = e.Value
+		r.count("rb-unicity")
+		if prev, ok := content[sk]; ok {
+			if prev != e.Value {
+				r.violate("RB-Agreement: stream %v/%s delivered as %q and %q", sk.origin, sk.tag, prev, e.Value)
+			}
+		} else {
+			content[sk] = e.Value
+		}
+		if streams[sk] == nil {
+			streams[sk] = make(map[types.ProcID]bool)
+		}
+		streams[sk][e.Proc] = true
+	}
+	for sk, procs := range streams {
+		r.count("rb-termination2")
+		for _, c := range g.Correct {
+			if !procs[c] {
+				r.violate("RB-Termination-2: stream %v/%s delivered by %d processes but not by %v",
+					sk.origin, sk.tag, len(procs), c)
+			}
+		}
+	}
+}
+
+// CheckCB verifies CB-Set Validity (every validated non-⊥ value was
+// cb-broadcast by a correct process on that instance), CB-Set Agreement
+// (final sets equal across correct processes), and CB-Operation Validity
+// (returned value is in the process's final set).
+func CheckCB(log *trace.Log, g Ground, r *Report) {
+	// Correct broadcasts per instance tag.
+	broadcast := make(map[string]map[types.Value]bool)
+	valid := make(map[string]map[types.ProcID]map[types.Value]bool)
+	returned := make(map[string]map[types.ProcID]types.Value)
+	for _, e := range log.Events() {
+		if !g.isCorrect(e.Proc) {
+			continue
+		}
+		switch e.Kind {
+		case trace.KindCBBroadcast:
+			if broadcast[e.Aux] == nil {
+				broadcast[e.Aux] = make(map[types.Value]bool)
+			}
+			broadcast[e.Aux][e.Value] = true
+		case trace.KindCBValid:
+			if valid[e.Aux] == nil {
+				valid[e.Aux] = make(map[types.ProcID]map[types.Value]bool)
+			}
+			if valid[e.Aux][e.Proc] == nil {
+				valid[e.Aux][e.Proc] = make(map[types.Value]bool)
+			}
+			valid[e.Aux][e.Proc][e.Value] = true
+		case trace.KindCBReturn:
+			if returned[e.Aux] == nil {
+				returned[e.Aux] = make(map[types.ProcID]types.Value)
+			}
+			returned[e.Aux][e.Proc] = e.Value
+		}
+	}
+	for tag, perProc := range valid {
+		// Set Validity.
+		for proc, set := range perProc {
+			for v := range set {
+				r.count("cb-set-validity")
+				if v == types.BotValue && g.BotMode {
+					continue
+				}
+				if !broadcast[tag][v] {
+					r.violate("CB-Set Validity: %v validated %q on %s, never cb-broadcast by a correct process", proc, v, tag)
+				}
+			}
+		}
+		// Set Agreement (final sets equal across every correct process).
+		var ref map[types.Value]bool
+		var refProc types.ProcID
+		for _, c := range g.Correct {
+			set := perProc[c]
+			if ref == nil {
+				ref, refProc = set, c
+				continue
+			}
+			r.count("cb-set-agreement")
+			if !sameValueSet(ref, set) {
+				r.violate("CB-Set Agreement: %s differs between %v (%v) and %v (%v)",
+					tag, refProc, keys(ref), c, keys(set))
+			}
+		}
+	}
+	for tag, perProc := range returned {
+		for proc, v := range perProc {
+			r.count("cb-op-validity")
+			if !valid[tag][proc][v] {
+				r.violate("CB-Operation Validity: %v returned %q on %s, not in its cb_valid", proc, v, tag)
+			}
+		}
+	}
+}
+
+// CheckAC verifies AC-Quasi-agreement and AC-Output domain per round, and
+// AC-Obligation when the correct proposals of a round were unanimous.
+func CheckAC(log *trace.Log, g Ground, r *Report) {
+	type acRound struct {
+		proposals map[types.Value]bool
+		commits   map[types.ProcID]types.Value
+		returns   map[types.ProcID]types.Value
+	}
+	rounds := make(map[types.Round]*acRound)
+	get := func(rd types.Round) *acRound {
+		a := rounds[rd]
+		if a == nil {
+			a = &acRound{
+				proposals: make(map[types.Value]bool),
+				commits:   make(map[types.ProcID]types.Value),
+				returns:   make(map[types.ProcID]types.Value),
+			}
+			rounds[rd] = a
+		}
+		return a
+	}
+	for _, e := range log.Events() {
+		if !g.isCorrect(e.Proc) {
+			continue
+		}
+		switch e.Kind {
+		case trace.KindACPropose:
+			get(e.Round).proposals[e.Value] = true
+		case trace.KindACReturn:
+			a := get(e.Round)
+			a.returns[e.Proc] = e.Value
+			if e.Aux == "commit" {
+				a.commits[e.Proc] = e.Value
+			}
+		}
+	}
+	for rd, a := range rounds {
+		// Quasi-agreement.
+		var committed types.Value
+		hasCommit := false
+		for _, v := range a.commits {
+			if hasCommit && v != committed {
+				r.violate("AC-Quasi-agreement: round %v has commits on %q and %q", rd, committed, v)
+			}
+			committed, hasCommit = v, true
+		}
+		if hasCommit {
+			r.count("ac-quasi-agreement")
+			for proc, v := range a.returns {
+				if v != committed {
+					r.violate("AC-Quasi-agreement: round %v: %v returned ⟨−,%q⟩ but %q was committed", rd, proc, v, committed)
+				}
+			}
+		}
+		// Output domain: returned values must have been proposed by a
+		// correct process (⊥ allowed in BotMode).
+		for proc, v := range a.returns {
+			r.count("ac-output-domain")
+			if v == types.BotValue && g.BotMode {
+				continue
+			}
+			if !a.proposals[v] {
+				r.violate("AC-Output domain: round %v: %v returned %q, not proposed by a correct process", rd, proc, v)
+			}
+		}
+		// Obligation: unanimous proposals force commits at every
+		// returning process.
+		if len(a.proposals) == 1 && len(a.returns) > 0 {
+			r.count("ac-obligation")
+			for proc, v := range a.returns {
+				if _, ok := a.commits[proc]; !ok {
+					r.violate("AC-Obligation: round %v: unanimous proposals but %v adopted %q", rd, proc, v)
+				}
+			}
+		}
+	}
+}
+
+// CheckEA verifies EA-Validity per round: when every correct process
+// ea-proposed the same value in a round, no correct process returned a
+// different one.
+func CheckEA(log *trace.Log, g Ground, r *Report) {
+	type eaRound struct {
+		proposals map[types.Value]bool
+		proposers map[types.ProcID]bool
+		returns   map[types.ProcID]types.Value
+	}
+	rounds := make(map[types.Round]*eaRound)
+	get := func(rd types.Round) *eaRound {
+		a := rounds[rd]
+		if a == nil {
+			a = &eaRound{
+				proposals: make(map[types.Value]bool),
+				proposers: make(map[types.ProcID]bool),
+				returns:   make(map[types.ProcID]types.Value),
+			}
+			rounds[rd] = a
+		}
+		return a
+	}
+	for _, e := range log.Events() {
+		if !g.isCorrect(e.Proc) {
+			continue
+		}
+		switch e.Kind {
+		case trace.KindEAPropose:
+			a := get(e.Round)
+			a.proposals[e.Value] = true
+			a.proposers[e.Proc] = true
+		case trace.KindEAReturn:
+			get(e.Round).returns[e.Proc] = e.Value
+		}
+	}
+	for rd, a := range rounds {
+		if len(a.proposals) != 1 || len(a.proposers) < len(g.Correct) {
+			continue // validity premise not met
+		}
+		var v types.Value
+		for pv := range a.proposals {
+			v = pv
+		}
+		r.count("ea-validity")
+		for proc, got := range a.returns {
+			if got != v {
+				r.violate("EA-Validity: round %v: all correct proposed %q but %v returned %q", rd, v, proc, got)
+			}
+		}
+	}
+}
+
+// CheckConsensus verifies CONS-Agreement, CONS-Validity and (when
+// Ground.ExpectTermination) CONS-Termination, plus at-most-one decision
+// per process.
+func CheckConsensus(log *trace.Log, g Ground, r *Report) {
+	decided := make(map[types.ProcID]types.Value)
+	proposed := g.proposedValues()
+	for _, e := range log.Events() {
+		if e.Kind != trace.KindConsDecide || !g.isCorrect(e.Proc) {
+			continue
+		}
+		if prev, dup := decided[e.Proc]; dup {
+			r.violate("CONS: %v decided twice (%q then %q)", e.Proc, prev, e.Value)
+			continue
+		}
+		decided[e.Proc] = e.Value
+		r.count("cons-validity")
+		if !proposed[e.Value] && !(g.BotMode && e.Value == types.BotValue) {
+			r.violate("CONS-Validity: %v decided %q, not proposed by a correct process", e.Proc, e.Value)
+		}
+	}
+	var ref types.Value
+	first := true
+	for proc, v := range decided {
+		if first {
+			ref, first = v, false
+			continue
+		}
+		r.count("cons-agreement")
+		if v != ref {
+			r.violate("CONS-Agreement: %v decided %q while another decided %q", proc, v, ref)
+		}
+	}
+	if g.ExpectTermination {
+		for _, c := range g.Correct {
+			r.count("cons-termination")
+			if _, ok := decided[c]; !ok {
+				r.violate("CONS-Termination: %v never decided", c)
+			}
+		}
+	}
+}
+
+func sameValueSet(a, b map[types.Value]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func keys(m map[types.Value]bool) []string {
+	out := make([]string, 0, len(m))
+	for v := range m {
+		out = append(out, string(v))
+	}
+	sort.Strings(out)
+	return out
+}

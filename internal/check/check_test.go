@@ -1,0 +1,264 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/network"
+	"repro/internal/runner"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// ground builds the Ground from a runner spec.
+func ground(spec runner.Spec, expectTermination bool) check.Ground {
+	g := check.Ground{
+		Proposals:         spec.Proposals,
+		BotMode:           spec.Engine.BotMode,
+		ExpectTermination: expectTermination,
+	}
+	for _, id := range spec.Params.AllProcs() {
+		if _, ok := spec.Proposals[id]; ok {
+			g.Correct = append(g.Correct, id)
+		}
+	}
+	return g
+}
+
+func TestCleanRunPasses(t *testing.T) {
+	p := types.Params{N: 7, T: 2, M: 2}
+	spec := runner.Spec{
+		Params:   p,
+		Topology: network.FullySynchronous(7, types.Duration(2*time.Millisecond)),
+		Seed:     3,
+		Record:   true,
+		Proposals: map[types.ProcID]types.Value{
+			1: "a", 2: "b", 3: "a", 4: "b", 5: "a",
+		},
+		Byzantine: map[types.ProcID]harness.Behavior{
+			6: adversary.Equivocator(core.Config{TimeUnit: types.Duration(10 * time.Millisecond)}, [2]types.Value{"a", "b"}),
+			7: adversary.SpamStreams("zzz", 30),
+		},
+		Engine: core.Config{TimeUnit: types.Duration(10 * time.Millisecond)},
+	}
+	res, err := runner.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := check.All(res.Log, ground(spec, true))
+	if !rep.OK() {
+		t.Fatalf("clean adversarial run reported violations:\n%s", rep)
+	}
+	// The checkers must actually have evaluated properties.
+	for _, family := range []string{
+		"rb-unicity", "rb-termination2", "cb-set-validity", "cb-set-agreement",
+		"cb-op-validity", "ac-output-domain", "cons-validity", "cons-agreement",
+		"cons-termination",
+	} {
+		if rep.Checked[family] == 0 {
+			t.Errorf("checker family %q evaluated nothing", family)
+		}
+	}
+}
+
+func TestBotModeRunPasses(t *testing.T) {
+	p := types.Params{N: 4, T: 1, M: 4}
+	spec := runner.Spec{
+		Params:    p,
+		Topology:  network.FullySynchronous(4, types.Duration(2*time.Millisecond)),
+		Seed:      5,
+		Record:    true,
+		Proposals: map[types.ProcID]types.Value{1: "a", 2: "b", 3: "c", 4: "d"},
+		Engine:    core.Config{TimeUnit: types.Duration(10 * time.Millisecond), BotMode: true},
+	}
+	res, err := runner.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := check.All(res.Log, ground(spec, true))
+	if !rep.OK() {
+		t.Fatalf("⊥-variant run reported violations:\n%s", rep)
+	}
+}
+
+// Synthetic-log tests: each checker must actually detect violations.
+
+func TestDetectsRBUnicityViolation(t *testing.T) {
+	log := trace.NewLog()
+	e := trace.Event{Kind: trace.KindRBDeliver, Proc: 1, Peer: 2, Value: "a", Aux: "decide/r0"}
+	log.Emit(e)
+	log.Emit(e) // duplicate delivery
+	rep := &check.Report{}
+	check.CheckRB(log, check.Ground{Correct: []types.ProcID{1}}, rep)
+	if rep.OK() || !strings.Contains(rep.Violations[0], "RB-Unicity") {
+		t.Fatalf("missed unicity violation: %s", rep)
+	}
+}
+
+func TestDetectsRBAgreementViolation(t *testing.T) {
+	log := trace.NewLog()
+	log.Emit(trace.Event{Kind: trace.KindRBDeliver, Proc: 1, Peer: 3, Value: "a", Aux: "decide/r0"})
+	log.Emit(trace.Event{Kind: trace.KindRBDeliver, Proc: 2, Peer: 3, Value: "b", Aux: "decide/r0"})
+	rep := &check.Report{}
+	check.CheckRB(log, check.Ground{Correct: []types.ProcID{1, 2}}, rep)
+	found := false
+	for _, v := range rep.Violations {
+		if strings.Contains(v, "RB-Agreement") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missed agreement violation: %s", rep)
+	}
+}
+
+func TestDetectsRBTermination2Violation(t *testing.T) {
+	log := trace.NewLog()
+	log.Emit(trace.Event{Kind: trace.KindRBDeliver, Proc: 1, Peer: 3, Value: "a", Aux: "decide/r0"})
+	rep := &check.Report{}
+	check.CheckRB(log, check.Ground{Correct: []types.ProcID{1, 2}}, rep)
+	if rep.OK() || !strings.Contains(rep.Violations[0], "RB-Termination-2") {
+		t.Fatalf("missed termination-2 violation: %s", rep)
+	}
+}
+
+func TestDetectsCBSetValidityViolation(t *testing.T) {
+	log := trace.NewLog()
+	log.Emit(trace.Event{Kind: trace.KindCBValid, Proc: 1, Value: "evil", Aux: "cons-cb0/r0"})
+	rep := &check.Report{}
+	check.CheckCB(log, check.Ground{Correct: []types.ProcID{1}}, rep)
+	if rep.OK() || !strings.Contains(rep.Violations[0], "CB-Set Validity") {
+		t.Fatalf("missed set-validity violation: %s", rep)
+	}
+}
+
+func TestDetectsCBSetAgreementViolation(t *testing.T) {
+	log := trace.NewLog()
+	log.Emit(trace.Event{Kind: trace.KindCBBroadcast, Proc: 1, Value: "a", Aux: "cons-cb0/r0"})
+	log.Emit(trace.Event{Kind: trace.KindCBValid, Proc: 1, Value: "a", Aux: "cons-cb0/r0"})
+	// p2 never validates anything on the same instance.
+	rep := &check.Report{}
+	check.CheckCB(log, check.Ground{Correct: []types.ProcID{1, 2}}, rep)
+	found := false
+	for _, v := range rep.Violations {
+		if strings.Contains(v, "CB-Set Agreement") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missed set-agreement violation: %s", rep)
+	}
+}
+
+func TestDetectsACQuasiAgreementViolation(t *testing.T) {
+	log := trace.NewLog()
+	log.Emit(trace.Event{Kind: trace.KindACPropose, Proc: 1, Round: 1, Value: "a"})
+	log.Emit(trace.Event{Kind: trace.KindACPropose, Proc: 2, Round: 1, Value: "b"})
+	log.Emit(trace.Event{Kind: trace.KindACReturn, Proc: 1, Round: 1, Value: "a", Aux: "commit"})
+	log.Emit(trace.Event{Kind: trace.KindACReturn, Proc: 2, Round: 1, Value: "b", Aux: "adopt"})
+	rep := &check.Report{}
+	check.CheckAC(log, check.Ground{Correct: []types.ProcID{1, 2}}, rep)
+	if rep.OK() || !strings.Contains(rep.Violations[0], "AC-Quasi-agreement") {
+		t.Fatalf("missed quasi-agreement violation: %s", rep)
+	}
+}
+
+func TestDetectsACObligationViolation(t *testing.T) {
+	log := trace.NewLog()
+	log.Emit(trace.Event{Kind: trace.KindACPropose, Proc: 1, Round: 2, Value: "a"})
+	log.Emit(trace.Event{Kind: trace.KindACReturn, Proc: 1, Round: 2, Value: "a", Aux: "adopt"})
+	rep := &check.Report{}
+	check.CheckAC(log, check.Ground{Correct: []types.ProcID{1}}, rep)
+	if rep.OK() || !strings.Contains(rep.Violations[0], "AC-Obligation") {
+		t.Fatalf("missed obligation violation: %s", rep)
+	}
+}
+
+func TestDetectsEAValidityViolation(t *testing.T) {
+	log := trace.NewLog()
+	log.Emit(trace.Event{Kind: trace.KindEAPropose, Proc: 1, Round: 1, Value: "v"})
+	log.Emit(trace.Event{Kind: trace.KindEAPropose, Proc: 2, Round: 1, Value: "v"})
+	log.Emit(trace.Event{Kind: trace.KindEAReturn, Proc: 1, Round: 1, Value: "w"})
+	rep := &check.Report{}
+	check.CheckEA(log, check.Ground{Correct: []types.ProcID{1, 2}}, rep)
+	if rep.OK() || !strings.Contains(rep.Violations[0], "EA-Validity") {
+		t.Fatalf("missed EA validity violation: %s", rep)
+	}
+}
+
+func TestDetectsConsensusViolations(t *testing.T) {
+	g := check.Ground{
+		Correct:           []types.ProcID{1, 2, 3},
+		Proposals:         map[types.ProcID]types.Value{1: "a", 2: "a", 3: "a"},
+		ExpectTermination: true,
+	}
+	log := trace.NewLog()
+	log.Emit(trace.Event{Kind: trace.KindConsDecide, Proc: 1, Value: "a"})
+	log.Emit(trace.Event{Kind: trace.KindConsDecide, Proc: 2, Value: "x"}) // unproposed + disagreement
+	rep := &check.Report{}
+	check.CheckConsensus(log, g, rep)
+	var hasValidity, hasAgreement, hasTermination bool
+	for _, v := range rep.Violations {
+		switch {
+		case strings.Contains(v, "CONS-Validity"):
+			hasValidity = true
+		case strings.Contains(v, "CONS-Agreement"):
+			hasAgreement = true
+		case strings.Contains(v, "CONS-Termination"):
+			hasTermination = true
+		}
+	}
+	if !hasValidity || !hasAgreement || !hasTermination {
+		t.Fatalf("missed violations (validity=%v agreement=%v termination=%v):\n%s",
+			hasValidity, hasAgreement, hasTermination, rep)
+	}
+	// Double decision.
+	log.Emit(trace.Event{Kind: trace.KindConsDecide, Proc: 1, Value: "a"})
+	rep2 := &check.Report{}
+	check.CheckConsensus(log, g, rep2)
+	found := false
+	for _, v := range rep2.Violations {
+		if strings.Contains(v, "decided twice") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missed double decision")
+	}
+}
+
+func TestBotAllowedOnlyInBotMode(t *testing.T) {
+	g := check.Ground{
+		Correct:   []types.ProcID{1},
+		Proposals: map[types.ProcID]types.Value{1: "a"},
+	}
+	log := trace.NewLog()
+	log.Emit(trace.Event{Kind: trace.KindConsDecide, Proc: 1, Value: types.BotValue})
+	rep := &check.Report{}
+	check.CheckConsensus(log, g, rep)
+	if rep.OK() {
+		t.Fatal("⊥ decision must violate validity outside BotMode")
+	}
+	g.BotMode = true
+	rep2 := &check.Report{}
+	check.CheckConsensus(log, g, rep2)
+	if !rep2.OK() {
+		t.Fatalf("⊥ decision must be legal in BotMode: %s", rep2)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &check.Report{}
+	if got := rep.String(); !strings.Contains(got, "all properties hold") {
+		t.Errorf("clean report String = %q", got)
+	}
+	rep.Violations = append(rep.Violations, "X broke")
+	if got := rep.String(); !strings.Contains(got, "X broke") || !strings.Contains(got, "1 violation") {
+		t.Errorf("dirty report String = %q", got)
+	}
+}

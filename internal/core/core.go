@@ -1,0 +1,330 @@
+// Package core implements the paper's primary contribution: the m-valued
+// Byzantine consensus algorithm of §6 (Figure 4) for the system model
+// BZ_AS[t<n/3, ◇⟨t+1⟩bisource], built from the reliable-broadcast (rb),
+// cooperative-broadcast (cb), adopt-commit (ac) and eventual-agreement
+// (ea) abstractions:
+//
+//	line 1   est ← CB[0].CB_broadcast(v)             — validity anchor
+//	loop     r ← r+1
+//	line 4     v ← EA.EA_propose(r, est)             — liveness (◇⟨t+1⟩bisource)
+//	line 5     if v ∈ CB[0].cb_valid { est ← v }     — validity filter
+//	line 6     ⟨tag, est⟩ ← AC[r].AC_propose(est)    — safety
+//	line 7     if tag = commit { RB-broadcast DECIDE(est) }
+//	decision   on DECIDE(v) RB-delivered from t+1 distinct processes: decide v
+//
+// Consensus properties: CONS-Termination, CONS-Validity (a decided value
+// was proposed by a correct process — or is ⊥ in the §7 BotMode variant)
+// and CONS-Agreement.
+//
+// A deciding process halts its round loop but keeps serving the reliable
+// broadcast and the open abstractions of earlier rounds, so slower correct
+// processes are never starved; they decide through the same t+1 DECIDE
+// deliveries (RB-Termination-2).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ac"
+	"repro/internal/cb"
+	"repro/internal/combin"
+	"repro/internal/ea"
+	"repro/internal/proto"
+	"repro/internal/rb"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// Config assembles an Engine.
+type Config struct {
+	// Env is the process environment.
+	Env proto.Env
+	// K is the §5.4 tuning parameter: the EA F-sets have size n−t+K and
+	// the synchrony assumption strengthens to ◇⟨t+1+K⟩bisource. 0 is the
+	// basic algorithm.
+	K int
+	// TimeUnit scales the EA round timers (timeout(r) = r·TimeUnit).
+	TimeUnit types.Duration
+	// Timeout optionally replaces the r·TimeUnit rule (must be increasing).
+	Timeout func(r types.Round) types.Duration
+	// Mode selects the EA fast-path semantics (default FastPathContinue).
+	Mode ea.FastPathMode
+	// Relay selects the EA relay rule (default RelayAnyF; RelayQuorum is
+	// the ⟨n−t⟩bisource baseline for experiment E10).
+	Relay ea.RelayRule
+	// BotMode enables the §7 ⊥-default validity variant: the feasibility
+	// bound on m is lifted and ⊥ may be decided on split proposals.
+	BotMode bool
+	// MaxRounds stops the round loop (Engine.Stalled reports it) as a
+	// safety cap for adversarial no-liveness experiments. 0 = 10·α·n
+	// (an order of magnitude past the paper's worst-case bound).
+	MaxRounds types.Round
+	// OnDecide, if non-nil, is called exactly once upon decision.
+	OnDecide func(v types.Value)
+}
+
+// Engine is one correct consensus process. It implements proto.Handler; a
+// runtime feeds it deduplicated messages and it drives the full stack.
+type Engine struct {
+	cfg  Config
+	plan *combin.RoundPlan
+
+	rbl *rb.Layer
+	cb0 *cb.Instance
+	eao *ea.Object
+	acs map[types.Round]*ac.Instance
+
+	proposed bool
+	est      types.Value
+	haveEst  bool
+	round    types.Round
+
+	sentDecide    bool
+	commitRound   types.Round // round of this process's own commit (0 if none)
+	decideSupport map[types.Value]*types.ProcSet
+	decided       bool
+	decision      types.Value
+	decidedAt     types.Time
+	decidedRound  types.Round
+	stalled       bool
+}
+
+var _ proto.Handler = (*Engine)(nil)
+
+// New builds a consensus engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Env == nil {
+		return nil, fmt.Errorf("core: nil Env")
+	}
+	p := cfg.Env.Params()
+	if err := p.Validate(cfg.BotMode); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.K < 0 || cfg.K > p.T {
+		return nil, fmt.Errorf("core: k must be in [0, t], got %d", cfg.K)
+	}
+	plan, err := combin.NewRoundPlan(p.N, p.Quorum()+cfg.K)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.MaxRounds <= 0 {
+		wc := plan.WorstCaseRounds()
+		if wc > 1<<20 {
+			wc = 1 << 20
+		}
+		cfg.MaxRounds = types.Round(10 * wc)
+	}
+	e := &Engine{
+		cfg:           cfg,
+		plan:          plan,
+		acs:           make(map[types.Round]*ac.Instance),
+		decideSupport: make(map[types.Value]*types.ProcSet),
+	}
+	e.rbl = rb.New(cfg.Env, e.onRBDeliver)
+	e.cb0 = cb.New(cb.Config{
+		Env:       cfg.Env,
+		Tag:       proto.Tag{Mod: proto.ModConsCB0},
+		BotMode:   cfg.BotMode,
+		Broadcast: func(v types.Value) { e.rbl.Broadcast(proto.Tag{Mod: proto.ModConsCB0}, v) },
+		OnReturn:  e.onCB0Return,
+	})
+	e.eao, err = ea.New(ea.Config{
+		Env:  cfg.Env,
+		Plan: plan,
+		BroadcastCB: func(r types.Round, v types.Value) {
+			e.rbl.Broadcast(proto.Tag{Mod: proto.ModEACB, Round: r}, v)
+		},
+		TimeUnit: cfg.TimeUnit,
+		Timeout:  cfg.Timeout,
+		Mode:     cfg.Mode,
+		Relay:    cfg.Relay,
+		BotMode:  cfg.BotMode,
+		MaxRound: cfg.MaxRounds + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return e, nil
+}
+
+// Propose invokes CONS_propose(v) (Fig. 4 line 1). One-shot.
+func (e *Engine) Propose(v types.Value) error {
+	if e.proposed {
+		return fmt.Errorf("core: Propose called twice")
+	}
+	if e.cfg.BotMode && v == types.BotValue {
+		return fmt.Errorf("core: applications must not propose ⊥")
+	}
+	e.proposed = true
+	e.cfg.Env.Trace().Emit(trace.Event{
+		At: e.cfg.Env.Now(), Kind: trace.KindConsPropose, Proc: e.cfg.Env.ID(), Value: v,
+	})
+	e.cb0.Start(v)
+	return nil
+}
+
+// onCB0Return completes line 1: the estimate is now a value proposed by a
+// correct process; enter the round loop.
+func (e *Engine) onCB0Return(v types.Value) {
+	e.est = v
+	e.haveEst = true
+	if !e.decided {
+		e.startRound(1)
+	}
+}
+
+// startRound is lines 3-4.
+func (e *Engine) startRound(r types.Round) {
+	if e.decided || e.stalled {
+		return
+	}
+	if r > e.cfg.MaxRounds {
+		e.stalled = true
+		return
+	}
+	e.round = r
+	e.cfg.Env.Trace().Emit(trace.Event{
+		At: e.cfg.Env.Now(), Kind: trace.KindConsRoundStart, Proc: e.cfg.Env.ID(),
+		Round: r, Value: e.est,
+	})
+	if err := e.eao.Propose(r, e.est, func(v types.Value) { e.onEAReturn(r, v) }); err != nil {
+		// Round cap reached inside EA; treat as stall.
+		e.stalled = true
+	}
+}
+
+// onEAReturn is lines 5-6.
+func (e *Engine) onEAReturn(r types.Round, v types.Value) {
+	if e.decided || e.stalled || r != e.round {
+		return
+	}
+	if e.cb0.IsValid(v) { // line 5 validity filter
+		e.est = v
+	}
+	e.getAC(r).Propose(e.est)
+}
+
+// onACDone is lines 6-8.
+func (e *Engine) onACDone(r types.Round, o ac.Outcome) {
+	if e.decided || e.stalled || r != e.round {
+		return
+	}
+	e.est = o.Val
+	if o.Commit && !e.sentDecide {
+		e.sentDecide = true
+		e.commitRound = r
+		e.cfg.Env.Trace().Emit(trace.Event{
+			At: e.cfg.Env.Now(), Kind: trace.KindConsCommitBcast, Proc: e.cfg.Env.ID(),
+			Round: r, Value: o.Val,
+		})
+		e.rbl.Broadcast(proto.Tag{Mod: proto.ModDecide}, o.Val)
+	}
+	e.startRound(r + 1)
+}
+
+// getAC lazily creates the adopt-commit object of round r. Messages can
+// arrive for rounds we have not reached yet; their objects buffer state
+// until our own Propose.
+func (e *Engine) getAC(r types.Round) *ac.Instance {
+	inst, ok := e.acs[r]
+	if !ok {
+		inst = ac.New(ac.Config{
+			Env:   e.cfg.Env,
+			Round: r,
+			BroadcastProp: func(v types.Value) {
+				e.rbl.Broadcast(proto.Tag{Mod: proto.ModACCB, Round: r}, v)
+			},
+			BroadcastEst: func(v types.Value) {
+				e.rbl.Broadcast(proto.Tag{Mod: proto.ModACEst, Round: r}, v)
+			},
+			BotMode: e.cfg.BotMode,
+			OnDone:  func(o ac.Outcome) { e.onACDone(r, o) },
+		})
+		e.acs[r] = inst
+	}
+	return inst
+}
+
+// OnMessage implements proto.Handler: route RB submessages to the RB
+// layer, EA plain messages to the EA object.
+func (e *Engine) OnMessage(from types.ProcID, m proto.Message) {
+	if e.rbl.OnMessage(from, m) {
+		return
+	}
+	e.eao.OnPlain(from, m)
+}
+
+// onRBDeliver routes RB deliveries to the owning abstraction by stream tag.
+func (e *Engine) onRBDeliver(origin types.ProcID, tag proto.Tag, v types.Value) {
+	switch tag.Mod {
+	case proto.ModConsCB0:
+		e.cb0.OnRBDeliver(origin, v)
+	case proto.ModEACB:
+		e.eao.OnCBDeliver(tag.Round, origin, v)
+	case proto.ModACCB:
+		if tag.Round >= 1 && tag.Round <= e.cfg.MaxRounds {
+			e.getAC(tag.Round).OnCBDeliver(origin, v)
+		}
+	case proto.ModACEst:
+		if tag.Round >= 1 && tag.Round <= e.cfg.MaxRounds {
+			e.getAC(tag.Round).OnEstDeliver(origin, v)
+		}
+	case proto.ModDecide:
+		e.onDecideDeliver(origin, v)
+	}
+}
+
+// onDecideDeliver is Fig. 4 line 9: decide on t+1 matching DECIDEs.
+func (e *Engine) onDecideDeliver(origin types.ProcID, v types.Value) {
+	set := e.decideSupport[v]
+	if set == nil {
+		s := types.NewProcSet()
+		set = &s
+		e.decideSupport[v] = set
+	}
+	set.Add(origin)
+	if set.Len() >= e.cfg.Env.Params().T+1 && !e.decided {
+		e.decided = true
+		e.decision = v
+		e.decidedAt = e.cfg.Env.Now()
+		// Report the protocol-level round of the decision: the round of
+		// our own commit if we committed, else the loop position when the
+		// DECIDE quorum landed (an upper bound for non-committing
+		// processes).
+		e.decidedRound = e.round
+		if e.commitRound > 0 {
+			e.decidedRound = e.commitRound
+		}
+		e.eao.CancelTimers()
+		e.cfg.Env.Trace().Emit(trace.Event{
+			At: e.decidedAt, Kind: trace.KindConsDecide, Proc: e.cfg.Env.ID(),
+			Round: e.round, Value: v,
+		})
+		if e.cfg.OnDecide != nil {
+			e.cfg.OnDecide(v)
+		}
+	}
+}
+
+// Decision reports the decided value, if any.
+func (e *Engine) Decision() (types.Value, bool) { return e.decision, e.decided }
+
+// DecidedAt returns when the decision happened (zero if undecided).
+func (e *Engine) DecidedAt() types.Time { return e.decidedAt }
+
+// DecidedRound returns the consensus round of the decision: the round of
+// this process's own commit when it committed, otherwise the round-loop
+// position when the t+1 DECIDE deliveries arrived (0 if undecided).
+func (e *Engine) DecidedRound() types.Round { return e.decidedRound }
+
+// Round returns the current round counter (0 before the loop starts).
+func (e *Engine) Round() types.Round { return e.round }
+
+// Stalled reports whether the MaxRounds safety cap was hit.
+func (e *Engine) Stalled() bool { return e.stalled }
+
+// Plan exposes the round plan (experiments consult α and F sets).
+func (e *Engine) Plan() *combin.RoundPlan { return e.plan }
+
+// CB0Valid reports whether v qualified in CB[0] (test introspection).
+func (e *Engine) CB0Valid(v types.Value) bool { return e.cb0.IsValid(v) }

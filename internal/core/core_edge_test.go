@@ -1,0 +1,249 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/network"
+	"repro/internal/runner"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// TestLateProcessDecidesThroughDecideQuorum: a process whose proposal is
+// delayed until long after everyone else decided must still decide — the
+// DECIDE stream is an RB stream, so RB-Termination-2 carries the t+1
+// quorum to it regardless of its own progress.
+func TestLateProcessDecidesThroughDecideQuorum(t *testing.T) {
+	p := types.Params{N: 4, T: 1, M: 2}
+	spec := baseSpec(p, 31)
+	spec.Proposals = map[types.ProcID]types.Value{1: "a", 2: "a", 3: "a", 4: "b"}
+	spec.ProposeAt = map[types.ProcID]types.Duration{4: types.Duration(10 * time.Second)}
+	res, err := runner.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided() {
+		t.Fatalf("late process did not decide: %v", res.Decisions)
+	}
+	if v := res.Decisions[4]; v != "a" {
+		t.Fatalf("late process decided %q, want a", v)
+	}
+	// It should have decided well before its own (10s) proposal even ran.
+	if dt := res.DecideTime[4]; dt > types.Time(5*time.Second) {
+		t.Fatalf("late process decided only at %v", dt)
+	}
+}
+
+// TestDecidedEngineKeepsServingRB: after deciding, engines must keep
+// relaying RB traffic so a slow correct process can finish open instances.
+// We slow every channel into and out of p3 so it trails the others, then
+// verify it still converges after they decided.
+func TestDecidedEngineKeepsServingRB(t *testing.T) {
+	p := types.Params{N: 4, T: 1, M: 2}
+	slow := map[[2]types.ProcID]bool{}
+	for i := 1; i <= 4; i++ {
+		if i != 3 {
+			slow[[2]types.ProcID{types.ProcID(i), 3}] = true
+			slow[[2]types.ProcID{3, types.ProcID(i)}] = true
+		}
+	}
+	spec := baseSpec(p, 33)
+	spec.Topology = network.FullyAsynchronous(4)
+	spec.Adv = adversary.NewTargetedDelay(slow, types.Duration(2*time.Second), types.Duration(time.Second), 33)
+	spec.Proposals = map[types.ProcID]types.Value{1: "a", 2: "a", 3: "b", 4: "a"}
+	res, err := runner.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided() {
+		t.Fatalf("slow process starved after others decided: %v (stalled %v)", res.Decisions, res.Stalled)
+	}
+	if res.DecideTime[3] <= res.DecideTime[1] {
+		t.Skip("p3 was not actually the slow one under this seed")
+	}
+	assertSafety(t, res, map[types.Value]bool{"a": true, "b": true}, false)
+}
+
+// TestForgedDecideValuesCannotMix: Byzantine processes RB-broadcast DECIDE
+// for different forged values; since each value needs t+1 distinct
+// origins, no forged value can be decided with only t Byzantine senders.
+func TestForgedDecideValuesCannotMix(t *testing.T) {
+	p := types.Params{N: 7, T: 2, M: 2}
+	spec := baseSpec(p, 35)
+	spec.Proposals = correctProposals(p, 2, "a", "b")
+	spec.Byzantine = map[types.ProcID]harness.Behavior{
+		6: adversary.FakeDecide("forged"),
+		7: adversary.FakeDecide("forged"), // exactly t senders: still < t+1
+	}
+	res, err := runner.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range res.Decisions {
+		if v == "forged" {
+			t.Fatalf("%v decided the forged value with only t DECIDE senders", id)
+		}
+	}
+	if !res.AllDecided() {
+		t.Fatal("run must still decide")
+	}
+}
+
+// TestRandomizedSafetySweep is the schedule-fuzz test: random topologies,
+// random fault assignments, random delay ranges — safety must hold in
+// every single run, and termination in every run with a planted bisource
+// or better.
+func TestRandomizedSafetySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is a few seconds")
+	}
+	ecfg := core.Config{TimeUnit: unit}
+	mkByz := []func(seed int64) harness.Behavior{
+		func(int64) harness.Behavior { return adversary.Silent() },
+		func(int64) harness.Behavior { return adversary.RBRelayOnly() },
+		func(s int64) harness.Behavior {
+			return adversary.RandomlyByzantine(ecfg, "a", []types.Value{"a", "b", "zz"}, s, 0.25, 0.25)
+		},
+		func(int64) harness.Behavior { return adversary.Equivocator(ecfg, [2]types.Value{"b", "a"}) },
+		func(int64) harness.Behavior { return adversary.PoisonCoordinator(ecfg, "a", "zz") },
+	}
+	for sweep := 0; sweep < 40; sweep++ {
+		sweep := sweep
+		t.Run(fmt.Sprintf("sweep=%d", sweep), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(sweep)))
+			ns := []int{4, 7, 10}
+			n := ns[rng.Intn(len(ns))]
+			tf := (n - 1) / 3
+			p := types.Params{N: n, T: tf, M: 2}
+
+			// Random topology: full sync, eventual sync, or planted bisource.
+			var topo *network.Topology
+			switch rng.Intn(3) {
+			case 0:
+				topo = network.FullySynchronous(n, delta)
+			case 1:
+				topo = network.EventuallySynchronous(n, types.Time(rng.Intn(300))*types.Time(time.Millisecond), delta)
+			default:
+				in := make([]types.ProcID, 0, tf)
+				out := make([]types.ProcID, 0, tf)
+				for i := 0; i < tf; i++ {
+					in = append(in, types.ProcID(2+i))
+					out = append(out, types.ProcID(2+tf+i))
+				}
+				topo = network.PlantBisource(n, network.BisourceSpec{
+					P: 1, In: in, Out: out,
+					GST: types.Time(rng.Intn(200)) * types.Time(time.Millisecond), Delta: delta,
+				})
+			}
+
+			// Random fault count up to t, random behaviors, random positions
+			// (among the last processes so the bisource stays correct).
+			nByz := rng.Intn(tf + 1)
+			byz := make(map[types.ProcID]harness.Behavior, nByz)
+			for i := 0; i < nByz; i++ {
+				byz[types.ProcID(n-i)] = mkByz[rng.Intn(len(mkByz))](int64(sweep*100 + i))
+			}
+			props := make(map[types.ProcID]types.Value)
+			for i := 1; i <= n; i++ {
+				id := types.ProcID(i)
+				if _, isByz := byz[id]; isByz {
+					continue
+				}
+				v := types.Value("a")
+				if rng.Intn(2) == 0 {
+					v = "b"
+				}
+				props[id] = v
+			}
+			// Keep "a" feasible: force t+1 correct "a" proposers.
+			forced := 0
+			for i := 1; i <= n && forced <= tf; i++ {
+				if _, isByz := byz[types.ProcID(i)]; !isByz {
+					props[types.ProcID(i)] = "a"
+					forced++
+				}
+			}
+
+			spec := runner.Spec{
+				Params:   p,
+				Topology: topo,
+				Policy: network.UniformDelay{
+					Min: types.Duration(rng.Intn(5)+1) * types.Duration(time.Millisecond),
+					Max: types.Duration(rng.Intn(40)+10) * types.Duration(time.Millisecond),
+				},
+				Seed:      int64(sweep),
+				Record:    true,
+				Proposals: props,
+				Byzantine: byz,
+				Engine:    core.Config{TimeUnit: unit, MaxRounds: 500},
+			}
+			res, err := runner.Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := check.Ground{Proposals: props, ExpectTermination: true}
+			for _, id := range p.AllProcs() {
+				if _, ok := props[id]; ok {
+					g.Correct = append(g.Correct, id)
+				}
+			}
+			rep := check.All(res.Log, g)
+			if !rep.OK() {
+				t.Fatalf("sweep %d: property violations:\n%s", sweep, rep)
+			}
+		})
+	}
+}
+
+// TestDecideEventHasCommitRound: the reported decision round must be the
+// committing round, not the loop position when the quorum landed.
+func TestDecideEventHasCommitRound(t *testing.T) {
+	p := types.Params{N: 4, T: 1, M: 2}
+	spec := baseSpec(p, 37)
+	spec.Proposals = correctProposals(p, 0, "v")
+	res, err := runner.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range res.Decisions {
+		if got := res.DecideRound[id]; got != 1 {
+			t.Fatalf("%v: DecideRound = %d, want 1 (unanimous first-round commit)", id, got)
+		}
+	}
+	// The trace round counter may legitimately read 2 (the loop moved on
+	// while DECIDE was in flight); both views must exist coherently.
+	decides := res.Log.Filter(trace.ByKind(trace.KindConsDecide))
+	if len(decides) != 4 {
+		t.Fatalf("decide events = %d", len(decides))
+	}
+}
+
+// TestKEqualsTAlphaIsOne: with k = t the round plan has a single F set
+// (all processes), so the bound is exactly n.
+func TestKEqualsTAlphaIsOne(t *testing.T) {
+	p := types.Params{N: 7, T: 2, M: 2}
+	spec := baseSpec(p, 39)
+	spec.Engine.K = 2
+	spec.Proposals = correctProposals(p, 0, "a", "b")
+	res, err := runner.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := res.Engines[1].Plan()
+	if plan.AlphaUint64() != 1 {
+		t.Fatalf("alpha = %d", plan.AlphaUint64())
+	}
+	if plan.WorstCaseRounds() != 7 {
+		t.Fatalf("bound = %d, want n = 7", plan.WorstCaseRounds())
+	}
+	if !res.AllDecided() {
+		t.Fatal("k=t run must decide")
+	}
+}

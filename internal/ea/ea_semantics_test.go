@@ -1,0 +1,135 @@
+package ea_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/proto"
+	"repro/internal/rb"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// TestTimerFiresAfterReturnStillRelaysBot pins a literal Figure 3
+// behavior: returning at line 8 does NOT disable the round timer (only
+// lines 15-19 do), so a process that returned via a relayed coordinator
+// value but never received EA_COORD itself will still broadcast
+// EA_RELAY(⊥) when its timer expires. Other processes' line 6 can count
+// that relay.
+func TestTimerFiresAfterReturnStillRelaysBot(t *testing.T) {
+	p := types.Params{N: 4, T: 1, M: 2}
+	// Full synchrony but the coordinator p1 sends EA_COORD ONLY to p2:
+	// p2 relays the value; p3/p4 receive p2's relay (line 7: p2 ∈ F(1))
+	// and can return, while their own timers later expire → ⊥ relays.
+	byz := map[types.ProcID]harness.Behavior{
+		1: func(env proto.Env) proto.Handler {
+			layer := rb.New(env, func(types.ProcID, proto.Tag, types.Value) {})
+			sentCoord := false
+			return proto.HandlerFunc(func(from types.ProcID, m proto.Message) {
+				if layer.OnMessage(from, m) {
+					return
+				}
+				if m.Kind == proto.MsgEAProp2 && !sentCoord {
+					sentCoord = true
+					env.Send(2, proto.Message{Kind: proto.MsgEACoord, Tag: m.Tag, Val: m.Val})
+				}
+			})
+		},
+	}
+	ew := newEAWorld(t, p, 19, eaOpts{}, byz)
+	ew.proposeAll(t, 1, map[types.ProcID]types.Value{2: "a", 3: "a", 4: "b"})
+	ew.w.Run(0, 0)
+	for id := types.ProcID(2); id <= 4; id++ {
+		if _, ok := ew.procs[id].returns[1]; !ok {
+			t.Fatalf("%v did not return", id)
+		}
+	}
+	// p3 or p4 must have both returned AND later relayed ⊥ on timeout
+	// (their coordinator channel was silent). Find a ⊥ relay emitted
+	// AFTER that process's EA return.
+	events := ew.w.Log.Events()
+	returnedAt := map[types.ProcID]types.Time{}
+	for _, e := range events {
+		if e.Kind == trace.KindEAReturn && e.Round == 1 {
+			returnedAt[e.Proc] = e.At
+		}
+	}
+	found := false
+	for _, e := range events {
+		if e.Kind == trace.KindEARelay && e.Round == 1 && e.Opt.IsBot() {
+			if at, ok := returnedAt[e.Proc]; ok && e.At >= at {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("expected a post-return ⊥ relay (the round timer is not disabled by returning)")
+	}
+}
+
+// TestCoordinatorChampionsBeforeOwnPropose pins the standing-rule reading
+// of lines 11-14: the round coordinator broadcasts EA_COORD upon the first
+// F(r) PROP2 even if it has not invoked EA_propose for that round yet.
+func TestCoordinatorChampionsBeforeOwnPropose(t *testing.T) {
+	p := types.Params{N: 4, T: 1, M: 2}
+	ew := newEAWorld(t, p, 23, eaOpts{}, nil)
+	// p2, p3, p4 propose immediately; p1 (coordinator of round 1)
+	// proposes only after 10 virtual seconds.
+	ew.proposeAll(t, 1, map[types.ProcID]types.Value{2: "a", 3: "a", 4: "a"})
+	ew.w.Env(1).SetTimer(types.Duration(10*time.Second), func() {
+		pr := ew.procs[1]
+		if err := pr.obj.Propose(1, "b", func(ret types.Value) { pr.returns[1] = ret }); err != nil {
+			t.Errorf("late propose: %v", err)
+		}
+	})
+	ew.w.Run(0, 0)
+	coords := ew.w.Log.Filter(trace.ByKind(trace.KindEACoord), trace.ByProc(1), trace.ByRound(1))
+	if len(coords) != 1 {
+		t.Fatalf("coordinator championed %d times, want 1", len(coords))
+	}
+	// The championing must have happened long before p1's own propose.
+	if coords[0].At >= types.Time(10*time.Second) {
+		t.Fatalf("coordinator championed only at %v, after its own propose", coords[0].At)
+	}
+	// Everyone (including the late p1) returns.
+	for id := types.ProcID(1); id <= 4; id++ {
+		if _, ok := ew.procs[id].returns[1]; !ok {
+			t.Fatalf("%v did not return", id)
+		}
+	}
+}
+
+// TestRelayFromNonFMemberIgnored pins line 7's membership check: a non-⊥
+// relay forged by a process OUTSIDE F(r) (here p4 ∉ F(1) = {1,2,3}) must
+// never be adopted by a correct process.
+func TestRelayFromNonFMemberIgnored(t *testing.T) {
+	p := types.Params{N: 4, T: 1, M: 2}
+	byz := map[types.ProcID]harness.Behavior{
+		4: func(env proto.Env) proto.Handler {
+			layer := rb.New(env, func(types.ProcID, proto.Tag, types.Value) {})
+			env.SetTimer(0, func() {
+				env.Broadcast(proto.Message{
+					Kind: proto.MsgEARelay,
+					Tag:  proto.Tag{Mod: proto.ModEA, Round: 1},
+					Opt:  types.Some("forged"),
+				})
+			})
+			return proto.HandlerFunc(func(from types.ProcID, m proto.Message) {
+				layer.OnMessage(from, m)
+			})
+		},
+	}
+	ew := newEAWorld(t, p, 31, eaOpts{}, byz)
+	ew.proposeAll(t, 1, map[types.ProcID]types.Value{1: "a", 2: "a", 3: "b"})
+	ew.w.Run(0, 0)
+	for id := types.ProcID(1); id <= 3; id++ {
+		got, ok := ew.procs[id].returns[1]
+		if !ok {
+			t.Fatalf("%v did not return", id)
+		}
+		if got == "forged" {
+			t.Fatalf("%v adopted a non-F member's forged relay", id)
+		}
+	}
+}

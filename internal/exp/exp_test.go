@@ -1,0 +1,83 @@
+package exp_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ea"
+	"repro/internal/exp"
+	"repro/internal/types"
+)
+
+// TestAllExperimentsPass is the repository's own reproduction gate: every
+// claim experiment must pass at a small seed count.
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds")
+	}
+	for _, res := range exp.All(3) {
+		if !res.Pass {
+			t.Errorf("experiment %s FAILED:\n%s", res.ID, res)
+		}
+		if res.Table == "" {
+			t.Errorf("experiment %s produced no table", res.ID)
+		}
+		if res.Claim == "" {
+			t.Errorf("experiment %s has no claim", res.ID)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := exp.Result{ID: "EX", Claim: "c", Table: "t\n", Pass: true, Notes: "n"}
+	s := r.String()
+	for _, want := range []string{"EX", "PASS", "c", "notes: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	r.Pass = false
+	if !strings.Contains(r.String(), "FAIL") {
+		t.Error("failed result must render FAIL")
+	}
+}
+
+func TestRBWaveModes(t *testing.T) {
+	p := types.Params{N: 4, T: 1, M: 1}
+	for _, mode := range []string{"correct", "equivocate", "partial"} {
+		all, agree, _ := exp.RBWave(p, mode, 1)
+		if !all || !agree {
+			t.Errorf("RBWave(%s) = %v, %v", mode, all, agree)
+		}
+	}
+}
+
+func TestEAScenarioModes(t *testing.T) {
+	lit, _ := exp.EAScenario(ea.FastPathReturnOnly, 1)
+	if len(lit) != 2 {
+		t.Errorf("literal mode returned %d processes, want 2 (p4 stalls)", len(lit))
+	}
+	cont, _ := exp.EAScenario(ea.FastPathContinue, 1)
+	if len(cont) != 3 {
+		t.Errorf("continue mode returned %d processes, want 3", len(cont))
+	}
+}
+
+func TestSplitterDuelSpecShape(t *testing.T) {
+	p := types.Params{N: 4, T: 1, M: 2}
+	spec := exp.SplitterDuelSpec(p, 7, ea.RelayAnyF, 4)
+	if len(spec.Proposals) != 4 {
+		t.Fatalf("proposals = %v", spec.Proposals)
+	}
+	// Balanced inputs: two a's, two b's.
+	counts := map[types.Value]int{}
+	for _, v := range spec.Proposals {
+		counts[v]++
+	}
+	if counts["a"] != 2 || counts["b"] != 2 {
+		t.Fatalf("inputs not balanced: %v", counts)
+	}
+	if spec.Adv == nil || spec.Topology == nil {
+		t.Fatal("spec missing adversary or topology")
+	}
+}

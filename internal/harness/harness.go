@@ -1,0 +1,171 @@
+// Package harness assembles simulated worlds: a deterministic scheduler, a
+// network with the desired synchrony topology, and one protocol node per
+// process. Tests, benchmarks, examples and the experiment CLI all build
+// their runs through this package.
+//
+// The harness is protocol-agnostic: each process is given a Behavior
+// factory producing a proto.Handler, so correct consensus engines and
+// Byzantine attack behaviors plug in uniformly.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// Behavior builds the handler of one process given its environment.
+type Behavior func(env proto.Env) proto.Handler
+
+// Config describes a world.
+type Config struct {
+	// Params are the (n, t, m) resilience parameters; Params.N processes
+	// are created, with IDs 1..N.
+	Params types.Params
+	// Topology is the channel timing matrix; nil = fully asynchronous.
+	Topology *network.Topology
+	// Policy draws async delays; nil = uniform 1–20 ms.
+	Policy network.DelayPolicy
+	// Adv optionally overrides per-message delays on async channels.
+	Adv network.Adversary
+	// FIFO enforces per-channel ordering.
+	FIFO bool
+	// Seed drives all randomness of the run.
+	Seed int64
+	// Record enables the in-memory trace log (checkers need it;
+	// benchmarks usually leave it off).
+	Record bool
+	// BotOK skips the m-valued feasibility validation (⊥-variant runs).
+	BotOK bool
+}
+
+// World is an assembled simulation.
+type World struct {
+	Sched  *sim.Scheduler
+	Net    *network.Network
+	Log    *trace.Log // nil unless Config.Record
+	Params types.Params
+
+	nodes map[types.ProcID]*proto.Node
+	envs  map[types.ProcID]*env
+}
+
+// New builds the world. Processes are added with SetBehavior before Run.
+func New(cfg Config) (*World, error) {
+	if err := cfg.Params.Validate(cfg.BotOK); err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	if cfg.Topology == nil {
+		cfg.Topology = network.FullyAsynchronous(cfg.Params.N)
+	}
+	if cfg.Topology.N() != cfg.Params.N {
+		return nil, fmt.Errorf("harness: topology has %d processes, params say %d", cfg.Topology.N(), cfg.Params.N)
+	}
+	w := &World{
+		Sched:  sim.NewScheduler(cfg.Seed),
+		Params: cfg.Params,
+		nodes:  make(map[types.ProcID]*proto.Node, cfg.Params.N),
+		envs:   make(map[types.ProcID]*env, cfg.Params.N),
+	}
+	if cfg.Record {
+		w.Log = trace.NewLog()
+	}
+	nw, err := network.New(w.Sched, network.Config{
+		Topology: cfg.Topology,
+		Policy:   cfg.Policy,
+		Adv:      cfg.Adv,
+		FIFO:     cfg.FIFO,
+		Trace:    w.Log,
+	}, w.receive)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	w.Net = nw
+	for _, id := range cfg.Params.AllProcs() {
+		w.envs[id] = &env{world: w, id: id}
+	}
+	return w, nil
+}
+
+// SetBehavior installs the handler for process id. It must be called for
+// every process before Run; processes without a behavior are silent
+// (modeling a crashed-from-start Byzantine process).
+func (w *World) SetBehavior(id types.ProcID, b Behavior) error {
+	e, ok := w.envs[id]
+	if !ok {
+		return fmt.Errorf("harness: no process %v", id)
+	}
+	w.nodes[id] = proto.NewNode(b(e))
+	return nil
+}
+
+// Env returns the environment of process id (tests use it to inject
+// events or read the clock).
+func (w *World) Env(id types.ProcID) proto.Env { return w.envs[id] }
+
+// receive is the network's delivery callback.
+func (w *World) receive(to, from types.ProcID, payload any) {
+	n, ok := w.nodes[to]
+	if !ok {
+		return // silent process: drops everything
+	}
+	m, ok := payload.(proto.Message)
+	if !ok {
+		// Non-protocol payloads are dropped; the network cannot corrupt
+		// messages, so this only happens on harness misuse.
+		return
+	}
+	n.Dispatch(from, m)
+}
+
+// Run drives the simulation (see sim.Scheduler.Run).
+func (w *World) Run(deadline types.Time, maxEvents uint64) sim.StopReason {
+	return w.Sched.Run(deadline, maxEvents)
+}
+
+// DroppedDuplicates sums the first-message-rule drops across processes.
+func (w *World) DroppedDuplicates() uint64 {
+	var total uint64
+	for _, n := range w.nodes {
+		total += n.Dropped
+	}
+	return total
+}
+
+// env implements proto.Env on top of the world.
+type env struct {
+	world *World
+	id    types.ProcID
+}
+
+var _ proto.Env = (*env)(nil)
+
+func (e *env) ID() types.ProcID     { return e.id }
+func (e *env) Params() types.Params { return e.world.Params }
+func (e *env) Now() types.Time      { return e.world.Sched.Now() }
+
+func (e *env) Send(to types.ProcID, m proto.Message) {
+	e.world.Net.Send(e.id, to, m)
+}
+
+func (e *env) Broadcast(m proto.Message) {
+	for _, p := range e.world.Params.AllProcs() {
+		e.world.Net.Send(e.id, p, m)
+	}
+}
+
+func (e *env) SetTimer(d types.Duration, fn func()) (cancel func()) {
+	c := e.world.Sched.After(d, fn)
+	return func() { c() }
+}
+
+func (e *env) Trace() trace.Sink {
+	if e.world.Log != nil {
+		return e.world.Log
+	}
+	return trace.Discard{}
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+func TestMessagesCounts(t *testing.T) {
+	log := trace.NewLog()
+	log.Emit(trace.Event{Kind: trace.KindSend, Proc: 1, Peer: 2})
+	log.Emit(trace.Event{Kind: trace.KindSend, Proc: 2, Peer: 1})
+	log.Emit(trace.Event{Kind: trace.KindRBBroadcast, Proc: 1, Aux: "ac-est/r3"})
+	log.Emit(trace.Event{Kind: trace.KindRBDeliver, Proc: 2, Aux: "ac-est/r3"})
+	log.Emit(trace.Event{Kind: trace.KindRBDeliver, Proc: 2, Aux: "decide/r0"})
+	st := Messages(log)
+	if st.Total != 2 {
+		t.Errorf("Total = %d", st.Total)
+	}
+	if st.ByModule["ac-est"] != 2 {
+		t.Errorf("ByModule[ac-est] = %d", st.ByModule["ac-est"])
+	}
+	if st.ByModule["decide"] != 1 {
+		t.Errorf("ByModule[decide] = %d", st.ByModule["decide"])
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	s := NewSeries("lat")
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); got != 3 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := s.Max(); got != 5 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries("empty")
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {
+		t.Error("empty series must report zeros")
+	}
+	if !strings.Contains(s.String(), "n=0") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSeriesAddDuration(t *testing.T) {
+	s := NewSeries("d")
+	s.AddDuration(types.Duration(1500000)) // 1.5ms
+	if got := s.Mean(); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("AddDuration mean = %v, want 1.5", got)
+	}
+}
+
+// TestPercentileProperties property-checks percentile monotonicity and
+// bounds.
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSeries("q")
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := s.Percentile(pa), s.Percentile(pb)
+		return va <= vb && va >= s.Min() && vb <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("n", "rounds", "msgs")
+	tb.Row(4, 1, 120)
+	tb.Row(10, 3.5, 2400)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "rounds") || !strings.Contains(lines[3], "3.50") {
+		t.Errorf("table content wrong:\n%s", out)
+	}
+	// All rows must be equal width.
+	for i := 1; i < len(lines); i++ {
+		if len(lines[i]) != len(lines[0]) {
+			t.Errorf("misaligned table:\n%s", out)
+		}
+	}
+}

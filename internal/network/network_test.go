@@ -1,0 +1,283 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+type arrival struct {
+	to, from types.ProcID
+	payload  any
+	at       types.Time
+}
+
+func collector(sched *sim.Scheduler, out *[]arrival) Receiver {
+	return func(to, from types.ProcID, payload any) {
+		*out = append(*out, arrival{to: to, from: from, payload: payload, at: sched.Now()})
+	}
+}
+
+func TestTimelyBoundEnforced(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	var got []arrival
+	tp := FullySynchronous(3, types.Duration(10*time.Millisecond))
+	nw, err := New(sched, Config{
+		Topology: tp,
+		Policy:   FixedDelay{D: types.Duration(time.Hour)}, // policy proposes way over bound
+	}, collector(sched, &got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Send(1, 2, "m")
+	sched.Run(0, 0)
+	if len(got) != 1 {
+		t.Fatalf("arrivals = %d", len(got))
+	}
+	if got[0].at != types.Time(10*time.Millisecond) {
+		t.Fatalf("timely channel delivered at %v, want 10ms", got[0].at)
+	}
+}
+
+func TestEventuallyTimelyClamp(t *testing.T) {
+	gst := types.Time(100 * time.Millisecond)
+	delta := types.Duration(10 * time.Millisecond)
+	sched := sim.NewScheduler(1)
+	var got []arrival
+	tp := EventuallySynchronous(2, gst, delta)
+	nw, err := New(sched, Config{
+		Topology: tp,
+		Policy:   FixedDelay{D: types.Duration(time.Hour)},
+	}, collector(sched, &got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sent before GST: must arrive by GST+δ, not GST+1h.
+	nw.Send(1, 2, "early")
+	sched.Run(0, 0)
+	if want := gst.Add(delta); got[0].at != want {
+		t.Fatalf("pre-GST message arrived at %v, want %v", got[0].at, want)
+	}
+	// Sent after GST: must arrive within δ of sending.
+	sched.After(types.Duration(200*time.Millisecond)-types.Duration(sched.Now()), func() {
+		nw.Send(1, 2, "late")
+	})
+	sched.Run(0, 0)
+	if len(got) != 2 {
+		t.Fatalf("arrivals = %d", len(got))
+	}
+	if want := types.Time(200 * time.Millisecond).Add(delta); got[1].at != want {
+		t.Fatalf("post-GST message arrived at %v, want %v", got[1].at, want)
+	}
+}
+
+func TestAsyncUnbounded(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	var got []arrival
+	nw, err := New(sched, Config{
+		Topology: FullyAsynchronous(2),
+		Policy:   FixedDelay{D: types.Duration(time.Hour)},
+	}, collector(sched, &got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Send(1, 2, "m")
+	sched.Run(0, 0)
+	if got[0].at != types.Time(time.Hour) {
+		t.Fatalf("async channel clamped: arrived at %v", got[0].at)
+	}
+}
+
+func TestSelfChannelInstant(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	var got []arrival
+	nw, err := New(sched, Config{
+		Topology: FullyAsynchronous(2),
+		Policy:   FixedDelay{D: types.Duration(time.Hour)},
+	}, collector(sched, &got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.After(types.Duration(5), func() { nw.Send(1, 1, "self") })
+	sched.Run(0, 0)
+	if got[0].at != types.Time(5) {
+		t.Fatalf("self message arrived at %v, want 5", got[0].at)
+	}
+}
+
+type fixedAdv struct{ d types.Duration }
+
+func (a fixedAdv) MessageDelay(_, _ types.ProcID, _ types.Time, _ any) (types.Duration, bool) {
+	return a.d, true
+}
+
+func TestAdversaryCannotBreakTimely(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	var got []arrival
+	delta := types.Duration(10 * time.Millisecond)
+	nw, err := New(sched, Config{
+		Topology: FullySynchronous(2, delta),
+		Policy:   FixedDelay{D: 0},
+		Adv:      fixedAdv{d: types.Duration(24 * time.Hour)},
+	}, collector(sched, &got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Send(1, 2, "m")
+	sched.Run(0, 0)
+	if got[0].at > types.Time(delta) {
+		t.Fatalf("adversary broke the timely bound: %v", got[0].at)
+	}
+}
+
+func TestAdversaryControlsAsync(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	var got []arrival
+	nw, err := New(sched, Config{
+		Topology: FullyAsynchronous(2),
+		Policy:   FixedDelay{D: 0},
+		Adv:      fixedAdv{d: types.Duration(time.Minute)},
+	}, collector(sched, &got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Send(1, 2, "m")
+	sched.Run(0, 0)
+	if got[0].at != types.Time(time.Minute) {
+		t.Fatalf("adversary delay ignored: %v", got[0].at)
+	}
+}
+
+func TestFIFO(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	var got []arrival
+	// Policy gives decreasing delays → without FIFO the second message
+	// would overtake the first.
+	delays := []types.Duration{types.Duration(100 * time.Millisecond), types.Duration(1 * time.Millisecond)}
+	i := 0
+	nw, err := New(sched, Config{
+		Topology: FullyAsynchronous(2),
+		Policy: DelayFunc(func(_, _ types.ProcID, _ types.Time, _ *rand.Rand) types.Duration {
+			d := delays[i%len(delays)]
+			i++
+			return d
+		}),
+		FIFO: true,
+	}, collector(sched, &got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Send(1, 2, "first")
+	nw.Send(1, 2, "second")
+	sched.Run(0, 0)
+	if got[0].payload != "first" || got[1].payload != "second" {
+		t.Fatalf("FIFO violated: %v then %v", got[0].payload, got[1].payload)
+	}
+	if got[1].at < got[0].at {
+		t.Fatalf("FIFO watermark violated: %v < %v", got[1].at, got[0].at)
+	}
+}
+
+func TestNoFIFOAllowsReordering(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	var got []arrival
+	delays := []types.Duration{types.Duration(100 * time.Millisecond), types.Duration(1 * time.Millisecond)}
+	i := 0
+	nw, err := New(sched, Config{
+		Topology: FullyAsynchronous(2),
+		Policy: DelayFunc(func(_, _ types.ProcID, _ types.Time, _ *rand.Rand) types.Duration {
+			d := delays[i%len(delays)]
+			i++
+			return d
+		}),
+	}, collector(sched, &got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Send(1, 2, "first")
+	nw.Send(1, 2, "second")
+	sched.Run(0, 0)
+	if got[0].payload != "second" {
+		t.Fatalf("expected reordering without FIFO, got %v first", got[0].payload)
+	}
+}
+
+func TestPlantBisourceTopology(t *testing.T) {
+	spec := BisourceSpec{
+		P:     3,
+		In:    []types.ProcID{1, 5},
+		Out:   []types.ProcID{2, 4},
+		GST:   types.Time(time.Second),
+		Delta: types.Duration(10 * time.Millisecond),
+	}
+	tp := PlantBisource(7, spec)
+	in := tp.TimelyIn(3)
+	out := tp.TimelyOut(3)
+	if !in.Has(1) || !in.Has(5) || !in.Has(3) || in.Len() != 3 {
+		t.Fatalf("TimelyIn = %v", in)
+	}
+	if !out.Has(2) || !out.Has(4) || !out.Has(3) || out.Len() != 3 {
+		t.Fatalf("TimelyOut = %v", out)
+	}
+	// Other channels stay async.
+	if tp.LinkOf(2, 6).Class != Async {
+		t.Fatal("unrelated channel not async")
+	}
+	if tp.LinkOf(3, 1).Class != Async {
+		t.Fatal("bisource out-channel to non-Out peer must stay async")
+	}
+	// GST=0 plants an immediate bisource (Timely class).
+	tp0 := PlantBisource(7, BisourceSpec{P: 3, In: []types.ProcID{1}, Out: []types.ProcID{2}, Delta: 1})
+	if tp0.LinkOf(1, 3).Class != Timely {
+		t.Fatal("GST=0 must produce Timely links")
+	}
+}
+
+func TestTraceAndCounters(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	log := trace.NewLog()
+	var got []arrival
+	nw, err := New(sched, Config{
+		Topology: FullySynchronous(2, 1),
+		Policy:   FixedDelay{D: 0},
+		Trace:    log,
+	}, collector(sched, &got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Send(1, 2, "m")
+	nw.Send(2, 1, "m2")
+	sched.Run(0, 0)
+	if nw.Sent() != 2 {
+		t.Fatalf("Sent = %d", nw.Sent())
+	}
+	if sends := log.Filter(trace.ByKind(trace.KindSend)); len(sends) != 2 {
+		t.Fatalf("trace sends = %d", len(sends))
+	}
+	if delivers := log.Filter(trace.ByKind(trace.KindDeliver)); len(delivers) != 2 {
+		t.Fatalf("trace delivers = %d", len(delivers))
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	if _, err := New(sched, Config{}, func(_, _ types.ProcID, _ any) {}); err == nil {
+		t.Error("nil topology must be rejected")
+	}
+	if _, err := New(sched, Config{Topology: FullyAsynchronous(2)}, nil); err == nil {
+		t.Error("nil receiver must be rejected")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Async.String() != "async" || Timely.String() != "timely" || EventuallyTimely.String() != "◇timely" {
+		t.Error("class names wrong")
+	}
+	if Class(9).String() != "Class(9)" {
+		t.Error("unknown class name wrong")
+	}
+}

@@ -1,0 +1,311 @@
+// Package netx is a TCP transport for the consensus stack: length-prefixed
+// frames of wire-encoded messages over one connection per ordered peer
+// pair, with lazy dialing and an identification handshake.
+//
+// Model note: the paper assumes reliable authenticated point-to-point
+// channels — a peer cannot impersonate another (§2.1). This transport
+// implements the identification by a first-frame handshake and therefore
+// trusts the peer's claimed identity; a production deployment would bind
+// identities cryptographically (e.g. mutual TLS). Everything above the
+// transport already tolerates Byzantine *content*, so the trust boundary
+// is exactly the identity claim.
+package netx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// maxFrame bounds incoming frames (wire's value limit plus header slack).
+const maxFrame = wire.MaxValueLen + 64
+
+// RecvFunc consumes inbound messages. It is called from per-connection
+// reader goroutines; callers must serialize internally (internal/rt posts
+// to its event loop).
+type RecvFunc func(from types.ProcID, m proto.Message)
+
+// Config configures a Transport.
+type Config struct {
+	// Self is this process's ID.
+	Self types.ProcID
+	// Addrs maps every process to its TCP address. Addrs[Self] is the
+	// listen address.
+	Addrs map[types.ProcID]string
+	// Recv receives inbound messages (required).
+	Recv RecvFunc
+	// DialTimeout bounds connection attempts (default 2s).
+	DialTimeout time.Duration
+	// Logf, if non-nil, receives diagnostic lines.
+	Logf func(format string, args ...any)
+}
+
+// Transport moves protocol messages over TCP.
+type Transport struct {
+	cfg Config
+	ln  net.Listener
+
+	mu    sync.Mutex
+	out   map[types.ProcID]net.Conn // outbound connections (send path)
+	stats struct {
+		sent, received, rejected uint64
+	}
+
+	closed  chan struct{}
+	closeMu sync.Once
+	wg      sync.WaitGroup
+}
+
+// Listen starts the transport: it binds Addrs[Self] and serves inbound
+// connections until Close.
+func Listen(cfg Config) (*Transport, error) {
+	if cfg.Recv == nil {
+		return nil, errors.New("netx: nil Recv")
+	}
+	addr, ok := cfg.Addrs[cfg.Self]
+	if !ok {
+		return nil, fmt.Errorf("netx: no listen address for %v", cfg.Self)
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netx: listen %s: %w", addr, err)
+	}
+	t := &Transport{
+		cfg:    cfg,
+		ln:     ln,
+		out:    make(map[types.ProcID]net.Conn),
+		closed: make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the actual listen address (useful with ":0").
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// Sent and Received report frame counters.
+func (t *Transport) Sent() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats.sent
+}
+
+// Received reports accepted inbound frames.
+func (t *Transport) Received() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats.received
+}
+
+// Rejected reports malformed inbound frames dropped.
+func (t *Transport) Rejected() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats.rejected
+}
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.closed:
+				return
+			default:
+				t.cfg.Logf("netx %v: accept: %v", t.cfg.Self, err)
+				return
+			}
+		}
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+// serveConn reads the identification handshake then pumps frames upward.
+func (t *Transport) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+
+	// Close the connection when the transport shuts down so the blocking
+	// reads below unblock.
+	done := make(chan struct{})
+	defer close(done)
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		select {
+		case <-t.closed:
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	hello, err := readFrame(conn)
+	if err != nil || len(hello) != 4 {
+		t.cfg.Logf("netx %v: bad handshake from %s: %v", t.cfg.Self, conn.RemoteAddr(), err)
+		return
+	}
+	peer := types.ProcID(binary.LittleEndian.Uint32(hello))
+	if _, known := t.cfg.Addrs[peer]; !known || peer == t.cfg.Self {
+		t.cfg.Logf("netx %v: unknown peer id %v from %s", t.cfg.Self, peer, conn.RemoteAddr())
+		return
+	}
+	for {
+		body, err := readFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				select {
+				case <-t.closed:
+				default:
+					t.cfg.Logf("netx %v: read from %v: %v", t.cfg.Self, peer, err)
+				}
+			}
+			return
+		}
+		m, err := wire.Decode(body)
+		if err != nil {
+			// Byzantine garbage: count and drop, never crash.
+			t.mu.Lock()
+			t.stats.rejected++
+			t.mu.Unlock()
+			continue
+		}
+		t.mu.Lock()
+		t.stats.received++
+		t.mu.Unlock()
+		t.cfg.Recv(peer, m)
+	}
+}
+
+// Send transmits m to peer, dialing lazily. A failed connection is dropped
+// and redialed once; the network model tolerates (finite) retries at the
+// caller's pace.
+func (t *Transport) Send(to types.ProcID, m proto.Message) error {
+	select {
+	case <-t.closed:
+		return errors.New("netx: transport closed")
+	default:
+	}
+	body, err := wire.Encode(m)
+	if err != nil {
+		return fmt.Errorf("netx: encode: %w", err)
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, err := t.conn(to)
+		if err != nil {
+			return err
+		}
+		if err := writeFrame(conn, body); err != nil {
+			t.dropConn(to, conn)
+			continue
+		}
+		t.mu.Lock()
+		t.stats.sent++
+		t.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("netx: send to %v failed after retry", to)
+}
+
+// conn returns (dialing if needed) the outbound connection to peer.
+func (t *Transport) conn(to types.ProcID) (net.Conn, error) {
+	t.mu.Lock()
+	if c, ok := t.out[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+
+	addr, ok := t.cfg.Addrs[to]
+	if !ok {
+		return nil, fmt.Errorf("netx: no address for %v", to)
+	}
+	c, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("netx: dial %v (%s): %w", to, addr, err)
+	}
+	// Handshake: identify ourselves.
+	hello := make([]byte, 4)
+	binary.LittleEndian.PutUint32(hello, uint32(t.cfg.Self))
+	if err := writeFrame(c, hello); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("netx: handshake to %v: %w", to, err)
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if existing, ok := t.out[to]; ok {
+		// Raced with another sender; keep the first connection.
+		c.Close()
+		return existing, nil
+	}
+	t.out[to] = c
+	return c, nil
+}
+
+func (t *Transport) dropConn(to types.ProcID, c net.Conn) {
+	t.mu.Lock()
+	if t.out[to] == c {
+		delete(t.out, to)
+	}
+	t.mu.Unlock()
+	c.Close()
+}
+
+// Close shuts the transport down and waits for its goroutines.
+func (t *Transport) Close() error {
+	t.closeMu.Do(func() { close(t.closed) })
+	err := t.ln.Close()
+	t.mu.Lock()
+	for id, c := range t.out {
+		c.Close()
+		delete(t.out, id)
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return err
+}
+
+// writeFrame writes a u32-length-prefixed frame.
+func writeFrame(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one frame, enforcing the size bound.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("netx: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

@@ -1,0 +1,243 @@
+package netx_test
+
+import (
+	"context"
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netx"
+	"repro/internal/proto"
+	"repro/internal/rt"
+	"repro/internal/types"
+)
+
+// startMesh brings up n transports on loopback. Ports are reserved with
+// throwaway :0 listeners first so every transport knows the full address
+// map up front.
+func startMesh(t *testing.T, n int, recv map[types.ProcID]netx.RecvFunc) (map[types.ProcID]*netx.Transport, map[types.ProcID]string) {
+	t.Helper()
+	addrs := make(map[types.ProcID]string, n)
+	for i := 1; i <= n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[types.ProcID(i)] = ln.Addr().String()
+		ln.Close()
+	}
+	transports := make(map[types.ProcID]*netx.Transport, n)
+	for i := 1; i <= n; i++ {
+		id := types.ProcID(i)
+		tr, err := netx.Listen(netx.Config{Self: id, Addrs: addrs, Recv: recv[id]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports[id] = tr
+		t.Cleanup(func() { tr.Close() })
+	}
+	return transports, addrs
+}
+
+func TestPointToPointDelivery(t *testing.T) {
+	type recvd struct {
+		from types.ProcID
+		m    proto.Message
+	}
+	var mu sync.Mutex
+	var got []recvd
+	recv := map[types.ProcID]netx.RecvFunc{
+		1: func(from types.ProcID, m proto.Message) {},
+		2: func(from types.ProcID, m proto.Message) {
+			mu.Lock()
+			got = append(got, recvd{from, m})
+			mu.Unlock()
+		},
+	}
+	trs, _ := startMesh(t, 2, recv)
+	msg := proto.Message{Kind: proto.MsgRBInit, Tag: proto.Tag{Mod: proto.ModDecide}, Origin: 1, Val: "hello"}
+	if err := trs[1].Send(2, msg); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("message never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0].from != 1 || got[0].m != msg {
+		t.Fatalf("got %+v", got[0])
+	}
+	if trs[1].Sent() != 1 {
+		t.Fatalf("Sent = %d", trs[1].Sent())
+	}
+}
+
+func TestMalformedFramesRejected(t *testing.T) {
+	recv := map[types.ProcID]netx.RecvFunc{
+		1: func(types.ProcID, proto.Message) {},
+		2: func(types.ProcID, proto.Message) { t.Error("garbage delivered") },
+	}
+	trs, addrs := startMesh(t, 2, recv)
+	// Raw dial with valid handshake then garbage frame.
+	conn, err := net.Dial("tcp", addrs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hello[0:], 4) // frame length
+	binary.LittleEndian.PutUint32(hello[4:], 1) // claim to be p1
+	if _, err := conn.Write(hello); err != nil {
+		t.Fatal(err)
+	}
+	garbage := []byte{3, 0, 0, 0, 0xFF, 0xFF, 0xFF}
+	if _, err := conn.Write(garbage); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for trs[2].Rejected() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("garbage frame not counted as rejected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestUnknownPeerRejected(t *testing.T) {
+	received := false
+	recv := map[types.ProcID]netx.RecvFunc{
+		1: func(types.ProcID, proto.Message) {},
+		2: func(types.ProcID, proto.Message) { received = true },
+	}
+	_, addrs := startMesh(t, 2, recv)
+	conn, err := net.Dial("tcp", addrs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hello[0:], 4)
+	binary.LittleEndian.PutUint32(hello[4:], 99) // unknown id
+	if _, err := conn.Write(hello); err != nil {
+		t.Fatal(err)
+	}
+	// The connection should be dropped; any frame we write goes nowhere.
+	time.Sleep(50 * time.Millisecond)
+	if received {
+		t.Fatal("message from unknown peer delivered")
+	}
+}
+
+func TestConsensusOverTCP(t *testing.T) {
+	// Full consensus across 4 real processes over loopback TCP — the
+	// end-to-end "production path" test: rt nodes + netx transports.
+	const n = 4
+	p := types.Params{N: n, T: 1, M: 2}
+
+	nodes := make(map[types.ProcID]*rt.Node, n)
+	recv := make(map[types.ProcID]netx.RecvFunc, n)
+	for i := 1; i <= n; i++ {
+		id := types.ProcID(i)
+		recv[id] = func(from types.ProcID, m proto.Message) {
+			if node := nodes[id]; node != nil {
+				node.Deliver(from, m)
+			}
+		}
+	}
+	trs, _ := startMesh(t, n, recv)
+
+	var mu sync.Mutex
+	decisions := make(map[types.ProcID]types.Value)
+	done := make(chan struct{})
+	engines := make(map[types.ProcID]*core.Engine, n)
+	for i := 1; i <= n; i++ {
+		id := types.ProcID(i)
+		node, err := rt.NewNode(rt.NodeConfig{
+			ID: id, Params: p, Transport: transportAdapter{trs[id]},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[id] = node
+		var engErr error
+		node.Start(func(env proto.Env) proto.Handler {
+			eng, err := core.New(core.Config{
+				Env:      env,
+				TimeUnit: types.Duration(30 * time.Millisecond),
+				OnDecide: func(v types.Value) {
+					mu.Lock()
+					decisions[id] = v
+					if len(decisions) == n {
+						close(done)
+					}
+					mu.Unlock()
+				},
+			})
+			if err != nil {
+				engErr = err
+				return proto.HandlerFunc(func(types.ProcID, proto.Message) {})
+			}
+			engines[id] = eng
+			return eng
+		})
+		if engErr != nil {
+			t.Fatal(engErr)
+		}
+		t.Cleanup(node.Stop)
+	}
+
+	proposals := map[types.ProcID]types.Value{1: "a", 2: "a", 3: "b", 4: "b"}
+	for id, v := range proposals {
+		id, v := id, v
+		eng := engines[id]
+		nodes[id].Post(func() {
+			if err := eng.Propose(v); err != nil {
+				t.Errorf("%v: %v", id, err)
+			}
+		})
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("timeout; decisions so far: %v", decisions)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var ref types.Value
+	for id, v := range decisions {
+		if ref == "" {
+			ref = v
+		}
+		if v != ref {
+			t.Fatalf("disagreement: %v decided %q vs %q", id, v, ref)
+		}
+	}
+	if ref != "a" && ref != "b" {
+		t.Fatalf("invalid decision %q", ref)
+	}
+}
+
+// transportAdapter adapts *netx.Transport to rt.Transport.
+type transportAdapter struct{ tr *netx.Transport }
+
+func (a transportAdapter) Send(to types.ProcID, m proto.Message) error {
+	return a.tr.Send(to, m)
+}

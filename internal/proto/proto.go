@@ -1,0 +1,200 @@
+// Package proto defines the process-side protocol kernel: the message
+// vocabulary shared by all layers (RB, CB, AC, EA, consensus), the Env
+// interface through which protocol modules interact with whatever runtime
+// hosts them (discrete-event simulation or real goroutines), and the Node
+// dispatcher that applies the paper's first-message-only rule (§2.1,
+// "Discarding messages from Byzantine processes") before handing messages
+// to a Handler.
+package proto
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// MsgKind enumerates wire message kinds. The first three are Bracha
+// reliable-broadcast submessages; the EA kinds are the plain (best-effort)
+// broadcasts of Figure 3.
+type MsgKind int
+
+// Message kinds.
+const (
+	MsgRBInit MsgKind = iota + 1 // RB INITIAL(m) from the RB sender
+	MsgRBEcho
+	MsgRBReady
+	MsgEAProp2 // EA_PROP2[r](aux)      — Fig. 3 line 2
+	MsgEACoord // EA_COORD[r](w)        — Fig. 3 line 13
+	MsgEARelay // EA_RELAY[r](v | ⊥)    — Fig. 3 line 18
+)
+
+var msgKindNames = map[MsgKind]string{
+	MsgRBInit: "RB_INIT", MsgRBEcho: "RB_ECHO", MsgRBReady: "RB_READY",
+	MsgEAProp2: "EA_PROP2", MsgEACoord: "EA_COORD", MsgEARelay: "EA_RELAY",
+}
+
+// String implements fmt.Stringer.
+func (k MsgKind) String() string {
+	if s, ok := msgKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("MsgKind(%d)", int(k))
+}
+
+// Module identifies which protocol object a message (or RB stream) belongs
+// to. Together with a Round it forms a Tag.
+type Module int
+
+// Modules. Each names one family of instances.
+const (
+	// ModConsCB0 is the CB[0] instance of the consensus algorithm
+	// (Fig. 4 line 1); Round is always 0.
+	ModConsCB0 Module = iota + 1
+	// ModEACB is the CB[r] instance used inside EA round r (Fig. 3 line 1).
+	ModEACB
+	// ModEA tags the plain EA messages (PROP2/COORD/RELAY) of round r.
+	ModEA
+	// ModACCB is the CB instance inside the adopt-commit object of round
+	// r (Fig. 2 line 1).
+	ModACCB
+	// ModACEst is the RB stream of AC_EST messages of round r (Fig. 2 line 2).
+	ModACEst
+	// ModDecide is the RB stream of DECIDE messages (Fig. 4 line 7);
+	// Round is always 0.
+	ModDecide
+)
+
+var moduleNames = map[Module]string{
+	ModConsCB0: "cons-cb0", ModEACB: "ea-cb", ModEA: "ea",
+	ModACCB: "ac-cb", ModACEst: "ac-est", ModDecide: "decide",
+}
+
+// String implements fmt.Stringer.
+func (m Module) String() string {
+	if s, ok := moduleNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("Module(%d)", int(m))
+}
+
+// Tag identifies a protocol instance: a module family plus the round it
+// belongs to (0 for the round-less instances CB[0] and DECIDE).
+type Tag struct {
+	Mod   Module
+	Round types.Round
+}
+
+// String implements fmt.Stringer.
+func (t Tag) String() string { return fmt.Sprintf("%v/%v", t.Mod, t.Round) }
+
+// Message is the single wire format of the whole stack.
+//
+// For RB kinds, Tag names the RB stream, Origin the process whose
+// broadcast is being relayed, and Val the payload.
+// For EA kinds, Tag is {ModEA, r}, Origin is unused (the network-level
+// sender is authoritative), Val carries PROP2/COORD values, and Opt
+// carries the RELAY value, which may be ⊥.
+type Message struct {
+	Kind   MsgKind
+	Tag    Tag
+	Origin types.ProcID
+	Val    types.Value
+	Opt    types.OptValue
+}
+
+// String implements fmt.Stringer.
+func (m Message) String() string {
+	switch m.Kind {
+	case MsgEARelay:
+		return fmt.Sprintf("%v[%v](%v)", m.Kind, m.Tag, m.Opt)
+	case MsgRBInit, MsgRBEcho, MsgRBReady:
+		return fmt.Sprintf("%v[%v]@%v(%s)", m.Kind, m.Tag, m.Origin, m.Val)
+	default:
+		return fmt.Sprintf("%v[%v](%s)", m.Kind, m.Tag, m.Val)
+	}
+}
+
+// DedupKey is the identity under the paper's "single message per TAG"
+// rule: a process accepts at most one message per (sender, kind, tag,
+// origin) tuple; later ones are discarded regardless of content.
+type DedupKey struct {
+	From   types.ProcID
+	Kind   MsgKind
+	Tag    Tag
+	Origin types.ProcID
+}
+
+// Key builds the DedupKey of a message from a given network sender.
+func Key(from types.ProcID, m Message) DedupKey {
+	return DedupKey{From: from, Kind: m.Kind, Tag: m.Tag, Origin: m.Origin}
+}
+
+// Env is everything a protocol module may do to the outside world. The
+// simulation runtime and the real-time runtime both implement it, so the
+// protocol code in rb/cb/ac/ea/core runs unchanged under either.
+type Env interface {
+	// ID returns the process running this module.
+	ID() types.ProcID
+	// Params returns the (n, t, m) resilience parameters.
+	Params() types.Params
+	// Now returns the current (virtual or wall-clock) time.
+	Now() types.Time
+	// Send transmits m to exactly one process.
+	Send(to types.ProcID, m Message)
+	// Broadcast performs the paper's unreliable best-effort broadcast:
+	// send to every process including the sender itself.
+	Broadcast(m Message)
+	// SetTimer schedules fn after d; the returned function cancels it.
+	SetTimer(d types.Duration, fn func()) (cancel func())
+	// Trace is the event sink (never nil; may be trace.Discard).
+	Trace() trace.Sink
+}
+
+// Handler consumes already-deduplicated protocol messages.
+type Handler interface {
+	OnMessage(from types.ProcID, m Message)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(from types.ProcID, m Message)
+
+var _ Handler = HandlerFunc(nil)
+
+// OnMessage implements Handler.
+func (f HandlerFunc) OnMessage(from types.ProcID, m Message) { f(from, m) }
+
+// Node applies the first-message-only rule in front of a Handler. Protocol
+// layers can therefore assume every (sender, kind, tag, origin) arrives at
+// most once, which is what the paper's pseudo-code assumes implicitly.
+type Node struct {
+	h    Handler
+	seen map[DedupKey]struct{}
+	// Dropped counts discarded duplicates (Byzantine spam metric).
+	Dropped uint64
+}
+
+// NewNode wraps h with duplicate suppression.
+func NewNode(h Handler) *Node {
+	return &Node{h: h, seen: make(map[DedupKey]struct{})}
+}
+
+// Dispatch feeds one raw network delivery through deduplication.
+func (n *Node) Dispatch(from types.ProcID, m Message) {
+	k := Key(from, m)
+	if _, dup := n.seen[k]; dup {
+		n.Dropped++
+		return
+	}
+	n.seen[k] = struct{}{}
+	n.h.OnMessage(from, m)
+}
+
+// Broadcast is a helper for modules that need the paper's best-effort
+// broadcast given only a point-to-point Send (used by Byzantine behaviors
+// that equivocate: they bypass Env.Broadcast and call Send per peer).
+func BroadcastVia(env Env, m Message) {
+	for _, p := range env.Params().AllProcs() {
+		env.Send(p, m)
+	}
+}

@@ -1,0 +1,105 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestDedup(t *testing.T) {
+	var got []Message
+	n := NewNode(HandlerFunc(func(_ types.ProcID, m Message) { got = append(got, m) }))
+
+	m1 := Message{Kind: MsgRBInit, Tag: Tag{Mod: ModACEst, Round: 3}, Origin: 2, Val: "a"}
+	n.Dispatch(2, m1)
+	// Same (sender, kind, tag, origin) with different value: discarded.
+	m2 := m1
+	m2.Val = "b"
+	n.Dispatch(2, m2)
+	if len(got) != 1 || got[0].Val != "a" {
+		t.Fatalf("dedup failed: %v", got)
+	}
+	if n.Dropped != 1 {
+		t.Fatalf("Dropped = %d", n.Dropped)
+	}
+	// Different sender: accepted.
+	n.Dispatch(3, m1)
+	// Different round: accepted.
+	m3 := m1
+	m3.Tag.Round = 4
+	n.Dispatch(2, m3)
+	// Different kind: accepted.
+	m4 := m1
+	m4.Kind = MsgRBEcho
+	n.Dispatch(2, m4)
+	// Different origin: accepted.
+	m5 := m1
+	m5.Origin = 7
+	n.Dispatch(2, m5)
+	if len(got) != 5 {
+		t.Fatalf("accepted = %d, want 5", len(got))
+	}
+}
+
+func TestKeyFields(t *testing.T) {
+	m := Message{Kind: MsgEAProp2, Tag: Tag{Mod: ModEA, Round: 9}, Origin: 0, Val: "x"}
+	k := Key(5, m)
+	if k.From != 5 || k.Kind != MsgEAProp2 || k.Tag.Round != 9 || k.Tag.Mod != ModEA {
+		t.Fatalf("Key = %+v", k)
+	}
+	// Value must NOT be part of the key (first-message rule is per tag,
+	// not per content).
+	m2 := m
+	m2.Val = "y"
+	if Key(5, m2) != k {
+		t.Fatal("dedup key must ignore the payload value")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if MsgRBEcho.String() != "RB_ECHO" {
+		t.Errorf("MsgRBEcho = %q", MsgRBEcho.String())
+	}
+	if MsgKind(99).String() != "MsgKind(99)" {
+		t.Errorf("unknown kind = %q", MsgKind(99).String())
+	}
+	if ModACCB.String() != "ac-cb" {
+		t.Errorf("ModACCB = %q", ModACCB.String())
+	}
+	if Module(99).String() != "Module(99)" {
+		t.Errorf("unknown module = %q", Module(99).String())
+	}
+	tag := Tag{Mod: ModEA, Round: 12}
+	if tag.String() != "ea/r12" {
+		t.Errorf("Tag = %q", tag.String())
+	}
+
+	relay := Message{Kind: MsgEARelay, Tag: tag, Opt: types.Bot}
+	if !strings.Contains(relay.String(), "⊥") {
+		t.Errorf("relay String = %q", relay.String())
+	}
+	rb := Message{Kind: MsgRBInit, Tag: Tag{Mod: ModDecide}, Origin: 3, Val: "v"}
+	s := rb.String()
+	if !strings.Contains(s, "p3") || !strings.Contains(s, "v") {
+		t.Errorf("rb String = %q", s)
+	}
+	plain := Message{Kind: MsgEAProp2, Tag: tag, Val: "w"}
+	if !strings.Contains(plain.String(), "EA_PROP2") {
+		t.Errorf("plain String = %q", plain.String())
+	}
+}
+
+// Every declared kind and module must have a name.
+func TestNamesComplete(t *testing.T) {
+	for k := MsgRBInit; k <= MsgEARelay; k++ {
+		if strings.HasPrefix(k.String(), "MsgKind(") {
+			t.Errorf("kind %d unnamed", int(k))
+		}
+	}
+	for m := ModConsCB0; m <= ModDecide; m++ {
+		if strings.HasPrefix(m.String(), "Module(") {
+			t.Errorf("module %d unnamed", int(m))
+		}
+	}
+}

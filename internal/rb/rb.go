@@ -1,0 +1,139 @@
+// Package rb implements Bracha's reliable broadcast (Bracha 1987, the
+// paper's reference [7]) — the RB abstraction of §2.2, defined by:
+//
+//	RB-Validity:      a delivered message from a correct sender was broadcast by it
+//	RB-Unicity:       at most one delivery per (origin, tag)
+//	RB-Termination-1: a correct sender's broadcast is delivered by all correct processes
+//	RB-Termination-2: if one correct process delivers m from p, all correct do
+//
+// The implementation is the classic three-phase echo protocol, requiring
+// t < n/3:
+//
+//	sender:  broadcast INIT(v)
+//	on INIT(v) from origin:                 if no ECHO sent — broadcast ECHO(v)
+//	on > (n+t)/2 ECHO(v):                   if no READY sent — broadcast READY(v)
+//	on ≥ t+1 READY(v):                      if no READY sent — broadcast READY(v)
+//	on ≥ 2t+1 READY(v):                     deliver v (once)
+//
+// One Layer multiplexes every RB instance of a process; instances are
+// identified by (origin, tag), so the same layer serves CB_VAL, AC_EST and
+// DECIDE streams for all rounds simultaneously.
+package rb
+
+import (
+	"repro/internal/proto"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// DeliverFunc is invoked exactly once per delivered (origin, tag) pair.
+type DeliverFunc func(origin types.ProcID, tag proto.Tag, v types.Value)
+
+// Layer is the per-process reliable-broadcast engine. It is driven by the
+// single-threaded runtime; it is not safe for concurrent use.
+type Layer struct {
+	env     proto.Env
+	deliver DeliverFunc
+	insts   map[instKey]*instance
+}
+
+type instKey struct {
+	origin types.ProcID
+	tag    proto.Tag
+}
+
+type instance struct {
+	sentEcho  bool
+	sentReady bool
+	delivered bool
+	echoes    map[types.Value]*types.ProcSet
+	readies   map[types.Value]*types.ProcSet
+}
+
+func newInstance() *instance {
+	return &instance{
+		echoes:  make(map[types.Value]*types.ProcSet),
+		readies: make(map[types.Value]*types.ProcSet),
+	}
+}
+
+// New creates the RB layer for env; deliver receives RB-deliveries.
+func New(env proto.Env, deliver DeliverFunc) *Layer {
+	return &Layer{env: env, deliver: deliver, insts: make(map[instKey]*instance)}
+}
+
+// Broadcast RB-broadcasts v on the stream (self, tag): it sends
+// INIT(v) to everyone (including self, which triggers the echo phase
+// locally like any other process).
+func (l *Layer) Broadcast(tag proto.Tag, v types.Value) {
+	l.env.Trace().Emit(trace.Event{
+		At: l.env.Now(), Kind: trace.KindRBBroadcast, Proc: l.env.ID(),
+		Round: tag.Round, Value: v, Aux: tag.String(),
+	})
+	l.env.Broadcast(proto.Message{Kind: proto.MsgRBInit, Tag: tag, Origin: l.env.ID(), Val: v})
+}
+
+// Instances returns the number of live RB instances (memory metric).
+func (l *Layer) Instances() int { return len(l.insts) }
+
+// OnMessage consumes RB submessages; it reports false for non-RB kinds so
+// the caller can route them elsewhere. The caller must have deduplicated
+// (proto.Node does).
+func (l *Layer) OnMessage(from types.ProcID, m proto.Message) bool {
+	switch m.Kind {
+	case proto.MsgRBInit, proto.MsgRBEcho, proto.MsgRBReady:
+	default:
+		return false
+	}
+	// No impersonation: an INIT for origin o is only valid from o itself.
+	if m.Kind == proto.MsgRBInit && from != m.Origin {
+		return true // consumed (and discarded): forged INIT
+	}
+	key := instKey{origin: m.Origin, tag: m.Tag}
+	inst, ok := l.insts[key]
+	if !ok {
+		inst = newInstance()
+		l.insts[key] = inst
+	}
+	p := l.env.Params()
+	switch m.Kind {
+	case proto.MsgRBInit:
+		if !inst.sentEcho {
+			inst.sentEcho = true
+			l.env.Broadcast(proto.Message{Kind: proto.MsgRBEcho, Tag: m.Tag, Origin: m.Origin, Val: m.Val})
+		}
+	case proto.MsgRBEcho:
+		set := inst.echoes[m.Val]
+		if set == nil {
+			s := types.NewProcSet()
+			set = &s
+			inst.echoes[m.Val] = set
+		}
+		set.Add(from)
+		if set.Len() >= p.EchoQuorum() && !inst.sentReady {
+			inst.sentReady = true
+			l.env.Broadcast(proto.Message{Kind: proto.MsgRBReady, Tag: m.Tag, Origin: m.Origin, Val: m.Val})
+		}
+	case proto.MsgRBReady:
+		set := inst.readies[m.Val]
+		if set == nil {
+			s := types.NewProcSet()
+			set = &s
+			inst.readies[m.Val] = set
+		}
+		set.Add(from)
+		if set.Len() >= p.ReadyAmplify() && !inst.sentReady {
+			inst.sentReady = true
+			l.env.Broadcast(proto.Message{Kind: proto.MsgRBReady, Tag: m.Tag, Origin: m.Origin, Val: m.Val})
+		}
+		if set.Len() >= p.ReadyDeliver() && !inst.delivered {
+			inst.delivered = true
+			l.env.Trace().Emit(trace.Event{
+				At: l.env.Now(), Kind: trace.KindRBDeliver, Proc: l.env.ID(),
+				Peer: m.Origin, Round: m.Tag.Round, Value: m.Val, Aux: m.Tag.String(),
+			})
+			l.deliver(m.Origin, m.Tag, m.Val)
+		}
+	}
+	return true
+}

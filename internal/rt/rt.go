@@ -1,0 +1,382 @@
+// Package rt hosts the (simulation-agnostic) protocol code on real time:
+// each process becomes a goroutine event loop, timers are real timers, and
+// messages move over a pluggable transport — in-memory channels for
+// single-binary demos, TCP (internal/netx) for multi-process deployments.
+//
+// The protocol engines (internal/core and below) are single-threaded by
+// design; the Node event loop preserves that: every message, timer and
+// proposal is executed on the loop goroutine.
+package rt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// Transport moves messages between processes.
+type Transport interface {
+	// Send transmits m from the owning node to peer `to`. Implementations
+	// must not block indefinitely.
+	Send(to types.ProcID, m proto.Message) error
+}
+
+// Node hosts a protocol handler on a real-time event loop.
+type Node struct {
+	id        types.ProcID
+	params    types.Params
+	transport Transport
+	start     time.Time
+
+	inbox chan func()
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+
+	dispatcher *proto.Node
+}
+
+// NodeConfig configures a Node.
+type NodeConfig struct {
+	// ID and Params identify the process and the system parameters.
+	ID     types.ProcID
+	Params types.Params
+	// Transport carries outbound messages (required).
+	Transport Transport
+	// InboxDepth bounds the event queue (default 4096). A full inbox
+	// applies backpressure to transport readers, never drops.
+	InboxDepth int
+}
+
+// NewNode creates a node; Start must be called before use.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("rt: nil transport")
+	}
+	if err := cfg.Params.Validate(true); err != nil {
+		return nil, fmt.Errorf("rt: %w", err)
+	}
+	depth := cfg.InboxDepth
+	if depth <= 0 {
+		depth = 4096
+	}
+	return &Node{
+		id:        cfg.ID,
+		params:    cfg.Params,
+		transport: cfg.Transport,
+		inbox:     make(chan func(), depth),
+		stop:      make(chan struct{}),
+	}, nil
+}
+
+// Start installs the handler built by build (which runs on the loop
+// goroutine, so it can safely touch protocol state) and starts the loop.
+func (n *Node) Start(build func(env proto.Env) proto.Handler) {
+	n.start = time.Now()
+	ready := make(chan struct{})
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.dispatcher = proto.NewNode(build(&env{node: n}))
+		close(ready)
+		for {
+			select {
+			case fn := <-n.inbox:
+				fn()
+			case <-n.stop:
+				// Drain whatever is already queued, then exit.
+				for {
+					select {
+					case fn := <-n.inbox:
+						fn()
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+	<-ready
+}
+
+// Post schedules fn on the loop goroutine. It blocks if the inbox is full
+// and reports false once the node is stopping.
+func (n *Node) Post(fn func()) bool {
+	select {
+	case <-n.stop:
+		return false
+	default:
+	}
+	select {
+	case n.inbox <- fn:
+		return true
+	case <-n.stop:
+		return false
+	}
+}
+
+// Deliver feeds an inbound transport message through deduplication on the
+// loop goroutine. Safe to call from any goroutine.
+func (n *Node) Deliver(from types.ProcID, m proto.Message) {
+	n.Post(func() { n.dispatcher.Dispatch(from, m) })
+}
+
+// Stop terminates the loop and waits for it.
+func (n *Node) Stop() {
+	n.once.Do(func() { close(n.stop) })
+	n.wg.Wait()
+}
+
+// env implements proto.Env on real time.
+type env struct {
+	node *Node
+}
+
+var _ proto.Env = (*env)(nil)
+
+func (e *env) ID() types.ProcID     { return e.node.id }
+func (e *env) Params() types.Params { return e.node.params }
+
+func (e *env) Now() types.Time {
+	return types.Time(time.Since(e.node.start))
+}
+
+func (e *env) Send(to types.ProcID, m proto.Message) {
+	if to == e.node.id {
+		// Self-channel: always timely (paper §4); loop back directly.
+		e.node.Deliver(e.node.id, m)
+		return
+	}
+	// Errors are deliberately swallowed: the model's channels are
+	// reliable-eventual, and the upper layers are quorum-based — a dead
+	// peer's messages simply never count.
+	_ = e.node.transport.Send(to, m)
+}
+
+func (e *env) Broadcast(m proto.Message) {
+	for _, p := range e.node.params.AllProcs() {
+		e.Send(p, m)
+	}
+}
+
+func (e *env) SetTimer(d types.Duration, fn func()) (cancel func()) {
+	var canceled bool // loop-goroutine state
+	timer := time.AfterFunc(d, func() {
+		e.node.Post(func() {
+			if !canceled {
+				fn()
+			}
+		})
+	})
+	return func() {
+		timer.Stop()
+		canceled = true
+	}
+}
+
+func (e *env) Trace() trace.Sink { return trace.Discard{} }
+
+// --- In-memory transport ----------------------------------------------------
+
+// MemNetwork connects Nodes in one process through real goroutine timers:
+// a lightweight way to run the stack in real time without sockets.
+type MemNetwork struct {
+	mu    sync.Mutex
+	nodes map[types.ProcID]*Node
+	// Delay computes the per-message delay (nil = 0). It runs on the
+	// sender's goroutine; return values must be ≥ 0.
+	Delay func(from, to types.ProcID) time.Duration
+}
+
+// NewMemNetwork creates an empty in-memory network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{nodes: make(map[types.ProcID]*Node)}
+}
+
+// Attach registers a node and returns its transport endpoint.
+func (mn *MemNetwork) Attach(id types.ProcID) Transport {
+	return &memEndpoint{net: mn, self: id}
+}
+
+// Register binds the node that Attach(id)'s endpoint delivers from.
+func (mn *MemNetwork) Register(id types.ProcID, n *Node) {
+	mn.mu.Lock()
+	defer mn.mu.Unlock()
+	mn.nodes[id] = n
+}
+
+type memEndpoint struct {
+	net  *MemNetwork
+	self types.ProcID
+}
+
+var _ Transport = (*memEndpoint)(nil)
+
+func (ep *memEndpoint) Send(to types.ProcID, m proto.Message) error {
+	ep.net.mu.Lock()
+	target := ep.net.nodes[to]
+	delay := time.Duration(0)
+	if ep.net.Delay != nil {
+		delay = ep.net.Delay(ep.self, to)
+	}
+	ep.net.mu.Unlock()
+	if target == nil {
+		return fmt.Errorf("rt: no node %v", to)
+	}
+	from := ep.self
+	if delay <= 0 {
+		target.Deliver(from, m)
+		return nil
+	}
+	time.AfterFunc(delay, func() { target.Deliver(from, m) })
+	return nil
+}
+
+// --- Cluster ------------------------------------------------------------------
+
+// Cluster runs a full consensus instance across real-time nodes (in-memory
+// transport), exposing a blocking user API: Propose then Wait.
+type Cluster struct {
+	params  types.Params
+	net     *MemNetwork
+	nodes   map[types.ProcID]*Node
+	engines map[types.ProcID]*core.Engine
+
+	mu        sync.Mutex
+	decisions map[types.ProcID]types.Value
+	decidedCh chan struct{} // closed when all correct processes decided
+	expect    int
+}
+
+// ClusterConfig configures NewCluster.
+type ClusterConfig struct {
+	// Params are the (n, t, m) parameters.
+	Params types.Params
+	// Engine carries the protocol knobs (Env/OnDecide overwritten).
+	Engine core.Config
+	// Delay optionally injects per-message delays.
+	Delay func(from, to types.ProcID) time.Duration
+	// Silent lists processes to run as crashed (testing resilience).
+	Silent []types.ProcID
+}
+
+// NewCluster builds and starts n real-time nodes.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if err := cfg.Params.Validate(cfg.Engine.BotMode); err != nil {
+		return nil, fmt.Errorf("rt: %w", err)
+	}
+	silent := make(map[types.ProcID]bool, len(cfg.Silent))
+	for _, id := range cfg.Silent {
+		silent[id] = true
+	}
+	if len(silent) > cfg.Params.T {
+		return nil, fmt.Errorf("rt: %d silent processes exceed t=%d", len(silent), cfg.Params.T)
+	}
+	c := &Cluster{
+		params:    cfg.Params,
+		net:       NewMemNetwork(),
+		nodes:     make(map[types.ProcID]*Node),
+		engines:   make(map[types.ProcID]*core.Engine),
+		decisions: make(map[types.ProcID]types.Value),
+		decidedCh: make(chan struct{}),
+		expect:    cfg.Params.N - len(silent),
+	}
+	c.net.Delay = cfg.Delay
+	for _, id := range cfg.Params.AllProcs() {
+		id := id
+		node, err := NewNode(NodeConfig{
+			ID:        id,
+			Params:    cfg.Params,
+			Transport: c.net.Attach(id),
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.nodes[id] = node
+		c.net.Register(id, node)
+		if silent[id] {
+			node.Start(func(proto.Env) proto.Handler {
+				return proto.HandlerFunc(func(types.ProcID, proto.Message) {})
+			})
+			continue
+		}
+		var engErr error
+		node.Start(func(env proto.Env) proto.Handler {
+			ecfg := cfg.Engine
+			ecfg.Env = env
+			ecfg.OnDecide = func(v types.Value) { c.recordDecision(id, v) }
+			eng, err := core.New(ecfg)
+			if err != nil {
+				engErr = err
+				return proto.HandlerFunc(func(types.ProcID, proto.Message) {})
+			}
+			c.engines[id] = eng
+			return eng
+		})
+		if engErr != nil {
+			c.Stop()
+			return nil, fmt.Errorf("rt: engine %v: %w", id, engErr)
+		}
+	}
+	return c, nil
+}
+
+func (c *Cluster) recordDecision(id types.ProcID, v types.Value) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.decisions[id]; dup {
+		return
+	}
+	c.decisions[id] = v
+	if len(c.decisions) == c.expect {
+		close(c.decidedCh)
+	}
+}
+
+// Propose submits process id's value (posted onto its loop).
+func (c *Cluster) Propose(id types.ProcID, v types.Value) error {
+	eng, ok := c.engines[id]
+	if !ok {
+		return fmt.Errorf("rt: no engine for %v", id)
+	}
+	errCh := make(chan error, 1)
+	if !c.nodes[id].Post(func() { errCh <- eng.Propose(v) }) {
+		return fmt.Errorf("rt: node %v stopped", id)
+	}
+	return <-errCh
+}
+
+// Wait blocks until every non-silent process decided (or ctx ends) and
+// returns the decision map.
+func (c *Cluster) Wait(ctx context.Context) (map[types.ProcID]types.Value, error) {
+	select {
+	case <-c.decidedCh:
+	case <-ctx.Done():
+		return c.snapshot(), ctx.Err()
+	}
+	return c.snapshot(), nil
+}
+
+func (c *Cluster) snapshot() map[types.ProcID]types.Value {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[types.ProcID]types.Value, len(c.decisions))
+	for id, v := range c.decisions {
+		out[id] = v
+	}
+	return out
+}
+
+// Stop shuts all nodes down.
+func (c *Cluster) Stop() {
+	for _, n := range c.nodes {
+		n.Stop()
+	}
+}

@@ -1,0 +1,218 @@
+// Package runner orchestrates complete consensus executions on the
+// simulation harness: it instantiates one core.Engine per correct process
+// and the requested Byzantine behaviors, runs the world to completion (or
+// deadline / event budget), and collects decisions, rounds, message counts
+// and the trace log into a Result. Tests, benchmarks, the experiment CLI
+// and the public minsync API all run through it.
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/network"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// Spec describes one consensus execution.
+type Spec struct {
+	// Params are the (n, t, m) resilience parameters.
+	Params types.Params
+	// Topology is the synchrony matrix (nil = fully asynchronous — note
+	// that termination is then not guaranteed; use a deadline).
+	Topology *network.Topology
+	// Policy draws async-channel delays (nil = uniform 1–20 ms).
+	Policy network.DelayPolicy
+	// Adv optionally adversarially overrides async delays.
+	Adv network.Adversary
+	// FIFO enforces per-channel ordering.
+	FIFO bool
+	// Seed drives all randomness.
+	Seed int64
+	// Record keeps the trace log (needed by the invariant checkers).
+	Record bool
+	// Proposals maps each correct process to its proposed value. Every
+	// process 1..N must appear in exactly one of Proposals or Byzantine.
+	Proposals map[types.ProcID]types.Value
+	// Byzantine maps faulty processes to their behaviors.
+	Byzantine map[types.ProcID]harness.Behavior
+	// Engine carries the protocol knobs (K, TimeUnit, Mode, Relay,
+	// BotMode, MaxRounds). Env and OnDecide are set by the runner.
+	Engine core.Config
+	// Deadline bounds virtual time (0 = run to drain).
+	Deadline types.Time
+	// MaxEvents bounds the number of simulation events (0 = unlimited).
+	MaxEvents uint64
+	// ProposeAt schedules process i's Propose at ProposeAt[i] (default 0).
+	ProposeAt map[types.ProcID]types.Duration
+}
+
+// Result is the outcome of one execution.
+type Result struct {
+	// Decisions holds the decided value of every process that decided.
+	Decisions map[types.ProcID]types.Value
+	// DecideTime and DecideRound record when/at which round each decided.
+	DecideTime  map[types.ProcID]types.Time
+	DecideRound map[types.ProcID]types.Round
+	// Stalled lists correct processes that hit the MaxRounds cap.
+	Stalled []types.ProcID
+	// Correct lists the correct processes of the run, ascending.
+	Correct []types.ProcID
+	// Messages is the total point-to-point message count.
+	Messages uint64
+	// Duplicates counts messages dropped by the first-message rule.
+	Duplicates uint64
+	// End is the virtual time when the run stopped; Stop says why.
+	End  types.Time
+	Stop sim.StopReason
+	// Events is the number of simulation events executed.
+	Events uint64
+	// Log is the trace (nil unless Spec.Record).
+	Log *trace.Log
+	// Engines gives access to per-process engine state (introspection).
+	Engines map[types.ProcID]*core.Engine
+}
+
+// AllDecided reports whether every correct process decided.
+func (r *Result) AllDecided() bool {
+	for _, id := range r.Correct {
+		if _, ok := r.Decisions[id]; !ok {
+			return false
+		}
+	}
+	return len(r.Correct) > 0
+}
+
+// CommonDecision returns the unique decided value if all correct processes
+// decided and agree.
+func (r *Result) CommonDecision() (types.Value, bool) {
+	if !r.AllDecided() {
+		return "", false
+	}
+	ref := r.Decisions[r.Correct[0]]
+	for _, id := range r.Correct[1:] {
+		if r.Decisions[id] != ref {
+			return "", false
+		}
+	}
+	return ref, true
+}
+
+// MaxDecideRound returns the largest decision round among correct
+// processes (0 if none decided).
+func (r *Result) MaxDecideRound() types.Round {
+	var max types.Round
+	for _, id := range r.Correct {
+		if rd, ok := r.DecideRound[id]; ok && rd > max {
+			max = rd
+		}
+	}
+	return max
+}
+
+// MaxDecideTime returns the latest decision instant among correct
+// processes (0 if none decided).
+func (r *Result) MaxDecideTime() types.Time {
+	var max types.Time
+	for _, id := range r.Correct {
+		if dt, ok := r.DecideTime[id]; ok && dt > max {
+			max = dt
+		}
+	}
+	return max
+}
+
+// Run executes the spec.
+func Run(spec Spec) (*Result, error) {
+	p := spec.Params
+	if err := p.Validate(spec.Engine.BotMode); err != nil {
+		return nil, fmt.Errorf("runner: %w", err)
+	}
+	if len(spec.Byzantine) > p.T {
+		return nil, fmt.Errorf("runner: %d Byzantine processes exceed t=%d", len(spec.Byzantine), p.T)
+	}
+	for _, id := range p.AllProcs() {
+		_, isC := spec.Proposals[id]
+		_, isB := spec.Byzantine[id]
+		if isC == isB {
+			return nil, fmt.Errorf("runner: process %v must be exactly one of correct/Byzantine", id)
+		}
+	}
+	w, err := harness.New(harness.Config{
+		Params:   p,
+		Topology: spec.Topology,
+		Policy:   spec.Policy,
+		Adv:      spec.Adv,
+		FIFO:     spec.FIFO,
+		Seed:     spec.Seed,
+		Record:   spec.Record,
+		BotOK:    spec.Engine.BotMode,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runner: %w", err)
+	}
+
+	res := &Result{
+		Decisions:   make(map[types.ProcID]types.Value),
+		DecideTime:  make(map[types.ProcID]types.Time),
+		DecideRound: make(map[types.ProcID]types.Round),
+		Engines:     make(map[types.ProcID]*core.Engine),
+	}
+	for _, id := range p.AllProcs() {
+		id := id
+		if b, ok := spec.Byzantine[id]; ok {
+			if err := w.SetBehavior(id, b); err != nil {
+				return nil, fmt.Errorf("runner: %w", err)
+			}
+			continue
+		}
+		res.Correct = append(res.Correct, id)
+		v := spec.Proposals[id]
+		var engErr error
+		err := w.SetBehavior(id, func(env proto.Env) proto.Handler {
+			cfg := spec.Engine
+			cfg.Env = env
+			cfg.OnDecide = func(dv types.Value) {
+				res.Decisions[id] = dv
+				res.DecideTime[id] = env.Now()
+				res.DecideRound[id] = res.Engines[id].DecidedRound()
+			}
+			eng, err := core.New(cfg)
+			if err != nil {
+				engErr = err
+				return proto.HandlerFunc(func(types.ProcID, proto.Message) {})
+			}
+			res.Engines[id] = eng
+			at := spec.ProposeAt[id]
+			env.SetTimer(at, func() {
+				if err := eng.Propose(v); err != nil {
+					engErr = err
+				}
+			})
+			return eng
+		})
+		if err != nil {
+			return nil, fmt.Errorf("runner: %w", err)
+		}
+		if engErr != nil {
+			return nil, fmt.Errorf("runner: engine %v: %w", id, engErr)
+		}
+	}
+
+	res.Stop = w.Run(spec.Deadline, spec.MaxEvents)
+	res.End = w.Sched.Now()
+	res.Events = w.Sched.Executed
+	res.Messages = w.Net.Sent()
+	res.Duplicates = w.DroppedDuplicates()
+	res.Log = w.Log
+	for id, eng := range res.Engines {
+		if eng.Stalled() {
+			res.Stalled = append(res.Stalled, id)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,165 @@
+// Package sim is a deterministic discrete-event simulation kernel: a
+// virtual clock, an event heap ordered by (time, sequence number), and a
+// seeded random source. It is the substrate on which the asynchronous
+// message-passing model of the paper is executed reproducibly — the same
+// seed and configuration always yield the same schedule, which is what
+// makes adversarial schedules and regression tests possible.
+//
+// Local processing takes zero virtual time (§2.1 of the paper): handlers
+// run instantaneously at their scheduled instant; only message transfer and
+// timers advance the clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/types"
+)
+
+// Event is a closure scheduled to run at a virtual instant.
+type event struct {
+	at  types.Time
+	seq uint64 // tie-breaker: FIFO among simultaneous events
+	fn  func()
+	// canceled supports O(log n) lazy timer cancellation.
+	canceled *bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Canceler cancels a scheduled event (typically a timer). Canceling an
+// already-fired or already-canceled event is a no-op.
+type Canceler func()
+
+// Scheduler is the simulation kernel. Not safe for concurrent use: the
+// whole simulation is single-threaded by design (determinism).
+type Scheduler struct {
+	now     types.Time
+	seq     uint64
+	heap    eventHeap
+	rng     *rand.Rand
+	stopped bool
+
+	// Executed counts events actually run (for run-length diagnostics).
+	Executed uint64
+}
+
+// NewScheduler returns a scheduler with the clock at 0 and the given seed.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() types.Time { return s.now }
+
+// Rand exposes the deterministic random source. All randomness in a
+// simulation must come from here.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at the absolute virtual time at. Scheduling in
+// the past is clamped to "now" (runs after currently queued simultaneous
+// events). It returns a Canceler.
+func (s *Scheduler) At(at types.Time, fn func()) Canceler {
+	if at < s.now {
+		at = s.now
+	}
+	canceled := new(bool)
+	s.seq++
+	heap.Push(&s.heap, &event{at: at, seq: s.seq, fn: fn, canceled: canceled})
+	return func() { *canceled = true }
+}
+
+// After schedules fn to run d from now.
+func (s *Scheduler) After(d types.Duration, fn func()) Canceler {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Stop makes Run return before executing the next event.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Pending returns the number of queued (possibly canceled) events.
+func (s *Scheduler) Pending() int { return len(s.heap) }
+
+// Run executes events in (time, seq) order until one of:
+//   - the queue drains,
+//   - Stop is called from inside an event,
+//   - the virtual clock would pass deadline (0 = no deadline),
+//   - maxEvents events have run (0 = no limit).
+//
+// It returns the reason it stopped.
+type StopReason int
+
+// Stop reasons for Run.
+const (
+	Drained StopReason = iota + 1 // no events left
+	Stopped                       // Stop() called
+	DeadlineReached
+	EventLimit
+)
+
+// String implements fmt.Stringer.
+func (r StopReason) String() string {
+	switch r {
+	case Drained:
+		return "drained"
+	case Stopped:
+		return "stopped"
+	case DeadlineReached:
+		return "deadline"
+	case EventLimit:
+		return "event-limit"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(r))
+	}
+}
+
+// Run drives the simulation. See StopReason for the termination contract.
+func (s *Scheduler) Run(deadline types.Time, maxEvents uint64) StopReason {
+	s.stopped = false
+	for len(s.heap) > 0 {
+		if s.stopped {
+			return Stopped
+		}
+		e := heap.Pop(&s.heap).(*event)
+		if *e.canceled {
+			continue
+		}
+		if deadline > 0 && e.at > deadline {
+			// Put it back so a later Run call can resume seamlessly.
+			heap.Push(&s.heap, e)
+			s.now = deadline
+			return DeadlineReached
+		}
+		if maxEvents > 0 && s.Executed >= maxEvents {
+			heap.Push(&s.heap, e)
+			return EventLimit
+		}
+		s.now = e.at
+		s.Executed++
+		e.fn()
+	}
+	return Drained
+}

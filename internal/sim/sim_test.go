@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/types"
+)
+
+func TestRunOrder(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	s.After(30*time.Millisecond, func() { got = append(got, 3) })
+	s.After(10*time.Millisecond, func() { got = append(got, 1) })
+	s.After(20*time.Millisecond, func() { got = append(got, 2) })
+	if r := s.Run(0, 0); r != Drained {
+		t.Fatalf("Run = %v", r)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != types.Time(30*time.Millisecond) {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestSimultaneousFIFO(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(types.Time(5), func() { got = append(got, i) })
+	}
+	s.Run(0, 0)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("simultaneous events must run in scheduling order: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewScheduler(1)
+	var got []string
+	s.After(10, func() {
+		got = append(got, "a")
+		s.After(5, func() { got = append(got, "c") })
+		s.After(0, func() { got = append(got, "b") }) // same instant, after current
+	})
+	s.Run(0, 0)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewScheduler(1)
+	fired := false
+	cancel := s.After(10, func() { fired = true })
+	cancel()
+	cancel() // double-cancel is a no-op
+	s.Run(0, 0)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if s.Executed != 0 {
+		t.Fatalf("Executed = %d", s.Executed)
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	s := NewScheduler(1)
+	fired := false
+	var cancel Canceler
+	cancel = s.After(20, func() { fired = true })
+	s.After(10, func() { cancel() })
+	s.Run(0, 0)
+	if fired {
+		t.Fatal("event canceled at t=10 still fired at t=20")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := NewScheduler(1)
+	n := 0
+	s.After(1, func() { n++; s.Stop() })
+	s.After(2, func() { n++ })
+	if r := s.Run(0, 0); r != Stopped {
+		t.Fatalf("Run = %v", r)
+	}
+	if n != 1 {
+		t.Fatalf("n = %d", n)
+	}
+	// Resume runs the remaining event.
+	if r := s.Run(0, 0); r != Drained {
+		t.Fatalf("resume Run = %v", r)
+	}
+	if n != 2 {
+		t.Fatalf("after resume n = %d", n)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	s := NewScheduler(1)
+	n := 0
+	s.After(10, func() { n++ })
+	s.After(30, func() { n++ })
+	if r := s.Run(20, 0); r != DeadlineReached {
+		t.Fatalf("Run = %v", r)
+	}
+	if n != 1 {
+		t.Fatalf("n = %d", n)
+	}
+	if s.Now() != 20 {
+		t.Fatalf("clock must stop at deadline, Now = %d", s.Now())
+	}
+	if r := s.Run(0, 0); r != Drained {
+		t.Fatalf("resume = %v", r)
+	}
+	if n != 2 {
+		t.Fatalf("n = %d", n)
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	s := NewScheduler(1)
+	for i := 0; i < 5; i++ {
+		s.After(types.Duration(i), func() {})
+	}
+	if r := s.Run(0, 3); r != EventLimit {
+		t.Fatalf("Run = %v", r)
+	}
+	if s.Executed != 3 {
+		t.Fatalf("Executed = %d", s.Executed)
+	}
+}
+
+func TestPastSchedulingClamped(t *testing.T) {
+	s := NewScheduler(1)
+	var at types.Time = -1
+	s.After(10, func() {
+		s.At(5, func() { at = s.Now() }) // in the past → clamped to now
+	})
+	s.Run(0, 0)
+	if at != 10 {
+		t.Fatalf("past event ran at %d, want 10", at)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		s := NewScheduler(seed)
+		var trace []int64
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if depth > 6 {
+				return
+			}
+			d := types.Duration(s.Rand().Intn(100))
+			s.After(d, func() {
+				trace = append(trace, int64(s.Now()))
+				spawn(depth + 1)
+				spawn(depth + 1)
+			})
+		}
+		spawn(0)
+		s.Run(0, 0)
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical non-trivial traces")
+	}
+}
+
+// TestClockMonotonic property-checks that the observed clock never goes
+// backwards regardless of the scheduling pattern.
+func TestClockMonotonic(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := NewScheduler(7)
+		last := types.Time(-1)
+		okAll := true
+		for _, d := range delays {
+			d := types.Duration(d)
+			s.After(d, func() {
+				if s.Now() < last {
+					okAll = false
+				}
+				last = s.Now()
+			})
+		}
+		s.Run(0, 0)
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStopReasonString(t *testing.T) {
+	for r, want := range map[StopReason]string{
+		Drained: "drained", Stopped: "stopped",
+		DeadlineReached: "deadline", EventLimit: "event-limit",
+		StopReason(99): "StopReason(99)",
+	} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(r), r.String(), want)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package timeliness extracts timeliness graphs from observed message
+// delays — the analysis side of the paper's synchrony assumption, in the
+// spirit of its reference [12] (Delporte-Gallet, Devismes, Fauconnier,
+// Larrea, "Algorithms for extracting timeliness graphs", SIROCCO 2010).
+//
+// Given per-channel delay observations (recorded by the simulator's trace,
+// or by a real deployment's transport), the Analyzer answers: which
+// channels look ◇timely with bound δ from time τ on? which processes are
+// ◇⟨k⟩sinks, ◇⟨k⟩sources, ◇⟨k⟩bisources? This turns the paper's *assumed*
+// structure into something measurable: experiments plant a bisource in the
+// topology and the analyzer re-discovers it from the trace alone.
+//
+// Caveat: observations pair sends with deliveries per channel in
+// chronological order, which is exact under FIFO channels and a tight
+// estimate otherwise (reordered pairs can only over-estimate one delay
+// while under-estimating another, so "all observed delays ≤ δ" remains a
+// sound timeliness witness whenever the pairing is conservative).
+package timeliness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// Observation is one measured message traversal.
+type Observation struct {
+	From, To types.ProcID
+	Sent     types.Time
+	Received types.Time
+}
+
+// Delay returns the observed transfer delay.
+func (o Observation) Delay() types.Duration {
+	return types.Duration(o.Received - o.Sent)
+}
+
+// Analyzer accumulates observations and answers timeliness queries.
+type Analyzer struct {
+	n   int
+	obs map[[2]types.ProcID][]Observation
+}
+
+// NewAnalyzer creates an analyzer for processes 1..n.
+func NewAnalyzer(n int) *Analyzer {
+	return &Analyzer{n: n, obs: make(map[[2]types.ProcID][]Observation)}
+}
+
+// Record adds one observation.
+func (a *Analyzer) Record(o Observation) {
+	key := [2]types.ProcID{o.From, o.To}
+	a.obs[key] = append(a.obs[key], o)
+}
+
+// Observations returns the recorded observations for a channel.
+func (a *Analyzer) Observations(from, to types.ProcID) []Observation {
+	return a.obs[[2]types.ProcID{from, to}]
+}
+
+// FromTrace builds an analyzer from a simulation trace, pairing KindSend
+// and KindDeliver events per ordered channel in chronological order.
+func FromTrace(n int, log *trace.Log) *Analyzer {
+	a := NewAnalyzer(n)
+	type chanKey struct{ from, to types.ProcID }
+	sends := make(map[chanKey][]types.Time)
+	recvs := make(map[chanKey][]types.Time)
+	for _, e := range log.Events() {
+		switch e.Kind {
+		case trace.KindSend:
+			k := chanKey{from: e.Proc, to: e.Peer}
+			sends[k] = append(sends[k], e.At)
+		case trace.KindDeliver:
+			k := chanKey{from: e.Peer, to: e.Proc}
+			recvs[k] = append(recvs[k], e.At)
+		}
+	}
+	for k, ss := range sends {
+		rs := recvs[k]
+		sort.Slice(ss, func(i, j int) bool { return ss[i] < ss[j] })
+		sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+		m := len(ss)
+		if len(rs) < m {
+			m = len(rs)
+		}
+		for i := 0; i < m; i++ {
+			a.Record(Observation{From: k.from, To: k.to, Sent: ss[i], Received: rs[i]})
+		}
+	}
+	return a
+}
+
+// ChannelTimely reports whether every observation on from→to sent at or
+// after τ arrived within δ of max(τ, send time) — the §4 definition
+// restricted to the observed window. Channels with no post-τ observations
+// are vacuously timely; use MinObservations to reject them.
+func (a *Analyzer) ChannelTimely(from, to types.ProcID, tau types.Time, delta types.Duration) (timely bool, samples int) {
+	timely = true
+	for _, o := range a.Observations(from, to) {
+		base := o.Sent
+		if tau > base {
+			base = tau
+		}
+		if o.Received < tau {
+			continue // entirely before the window
+		}
+		samples++
+		if o.Received > base.Add(delta) {
+			timely = false
+		}
+	}
+	return timely, samples
+}
+
+// Query parameterizes graph extraction.
+type Query struct {
+	// Tau is the stabilization instant from which the δ bound must hold.
+	Tau types.Time
+	// Delta is the timeliness bound.
+	Delta types.Duration
+	// MinObservations is the minimum post-τ sample count for a channel to
+	// count as (observed) timely; channels with fewer samples are treated
+	// as unknown and excluded. Default 1.
+	MinObservations int
+}
+
+func (q Query) minObs() int {
+	if q.MinObservations <= 0 {
+		return 1
+	}
+	return q.MinObservations
+}
+
+// TimelyGraph returns the set of ordered pairs that pass the query (self
+// channels excluded — they are timely by definition).
+func (a *Analyzer) TimelyGraph(q Query) map[[2]types.ProcID]bool {
+	out := make(map[[2]types.ProcID]bool)
+	for i := 1; i <= a.n; i++ {
+		for j := 1; j <= a.n; j++ {
+			if i == j {
+				continue
+			}
+			from, to := types.ProcID(i), types.ProcID(j)
+			ok, samples := a.ChannelTimely(from, to, q.Tau, q.Delta)
+			if ok && samples >= q.minObs() {
+				out[[2]types.ProcID{from, to}] = true
+			}
+		}
+	}
+	return out
+}
+
+// SinkDegree returns |{q : q→p observed timely}| + 1 (the +1 is p's own
+// always-timely self channel, matching the paper's ⟨k⟩ conventions).
+func (a *Analyzer) SinkDegree(p types.ProcID, q Query) int {
+	g := a.TimelyGraph(q)
+	deg := 1
+	for i := 1; i <= a.n; i++ {
+		if g[[2]types.ProcID{types.ProcID(i), p}] {
+			deg++
+		}
+	}
+	return deg
+}
+
+// SourceDegree returns |{q : p→q observed timely}| + 1.
+func (a *Analyzer) SourceDegree(p types.ProcID, q Query) int {
+	g := a.TimelyGraph(q)
+	deg := 1
+	for i := 1; i <= a.n; i++ {
+		if g[[2]types.ProcID{p, types.ProcID(i)}] {
+			deg++
+		}
+	}
+	return deg
+}
+
+// Bisources returns the processes that are ⟨k⟩bisources in the observed
+// graph: at least k timely in-channels and k timely out-channels
+// (counting the self channel).
+func (a *Analyzer) Bisources(k int, q Query) []types.ProcID {
+	var out []types.ProcID
+	for i := 1; i <= a.n; i++ {
+		p := types.ProcID(i)
+		if a.SinkDegree(p, q) >= k && a.SourceDegree(p, q) >= k {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Report renders per-process degrees for diagnostics.
+func (a *Analyzer) Report(q Query) string {
+	s := fmt.Sprintf("timeliness graph (τ=%v, δ=%v, ≥%d samples):\n", q.Tau, q.Delta, q.minObs())
+	for i := 1; i <= a.n; i++ {
+		p := types.ProcID(i)
+		s += fmt.Sprintf("  %v: sink-degree %d, source-degree %d\n",
+			p, a.SinkDegree(p, q), a.SourceDegree(p, q))
+	}
+	return s
+}

@@ -1,0 +1,174 @@
+package timeliness_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/network"
+	"repro/internal/runner"
+	"repro/internal/timeliness"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+func ms(d int) types.Duration { return types.Duration(d) * types.Duration(time.Millisecond) }
+func at(d int) types.Time     { return types.Time(ms(d)) }
+
+func TestChannelTimelyDirect(t *testing.T) {
+	a := timeliness.NewAnalyzer(3)
+	a.Record(timeliness.Observation{From: 1, To: 2, Sent: at(0), Received: at(5)})
+	a.Record(timeliness.Observation{From: 1, To: 2, Sent: at(10), Received: at(14)})
+	a.Record(timeliness.Observation{From: 1, To: 3, Sent: at(0), Received: at(500)})
+
+	ok, n := a.ChannelTimely(1, 2, 0, ms(5))
+	if !ok || n != 2 {
+		t.Fatalf("1→2 timely=%v samples=%d", ok, n)
+	}
+	ok, _ = a.ChannelTimely(1, 3, 0, ms(5))
+	if ok {
+		t.Fatal("1→3 must not be timely with δ=5ms")
+	}
+	// Pre-τ slowness is forgiven: with τ=600ms the slow observation is
+	// entirely before the window.
+	ok, n = a.ChannelTimely(1, 3, at(600), ms(5))
+	if !ok || n != 0 {
+		t.Fatalf("pre-τ observation must be excluded: timely=%v samples=%d", ok, n)
+	}
+	// A pre-τ send received after τ must respect max(τ, sent)+δ.
+	a.Record(timeliness.Observation{From: 2, To: 3, Sent: at(100), Received: at(603)})
+	ok, n = a.ChannelTimely(2, 3, at(600), ms(5))
+	if !ok || n != 1 {
+		t.Fatalf("straddling observation: timely=%v samples=%d", ok, n)
+	}
+	a.Record(timeliness.Observation{From: 2, To: 3, Sent: at(100), Received: at(700)})
+	ok, _ = a.ChannelTimely(2, 3, at(600), ms(5))
+	if ok {
+		t.Fatal("late straddling observation must break timeliness")
+	}
+}
+
+func TestObservationDelay(t *testing.T) {
+	o := timeliness.Observation{Sent: at(3), Received: at(10)}
+	if o.Delay() != ms(7) {
+		t.Fatalf("Delay = %v", o.Delay())
+	}
+}
+
+func TestMinObservationsExcludesSilentChannels(t *testing.T) {
+	a := timeliness.NewAnalyzer(2)
+	// No observations: the channel must not count as timely with the
+	// default MinObservations of 1.
+	g := a.TimelyGraph(timeliness.Query{Delta: ms(5)})
+	if len(g) != 0 {
+		t.Fatalf("unobserved channels reported timely: %v", g)
+	}
+}
+
+func TestDegreesAndBisources(t *testing.T) {
+	a := timeliness.NewAnalyzer(4)
+	fast := func(from, to types.ProcID) {
+		a.Record(timeliness.Observation{From: from, To: to, Sent: at(0), Received: at(2)})
+	}
+	slow := func(from, to types.ProcID) {
+		a.Record(timeliness.Observation{From: from, To: to, Sent: at(0), Received: at(900)})
+	}
+	// p1 is a ⟨2⟩bisource: timely in from p2, timely out to p3.
+	fast(2, 1)
+	fast(1, 3)
+	// Everything else observed slow.
+	slow(1, 2)
+	slow(3, 1)
+	slow(2, 3)
+	slow(3, 2)
+	slow(4, 1)
+	slow(1, 4)
+
+	q := timeliness.Query{Delta: ms(5)}
+	if got := a.SinkDegree(1, q); got != 2 {
+		t.Fatalf("SinkDegree(p1) = %d", got)
+	}
+	if got := a.SourceDegree(1, q); got != 2 {
+		t.Fatalf("SourceDegree(p1) = %d", got)
+	}
+	bs := a.Bisources(2, q)
+	if len(bs) != 1 || bs[0] != 1 {
+		t.Fatalf("Bisources(2) = %v", bs)
+	}
+	// Everyone is trivially a ⟨1⟩bisource (self channel).
+	if got := a.Bisources(1, q); len(got) != 4 {
+		t.Fatalf("Bisources(1) = %v", got)
+	}
+	if rep := a.Report(q); rep == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestRediscoverPlantedBisourceFromTrace(t *testing.T) {
+	// Run real consensus on a minimal-synchrony topology and re-discover
+	// the planted bisource from the recorded trace alone — the [12]-style
+	// extraction demo.
+	delta := types.Duration(2 * time.Millisecond)
+	topo := network.PlantBisource(4, network.BisourceSpec{
+		P: 2, In: []types.ProcID{3}, Out: []types.ProcID{4}, GST: 0, Delta: delta,
+	})
+	spec := runner.Spec{
+		Params:   types.Params{N: 4, T: 1, M: 2},
+		Topology: topo,
+		Policy:   network.UniformDelay{Min: ms(50), Max: ms(200)},
+		Seed:     11,
+		Record:   true,
+		Proposals: map[types.ProcID]types.Value{
+			1: "a", 2: "b", 3: "a",
+		},
+		Byzantine: map[types.ProcID]harness.Behavior{4: adversary.RBRelayOnly()},
+		Engine:    core.Config{TimeUnit: types.Duration(10 * time.Millisecond), MaxRounds: 300},
+	}
+	res, err := runner.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided() {
+		t.Fatalf("run did not decide: %v", res.Decisions)
+	}
+	a := timeliness.FromTrace(4, res.Log)
+	// δ for the query: a little slack over the planted bound because the
+	// order-based pairing is approximate.
+	q := timeliness.Query{Delta: ms(10), MinObservations: 3}
+	g := a.TimelyGraph(q)
+	if !g[[2]types.ProcID{3, 2}] {
+		t.Errorf("planted in-channel 3→2 not detected; graph: %v", g)
+	}
+	if !g[[2]types.ProcID{2, 4}] {
+		t.Errorf("planted out-channel 2→4 not detected; graph: %v", g)
+	}
+	// The async floor is 50–200ms, far above δ: no other channel should
+	// look timely.
+	for link := range g {
+		if link != [2]types.ProcID{3, 2} && link != [2]types.ProcID{2, 4} {
+			t.Errorf("channel %v falsely detected as timely", link)
+		}
+	}
+	bs := a.Bisources(2, q)
+	if len(bs) != 1 || bs[0] != 2 {
+		t.Fatalf("Bisources(2) = %v, want [p2]\n%s", bs, a.Report(q))
+	}
+}
+
+func TestFromTraceHandlesPartialLogs(t *testing.T) {
+	log := trace.NewLog()
+	// A send with no matching delivery (in flight at end of run).
+	log.Emit(trace.Event{Kind: trace.KindSend, Proc: 1, Peer: 2, At: at(0)})
+	log.Emit(trace.Event{Kind: trace.KindSend, Proc: 1, Peer: 2, At: at(5)})
+	log.Emit(trace.Event{Kind: trace.KindDeliver, Proc: 2, Peer: 1, At: at(3)})
+	a := timeliness.FromTrace(2, log)
+	obs := a.Observations(1, 2)
+	if len(obs) != 1 {
+		t.Fatalf("observations = %d, want 1 (unmatched send dropped)", len(obs))
+	}
+	if obs[0].Delay() != ms(3) {
+		t.Fatalf("delay = %v", obs[0].Delay())
+	}
+}

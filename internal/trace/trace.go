@@ -1,0 +1,203 @@
+// Package trace records structured protocol events. Every layer of the
+// stack emits events through a Sink; the invariant checkers in
+// internal/check replay a Log to verify the specification properties of
+// RB, CB, AC, EA and consensus, and the metrics package aggregates the
+// same events into counters.
+//
+// Tracing is optional: a nil *Log is a valid sink that discards events, so
+// benchmark configurations can run trace-free.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Kind enumerates event types. Enums start at 1 so the zero value is
+// detectably invalid.
+type Kind int
+
+// Event kinds.
+const (
+	// Transport layer.
+	KindSend Kind = iota + 1 // one point-to-point message handed to the network
+	KindDeliver
+
+	// Reliable broadcast.
+	KindRBBroadcast
+	KindRBDeliver
+
+	// Cooperative broadcast.
+	KindCBBroadcast // operation invoked
+	KindCBValid     // value added to cb_valid
+	KindCBReturn    // operation returned
+
+	// Adopt-commit.
+	KindACPropose
+	KindACReturn // Tag field holds "commit" or "adopt" in Aux
+
+	// Eventual agreement.
+	KindEAPropose
+	KindEAFastPath // returned at line 4
+	KindEACoord    // coordinator championed a value
+	KindEARelay    // relay broadcast (Opt may be ⊥)
+	KindEATimeout  // round timer expired before EA_COORD arrived
+	KindEAReturn
+
+	// Consensus.
+	KindConsPropose
+	KindConsRoundStart
+	KindConsCommitBcast // DECIDE RB-broadcast after a commit
+	KindConsDecide
+
+	// Byzantine action annotations (emitted by adversary behaviors).
+	KindByzAction
+)
+
+var kindNames = map[Kind]string{
+	KindSend: "send", KindDeliver: "deliver",
+	KindRBBroadcast: "rb-broadcast", KindRBDeliver: "rb-deliver",
+	KindCBBroadcast: "cb-broadcast", KindCBValid: "cb-valid", KindCBReturn: "cb-return",
+	KindACPropose: "ac-propose", KindACReturn: "ac-return",
+	KindEAPropose: "ea-propose", KindEAFastPath: "ea-fastpath", KindEACoord: "ea-coord",
+	KindEARelay: "ea-relay", KindEATimeout: "ea-timeout", KindEAReturn: "ea-return",
+	KindConsPropose: "cons-propose", KindConsRoundStart: "cons-round",
+	KindConsCommitBcast: "cons-commit", KindConsDecide: "cons-decide",
+	KindByzAction: "byz",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one structured record. Field meaning depends on Kind; unused
+// fields are zero. Proc is always the process at which the event occurred.
+type Event struct {
+	At    types.Time
+	Kind  Kind
+	Proc  types.ProcID // where the event happened
+	Peer  types.ProcID // counterpart: receiver of a send, origin of a deliver/RB
+	Round types.Round  // protocol round (0 when not applicable / CB[0])
+	Value types.Value  // payload value, if any
+	Opt   types.OptValue
+	Aux   string // free-form: message kind, commit/adopt tag, byz note…
+}
+
+// String renders the event compactly for logs and test failures.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s t=%-14v %v", e.Kind, e.At, e.Proc)
+	if e.Peer != types.NoProc {
+		fmt.Fprintf(&b, "↔%v", e.Peer)
+	}
+	if e.Round != 0 {
+		fmt.Fprintf(&b, " %v", e.Round)
+	}
+	if e.Value != "" {
+		fmt.Fprintf(&b, " val=%s", e.Value)
+	}
+	if e.Opt.Valid || e.Kind == KindEARelay {
+		fmt.Fprintf(&b, " opt=%s", e.Opt)
+	}
+	if e.Aux != "" {
+		fmt.Fprintf(&b, " [%s]", e.Aux)
+	}
+	return b.String()
+}
+
+// Sink consumes events. Implementations must be cheap; the hot path calls
+// Emit for every message.
+type Sink interface {
+	Emit(Event)
+}
+
+// Log is an in-memory Sink. A nil *Log discards events, so callers can
+// emit unconditionally.
+type Log struct {
+	events []Event
+}
+
+var _ Sink = (*Log)(nil)
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Emit appends the event. Safe on a nil receiver (drops the event).
+func (l *Log) Emit(e Event) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, e)
+}
+
+// Events returns the recorded events in emission order. The returned slice
+// is the live backing array; callers must not mutate it.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Len returns the number of recorded events (0 for nil).
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Filter returns the events matching every given predicate.
+func (l *Log) Filter(preds ...func(Event) bool) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+outer:
+	for _, e := range l.events {
+		for _, p := range preds {
+			if !p(e) {
+				continue outer
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// ByKind is a Filter predicate.
+func ByKind(k Kind) func(Event) bool { return func(e Event) bool { return e.Kind == k } }
+
+// ByProc is a Filter predicate.
+func ByProc(p types.ProcID) func(Event) bool { return func(e Event) bool { return e.Proc == p } }
+
+// ByRound is a Filter predicate.
+func ByRound(r types.Round) func(Event) bool { return func(e Event) bool { return e.Round == r } }
+
+// Dump renders the whole log, one event per line (test diagnostics).
+func (l *Log) Dump() string {
+	if l == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range l.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Discard is a Sink that drops everything (an explicit alternative to a
+// nil *Log for APIs that want a non-nil Sink).
+type Discard struct{}
+
+var _ Sink = Discard{}
+
+// Emit implements Sink.
+func (Discard) Emit(Event) {}

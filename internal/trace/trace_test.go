@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Emit(Event{Kind: KindSend}) // must not panic
+	if l.Len() != 0 {
+		t.Fatal("nil log must report 0 events")
+	}
+	if l.Events() != nil {
+		t.Fatal("nil log must return nil events")
+	}
+	if l.Filter(ByKind(KindSend)) != nil {
+		t.Fatal("nil log Filter must return nil")
+	}
+	if l.Dump() != "" {
+		t.Fatal("nil log Dump must be empty")
+	}
+}
+
+func TestEmitAndFilter(t *testing.T) {
+	l := NewLog()
+	l.Emit(Event{Kind: KindSend, Proc: 1, Peer: 2})
+	l.Emit(Event{Kind: KindDeliver, Proc: 2, Peer: 1})
+	l.Emit(Event{Kind: KindSend, Proc: 1, Peer: 3, Round: 4})
+	l.Emit(Event{Kind: KindConsDecide, Proc: 3, Value: "v"})
+
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	sends := l.Filter(ByKind(KindSend))
+	if len(sends) != 2 {
+		t.Fatalf("sends = %d", len(sends))
+	}
+	p1r4 := l.Filter(ByProc(1), ByRound(4))
+	if len(p1r4) != 1 || p1r4[0].Peer != 3 {
+		t.Fatalf("compound filter = %+v", p1r4)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{
+		At:    types.Time(1500),
+		Kind:  KindEARelay,
+		Proc:  2,
+		Peer:  5,
+		Round: 7,
+		Opt:   types.Bot,
+		Aux:   "note",
+	}
+	s := e.String()
+	for _, want := range []string{"ea-relay", "p2", "p5", "r7", "⊥", "note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	d := Event{Kind: KindConsDecide, Proc: 1, Value: "a"}.String()
+	if !strings.Contains(d, "val=a") {
+		t.Errorf("decide String() = %q", d)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSend.String() != "send" {
+		t.Errorf("KindSend = %q", KindSend.String())
+	}
+	if Kind(999).String() != "Kind(999)" {
+		t.Errorf("unknown kind = %q", Kind(999).String())
+	}
+	// Every declared kind must have a name (catches drift when adding kinds).
+	for k := KindSend; k <= KindByzAction; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+}
+
+func TestDumpAndDiscard(t *testing.T) {
+	l := NewLog()
+	l.Emit(Event{Kind: KindSend, Proc: 1, Peer: 2})
+	l.Emit(Event{Kind: KindDeliver, Proc: 2, Peer: 1})
+	dump := l.Dump()
+	if got := strings.Count(dump, "\n"); got != 2 {
+		t.Fatalf("Dump lines = %d", got)
+	}
+	Discard{}.Emit(Event{Kind: KindSend}) // must not panic
+}

@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/proto"
+	"repro/internal/types"
+)
+
+func roundTrip(t *testing.T, m proto.Message) proto.Message {
+	t.Helper()
+	b, err := Encode(m)
+	if err != nil {
+		t.Fatalf("Encode(%v): %v", m, err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode(Encode(%v)): %v", m, err)
+	}
+	return got
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	tests := []proto.Message{
+		{Kind: proto.MsgRBInit, Tag: proto.Tag{Mod: proto.ModConsCB0}, Origin: 1, Val: "hello"},
+		{Kind: proto.MsgRBEcho, Tag: proto.Tag{Mod: proto.ModACEst, Round: 42}, Origin: 7, Val: ""},
+		{Kind: proto.MsgRBReady, Tag: proto.Tag{Mod: proto.ModDecide}, Origin: 3, Val: "decision"},
+		{Kind: proto.MsgEAProp2, Tag: proto.Tag{Mod: proto.ModEA, Round: 9}, Val: "aux"},
+		{Kind: proto.MsgEACoord, Tag: proto.Tag{Mod: proto.ModEA, Round: 1 << 40}, Val: "w"},
+		{Kind: proto.MsgEARelay, Tag: proto.Tag{Mod: proto.ModEA, Round: 5}, Opt: types.Some("v")},
+		{Kind: proto.MsgEARelay, Tag: proto.Tag{Mod: proto.ModEA, Round: 5}, Opt: types.Bot},
+		{Kind: proto.MsgEARelay, Tag: proto.Tag{Mod: proto.ModEA, Round: 5}, Opt: types.Some("")},
+	}
+	for _, m := range tests {
+		got := roundTrip(t, m)
+		if got != m {
+			t.Errorf("round trip: got %+v, want %+v", got, m)
+		}
+	}
+}
+
+func TestRelayBotVsEmptyDistinct(t *testing.T) {
+	// ⊥ and Some("") must round-trip distinguishably.
+	bot := roundTrip(t, proto.Message{Kind: proto.MsgEARelay, Tag: proto.Tag{Mod: proto.ModEA, Round: 1}, Opt: types.Bot})
+	empty := roundTrip(t, proto.Message{Kind: proto.MsgEARelay, Tag: proto.Tag{Mod: proto.ModEA, Round: 1}, Opt: types.Some("")})
+	if !bot.Opt.IsBot() {
+		t.Error("⊥ decoded as non-⊥")
+	}
+	if empty.Opt.IsBot() {
+		t.Error("Some(\"\") decoded as ⊥")
+	}
+}
+
+// TestRoundTripQuick property-checks the codec across random messages.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(kindRaw, modRaw uint8, round uint32, origin uint16, val string, bot bool) bool {
+		kind := proto.MsgKind(int(kindRaw)%6) + proto.MsgRBInit
+		mod := proto.Module(int(modRaw)%6) + proto.ModConsCB0
+		if len(val) > 4096 {
+			val = val[:4096]
+		}
+		m := proto.Message{
+			Kind:   kind,
+			Tag:    proto.Tag{Mod: mod, Round: types.Round(round)},
+			Origin: types.ProcID(origin),
+		}
+		if kind == proto.MsgEARelay {
+			if !bot {
+				m.Opt = types.Some(types.Value(val))
+			}
+		} else {
+			m.Val = types.Value(val)
+		}
+		b, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid, err := Encode(proto.Message{Kind: proto.MsgRBInit, Tag: proto.Tag{Mod: proto.ModDecide}, Origin: 1, Val: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func([]byte) []byte
+		substr string
+	}{
+		{"short", func(b []byte) []byte { return b[:10] }, "short"},
+		{"empty", func(b []byte) []byte { return nil }, "short"},
+		{"bad version", func(b []byte) []byte { b[0] = 9; return b }, "version"},
+		{"bad kind zero", func(b []byte) []byte { b[1] = 0; return b }, "kind"},
+		{"bad kind high", func(b []byte) []byte { b[1] = 200; return b }, "kind"},
+		{"bad module", func(b []byte) []byte { b[2] = 99; return b }, "module"},
+		{"negative round", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[4:], 1<<63)
+			return b
+		}, "round"},
+		{"negative origin", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12:], 1<<31)
+			return b
+		}, "origin"},
+		{"length mismatch long", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[16:], 500)
+			return b
+		}, "mismatch"},
+		{"length over limit", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[16:], MaxValueLen+1)
+			return b
+		}, "limit"},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xFF) }, "mismatch"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := tt.mutate(bytes.Clone(valid))
+			_, err := Decode(b)
+			if err == nil {
+				t.Fatal("malformed frame accepted")
+			}
+			if !strings.Contains(err.Error(), tt.substr) {
+				t.Errorf("error %q does not mention %q", err, tt.substr)
+			}
+		})
+	}
+}
+
+func TestBotRelayWithPayloadRejected(t *testing.T) {
+	b, err := Encode(proto.Message{Kind: proto.MsgEARelay, Tag: proto.Tag{Mod: proto.ModEA, Round: 1}, Opt: types.Bot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge value bytes onto a ⊥ relay.
+	binary.LittleEndian.PutUint32(b[16:], 3)
+	b = append(b, 'e', 'v', 'l')
+	if _, err := Decode(b); err == nil {
+		t.Fatal("⊥ relay with payload accepted")
+	}
+}
+
+func TestEncodeRejectsHugeValue(t *testing.T) {
+	huge := types.Value(strings.Repeat("x", MaxValueLen+1))
+	if _, err := Encode(proto.Message{Kind: proto.MsgRBInit, Tag: proto.Tag{Mod: proto.ModDecide}, Val: huge}); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+}
+
+// FuzzDecode ensures Decode never panics on arbitrary bytes.
+func FuzzDecode(f *testing.F) {
+	seed, _ := Encode(proto.Message{Kind: proto.MsgRBInit, Tag: proto.Tag{Mod: proto.ModDecide}, Origin: 1, Val: "x"})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err == nil {
+			// Valid decodes must re-encode to the same bytes.
+			b, err2 := Encode(m)
+			if err2 != nil {
+				t.Fatalf("decoded message fails to encode: %v", err2)
+			}
+			if !bytes.Equal(b, data) {
+				t.Fatalf("decode/encode not canonical: %x vs %x", data, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package minsync_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/minsync"
+)
+
+func TestSimulateQuickstart(t *testing.T) {
+	res, err := minsync.Simulate(minsync.SimConfig{
+		N: 4, T: 1, M: 2,
+		Proposals: map[minsync.ProcID]minsync.Value{1: "a", 2: "a", 3: "b", 4: "b"},
+		Seed:      1,
+		Check:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided {
+		t.Fatalf("not decided: %+v", res)
+	}
+	if res.Agreed != "a" && res.Agreed != "b" {
+		t.Fatalf("Agreed = %q", res.Agreed)
+	}
+	if res.Report == nil || !res.Report.OK() {
+		t.Fatalf("property report: %v", res.Report)
+	}
+	if res.Messages == 0 || res.Latency <= 0 {
+		t.Fatalf("metrics empty: %+v", res)
+	}
+}
+
+func TestSimulateEveryFaultKind(t *testing.T) {
+	kinds := []minsync.FaultKind{
+		minsync.FaultSilent, minsync.FaultCrashAt, minsync.FaultEquivocate,
+		minsync.FaultMuteCoordinator, minsync.FaultPoison, minsync.FaultRandom,
+		minsync.FaultSpam, minsync.FaultFakeDecide,
+	}
+	for _, k := range kinds {
+		res, err := minsync.Simulate(minsync.SimConfig{
+			N: 4, T: 1, M: 2,
+			Proposals: map[minsync.ProcID]minsync.Value{1: "a", 2: "a", 3: "b"},
+			Byzantine: map[minsync.ProcID]minsync.Fault{
+				4: {Kind: k, Value: "a", Alt: "b", After: 50 * time.Millisecond},
+			},
+			Seed:  int64(k),
+			Check: true,
+		})
+		if err != nil {
+			t.Fatalf("kind %d: %v", k, err)
+		}
+		if !res.AllDecided {
+			t.Fatalf("kind %d: no termination", k)
+		}
+		if !res.Report.OK() {
+			t.Fatalf("kind %d: %v", k, res.Report)
+		}
+	}
+}
+
+func TestSimulateBisource(t *testing.T) {
+	res, err := minsync.Simulate(minsync.SimConfig{
+		N: 4, T: 1, M: 2,
+		Proposals: map[minsync.ProcID]minsync.Value{1: "a", 2: "b", 3: "a"},
+		Byzantine: map[minsync.ProcID]minsync.Fault{4: {Kind: minsync.FaultSilent}},
+		Synchrony: minsync.Bisource(1, []minsync.ProcID{2}, []minsync.ProcID{3}, 0, 2*time.Millisecond),
+		Seed:      7,
+		Check:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided {
+		t.Fatalf("minimal synchrony run did not decide: %+v", res)
+	}
+	if !res.Report.OK() {
+		t.Fatal(res.Report)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	// Infeasible m.
+	if _, err := minsync.Simulate(minsync.SimConfig{
+		N: 4, T: 1, M: 5,
+		Proposals: map[minsync.ProcID]minsync.Value{1: "a", 2: "a", 3: "a", 4: "a"},
+	}); err == nil {
+		t.Error("infeasible m must fail")
+	}
+	// Unknown fault kind.
+	if _, err := minsync.Simulate(minsync.SimConfig{
+		N: 4, T: 1, M: 2,
+		Proposals: map[minsync.ProcID]minsync.Value{1: "a", 2: "a", 3: "a"},
+		Byzantine: map[minsync.ProcID]minsync.Fault{4: {Kind: 99}},
+	}); err == nil {
+		t.Error("unknown fault kind must fail")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if got := minsync.MaxM(4, 1); got != 2 {
+		t.Errorf("MaxM(4,1) = %d", got)
+	}
+	if got := minsync.MaxM(10, 2); got != 3 {
+		t.Errorf("MaxM(10,2) = %d", got)
+	}
+	wc, err := minsync.WorstCaseRounds(4, 1, 0)
+	if err != nil || wc != 16 {
+		t.Errorf("WorstCaseRounds(4,1,0) = %d, %v", wc, err)
+	}
+	wc, err = minsync.WorstCaseRounds(7, 2, 2)
+	if err != nil || wc != 7 {
+		t.Errorf("WorstCaseRounds(7,2,2) = %d, %v (k=t ⇒ n)", wc, err)
+	}
+	if _, err := minsync.WorstCaseRounds(7, 2, 5); err == nil {
+		t.Error("k > t must fail")
+	}
+	if _, err := minsync.WorstCaseRounds(3, 1, 0); err == nil {
+		t.Error("t ≥ n/3 must fail")
+	}
+}
+
+func TestSynchronyStrings(t *testing.T) {
+	for _, s := range []minsync.Synchrony{
+		minsync.FullSynchrony(time.Millisecond),
+		minsync.EventualSynchrony(time.Second, time.Millisecond),
+		minsync.Asynchrony(),
+		minsync.Bisource(1, nil, nil, 0, time.Millisecond),
+	} {
+		if s.String() == "" {
+			t.Error("empty synchrony description")
+		}
+	}
+}
+
+func TestAsynchronyWithDeadline(t *testing.T) {
+	// Pure asynchrony: run to a virtual deadline; no liveness promise,
+	// but no error either, and safety must hold on whatever happened.
+	res, err := minsync.Simulate(minsync.SimConfig{
+		N: 4, T: 1, M: 2,
+		Proposals: map[minsync.ProcID]minsync.Value{1: "a", 2: "b", 3: "a", 4: "b"},
+		Synchrony: minsync.Asynchrony(),
+		Deadline:  2 * time.Second,
+		MaxRounds: 64,
+		Seed:      3,
+		Check:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.OK() {
+		t.Fatal(res.Report)
+	}
+}
