@@ -353,6 +353,90 @@ func BenchmarkGSTSweep(b *testing.B) {
 	reportRun(b, float64(last.MaxDecideRound()), float64(last.Messages), float64(last.MaxDecideTime())/1e6)
 }
 
+// --- replicated-log throughput ----------------------------------------------
+
+// logThroughputSpec builds a 200-command replicated-log workload.
+func logThroughputSpec(n, batch, pipeline int, seed int64) runner.LogSpec {
+	const workload = 200
+	cmds := make([]types.Value, workload)
+	for i := range cmds {
+		cmds[i] = types.Value(fmt.Sprintf("cmd-%04d", i))
+	}
+	spec := runner.LogSpec{
+		Params:   types.Params{N: n, T: (n - 1) / 3},
+		Topology: network.FullySynchronous(n, exp.Delta),
+		Seed:     seed,
+		Commands: cmds,
+		Deadline: types.Time(10 * time.Minute),
+	}
+	spec.Log.Engine.TimeUnit = exp.Unit
+	spec.Log.BatchSize = batch
+	spec.Log.Pipeline = pipeline
+	return spec
+}
+
+// BenchmarkLogThroughput: the replicated-log engine committing a
+// 200-command workload, swept over batch size and pipeline depth. The
+// headline metric is cmds_per_sec_v — committed commands per second of
+// virtual time; instances/op and msgs_per_cmd/op expose where the
+// throughput comes from (fewer consensus instances per command).
+func BenchmarkLogThroughput(b *testing.B) {
+	for _, batch := range []int{8, 32} {
+		for _, pipeline := range []int{1, 4} {
+			batch, pipeline := batch, pipeline
+			b.Run(fmt.Sprintf("batch=%d/pipeline=%d", batch, pipeline), func(b *testing.B) {
+				var last *runner.LogResult
+				for i := 0; i < b.N; i++ {
+					res, err := runner.RunLog(logThroughputSpec(4, batch, pipeline, int64(i)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.AllCommitted(200) {
+						b.Fatalf("only %d/200 commands committed", res.MinCommitted())
+					}
+					if !res.Consistent() {
+						b.Fatal("logs inconsistent")
+					}
+					last = res
+				}
+				vsec := time.Duration(last.End).Seconds()
+				b.ReportMetric(200/vsec, "cmds_per_sec_v")
+				var insts types.Instance
+				for _, id := range last.Correct {
+					if a := last.Engines[id].Applied(); a > insts {
+						insts = a
+					}
+				}
+				b.ReportMetric(float64(insts), "instances/op")
+				b.ReportMetric(float64(last.Messages)/200, "msgs_per_cmd/op")
+			})
+		}
+	}
+}
+
+// BenchmarkLogScaleN: log throughput as the system grows.
+func BenchmarkLogScaleN(b *testing.B) {
+	for _, n := range []int{4, 7} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var last *runner.LogResult
+			for i := 0; i < b.N; i++ {
+				res, err := runner.RunLog(logThroughputSpec(n, 16, 4, int64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.AllCommitted(200) {
+					b.Fatalf("only %d/200 committed", res.MinCommitted())
+				}
+				last = res
+			}
+			vsec := time.Duration(last.End).Seconds()
+			b.ReportMetric(200/vsec, "cmds_per_sec_v")
+			b.ReportMetric(float64(last.Messages)/200, "msgs_per_cmd/op")
+		})
+	}
+}
+
 // --- substrate micro-benchmarks ---------------------------------------------
 
 // BenchmarkWireEncode / BenchmarkWireDecode: the codec hot path.

@@ -1,27 +1,43 @@
 // Command minsync-node runs ONE consensus process over real TCP — start n
 // of them (locally or on separate machines), each with the same peer list,
-// and they reach Byzantine consensus on their proposed values.
+// and they reach Byzantine consensus.
 //
-// Example (n = 4, t = 1, four terminals):
+// Single-shot mode (the paper's one-decision algorithm; n = 4, t = 1,
+// four terminals):
 //
 //	minsync-node -id 1 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003,127.0.0.1:7004 -t 1 -propose alpha
 //	minsync-node -id 2 -peers ...same... -t 1 -propose beta
 //	minsync-node -id 3 -peers ...same... -t 1 -propose alpha
 //	minsync-node -id 4 -peers ...same... -t 1 -propose beta
 //
-// Each prints its decision and exits 0. The i-th peer address belongs to
-// process i.
+// Each prints its decision and exits 0.
+//
+// Replicated-log mode (-log N): the processes run the multi-instance
+// consensus pipeline of internal/log and totally order N commands
+// (deterministically generated, modeling clients that broadcast requests
+// to every replica). Each process prints the committed count, the number
+// of consensus instances used, and a SHA-256 digest of the ordered log —
+// identical digests across processes demonstrate the total order:
+//
+//	minsync-node -id 1 -peers ...as above... -t 1 -log 120 -batch 16 -pipeline 4
+//	minsync-node -id 2 -peers ...same...     -t 1 -log 120 -batch 16 -pipeline 4
+//	...
+//
+// The i-th peer address belongs to process i.
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
-	"log"
+	stdlog "log"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/log"
 	"repro/internal/netx"
 	"repro/internal/proto"
 	"repro/internal/rt"
@@ -30,27 +46,30 @@ import (
 
 func main() {
 	var (
-		idF     = flag.Int("id", 0, "this process's id (1..n)")
-		peersF  = flag.String("peers", "", "comma list of n host:port addresses; the i-th is process i")
-		tF      = flag.Int("t", 1, "Byzantine fault budget (t < n/3)")
-		mF      = flag.Int("m", 2, "distinct proposable values")
-		propose = flag.String("propose", "", "value to propose (required)")
-		unit    = flag.Duration("unit", 50*time.Millisecond, "EA round timer unit")
-		wait    = flag.Duration("wait", 2*time.Minute, "give up after this long")
-		startIn = flag.Duration("start-in", 2*time.Second, "delay before proposing (lets peers come up)")
+		idF      = flag.Int("id", 0, "this process's id (1..n)")
+		peersF   = flag.String("peers", "", "comma list of n host:port addresses; the i-th is process i")
+		tF       = flag.Int("t", 1, "Byzantine fault budget (t < n/3)")
+		mF       = flag.Int("m", 2, "distinct proposable values (single-shot mode)")
+		propose  = flag.String("propose", "", "value to propose (required in single-shot mode)")
+		logN     = flag.Int("log", 0, "replicated-log mode: totally order this many commands")
+		batch    = flag.Int("batch", 16, "log mode: max commands per batch")
+		pipeline = flag.Int("pipeline", 4, "log mode: consensus instances in flight")
+		unit     = flag.Duration("unit", 50*time.Millisecond, "EA round timer unit")
+		wait     = flag.Duration("wait", 2*time.Minute, "give up after this long")
+		startIn  = flag.Duration("start-in", 2*time.Second, "delay before proposing (lets peers come up)")
 	)
 	flag.Parse()
-	if *propose == "" {
-		log.Fatal("-propose is required")
+	if *logN <= 0 && *propose == "" {
+		stdlog.Fatal("-propose is required (or use -log N)")
 	}
 	peers := strings.Split(*peersF, ",")
 	n := len(peers)
 	if *idF < 1 || *idF > n {
-		log.Fatalf("-id must be in 1..%d", n)
+		stdlog.Fatalf("-id must be in 1..%d", n)
 	}
 	params := types.Params{N: n, T: *tF, M: *mF}
-	if err := params.Validate(false); err != nil {
-		log.Fatal(err)
+	if err := params.Validate(*logN > 0); err != nil {
+		stdlog.Fatal(err)
 	}
 	self := types.ProcID(*idF)
 	addrs := make(map[types.ProcID]string, n)
@@ -65,10 +84,10 @@ func main() {
 		Recv: func(from types.ProcID, m proto.Message) {
 			node.Deliver(from, m)
 		},
-		Logf: log.Printf,
+		Logf: stdlog.Printf,
 	})
 	if err != nil {
-		log.Fatal(err)
+		stdlog.Fatal(err)
 	}
 	defer tr.Close()
 
@@ -78,17 +97,26 @@ func main() {
 		Transport: sendAdapter{tr},
 	})
 	if err != nil {
-		log.Fatal(err)
+		stdlog.Fatal(err)
 	}
 	defer node.Stop()
 
+	if *logN > 0 {
+		runLogMode(node, tr, self, *logN, *batch, *pipeline, *unit, *wait, *startIn)
+		return
+	}
+	runSingleShot(node, tr, self, *propose, *unit, *wait, *startIn)
+}
+
+// runSingleShot is the classic one-decision mode.
+func runSingleShot(node *rt.Node, tr *netx.Transport, self types.ProcID, propose string, unit, wait, startIn time.Duration) {
 	decided := make(chan types.Value, 1)
 	var engine *core.Engine
 	var engErr error
 	node.Start(func(env proto.Env) proto.Handler {
 		eng, err := core.New(core.Config{
 			Env:      env,
-			TimeUnit: types.Duration(*unit),
+			TimeUnit: types.Duration(unit),
 			OnDecide: func(v types.Value) {
 				select {
 				case decided <- v:
@@ -104,14 +132,14 @@ func main() {
 		return eng
 	})
 	if engErr != nil {
-		log.Fatal(engErr)
+		stdlog.Fatal(engErr)
 	}
 
-	log.Printf("process %v listening on %s, proposing %q in %v", self, tr.Addr(), *propose, *startIn)
-	time.Sleep(*startIn)
+	stdlog.Printf("process %v listening on %s, proposing %q in %v", self, tr.Addr(), propose, startIn)
+	time.Sleep(startIn)
 	node.Post(func() {
-		if err := engine.Propose(types.Value(*propose)); err != nil {
-			log.Printf("propose: %v", err)
+		if err := engine.Propose(types.Value(propose)); err != nil {
+			stdlog.Printf("propose: %v", err)
 		}
 	})
 
@@ -119,8 +147,87 @@ func main() {
 	case v := <-decided:
 		fmt.Printf("process %v DECIDED %q (sent %d frames, received %d, rejected %d)\n",
 			self, v, tr.Sent(), tr.Received(), tr.Rejected())
-	case <-time.After(*wait):
-		log.Printf("no decision within %v", *wait)
+	case <-time.After(wait):
+		stdlog.Printf("no decision within %v", wait)
+		os.Exit(1)
+	}
+}
+
+// runLogMode orders `target` commands through the replicated-log engine.
+// Every process derives the same workload (clients broadcasting to all
+// replicas), so identical digests across processes certify the order.
+func runLogMode(node *rt.Node, tr *netx.Transport, self types.ProcID, target, batch, pipeline int, unit, wait, startIn time.Duration) {
+	cmds := make([]types.Value, target)
+	for i := range cmds {
+		cmds[i] = types.Value(fmt.Sprintf("cmd-%05d", i))
+	}
+
+	done := make(chan struct{})
+	hash := sha256.New()
+	var committed atomic.Int64
+	var engine *log.Engine
+	var engErr error
+	start := time.Now()
+	node.Start(func(env proto.Env) proto.Handler {
+		cfg := log.Config{
+			Env:       env,
+			BatchSize: batch,
+			Pipeline:  pipeline,
+			Target:    target,
+			OnCommit: func(e log.Entry) {
+				// Runs on the node's event loop; the counter is atomic
+				// only because the timeout path below reads it from the
+				// main goroutine.
+				hash.Write([]byte(e.Cmd))
+				hash.Write([]byte{0})
+				if committed.Add(1) == int64(target) {
+					close(done)
+				}
+			},
+		}
+		cfg.Engine.TimeUnit = types.Duration(unit)
+		eng, err := log.New(cfg)
+		if err != nil {
+			engErr = err
+			return proto.HandlerFunc(func(types.ProcID, proto.Message) {})
+		}
+		engine = eng
+		return eng
+	})
+	if engErr != nil {
+		stdlog.Fatal(engErr)
+	}
+
+	stdlog.Printf("process %v listening on %s, ordering %d commands (batch %d, pipeline %d) in %v",
+		self, tr.Addr(), target, batch, pipeline, startIn)
+	time.Sleep(startIn)
+	node.Post(func() {
+		for _, c := range cmds {
+			if err := engine.Submit(c); err != nil {
+				stdlog.Printf("submit: %v", err)
+			}
+		}
+		if err := engine.Start(); err != nil {
+			stdlog.Printf("start: %v", err)
+		}
+	})
+
+	select {
+	case <-done:
+		var digest []byte
+		instances := types.Instance(0)
+		errCh := make(chan struct{})
+		node.Post(func() {
+			digest = hash.Sum(nil)
+			instances = engine.Applied()
+			close(errCh)
+		})
+		<-errCh
+		elapsed := time.Since(start) - startIn
+		fmt.Printf("process %v COMMITTED %d commands in %v instances, digest %x (%.0f cmds/sec, sent %d frames, received %d, rejected %d)\n",
+			self, target, instances, digest, float64(target)/elapsed.Seconds(), tr.Sent(), tr.Received(), tr.Rejected())
+	case <-time.After(wait):
+		stdlog.Printf("committed only %d/%d within %v", committed.Load(), target, wait)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,70 @@
+// Replicated log: the multi-decision pipeline on top of the paper's
+// single-shot consensus.
+//
+// Four processes (n=4, t=1, one silent Byzantine process) totally order a
+// 120-command workload: commands are batched into consensus instances —
+// each instance one full BouzidMR15 execution in its §7 ⊥-validity
+// variant — and up to four instances run pipelined. The demo prints the
+// committed log digests of every correct process: they are identical,
+// which is the total-order guarantee, and far fewer instances than
+// commands ran, which is the batching payoff.
+//
+// Run with: go run ./examples/replicated-log
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/minsync"
+)
+
+func main() {
+	const workload = 120
+	cmds := make([]minsync.Value, workload)
+	for i := range cmds {
+		cmds[i] = minsync.Value(fmt.Sprintf("account-transfer-%04d", i))
+	}
+
+	res, err := minsync.SimulateLog(minsync.LogConfig{
+		N: 4, T: 1,
+		Commands:  cmds,
+		BatchSize: 16,
+		Pipeline:  4,
+		Byzantine: map[minsync.ProcID]minsync.Fault{4: {Kind: minsync.FaultSilent}},
+		Synchrony: minsync.FullSynchrony(3 * time.Millisecond),
+		Seed:      2025,
+		Deadline:  10 * time.Minute,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("workload: %d commands, batch ≤16, pipeline 4, n=4 t=1 (p4 silent)\n\n", workload)
+	ids := make([]minsync.ProcID, 0, len(res.PerProcess))
+	for id := range res.PerProcess {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		entries := res.PerProcess[id]
+		h := sha256.New()
+		for _, e := range entries {
+			h.Write([]byte(e.Cmd))
+			h.Write([]byte{0})
+		}
+		fmt.Printf("  %v committed %3d commands  log digest %x…\n", id, len(entries), h.Sum(nil)[:12])
+	}
+	fmt.Printf("\nall committed: %v   consistent: %v\n", res.AllCommitted, res.Consistent)
+	fmt.Printf("consensus instances used: %d (%d no-ops)   %.0f commands/sec (virtual)\n",
+		res.Instances, res.NoOps, res.CommandsPerSec)
+	fmt.Printf("messages: %d   virtual time: %v\n", res.Messages, res.Latency.Round(time.Millisecond))
+
+	if !res.AllCommitted || !res.Consistent {
+		panic("replicated log violated its guarantees")
+	}
+	fmt.Println("\nThe three correct processes agree on the entire command order —")
+	fmt.Println("one consensus instance per batch, not per command.")
+}

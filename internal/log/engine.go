@@ -1,0 +1,391 @@
+package log
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// Entry is one committed command of the replicated log.
+type Entry struct {
+	// Index is the 0-based position in the committed command sequence.
+	Index int
+	// Instance is the consensus instance whose decided batch carried the
+	// command.
+	Instance types.Instance
+	// Cmd is the command itself.
+	Cmd types.Value
+}
+
+// Config assembles a log Engine.
+type Config struct {
+	// Env is the process environment (simulation or real-time). The
+	// engine stamps each instance's traffic with its instance number via
+	// a wrapping Env, so Env itself stays instance-agnostic.
+	Env proto.Env
+	// Engine carries the per-instance protocol knobs (K, TimeUnit,
+	// Timeout, Mode, Relay, MaxRounds). Env, OnDecide and BotMode are
+	// overridden per instance; BotMode is always on (see package doc).
+	Engine core.Config
+	// BatchSize caps the commands per proposed batch (default 16).
+	BatchSize int
+	// Pipeline is the number of instances in flight, W (default 4):
+	// instance i+W starts when instance i is applied.
+	Pipeline int
+	// MaxLead bounds how far past the local apply point an inbound
+	// message's instance may be before it is dropped (default 256). It
+	// is a flow-control/memory guard against Byzantine peers naming
+	// absurd instances. The tradeoff is liveness for a severely lagging
+	// replica: a peer's lead is bounded relative to the PEER's apply
+	// point, not ours, so if the rest of the cluster runs more than
+	// MaxLead instances ahead of us (possible under long asynchrony,
+	// since n−t quorums exclude us), their protocol messages for those
+	// instances are dropped and never resent, and we cannot commit past
+	// that point on our own. Catching such a replica up needs a state-
+	// transfer mechanism (log snapshot fetch), which this engine does
+	// not implement yet; Target-bounded runs are unaffected in practice
+	// when MaxLead exceeds the total instance count.
+	MaxLead types.Instance
+	// Target stops the engine from starting new instances once this many
+	// commands committed (0 = unlimited; use Close). All correct
+	// processes must configure the same Target: the stop rule is a
+	// deterministic function of the applied prefix, which keeps instance
+	// starts symmetric.
+	Target int
+	// OnCommit, if non-nil, is called for every committed command, in
+	// log order.
+	OnCommit func(e Entry)
+}
+
+// Engine is one correct replica of the replicated log. It implements
+// proto.Handler: a runtime feeds it deduplicated messages and it
+// demultiplexes them to per-instance consensus engines.
+//
+// Like the core engine it is single-threaded by design: all calls
+// (OnMessage, Start, Submit) must come from the hosting runtime's event
+// loop or simulation callbacks.
+type Engine struct {
+	cfg Config
+
+	insts   map[types.Instance]*instance
+	decided map[types.Instance]types.Value // decided, not yet applied
+
+	nextStart types.Instance // next instance this process will propose in
+	applied   types.Instance // instances [0, applied) are applied
+
+	pending    []types.Value // submitted, uncommitted commands (FIFO)
+	pendingSet map[types.Value]struct{}
+	inFlight   map[types.Value]int // commands inside own undecided batches
+	committed  map[types.Value]struct{}
+	entries    []Entry
+
+	noOps      int    // applied instances that committed nothing new
+	dropsAhead uint64 // messages dropped by the MaxLead guard
+	running    bool
+	closed     bool
+	err        error // first per-instance construction error, if any
+}
+
+var _ proto.Handler = (*Engine)(nil)
+
+// instance pairs one consensus engine with its instance-scoped state.
+type instance struct {
+	eng      *core.Engine
+	ownBatch []types.Value // commands this process proposed (until decided)
+	proposed bool
+}
+
+// New builds a log engine (idle until Start).
+func New(cfg Config) (*Engine, error) {
+	if cfg.Env == nil {
+		return nil, fmt.Errorf("log: nil Env")
+	}
+	p := cfg.Env.Params()
+	if err := p.Validate(true); err != nil {
+		return nil, fmt.Errorf("log: %w", err)
+	}
+	if cfg.Engine.K < 0 || cfg.Engine.K > p.T {
+		return nil, fmt.Errorf("log: k must be in [0, t], got %d", cfg.Engine.K)
+	}
+	if cfg.Engine.TimeUnit <= 0 && cfg.Engine.Timeout == nil {
+		cfg.Engine.TimeUnit = 10 * time.Millisecond // default EA timer unit
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = 4
+	}
+	if cfg.MaxLead <= 0 {
+		cfg.MaxLead = 256
+	}
+	if cfg.MaxLead < types.Instance(cfg.Pipeline)+1 {
+		cfg.MaxLead = types.Instance(cfg.Pipeline) + 1
+	}
+	return &Engine{
+		cfg:        cfg,
+		insts:      make(map[types.Instance]*instance),
+		decided:    make(map[types.Instance]types.Value),
+		pendingSet: make(map[types.Value]struct{}),
+		inFlight:   make(map[types.Value]int),
+		committed:  make(map[types.Value]struct{}),
+	}, nil
+}
+
+// Start opens the pipeline: the engine proposes in instances
+// 0..Pipeline−1. Submit may be called before or after Start; commands
+// submitted before are carried by the initial batches.
+func (l *Engine) Start() error {
+	if l.running {
+		return fmt.Errorf("log: Start called twice")
+	}
+	l.running = true
+	for w := 0; w < l.cfg.Pipeline; w++ {
+		l.startNext()
+	}
+	return l.err
+}
+
+// Submit enqueues a client command for ordering. Commands are identified
+// by content: re-submitting a pending or committed command is a no-op
+// (idempotent client retries). The reserved ⊥ value is rejected.
+func (l *Engine) Submit(cmd types.Value) error {
+	if cmd == types.BotValue {
+		return fmt.Errorf("log: cannot submit the reserved ⊥ value")
+	}
+	if _, dup := l.committed[cmd]; dup {
+		return nil
+	}
+	if _, dup := l.pendingSet[cmd]; dup {
+		return nil
+	}
+	l.pending = append(l.pending, cmd)
+	l.pendingSet[cmd] = struct{}{}
+	return nil
+}
+
+// Close stops the engine from starting new instances. In-flight instances
+// keep running (they may still commit), and the engine keeps serving the
+// reliable-broadcast layers of old instances for slower peers.
+func (l *Engine) Close() { l.closed = true }
+
+// OnMessage implements proto.Handler: demultiplex to the instance engine.
+func (l *Engine) OnMessage(from types.ProcID, m proto.Message) {
+	i := m.Instance
+	if i < 0 || i >= l.applied+l.cfg.MaxLead {
+		l.dropsAhead++
+		return
+	}
+	inst := l.getInstance(i)
+	if inst == nil {
+		return
+	}
+	inst.eng.OnMessage(from, m)
+}
+
+// getInstance lazily builds the consensus engine of instance i. Engines
+// are created on first contact — our own proposal or a faster peer's
+// message — and kept for the lifetime of the log so laggards can still
+// obtain reliable-broadcast echoes of old instances.
+func (l *Engine) getInstance(i types.Instance) *instance {
+	if inst, ok := l.insts[i]; ok {
+		return inst
+	}
+	ecfg := l.cfg.Engine
+	ecfg.Env = &instEnv{base: l.cfg.Env, id: i}
+	ecfg.BotMode = true
+	ecfg.OnDecide = func(v types.Value) { l.onInstanceDecided(i, v) }
+	eng, err := core.New(ecfg)
+	if err != nil {
+		if l.err == nil {
+			l.err = fmt.Errorf("log: instance %v: %w", i, err)
+		}
+		return nil
+	}
+	inst := &instance{eng: eng}
+	l.insts[i] = inst
+	return inst
+}
+
+// startNext proposes in the next instance of the pipeline.
+func (l *Engine) startNext() {
+	if l.closed {
+		return
+	}
+	i := l.nextStart
+	l.nextStart++
+	inst := l.getInstance(i)
+	if inst == nil {
+		return
+	}
+	batch := l.nextBatch()
+	inst.ownBatch = batch
+	inst.proposed = true
+	for _, c := range batch {
+		l.inFlight[c]++
+	}
+	if err := inst.eng.Propose(EncodeBatch(batch)); err != nil && l.err == nil {
+		l.err = fmt.Errorf("log: instance %v: %w", i, err)
+	}
+}
+
+// nextBatch selects up to BatchSize pending commands that are not already
+// riding in one of this process's undecided batches.
+func (l *Engine) nextBatch() []types.Value {
+	var batch []types.Value
+	for _, c := range l.pending {
+		if l.inFlight[c] > 0 {
+			continue
+		}
+		batch = append(batch, c)
+		if len(batch) >= l.cfg.BatchSize {
+			break
+		}
+	}
+	return batch
+}
+
+// onInstanceDecided records instance i's decision and applies any newly
+// contiguous prefix.
+func (l *Engine) onInstanceDecided(i types.Instance, v types.Value) {
+	l.decided[i] = v
+	if inst := l.insts[i]; inst != nil {
+		for _, c := range inst.ownBatch {
+			if l.inFlight[c]--; l.inFlight[c] <= 0 {
+				delete(l.inFlight, c)
+			}
+		}
+		inst.ownBatch = nil
+	}
+	l.tryApply()
+}
+
+// tryApply applies decided instances in instance order. Applying is where
+// commands commit: every correct process applies the same decided batches
+// in the same order and runs the same dedup, so the committed command
+// sequences are identical (total order).
+func (l *Engine) tryApply() {
+	for {
+		v, ok := l.decided[l.applied]
+		if !ok {
+			return
+		}
+		delete(l.decided, l.applied)
+		i := l.applied
+		l.applied++
+		newly := 0
+		if v != types.BotValue {
+			if cmds, err := DecodeBatch(v); err == nil {
+				for _, c := range cmds {
+					if _, dup := l.committed[c]; dup {
+						continue
+					}
+					l.committed[c] = struct{}{}
+					l.removePending(c)
+					e := Entry{Index: len(l.entries), Instance: i, Cmd: c}
+					l.entries = append(l.entries, e)
+					newly++
+					if l.cfg.OnCommit != nil {
+						l.cfg.OnCommit(e)
+					}
+				}
+			}
+		}
+		if newly == 0 {
+			l.noOps++
+		}
+		if l.cfg.Target > 0 && len(l.entries) >= l.cfg.Target {
+			l.closed = true
+		}
+		l.startNext()
+	}
+}
+
+// removePending deletes c from the pending queue (linear; batches are
+// small and the queue holds only uncommitted commands).
+func (l *Engine) removePending(c types.Value) {
+	if _, ok := l.pendingSet[c]; !ok {
+		return
+	}
+	delete(l.pendingSet, c)
+	for k, p := range l.pending {
+		if p == c {
+			l.pending = append(l.pending[:k], l.pending[k+1:]...)
+			return
+		}
+	}
+}
+
+// Entries returns the committed log (shared slice; callers must not
+// mutate).
+func (l *Engine) Entries() []Entry { return l.entries }
+
+// Committed returns the number of committed commands.
+func (l *Engine) Committed() int { return len(l.entries) }
+
+// Applied returns the number of applied instances (instances [0, Applied)
+// are applied).
+func (l *Engine) Applied() types.Instance { return l.applied }
+
+// Pending returns the number of submitted, uncommitted commands.
+func (l *Engine) Pending() int { return len(l.pending) }
+
+// NoOps returns how many applied instances committed nothing new
+// (⊥ decisions, undecodable batches, or fully duplicate batches).
+func (l *Engine) NoOps() int { return l.noOps }
+
+// DroppedAhead returns how many messages the MaxLead guard dropped.
+func (l *Engine) DroppedAhead() uint64 { return l.dropsAhead }
+
+// Closed reports whether the engine stopped starting new instances.
+func (l *Engine) Closed() bool { return l.closed }
+
+// Err returns the first internal construction error, if any.
+func (l *Engine) Err() error { return l.err }
+
+// Instance exposes the consensus engine of instance i (introspection;
+// nil if never touched).
+func (l *Engine) Instance(i types.Instance) *core.Engine {
+	if inst, ok := l.insts[i]; ok {
+		return inst.eng
+	}
+	return nil
+}
+
+// Instances returns the number of instantiated consensus engines.
+func (l *Engine) Instances() int { return len(l.insts) }
+
+// instEnv wraps the process environment for one instance: outgoing
+// messages are stamped with the instance number; everything else
+// delegates. This is how the instance-agnostic protocol stack
+// (rb/cb/ac/ea/core) runs unchanged inside a multi-instance log.
+type instEnv struct {
+	base proto.Env
+	id   types.Instance
+}
+
+var _ proto.Env = (*instEnv)(nil)
+
+func (e *instEnv) ID() types.ProcID     { return e.base.ID() }
+func (e *instEnv) Params() types.Params { return e.base.Params() }
+func (e *instEnv) Now() types.Time      { return e.base.Now() }
+
+func (e *instEnv) Send(to types.ProcID, m proto.Message) {
+	m.Instance = e.id
+	e.base.Send(to, m)
+}
+
+func (e *instEnv) Broadcast(m proto.Message) {
+	m.Instance = e.id
+	e.base.Broadcast(m)
+}
+
+func (e *instEnv) SetTimer(d types.Duration, fn func()) (cancel func()) {
+	return e.base.SetTimer(d, fn)
+}
+
+func (e *instEnv) Trace() trace.Sink { return e.base.Trace() }

@@ -1,0 +1,268 @@
+package log
+
+import (
+	"testing"
+
+	"repro/internal/proto"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// stubEnv is a minimal single-process environment: sends are captured,
+// timers are never fired. Enough to unit-test the engine's bookkeeping;
+// full-protocol behavior is covered by the simulator tests in
+// internal/runner and internal/rt.
+type stubEnv struct {
+	id     types.ProcID
+	params types.Params
+	sent   []proto.Message
+}
+
+var _ proto.Env = (*stubEnv)(nil)
+
+func (e *stubEnv) ID() types.ProcID     { return e.id }
+func (e *stubEnv) Params() types.Params { return e.params }
+func (e *stubEnv) Now() types.Time      { return 0 }
+func (e *stubEnv) Send(to types.ProcID, m proto.Message) {
+	e.sent = append(e.sent, m)
+}
+func (e *stubEnv) Broadcast(m proto.Message) {
+	for range e.params.AllProcs() {
+		e.sent = append(e.sent, m)
+	}
+}
+func (e *stubEnv) SetTimer(d types.Duration, fn func()) (cancel func()) {
+	return func() {}
+}
+func (e *stubEnv) Trace() trace.Sink { return trace.Discard{} }
+
+func newTestEngine(t *testing.T, cfg Config) (*Engine, *stubEnv) {
+	t.Helper()
+	env := &stubEnv{id: 1, params: types.Params{N: 4, T: 1}}
+	cfg.Env = env
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, env
+}
+
+func TestSubmitIdempotent(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{})
+	if err := eng.Submit("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Submit("a"); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Pending() != 1 {
+		t.Fatalf("duplicate submit queued twice: pending=%d", eng.Pending())
+	}
+}
+
+func TestSubmitRejectsBot(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{})
+	if err := eng.Submit(types.BotValue); err == nil {
+		t.Fatal("⊥ submission accepted")
+	}
+}
+
+func TestStartTwice(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{Pipeline: 1})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err == nil {
+		t.Fatal("second Start accepted")
+	}
+}
+
+func TestStartOpensPipelineInstances(t *testing.T) {
+	eng, env := newTestEngine(t, Config{Pipeline: 3})
+	if err := eng.Submit("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Instances() != 3 {
+		t.Fatalf("Start opened %d instances, want 3", eng.Instances())
+	}
+	// Every outgoing message must be stamped with an instance in [0, 3).
+	seen := map[types.Instance]bool{}
+	for _, m := range env.sent {
+		if m.Instance < 0 || m.Instance >= 3 {
+			t.Fatalf("message stamped with instance %v", m.Instance)
+		}
+		seen[m.Instance] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("traffic on %d instances, want 3", len(seen))
+	}
+}
+
+func TestInFlightCommandsNotReProposed(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{Pipeline: 2, BatchSize: 8})
+	for _, c := range []types.Value{"a", "b"} {
+		if err := eng.Submit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Instance 0's batch carries a and b; instance 1 must not re-propose
+	// them while 0 is undecided.
+	i0, i1 := eng.insts[0], eng.insts[1]
+	if len(i0.ownBatch) != 2 {
+		t.Fatalf("instance 0 batch: %q", i0.ownBatch)
+	}
+	if len(i1.ownBatch) != 0 {
+		t.Fatalf("instance 1 re-proposed in-flight commands: %q", i1.ownBatch)
+	}
+}
+
+func TestBatchSizeCap(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{Pipeline: 1, BatchSize: 4})
+	for i := 0; i < 10; i++ {
+		if err := eng.Submit(types.Value(string(rune('a' + i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(eng.insts[0].ownBatch); got != 4 {
+		t.Fatalf("batch carries %d commands, want 4", got)
+	}
+}
+
+func TestMaxLeadGuard(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{Pipeline: 1, MaxLead: 8})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	m := proto.Message{
+		Kind: proto.MsgRBInit, Tag: proto.Tag{Mod: proto.ModConsCB0},
+		Instance: 1 << 30, Origin: 2, Val: "spam",
+	}
+	eng.OnMessage(2, m)
+	if eng.DroppedAhead() != 1 {
+		t.Fatalf("far-ahead instance not dropped (drops=%d)", eng.DroppedAhead())
+	}
+	if eng.Instances() != 1 {
+		t.Fatalf("far-ahead instance instantiated an engine (insts=%d)", eng.Instances())
+	}
+	// Negative instances (impossible off the wire, but defensive).
+	m.Instance = -1
+	eng.OnMessage(2, m)
+	if eng.DroppedAhead() != 2 {
+		t.Fatal("negative instance not dropped")
+	}
+	// In-window instances are accepted.
+	m.Instance = 3
+	eng.OnMessage(2, m)
+	if eng.Instances() != 2 {
+		t.Fatal("in-window instance not instantiated")
+	}
+}
+
+func TestCloseStopsNewInstances(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{Pipeline: 2})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	// Deciding instance 0 would normally start instance 2.
+	eng.onInstanceDecided(0, EncodeBatch(nil))
+	if eng.Instances() != 2 {
+		t.Fatalf("closed engine opened a new instance (insts=%d)", eng.Instances())
+	}
+	if eng.Applied() != 1 {
+		t.Fatalf("applied=%v, want 1", eng.Applied())
+	}
+}
+
+func TestApplyInInstanceOrder(t *testing.T) {
+	var got []types.Value
+	eng, _ := newTestEngine(t, Config{Pipeline: 3, OnCommit: func(e Entry) {
+		got = append(got, e.Cmd)
+	}})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Decisions arrive out of order: 2, 0, 1.
+	eng.onInstanceDecided(2, EncodeBatch([]types.Value{"c"}))
+	if eng.Applied() != 0 {
+		t.Fatal("applied out of order")
+	}
+	eng.onInstanceDecided(0, EncodeBatch([]types.Value{"a"}))
+	if eng.Applied() != 1 {
+		t.Fatalf("applied=%v after instance 0 decided", eng.Applied())
+	}
+	eng.onInstanceDecided(1, EncodeBatch([]types.Value{"b"}))
+	if eng.Applied() != 3 {
+		t.Fatalf("applied=%v after all decided", eng.Applied())
+	}
+	want := []types.Value{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("committed %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("committed %q, want %q", got, want)
+		}
+	}
+}
+
+func TestApplyDeduplicatesAcrossBatches(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{Pipeline: 2})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.onInstanceDecided(0, EncodeBatch([]types.Value{"a", "b"}))
+	eng.onInstanceDecided(1, EncodeBatch([]types.Value{"b", "c"}))
+	if eng.Committed() != 3 {
+		t.Fatalf("committed=%d, want 3 (b deduplicated)", eng.Committed())
+	}
+	if eng.Entries()[2].Cmd != "c" {
+		t.Fatalf("entries: %+v", eng.Entries())
+	}
+}
+
+func TestBotAndGarbageDecisionsAreNoOps(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{Pipeline: 2})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.onInstanceDecided(0, types.BotValue)
+	eng.onInstanceDecided(1, types.Value("not a batch"))
+	if eng.Committed() != 0 {
+		t.Fatal("no-op decisions committed commands")
+	}
+	if eng.NoOps() != 2 {
+		t.Fatalf("noops=%d, want 2", eng.NoOps())
+	}
+	if eng.Applied() != 2 {
+		t.Fatalf("applied=%v, want 2", eng.Applied())
+	}
+}
+
+func TestTargetClosesEngine(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{Pipeline: 1, Target: 2})
+	for _, c := range []types.Value{"a", "b", "c"} {
+		if err := eng.Submit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.onInstanceDecided(0, EncodeBatch([]types.Value{"a", "b"}))
+	if !eng.Closed() {
+		t.Fatal("engine not closed at target")
+	}
+	if eng.Instances() != 1 {
+		t.Fatalf("closed engine opened instance (insts=%d)", eng.Instances())
+	}
+}

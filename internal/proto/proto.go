@@ -95,39 +95,53 @@ func (t Tag) String() string { return fmt.Sprintf("%v/%v", t.Mod, t.Round) }
 // For EA kinds, Tag is {ModEA, r}, Origin is unused (the network-level
 // sender is authoritative), Val carries PROP2/COORD values, and Opt
 // carries the RELAY value, which may be ⊥.
+//
+// Instance scopes the message to one numbered consensus instance of the
+// replicated log (internal/log). Single-shot executions leave it 0; the
+// protocol modules below the log engine never read it — the instance-
+// scoped Env stamps it on egress and the log engine demultiplexes on
+// ingress.
 type Message struct {
-	Kind   MsgKind
-	Tag    Tag
-	Origin types.ProcID
-	Val    types.Value
-	Opt    types.OptValue
+	Kind     MsgKind
+	Tag      Tag
+	Instance types.Instance
+	Origin   types.ProcID
+	Val      types.Value
+	Opt      types.OptValue
 }
 
 // String implements fmt.Stringer.
 func (m Message) String() string {
+	inst := ""
+	if m.Instance != 0 {
+		inst = m.Instance.String() + ":"
+	}
 	switch m.Kind {
 	case MsgEARelay:
-		return fmt.Sprintf("%v[%v](%v)", m.Kind, m.Tag, m.Opt)
+		return fmt.Sprintf("%v[%s%v](%v)", m.Kind, inst, m.Tag, m.Opt)
 	case MsgRBInit, MsgRBEcho, MsgRBReady:
-		return fmt.Sprintf("%v[%v]@%v(%s)", m.Kind, m.Tag, m.Origin, m.Val)
+		return fmt.Sprintf("%v[%s%v]@%v(%s)", m.Kind, inst, m.Tag, m.Origin, m.Val)
 	default:
-		return fmt.Sprintf("%v[%v](%s)", m.Kind, m.Tag, m.Val)
+		return fmt.Sprintf("%v[%s%v](%s)", m.Kind, inst, m.Tag, m.Val)
 	}
 }
 
 // DedupKey is the identity under the paper's "single message per TAG"
-// rule: a process accepts at most one message per (sender, kind, tag,
-// origin) tuple; later ones are discarded regardless of content.
+// rule: a process accepts at most one message per (sender, instance,
+// kind, tag, origin) tuple; later ones are discarded regardless of
+// content. Instance is part of the identity so that every log instance
+// gets its own fresh first-message rule.
 type DedupKey struct {
-	From   types.ProcID
-	Kind   MsgKind
-	Tag    Tag
-	Origin types.ProcID
+	From     types.ProcID
+	Instance types.Instance
+	Kind     MsgKind
+	Tag      Tag
+	Origin   types.ProcID
 }
 
 // Key builds the DedupKey of a message from a given network sender.
 func Key(from types.ProcID, m Message) DedupKey {
-	return DedupKey{From: from, Kind: m.Kind, Tag: m.Tag, Origin: m.Origin}
+	return DedupKey{From: from, Instance: m.Instance, Kind: m.Kind, Tag: m.Tag, Origin: m.Origin}
 }
 
 // Env is everything a protocol module may do to the outside world. The

@@ -1,0 +1,202 @@
+package rt_test
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/log"
+	"repro/internal/netx"
+	"repro/internal/proto"
+	"repro/internal/rt"
+	"repro/internal/types"
+)
+
+// logReplica is one real-time log replica plus its commit collector.
+type logReplica struct {
+	node *rt.Node
+	eng  *log.Engine
+
+	mu      sync.Mutex
+	commits []types.Value
+	done    chan struct{} // closed when target commits reached
+	target  int
+}
+
+func (r *logReplica) onCommit(e log.Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.commits = append(r.commits, e.Cmd)
+	if len(r.commits) == r.target {
+		close(r.done)
+	}
+}
+
+func (r *logReplica) log() []types.Value {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]types.Value, len(r.commits))
+	copy(out, r.commits)
+	return out
+}
+
+// startLogReplica hosts a log engine on node with the given knobs.
+func startLogReplica(t *testing.T, node *rt.Node, target int, unit time.Duration) *logReplica {
+	t.Helper()
+	r := &logReplica{node: node, done: make(chan struct{}), target: target}
+	var engErr error
+	node.Start(func(env proto.Env) proto.Handler {
+		cfg := log.Config{
+			Env:       env,
+			BatchSize: 8,
+			Pipeline:  2,
+			Target:    target,
+			OnCommit:  r.onCommit,
+		}
+		cfg.Engine.TimeUnit = unit
+		eng, err := log.New(cfg)
+		if err != nil {
+			engErr = err
+			return proto.HandlerFunc(func(types.ProcID, proto.Message) {})
+		}
+		r.eng = eng
+		return eng
+	})
+	if engErr != nil {
+		t.Fatal(engErr)
+	}
+	return r
+}
+
+func runLogCluster(t *testing.T, replicas []*logReplica, cmds []types.Value, wait time.Duration) {
+	t.Helper()
+	for _, r := range replicas {
+		r := r
+		if !r.node.Post(func() {
+			for _, c := range cmds {
+				_ = r.eng.Submit(c)
+			}
+			if err := r.eng.Start(); err != nil {
+				t.Errorf("start: %v", err)
+			}
+		}) {
+			t.Fatal("node stopped before start")
+		}
+	}
+	deadline := time.After(wait)
+	for i, r := range replicas {
+		select {
+		case <-r.done:
+		case <-deadline:
+			t.Fatalf("replica %d committed %d/%d within %v", i+1, len(r.log()), r.target, wait)
+		}
+	}
+	ref := replicas[0].log()
+	if len(ref) != len(cmds) {
+		t.Fatalf("replica 1 committed %d commands, want %d", len(ref), len(cmds))
+	}
+	for i, r := range replicas[1:] {
+		got := r.log()
+		if len(got) != len(ref) {
+			t.Fatalf("replica %d committed %d, reference %d", i+2, len(got), len(ref))
+		}
+		for k := range ref {
+			if got[k] != ref[k] {
+				t.Fatalf("replica %d entry %d = %q, reference %q", i+2, k, got[k], ref[k])
+			}
+		}
+	}
+}
+
+// TestLogOverMemNetwork runs a 4-replica log on the in-memory real-time
+// transport: 30 commands, identical committed sequences everywhere.
+func TestLogOverMemNetwork(t *testing.T) {
+	const n, target = 4, 30
+	params := types.Params{N: n, T: 1}
+	net := rt.NewMemNetwork()
+	nodes := make([]*rt.Node, 0, n)
+	for _, id := range params.AllProcs() {
+		node, err := rt.NewNode(rt.NodeConfig{ID: id, Params: params, Transport: net.Attach(id)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Register(id, node)
+		nodes = append(nodes, node)
+	}
+	defer func() {
+		for _, node := range nodes {
+			node.Stop()
+		}
+	}()
+	replicas := make([]*logReplica, 0, n)
+	for _, node := range nodes {
+		replicas = append(replicas, startLogReplica(t, node, target, 20*time.Millisecond))
+	}
+	cmds := make([]types.Value, target)
+	for i := range cmds {
+		cmds[i] = types.Value(fmt.Sprintf("mem-cmd-%03d", i))
+	}
+	runLogCluster(t, replicas, cmds, 30*time.Second)
+}
+
+// TestLogOverTCP runs the same workload across four real TCP transports on
+// localhost — the full wire-codec-v2 path end to end.
+func TestLogOverTCP(t *testing.T) {
+	const n, target = 4, 20
+	params := types.Params{N: n, T: 1}
+
+	// Reserve ports with throwaway :0 listeners so every transport knows
+	// the full address map up front (same idiom as the netx tests).
+	addrs := make(map[types.ProcID]string, n)
+	for _, id := range params.AllProcs() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[id] = ln.Addr().String()
+		ln.Close()
+	}
+	transports := make(map[types.ProcID]*netx.Transport, n)
+	nodes := make(map[types.ProcID]*rt.Node, n)
+	for _, id := range params.AllProcs() {
+		id := id
+		tr, err := netx.Listen(netx.Config{
+			Self:  id,
+			Addrs: addrs,
+			Recv: func(from types.ProcID, m proto.Message) {
+				if node := nodes[id]; node != nil {
+					node.Deliver(from, m)
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		transports[id] = tr
+	}
+	replicas := make([]*logReplica, 0, n)
+	for _, id := range params.AllProcs() {
+		tr := transports[id]
+		node, err := rt.NewNode(rt.NodeConfig{ID: id, Params: params, Transport: tcpAdapter{tr}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[id] = node
+		defer node.Stop()
+		replicas = append(replicas, startLogReplica(t, node, target, 25*time.Millisecond))
+	}
+	cmds := make([]types.Value, target)
+	for i := range cmds {
+		cmds[i] = types.Value(fmt.Sprintf("tcp-cmd-%03d", i))
+	}
+	runLogCluster(t, replicas, cmds, 60*time.Second)
+}
+
+type tcpAdapter struct{ tr *netx.Transport }
+
+func (a tcpAdapter) Send(to types.ProcID, m proto.Message) error {
+	return a.tr.Send(to, m)
+}

@@ -1,0 +1,214 @@
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/log"
+	"repro/internal/network"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// LogSpec describes one replicated-log execution on the simulator: every
+// correct process runs a log.Engine and the same command workload is
+// submitted to all of them (the PBFT-style client-broadcast model — see
+// the internal/log package doc).
+type LogSpec struct {
+	// Params are the (n, t, m) resilience parameters (m is ignored: log
+	// instances run the ⊥-validity variant).
+	Params types.Params
+	// Topology is the synchrony matrix (nil = fully asynchronous).
+	Topology *network.Topology
+	// Policy draws async-channel delays (nil = uniform 1–20 ms).
+	Policy network.DelayPolicy
+	// Adv optionally adversarially overrides async delays.
+	Adv network.Adversary
+	// FIFO enforces per-channel ordering.
+	FIFO bool
+	// Seed drives all randomness.
+	Seed int64
+	// Commands is the client workload, submitted to every correct
+	// process. Commands must be distinct (the log deduplicates by
+	// content).
+	Commands []types.Value
+	// SubmitEvery staggers the workload: command k is submitted at time
+	// k·SubmitEvery (0 = everything at time 0).
+	SubmitEvery types.Duration
+	// Byzantine maps faulty processes to behaviors. Note that the stock
+	// single-shot adversaries attack instance 0 only (their messages
+	// carry instance 0); Silent and network-level adversaries affect the
+	// whole log.
+	Byzantine map[types.ProcID]harness.Behavior
+	// Log carries the engine knobs (Engine, BatchSize, Pipeline,
+	// MaxLead). Env, Target and OnCommit are set by the runner.
+	Log log.Config
+	// Target is the commit count at which engines stop opening new
+	// instances (default len(Commands)).
+	Target int
+	// Deadline bounds virtual time (0 = run to drain).
+	Deadline types.Time
+	// MaxEvents bounds the number of simulation events (0 = unlimited).
+	MaxEvents uint64
+}
+
+// LogResult is the outcome of one replicated-log execution.
+type LogResult struct {
+	// Logs holds every correct process's committed command log.
+	Logs map[types.ProcID][]log.Entry
+	// Correct lists the correct processes, ascending.
+	Correct []types.ProcID
+	// Messages is the total point-to-point message count.
+	Messages uint64
+	// Duplicates counts messages dropped by the first-message rule.
+	Duplicates uint64
+	// End is the virtual time when the run stopped; Stop says why.
+	End  types.Time
+	Stop sim.StopReason
+	// Events is the number of simulation events executed.
+	Events uint64
+	// Engines gives access to per-process log engines (introspection).
+	Engines map[types.ProcID]*log.Engine
+}
+
+// AllCommitted reports whether every correct process committed at least
+// target commands.
+func (r *LogResult) AllCommitted(target int) bool {
+	for _, id := range r.Correct {
+		if len(r.Logs[id]) < target {
+			return false
+		}
+	}
+	return len(r.Correct) > 0
+}
+
+// Consistent reports whether all correct logs are pairwise
+// prefix-consistent (the total-order safety property: no two processes
+// commit different commands at the same index).
+func (r *LogResult) Consistent() bool {
+	for i, a := range r.Correct {
+		for _, b := range r.Correct[i+1:] {
+			la, lb := r.Logs[a], r.Logs[b]
+			n := len(la)
+			if len(lb) < n {
+				n = len(lb)
+			}
+			for k := 0; k < n; k++ {
+				if la[k].Cmd != lb[k].Cmd || la[k].Instance != lb[k].Instance {
+					return false
+				}
+			}
+		}
+	}
+	return len(r.Correct) > 0
+}
+
+// MinCommitted returns the smallest committed count among correct
+// processes.
+func (r *LogResult) MinCommitted() int {
+	min := -1
+	for _, id := range r.Correct {
+		if n := len(r.Logs[id]); min < 0 || n < min {
+			min = n
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// RunLog executes the spec.
+func RunLog(spec LogSpec) (*LogResult, error) {
+	p := spec.Params
+	if err := p.Validate(true); err != nil {
+		return nil, fmt.Errorf("runner: %w", err)
+	}
+	if len(spec.Byzantine) > p.T {
+		return nil, fmt.Errorf("runner: %d Byzantine processes exceed t=%d", len(spec.Byzantine), p.T)
+	}
+	seen := make(map[types.Value]bool, len(spec.Commands))
+	for _, c := range spec.Commands {
+		if c == types.BotValue {
+			return nil, fmt.Errorf("runner: workload contains the reserved ⊥ value")
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("runner: duplicate command %q", c)
+		}
+		seen[c] = true
+	}
+	if spec.Target <= 0 {
+		spec.Target = len(spec.Commands)
+	}
+	w, err := harness.New(harness.Config{
+		Params:   p,
+		Topology: spec.Topology,
+		Policy:   spec.Policy,
+		Adv:      spec.Adv,
+		FIFO:     spec.FIFO,
+		Seed:     spec.Seed,
+		BotOK:    true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runner: %w", err)
+	}
+
+	res := &LogResult{
+		Logs:    make(map[types.ProcID][]log.Entry),
+		Engines: make(map[types.ProcID]*log.Engine),
+	}
+	for _, id := range p.AllProcs() {
+		id := id
+		if b, ok := spec.Byzantine[id]; ok {
+			if err := w.SetBehavior(id, b); err != nil {
+				return nil, fmt.Errorf("runner: %w", err)
+			}
+			continue
+		}
+		res.Correct = append(res.Correct, id)
+		var engErr error
+		err := w.SetBehavior(id, func(env proto.Env) proto.Handler {
+			cfg := spec.Log
+			cfg.Env = env
+			cfg.Target = spec.Target
+			cfg.OnCommit = func(e log.Entry) {
+				res.Logs[id] = append(res.Logs[id], e)
+			}
+			eng, err := log.New(cfg)
+			if err != nil {
+				engErr = err
+				return proto.HandlerFunc(func(types.ProcID, proto.Message) {})
+			}
+			res.Engines[id] = eng
+			for k, c := range spec.Commands {
+				c := c
+				env.SetTimer(types.Duration(k)*spec.SubmitEvery, func() { _ = eng.Submit(c) })
+			}
+			env.SetTimer(0, func() {
+				if err := eng.Start(); err != nil {
+					engErr = err
+				}
+			})
+			return eng
+		})
+		if err != nil {
+			return nil, fmt.Errorf("runner: %w", err)
+		}
+		if engErr != nil {
+			return nil, fmt.Errorf("runner: log engine %v: %w", id, engErr)
+		}
+	}
+
+	res.Stop = w.Run(spec.Deadline, spec.MaxEvents)
+	res.End = w.Sched.Now()
+	res.Events = w.Sched.Executed
+	res.Messages = w.Net.Sent()
+	res.Duplicates = w.DroppedDuplicates()
+	for _, id := range res.Correct {
+		if eng := res.Engines[id]; eng != nil && eng.Err() != nil {
+			return nil, fmt.Errorf("runner: log engine %v: %w", id, eng.Err())
+		}
+	}
+	return res, nil
+}

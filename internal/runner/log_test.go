@@ -1,0 +1,212 @@
+package runner
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/harness"
+	"repro/internal/network"
+	"repro/internal/types"
+)
+
+func logCommands(n int) []types.Value {
+	cmds := make([]types.Value, n)
+	for i := range cmds {
+		cmds[i] = types.Value(fmt.Sprintf("cmd-%04d", i))
+	}
+	return cmds
+}
+
+func logSpec(n, ncmds int, seed int64) LogSpec {
+	spec := LogSpec{
+		Params:   types.Params{N: n, T: (n - 1) / 3},
+		Topology: network.FullySynchronous(n, types.Duration(2*time.Millisecond)),
+		Seed:     seed,
+		Commands: logCommands(ncmds),
+		Deadline: types.Time(10 * time.Minute),
+	}
+	spec.Log.Engine.TimeUnit = types.Duration(10 * time.Millisecond)
+	spec.Log.BatchSize = 8
+	spec.Log.Pipeline = 2
+	return spec
+}
+
+func TestLogCommitsWholeWorkload(t *testing.T) {
+	res, err := RunLog(logSpec(4, 40, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllCommitted(40) {
+		t.Fatalf("only %d commands committed everywhere, want 40", res.MinCommitted())
+	}
+	if !res.Consistent() {
+		t.Fatal("correct logs disagree")
+	}
+	// The engines must stop opening instances once the target is hit, so
+	// the simulation drains instead of running to the deadline.
+	if res.Stop.String() != "drained" {
+		t.Fatalf("run did not quiesce: stop=%v", res.Stop)
+	}
+	// Batching must pay: 40 commands must need far fewer than 40
+	// instances.
+	for _, id := range res.Correct {
+		if got := int(res.Engines[id].Applied()); got > 12 {
+			t.Fatalf("process %v used %d instances for 40 commands (batching broken?)", id, got)
+		}
+	}
+}
+
+func TestLogIdenticalAcrossProcesses(t *testing.T) {
+	res, err := RunLog(logSpec(4, 30, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := res.Logs[res.Correct[0]]
+	for _, id := range res.Correct[1:] {
+		got := res.Logs[id]
+		if len(got) != len(ref) {
+			t.Fatalf("process %v committed %d, reference %d", id, len(got), len(ref))
+		}
+		for k := range ref {
+			if got[k].Cmd != ref[k].Cmd || got[k].Instance != ref[k].Instance || got[k].Index != ref[k].Index {
+				t.Fatalf("process %v entry %d = %+v, reference %+v", id, k, got[k], ref[k])
+			}
+		}
+	}
+}
+
+func TestLogDeterministicReplay(t *testing.T) {
+	a, err := RunLog(logSpec(4, 24, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLog(logSpec(4, 24, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Messages != b.Messages || a.End != b.End || a.Events != b.Events {
+		t.Fatalf("same seed diverged: %d/%v/%d vs %d/%v/%d",
+			a.Messages, a.End, a.Events, b.Messages, b.End, b.Events)
+	}
+	for _, id := range a.Correct {
+		la, lb := a.Logs[id], b.Logs[id]
+		if len(la) != len(lb) {
+			t.Fatalf("process %v: %d vs %d entries", id, len(la), len(lb))
+		}
+		for k := range la {
+			if la[k] != lb[k] {
+				t.Fatalf("process %v entry %d differs: %+v vs %+v", id, k, la[k], lb[k])
+			}
+		}
+	}
+}
+
+func TestLogWithSilentByzantine(t *testing.T) {
+	spec := logSpec(4, 30, 3)
+	spec.Byzantine = map[types.ProcID]harness.Behavior{4: adversary.Silent()}
+	res, err := RunLog(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Correct) != 3 {
+		t.Fatalf("correct set %v", res.Correct)
+	}
+	if !res.AllCommitted(30) {
+		t.Fatalf("only %d committed with one silent process", res.MinCommitted())
+	}
+	if !res.Consistent() {
+		t.Fatal("logs disagree under a silent Byzantine process")
+	}
+}
+
+func TestLogWithSpamByzantine(t *testing.T) {
+	// A spammer floods conflicting protocol messages (instance 0 traffic
+	// plus garbage); the log must stay consistent and keep committing.
+	spec := logSpec(4, 20, 11)
+	spec.Byzantine = map[types.ProcID]harness.Behavior{4: adversary.SpamStreams("evil", 32)}
+	res, err := RunLog(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllCommitted(20) {
+		t.Fatalf("only %d committed under spam", res.MinCommitted())
+	}
+	if !res.Consistent() {
+		t.Fatal("logs disagree under spam")
+	}
+}
+
+func TestLogStaggeredSubmissions(t *testing.T) {
+	spec := logSpec(4, 30, 5)
+	spec.SubmitEvery = types.Duration(3 * time.Millisecond)
+	res, err := RunLog(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllCommitted(30) {
+		t.Fatalf("only %d committed with staggered submissions", res.MinCommitted())
+	}
+	if !res.Consistent() {
+		t.Fatal("logs disagree with staggered submissions")
+	}
+}
+
+func TestLogPipelineDepthOne(t *testing.T) {
+	spec := logSpec(4, 20, 9)
+	spec.Log.Pipeline = 1
+	res, err := RunLog(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllCommitted(20) || !res.Consistent() {
+		t.Fatalf("pipeline depth 1 failed: min=%d consistent=%v", res.MinCommitted(), res.Consistent())
+	}
+}
+
+func TestLogLargerSystem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunLog(logSpec(7, 40, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllCommitted(40) || !res.Consistent() {
+		t.Fatalf("n=7 failed: min=%d consistent=%v", res.MinCommitted(), res.Consistent())
+	}
+}
+
+func TestLogRejectsDuplicateCommands(t *testing.T) {
+	spec := logSpec(4, 4, 1)
+	spec.Commands = append(spec.Commands, spec.Commands[0])
+	if _, err := RunLog(spec); err == nil {
+		t.Fatal("duplicate workload accepted")
+	}
+}
+
+func TestLogRejectsBotCommand(t *testing.T) {
+	spec := logSpec(4, 4, 1)
+	spec.Commands = append(spec.Commands, types.BotValue)
+	if _, err := RunLog(spec); err == nil {
+		t.Fatal("⊥ command accepted (run would hang instead of failing fast)")
+	}
+}
+
+func TestLogEventualSynchrony(t *testing.T) {
+	// Channels become timely only at GST; the log must still commit
+	// everything afterwards and stay consistent throughout.
+	spec := logSpec(4, 16, 13)
+	spec.Topology = network.EventuallySynchronous(4, types.Time(100*time.Millisecond), types.Duration(2*time.Millisecond))
+	res, err := RunLog(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllCommitted(16) {
+		t.Fatalf("only %d committed under eventual synchrony", res.MinCommitted())
+	}
+	if !res.Consistent() {
+		t.Fatal("logs disagree under eventual synchrony")
+	}
+}

@@ -36,6 +36,15 @@ type Round int64
 // String implements fmt.Stringer.
 func (r Round) String() string { return "r" + strconv.FormatInt(int64(r), 10) }
 
+// Instance is a 0-based consensus-instance number of the replicated log:
+// instance i decides the i-th log entry. Single-shot executions use
+// instance 0 throughout, which is also what version-1 wire frames decode
+// to, so the single-decision stack is the i=0 slice of the log engine.
+type Instance int64
+
+// String implements fmt.Stringer.
+func (i Instance) String() string { return "i" + strconv.FormatInt(int64(i), 10) }
+
 // Value is a proposal value. m-valued consensus restricts how many distinct
 // Values correct processes may propose (feasibility condition n-t > m*t),
 // but the type itself is an opaque string so applications can propose

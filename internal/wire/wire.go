@@ -4,14 +4,24 @@
 // value bytes:
 //
 //	offset  size  field
-//	0       1     version (currently 1)
-//	1       1     kind    (proto.MsgKind)
-//	2       1     module  (proto.Module)
-//	3       1     flags   (bit 0: relay value present, i.e. not ⊥)
-//	4       8     round   (int64)
-//	12      4     origin  (int32)
-//	16      4     value length L (uint32, ≤ MaxValueLen)
-//	20      L     value bytes
+//	0       1     version (2)
+//	1       1     kind     (proto.MsgKind)
+//	2       1     module   (proto.Module)
+//	3       1     flags    (bit 0: relay value present, i.e. not ⊥)
+//	4       8     round    (int64)
+//	12      4     origin   (int32)
+//	16      8     instance (int64) — log-instance number
+//	24      4     value length L (uint32, ≤ MaxValueLen)
+//	28      L     value bytes
+//
+// Version 1 (the single-shot format of the pre-log releases) is identical
+// except that it has no instance field: the value length sits at offset 16
+// and the header is 20 bytes. Compatibility is decode-only: Decode still
+// accepts version-1 frames and maps them to instance 0, so a new binary
+// understands an old peer — but it always sends version 2, which an old
+// binary rejects, so a mixed-version cluster needs the old side upgraded
+// (or a future per-peer version negotiation). EncodeV1 produces legacy
+// frames for tests and tooling that exercise that decode path.
 //
 // Frames on the wire are length-prefixed by the transport; this package
 // only encodes message bodies.
@@ -25,20 +35,26 @@ import (
 	"repro/internal/types"
 )
 
-// Version is the codec version byte.
-const Version = 1
+// Version is the current codec version byte.
+const Version = 2
+
+// VersionLegacy is the pre-instance codec version, still accepted by Decode.
+const VersionLegacy = 1
 
 // MaxValueLen bounds value payloads (1 MiB): a Byzantine peer must not be
 // able to force unbounded allocations.
 const MaxValueLen = 1 << 20
 
-// headerLen is the fixed portion of an encoded message.
-const headerLen = 20
+// Header lengths of the two supported versions.
+const (
+	headerLenV1 = 20
+	headerLenV2 = 28
+)
 
 const flagRelayValid = 1 << 0
 
-// Encode serializes m.
-func Encode(m proto.Message) ([]byte, error) {
+// payload extracts the value bytes a message carries on the wire.
+func payload(m proto.Message) ([]byte, error) {
 	val := []byte(m.Val)
 	if m.Kind == proto.MsgEARelay {
 		// Relay messages carry OptValue; Val must be empty.
@@ -50,7 +66,19 @@ func Encode(m proto.Message) ([]byte, error) {
 	if len(val) > MaxValueLen {
 		return nil, fmt.Errorf("wire: value of %d bytes exceeds limit", len(val))
 	}
-	buf := make([]byte, headerLen+len(val))
+	return val, nil
+}
+
+// Encode serializes m in the current (version 2) format.
+func Encode(m proto.Message) ([]byte, error) {
+	val, err := payload(m)
+	if err != nil {
+		return nil, err
+	}
+	if m.Instance < 0 {
+		return nil, fmt.Errorf("wire: negative instance %d", m.Instance)
+	}
+	buf := make([]byte, headerLenV2+len(val))
 	buf[0] = Version
 	buf[1] = byte(m.Kind)
 	buf[2] = byte(m.Tag.Mod)
@@ -59,20 +87,55 @@ func Encode(m proto.Message) ([]byte, error) {
 	}
 	binary.LittleEndian.PutUint64(buf[4:], uint64(m.Tag.Round))
 	binary.LittleEndian.PutUint32(buf[12:], uint32(int32(m.Origin)))
-	binary.LittleEndian.PutUint32(buf[16:], uint32(len(val)))
-	copy(buf[headerLen:], val)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(m.Instance))
+	binary.LittleEndian.PutUint32(buf[24:], uint32(len(val)))
+	copy(buf[headerLenV2:], val)
 	return buf, nil
 }
 
-// Decode parses a message body. It validates ranges defensively: the bytes
-// may come from a Byzantine peer.
+// EncodeV1 serializes m in the legacy single-shot format. It refuses
+// messages that the old vocabulary cannot express (instance ≠ 0); it
+// exists so tests and tooling can exercise the back-compat decode path
+// (the transport itself always sends the current version).
+func EncodeV1(m proto.Message) ([]byte, error) {
+	if m.Instance != 0 {
+		return nil, fmt.Errorf("wire: version 1 cannot carry instance %d", m.Instance)
+	}
+	val, err := payload(m)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, headerLenV1+len(val))
+	buf[0] = VersionLegacy
+	buf[1] = byte(m.Kind)
+	buf[2] = byte(m.Tag.Mod)
+	if m.Kind == proto.MsgEARelay && !m.Opt.IsBot() {
+		buf[3] |= flagRelayValid
+	}
+	binary.LittleEndian.PutUint64(buf[4:], uint64(m.Tag.Round))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(int32(m.Origin)))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(len(val)))
+	copy(buf[headerLenV1:], val)
+	return buf, nil
+}
+
+// Decode parses a message body in either supported version. It validates
+// ranges defensively: the bytes may come from a Byzantine peer.
 func Decode(b []byte) (proto.Message, error) {
 	var m proto.Message
-	if len(b) < headerLen {
+	if len(b) < 1 {
 		return m, fmt.Errorf("wire: short message (%d bytes)", len(b))
 	}
-	if b[0] != Version {
+	headerLen := headerLenV2
+	switch b[0] {
+	case Version:
+	case VersionLegacy:
+		headerLen = headerLenV1
+	default:
 		return m, fmt.Errorf("wire: unsupported version %d", b[0])
+	}
+	if len(b) < headerLen {
+		return m, fmt.Errorf("wire: short message (%d bytes)", len(b))
 	}
 	kind := proto.MsgKind(b[1])
 	if kind < proto.MsgRBInit || kind > proto.MsgEARelay {
@@ -90,7 +153,14 @@ func Decode(b []byte) (proto.Message, error) {
 	if origin < 0 {
 		return m, fmt.Errorf("wire: negative origin %d", origin)
 	}
-	vlen := binary.LittleEndian.Uint32(b[16:])
+	var instance int64
+	if b[0] == Version {
+		instance = int64(binary.LittleEndian.Uint64(b[16:]))
+		if instance < 0 {
+			return m, fmt.Errorf("wire: negative instance %d", instance)
+		}
+	}
+	vlen := binary.LittleEndian.Uint32(b[headerLen-4:])
 	if vlen > MaxValueLen {
 		return m, fmt.Errorf("wire: value length %d exceeds limit", vlen)
 	}
@@ -99,6 +169,7 @@ func Decode(b []byte) (proto.Message, error) {
 	}
 	m.Kind = kind
 	m.Tag = proto.Tag{Mod: mod, Round: types.Round(round)}
+	m.Instance = types.Instance(instance)
 	m.Origin = types.ProcID(origin)
 	val := string(b[headerLen:])
 	if kind == proto.MsgEARelay {

@@ -11,6 +11,16 @@ import (
 	"repro/internal/types"
 )
 
+var allKinds = []proto.MsgKind{
+	proto.MsgRBInit, proto.MsgRBEcho, proto.MsgRBReady,
+	proto.MsgEAProp2, proto.MsgEACoord, proto.MsgEARelay,
+}
+
+var allModules = []proto.Module{
+	proto.ModConsCB0, proto.ModEACB, proto.ModEA,
+	proto.ModACCB, proto.ModACEst, proto.ModDecide,
+}
+
 func roundTrip(t *testing.T, m proto.Message) proto.Message {
 	t.Helper()
 	b, err := Encode(m)
@@ -34,11 +44,39 @@ func TestRoundTripBasic(t *testing.T) {
 		{Kind: proto.MsgEARelay, Tag: proto.Tag{Mod: proto.ModEA, Round: 5}, Opt: types.Some("v")},
 		{Kind: proto.MsgEARelay, Tag: proto.Tag{Mod: proto.ModEA, Round: 5}, Opt: types.Bot},
 		{Kind: proto.MsgEARelay, Tag: proto.Tag{Mod: proto.ModEA, Round: 5}, Opt: types.Some("")},
+		{Kind: proto.MsgRBInit, Tag: proto.Tag{Mod: proto.ModConsCB0}, Instance: 17, Origin: 2, Val: "batch"},
+		{Kind: proto.MsgEARelay, Tag: proto.Tag{Mod: proto.ModEA, Round: 3}, Instance: 1 << 40, Opt: types.Bot},
 	}
 	for _, m := range tests {
 		got := roundTrip(t, m)
 		if got != m {
 			t.Errorf("round trip: got %+v, want %+v", got, m)
+		}
+	}
+}
+
+// TestRoundTripAllCombos exercises every MsgKind × Module pair, with and
+// without a nonzero log instance.
+func TestRoundTripAllCombos(t *testing.T) {
+	for _, kind := range allKinds {
+		for _, mod := range allModules {
+			for _, inst := range []types.Instance{0, 9} {
+				m := proto.Message{
+					Kind:     kind,
+					Tag:      proto.Tag{Mod: mod, Round: 6},
+					Instance: inst,
+					Origin:   4,
+				}
+				if kind == proto.MsgEARelay {
+					m.Opt = types.Some("relay-val")
+				} else {
+					m.Val = "val"
+				}
+				got := roundTrip(t, m)
+				if got != m {
+					t.Errorf("%v/%v/i%d: got %+v, want %+v", kind, mod, inst, got, m)
+				}
+			}
 		}
 	}
 }
@@ -57,16 +95,17 @@ func TestRelayBotVsEmptyDistinct(t *testing.T) {
 
 // TestRoundTripQuick property-checks the codec across random messages.
 func TestRoundTripQuick(t *testing.T) {
-	f := func(kindRaw, modRaw uint8, round uint32, origin uint16, val string, bot bool) bool {
+	f := func(kindRaw, modRaw uint8, round uint32, inst uint32, origin uint16, val string, bot bool) bool {
 		kind := proto.MsgKind(int(kindRaw)%6) + proto.MsgRBInit
 		mod := proto.Module(int(modRaw)%6) + proto.ModConsCB0
 		if len(val) > 4096 {
 			val = val[:4096]
 		}
 		m := proto.Message{
-			Kind:   kind,
-			Tag:    proto.Tag{Mod: mod, Round: types.Round(round)},
-			Origin: types.ProcID(origin),
+			Kind:     kind,
+			Tag:      proto.Tag{Mod: mod, Round: types.Round(round)},
+			Instance: types.Instance(inst),
+			Origin:   types.ProcID(origin),
 		}
 		if kind == proto.MsgEARelay {
 			if !bot {
@@ -87,6 +126,76 @@ func TestRoundTripQuick(t *testing.T) {
 	}
 }
 
+// TestV1RoundTrip checks the legacy encode → current decode path: a
+// version-1 peer's frames must decode to the same message with instance 0.
+func TestV1RoundTrip(t *testing.T) {
+	for _, kind := range allKinds {
+		for _, mod := range allModules {
+			m := proto.Message{
+				Kind:   kind,
+				Tag:    proto.Tag{Mod: mod, Round: 11},
+				Origin: 2,
+			}
+			if kind == proto.MsgEARelay {
+				m.Opt = types.Some("x")
+			} else {
+				m.Val = "x"
+			}
+			b, err := EncodeV1(m)
+			if err != nil {
+				t.Fatalf("EncodeV1(%v): %v", m, err)
+			}
+			if b[0] != VersionLegacy {
+				t.Fatalf("EncodeV1 wrote version %d", b[0])
+			}
+			if len(b) != headerLenV1+1 {
+				t.Fatalf("EncodeV1 frame is %d bytes, want %d", len(b), headerLenV1+1)
+			}
+			got, err := Decode(b)
+			if err != nil {
+				t.Fatalf("Decode(EncodeV1(%v)): %v", m, err)
+			}
+			if got != m {
+				t.Errorf("v1 round trip: got %+v, want %+v", got, m)
+			}
+			if got.Instance != 0 {
+				t.Errorf("v1 frame decoded to instance %v", got.Instance)
+			}
+		}
+	}
+}
+
+// TestV1BotRelay checks the legacy ⊥-relay encoding specifically.
+func TestV1BotRelay(t *testing.T) {
+	m := proto.Message{Kind: proto.MsgEARelay, Tag: proto.Tag{Mod: proto.ModEA, Round: 2}, Opt: types.Bot}
+	b, err := EncodeV1(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Opt.IsBot() {
+		t.Error("v1 ⊥ relay decoded as non-⊥")
+	}
+}
+
+// TestEncodeV1RejectsInstance: the old vocabulary cannot carry instances.
+func TestEncodeV1RejectsInstance(t *testing.T) {
+	m := proto.Message{Kind: proto.MsgRBInit, Tag: proto.Tag{Mod: proto.ModDecide}, Instance: 3, Val: "x"}
+	if _, err := EncodeV1(m); err == nil {
+		t.Fatal("EncodeV1 accepted a nonzero instance")
+	}
+}
+
+func TestEncodeRejectsNegativeInstance(t *testing.T) {
+	m := proto.Message{Kind: proto.MsgRBInit, Tag: proto.Tag{Mod: proto.ModDecide}, Instance: -1, Val: "x"}
+	if _, err := Encode(m); err == nil {
+		t.Fatal("Encode accepted a negative instance")
+	}
+}
+
 func TestDecodeRejectsMalformed(t *testing.T) {
 	valid, err := Encode(proto.Message{Kind: proto.MsgRBInit, Tag: proto.Tag{Mod: proto.ModDecide}, Origin: 1, Val: "x"})
 	if err != nil {
@@ -98,6 +207,7 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		substr string
 	}{
 		{"short", func(b []byte) []byte { return b[:10] }, "short"},
+		{"truncated header", func(b []byte) []byte { return b[:headerLenV2-1] }, "short"},
 		{"empty", func(b []byte) []byte { return nil }, "short"},
 		{"bad version", func(b []byte) []byte { b[0] = 9; return b }, "version"},
 		{"bad kind zero", func(b []byte) []byte { b[1] = 0; return b }, "kind"},
@@ -111,12 +221,16 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 			binary.LittleEndian.PutUint32(b[12:], 1<<31)
 			return b
 		}, "origin"},
+		{"negative instance", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[16:], 1<<63)
+			return b
+		}, "instance"},
 		{"length mismatch long", func(b []byte) []byte {
-			binary.LittleEndian.PutUint32(b[16:], 500)
+			binary.LittleEndian.PutUint32(b[24:], 500)
 			return b
 		}, "mismatch"},
 		{"length over limit", func(b []byte) []byte {
-			binary.LittleEndian.PutUint32(b[16:], MaxValueLen+1)
+			binary.LittleEndian.PutUint32(b[24:], MaxValueLen+1)
 			return b
 		}, "limit"},
 		{"trailing garbage", func(b []byte) []byte { return append(b, 0xFF) }, "mismatch"},
@@ -135,13 +249,51 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 	}
 }
 
+// TestDecodeRejectsMalformedV1 re-runs the malformed-frame matrix against
+// the legacy header layout (value length at offset 16).
+func TestDecodeRejectsMalformedV1(t *testing.T) {
+	valid, err := EncodeV1(proto.Message{Kind: proto.MsgRBInit, Tag: proto.Tag{Mod: proto.ModDecide}, Origin: 1, Val: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func([]byte) []byte
+		substr string
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:headerLenV1-1] }, "short"},
+		{"bad kind", func(b []byte) []byte { b[1] = 0; return b }, "kind"},
+		{"bad module", func(b []byte) []byte { b[2] = 99; return b }, "module"},
+		{"length mismatch", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[16:], 500)
+			return b
+		}, "mismatch"},
+		{"length over limit", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[16:], MaxValueLen+1)
+			return b
+		}, "limit"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := tt.mutate(bytes.Clone(valid))
+			_, err := Decode(b)
+			if err == nil {
+				t.Fatal("malformed v1 frame accepted")
+			}
+			if !strings.Contains(err.Error(), tt.substr) {
+				t.Errorf("error %q does not mention %q", err, tt.substr)
+			}
+		})
+	}
+}
+
 func TestBotRelayWithPayloadRejected(t *testing.T) {
 	b, err := Encode(proto.Message{Kind: proto.MsgEARelay, Tag: proto.Tag{Mod: proto.ModEA, Round: 1}, Opt: types.Bot})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Forge value bytes onto a ⊥ relay.
-	binary.LittleEndian.PutUint32(b[16:], 3)
+	binary.LittleEndian.PutUint32(b[24:], 3)
 	b = append(b, 'e', 'v', 'l')
 	if _, err := Decode(b); err == nil {
 		t.Fatal("⊥ relay with payload accepted")
@@ -153,25 +305,36 @@ func TestEncodeRejectsHugeValue(t *testing.T) {
 	if _, err := Encode(proto.Message{Kind: proto.MsgRBInit, Tag: proto.Tag{Mod: proto.ModDecide}, Val: huge}); err == nil {
 		t.Fatal("oversized value accepted")
 	}
+	if _, err := EncodeV1(proto.Message{Kind: proto.MsgRBInit, Tag: proto.Tag{Mod: proto.ModDecide}, Val: huge}); err == nil {
+		t.Fatal("oversized value accepted by EncodeV1")
+	}
 }
 
-// FuzzDecode ensures Decode never panics on arbitrary bytes.
+// FuzzDecode ensures Decode never panics on arbitrary bytes and that valid
+// decodes re-encode canonically in their own version.
 func FuzzDecode(f *testing.F) {
 	seed, _ := Encode(proto.Message{Kind: proto.MsgRBInit, Tag: proto.Tag{Mod: proto.ModDecide}, Origin: 1, Val: "x"})
+	seedV1, _ := EncodeV1(proto.Message{Kind: proto.MsgRBInit, Tag: proto.Tag{Mod: proto.ModDecide}, Origin: 1, Val: "x"})
 	f.Add(seed)
+	f.Add(seedV1)
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
-		if err == nil {
-			// Valid decodes must re-encode to the same bytes.
-			b, err2 := Encode(m)
-			if err2 != nil {
-				t.Fatalf("decoded message fails to encode: %v", err2)
-			}
-			if !bytes.Equal(b, data) {
-				t.Fatalf("decode/encode not canonical: %x vs %x", data, b)
-			}
+		if err != nil {
+			return
+		}
+		// Valid decodes must re-encode to the same bytes in their version.
+		enc := Encode
+		if data[0] == VersionLegacy {
+			enc = EncodeV1
+		}
+		b, err2 := enc(m)
+		if err2 != nil {
+			t.Fatalf("decoded message fails to encode: %v", err2)
+		}
+		if !bytes.Equal(b, data) {
+			t.Fatalf("decode/encode not canonical: %x vs %x", data, b)
 		}
 	})
 }

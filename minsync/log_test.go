@@ -1,0 +1,99 @@
+package minsync_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/minsync"
+)
+
+func logWorkload(n int) []minsync.Value {
+	cmds := make([]minsync.Value, n)
+	for i := range cmds {
+		cmds[i] = minsync.Value(fmt.Sprintf("op-%04d", i))
+	}
+	return cmds
+}
+
+func TestSimulateLog(t *testing.T) {
+	res, err := minsync.SimulateLog(minsync.LogConfig{
+		N: 4, T: 1,
+		Commands:  logWorkload(50),
+		BatchSize: 10,
+		Pipeline:  2,
+		Synchrony: minsync.FullSynchrony(2 * time.Millisecond),
+		Seed:      1,
+		Deadline:  5 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllCommitted {
+		t.Fatalf("only %d/50 commands committed", res.MinCommitted)
+	}
+	if !res.Consistent {
+		t.Fatal("logs inconsistent")
+	}
+	if len(res.Entries) != 50 {
+		t.Fatalf("reference log has %d entries", len(res.Entries))
+	}
+	if res.CommandsPerSec <= 0 {
+		t.Fatal("no throughput reported")
+	}
+	// Batching: 50 commands at batch size 10 must fit in well under 50
+	// instances.
+	if res.Instances >= 25 {
+		t.Fatalf("used %d instances for 50 commands", res.Instances)
+	}
+}
+
+func TestSimulateLogWithSilentFault(t *testing.T) {
+	res, err := minsync.SimulateLog(minsync.LogConfig{
+		N: 4, T: 1,
+		Commands:  logWorkload(24),
+		Byzantine: map[minsync.ProcID]minsync.Fault{4: {Kind: minsync.FaultSilent}},
+		Synchrony: minsync.FullSynchrony(2 * time.Millisecond),
+		Seed:      3,
+		Deadline:  5 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllCommitted || !res.Consistent {
+		t.Fatalf("silent-fault run: committed=%d consistent=%v", res.MinCommitted, res.Consistent)
+	}
+	if len(res.PerProcess) != 3 {
+		t.Fatalf("expected 3 correct logs, got %d", len(res.PerProcess))
+	}
+}
+
+func TestSimulateLogOrderMatchesAcrossProcesses(t *testing.T) {
+	res, err := minsync.SimulateLog(minsync.LogConfig{
+		N: 4, T: 1,
+		Commands:    logWorkload(30),
+		SubmitEvery: 2 * time.Millisecond,
+		Synchrony:   minsync.FullSynchrony(2 * time.Millisecond),
+		Seed:        9,
+		Deadline:    5 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, entries := range res.PerProcess {
+		if len(entries) != len(res.Entries) {
+			t.Fatalf("process %v: %d entries, reference %d", id, len(entries), len(res.Entries))
+		}
+		for k := range entries {
+			if entries[k].Cmd != res.Entries[k].Cmd {
+				t.Fatalf("process %v entry %d = %q, reference %q", id, k, entries[k].Cmd, res.Entries[k].Cmd)
+			}
+		}
+	}
+}
+
+func TestSimulateLogRejectsEmptyWorkload(t *testing.T) {
+	if _, err := minsync.SimulateLog(minsync.LogConfig{N: 4, T: 1}); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+}
