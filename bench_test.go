@@ -29,6 +29,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/proto"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -517,5 +518,45 @@ func BenchmarkRoundPlanF(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = plan.F(types.Round(i + 1))
+	}
+}
+
+// BenchmarkScenarioMatrix: one full scenario execution per op over a
+// representative slice of the registry — benign, Byzantine, adversarially
+// scheduled and replicated-log cells — so consensus and log throughput
+// under hostile schedules land in the perf trajectory alongside the
+// microbenchmarks. Each op uses a fresh seed: the matrix explores
+// executions rather than replaying one.
+func BenchmarkScenarioMatrix(b *testing.B) {
+	for _, name := range []string{
+		"baseline-sync",
+		"sync-equivocate",
+		"sync-spam",
+		"bisource-minimal",
+		"partition-heal",
+		"reorder-storm",
+		"log-baseline",
+		"log-deep-pipeline",
+	} {
+		s, ok := scenario.Get(name)
+		if !ok {
+			b.Fatalf("scenario %q not registered", name)
+		}
+		b.Run(name, func(b *testing.B) {
+			var msgs, vtime float64
+			for i := 0; i < b.N; i++ {
+				o, err := scenario.Run(s, int64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !o.Pass {
+					b.Fatalf("seed %d failed:\n%s", i+1, o.Report)
+				}
+				msgs += float64(o.Messages)
+				vtime += float64(o.End.Milliseconds())
+			}
+			b.ReportMetric(msgs/float64(b.N), "msgs/op")
+			b.ReportMetric(vtime/float64(b.N), "vtime_ms/op")
+		})
 	}
 }

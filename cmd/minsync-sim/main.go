@@ -1,9 +1,26 @@
-// Command minsync-sim runs one simulated Byzantine consensus execution
-// with configurable parameters, synchrony, faults and seed, and prints the
-// outcome plus the property-check report.
+// Command minsync-sim runs simulated Byzantine consensus executions.
+//
+// It has two modes sharing one flag surface:
+//
+//   - Scenario mode (-scenario): run named compositions from the scenario
+//     registry — fault assignment × network schedule × workload — and
+//     print one machine-readable pass/fail row per (scenario, seed) cell.
+//     `-scenario all` sweeps the whole registry concurrently; `-scenario
+//     random` samples the cross-product from the seed.
+//
+//   - Legacy mode (default): run one hand-assembled execution with
+//     configurable parameters, synchrony, faults and seed, and print the
+//     outcome plus the property-check report.
+//
+// Either mode exits non-zero when any property violation (or stale
+// digest expectation) is found.
 //
 // Examples:
 //
+//	minsync-sim -scenario all -seed 1
+//	minsync-sim -scenario all -seeds 1,2,3,4,5
+//	minsync-sim -scenario bisource-splitter -seed 7 -v
+//	minsync-sim -scenario random -seed 99
 //	minsync-sim -n 7 -t 2 -faults silent,equivocate
 //	minsync-sim -n 4 -t 1 -synchrony bisource -seed 9 -v
 //	minsync-sim -n 4 -t 1 -botmode -values w,x,y,z
@@ -14,6 +31,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -21,84 +40,189 @@ import (
 )
 
 func main() {
-	var (
-		n      = flag.Int("n", 4, "number of processes")
-		t      = flag.Int("t", 1, "Byzantine fault budget (t < n/3)")
-		m      = flag.Int("m", 2, "distinct proposable values (n−t > m·t unless -botmode)")
-		seed   = flag.Int64("seed", 1, "random seed (identical seeds replay identically)")
-		synchS = flag.String("synchrony", "full", "full | eventual | bisource | async")
-		gst    = flag.Duration("gst", 200*time.Millisecond, "stabilization time for eventual/bisource synchrony")
-		delta  = flag.Duration("delta", 5*time.Millisecond, "timely channel bound δ")
-		faultS = flag.String("faults", "silent", "comma list applied to the last processes: silent|crash|equivocate|mutecoord|poison|random|spam|fakedecide (max t entries)")
-		valueS = flag.String("values", "a,b", "comma list of proposal values, assigned round-robin")
-		botMo  = flag.Bool("botmode", false, "§7 ⊥-default validity variant (lifts the m bound)")
-		kParam = flag.Int("k", 0, "§5.4 tuning parameter (F sets of size n−t+k)")
-		deadln = flag.Duration("deadline", 0, "virtual time budget (0 = run to completion)")
-		verbos = flag.Bool("v", false, "print per-process decisions")
-	)
+	os.Exit(run())
+}
+
+// flags bundles the shared flag surface of both modes.
+type flags struct {
+	scenario string
+	seed     int64
+	seeds    string
+	workers  int
+	verbose  bool
+
+	n, t, m    int
+	synchrony  string
+	gst, delta time.Duration
+	faults     string
+	values     string
+	botMode    bool
+	k          int
+	deadline   time.Duration
+}
+
+func run() int {
+	var f flags
+	flag.StringVar(&f.scenario, "scenario", "", "scenario mode: registry name, 'all', or 'random' (empty = legacy single-run mode)")
+	flag.Int64Var(&f.seed, "seed", 1, "random seed (identical seeds replay identically)")
+	flag.StringVar(&f.seeds, "seeds", "", "comma list of seeds for scenario mode (overrides -seed)")
+	flag.IntVar(&f.workers, "workers", runtime.NumCPU(), "concurrent scenario executions")
+	flag.BoolVar(&f.verbose, "v", false, "print per-process decisions / per-scenario reports")
+	flag.IntVar(&f.n, "n", 4, "number of processes")
+	flag.IntVar(&f.t, "t", 1, "Byzantine fault budget (t < n/3)")
+	flag.IntVar(&f.m, "m", 2, "distinct proposable values (n−t > m·t unless -botmode)")
+	flag.StringVar(&f.synchrony, "synchrony", "full", "full | eventual | bisource | async")
+	flag.DurationVar(&f.gst, "gst", 200*time.Millisecond, "stabilization time for eventual/bisource synchrony")
+	flag.DurationVar(&f.delta, "delta", 5*time.Millisecond, "timely channel bound δ")
+	flag.StringVar(&f.faults, "faults", "silent", "comma list applied to the last processes: silent|crash|equivocate|mutecoord|poison|random|spam|fakedecide (max t entries)")
+	flag.StringVar(&f.values, "values", "a,b", "comma list of proposal values, assigned round-robin")
+	flag.BoolVar(&f.botMode, "botmode", false, "§7 ⊥-default validity variant (lifts the m bound)")
+	flag.IntVar(&f.k, "k", 0, "§5.4 tuning parameter (F sets of size n−t+k)")
+	flag.DurationVar(&f.deadline, "deadline", 0, "virtual time budget (0 = run to completion)")
 	flag.Parse()
 
-	values := splitNonEmpty(*valueS)
-	if len(values) == 0 {
-		log.Fatal("need at least one proposal value")
+	if f.scenario != "" {
+		return runScenarioMode(f)
 	}
-	faults := splitNonEmpty(*faultS)
-	if len(faults) > *t {
-		log.Fatalf("%d faults exceed t=%d", len(faults), *t)
+	return runLegacyMode(f)
+}
+
+// runScenarioMode executes the requested scenario cells and prints the
+// machine-readable table. Exit code 1 on any violation or error.
+func runScenarioMode(f flags) int {
+	seeds := []int64{f.seed}
+	if f.seeds != "" {
+		seeds = seeds[:0]
+		for _, part := range splitNonEmpty(f.seeds) {
+			s, err := strconv.ParseInt(part, 10, 64)
+			if err != nil {
+				log.Printf("bad seed %q: %v", part, err)
+				return 2
+			}
+			seeds = append(seeds, s)
+		}
+	}
+	var specs []minsync.Scenario
+	switch f.scenario {
+	case "all":
+		specs = minsync.AllScenarios()
+	case "random":
+		// One spec sampled from the first seed, swept across all seeds.
+		specs = []minsync.Scenario{minsync.RandomScenario(seeds[0])}
+	default:
+		s, ok := minsync.GetScenario(f.scenario)
+		if !ok {
+			log.Printf("unknown scenario %q; available:\n  %s\n  (or 'all' / 'random')",
+				f.scenario, strings.Join(minsync.Scenarios(), "\n  "))
+			return 2
+		}
+		specs = []minsync.Scenario{s}
+	}
+	if f.deadline > 0 {
+		// Deadline override — also the documented way to *inject* a
+		// violation and watch the exit code: truncating a scenario that
+		// expects termination fails its CONS/LOG-Termination check.
+		for i := range specs {
+			specs[i].Deadline = f.deadline
+		}
+	}
+
+	results := minsync.RunScenarioMatrix(specs, seeds, f.workers)
+	fmt.Println(minsync.ScenarioTableHeader)
+	failures := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failures++
+			fmt.Printf("%s\t%d\t-\tERROR\t-\t-\t-\t-\t-\t%v\n", r.Spec.Name, r.Seed, r.Err)
+			continue
+		}
+		fmt.Println(r.Outcome.String())
+		if !r.Outcome.Pass {
+			failures++
+			if f.verbose {
+				fmt.Println(indent(r.Outcome.Report.String()))
+			}
+		} else if f.verbose {
+			fmt.Printf("  # %s: bisource-seen=%v stalled=%d\n",
+				r.Spec.Name, r.Outcome.BisourceSeen, r.Outcome.Stalled)
+		}
+	}
+	fmt.Printf("# %d/%d cells passed (%d scenarios × %d seeds)\n",
+		len(results)-failures, len(results), len(specs), len(seeds))
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runLegacyMode is the original hand-assembled single execution.
+func runLegacyMode(f flags) int {
+	values := splitNonEmpty(f.values)
+	if len(values) == 0 {
+		log.Print("need at least one proposal value")
+		return 2
+	}
+	faults := splitNonEmpty(f.faults)
+	if len(faults) > f.t {
+		log.Printf("%d faults exceed t=%d", len(faults), f.t)
+		return 2
 	}
 
 	cfg := minsync.SimConfig{
-		N: *n, T: *t, M: *m,
+		N: f.n, T: f.t, M: f.m,
 		Proposals: make(map[minsync.ProcID]minsync.Value),
 		Byzantine: make(map[minsync.ProcID]minsync.Fault),
-		Seed:      *seed,
-		K:         *kParam,
-		BotMode:   *botMo,
-		Deadline:  *deadln,
+		Seed:      f.seed,
+		K:         f.k,
+		BotMode:   f.botMode,
+		Deadline:  f.deadline,
 		Check:     true,
 	}
-	switch *synchS {
+	switch f.synchrony {
 	case "full":
-		cfg.Synchrony = minsync.FullSynchrony(*delta)
+		cfg.Synchrony = minsync.FullSynchrony(f.delta)
 	case "eventual":
-		cfg.Synchrony = minsync.EventualSynchrony(*gst, *delta)
+		cfg.Synchrony = minsync.EventualSynchrony(f.gst, f.delta)
 	case "bisource":
-		in := make([]minsync.ProcID, 0, *t)
-		out := make([]minsync.ProcID, 0, *t)
-		for i := 0; i < *t; i++ {
+		in := make([]minsync.ProcID, 0, f.t)
+		out := make([]minsync.ProcID, 0, f.t)
+		for i := 0; i < f.t; i++ {
 			in = append(in, minsync.ProcID(2+2*i))
 			out = append(out, minsync.ProcID(3+2*i))
 		}
-		cfg.Synchrony = minsync.Bisource(1, in, out, *gst, *delta)
+		cfg.Synchrony = minsync.Bisource(1, in, out, f.gst, f.delta)
 	case "async":
 		cfg.Synchrony = minsync.Asynchrony()
 		if cfg.Deadline == 0 {
 			cfg.Deadline = 5 * time.Second
 		}
 	default:
-		log.Fatalf("unknown synchrony %q", *synchS)
+		log.Printf("unknown synchrony %q", f.synchrony)
+		return 2
 	}
 
 	nByz := len(faults)
-	for i := 1; i <= *n-nByz; i++ {
+	for i := 1; i <= f.n-nByz; i++ {
 		cfg.Proposals[minsync.ProcID(i)] = minsync.Value(values[(i-1)%len(values)])
 	}
-	for i, f := range faults {
-		id := minsync.ProcID(*n - nByz + 1 + i)
-		fault, err := parseFault(f, values)
+	for i, name := range faults {
+		id := minsync.ProcID(f.n - nByz + 1 + i)
+		fault, err := parseFault(name, values)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 2
 		}
 		cfg.Byzantine[id] = fault
 	}
 
 	fmt.Printf("minsync-sim: n=%d t=%d m=%d synchrony=%v faults=%v seed=%d\n",
-		*n, *t, *m, cfg.Synchrony, faults, *seed)
+		f.n, f.t, f.m, cfg.Synchrony, faults, f.seed)
 	res, err := minsync.Simulate(cfg)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 2
 	}
-	if *verbos {
+	if f.verbose {
 		for id, v := range res.Decisions {
 			fmt.Printf("  %v decided %q\n", id, v)
 		}
@@ -112,8 +236,13 @@ func main() {
 	}
 	fmt.Println(res.Report)
 	if !res.Report.OK() {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
 }
 
 func splitNonEmpty(s string) []string {

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/network"
 	"repro/internal/proto"
 	"repro/internal/rb"
 	"repro/internal/trace"
@@ -333,6 +334,65 @@ func (a ConsensusSplitter) MessageDelay(from, to types.ProcID, _ types.Time, pay
 		// quorum windows split so MFA adoption never converges.
 		if m.Tag.Mod != proto.ModDecide && m.Origin == a.Target[to] {
 			return a.Delay, true
+		}
+	}
+	return 0, false
+}
+
+// HealingPartition splits the processes into blocks and holds every
+// cross-block message back until the heal instant: a message sent at τ <
+// HealAt across the boundary is proposed for delivery at HealAt plus a
+// small deterministic stagger (so the backlog drains in send order rather
+// than as one simultaneous burst). Messages sent at or after HealAt, and
+// all intra-block traffic, use the normal delay policy.
+//
+// Like every network adversary this only *proposes* delays: on
+// (eventually) timely channels the network clamps the proposal to the δ
+// bound, so a partition can never outlast the synchrony the topology
+// promises — plant it under asynchronous or pre-GST channels to bite.
+type HealingPartition struct {
+	// Side maps each process to its block; processes absent from the map
+	// are block 0.
+	Side map[types.ProcID]int
+	// HealAt is the instant the partition heals.
+	HealAt types.Time
+	// Stagger spaces out the queued cross-boundary deliveries after the
+	// heal (default 0 = all proposed exactly at HealAt).
+	Stagger types.Duration
+
+	queued int64
+}
+
+var _ network.Adversary = (*HealingPartition)(nil)
+
+// MessageDelay implements network.Adversary.
+func (a *HealingPartition) MessageDelay(from, to types.ProcID, at types.Time, _ any) (types.Duration, bool) {
+	if a.Side[from] == a.Side[to] || at >= a.HealAt {
+		return 0, false
+	}
+	d := types.Duration(a.HealAt - at)
+	if a.Stagger > 0 {
+		d += types.Duration(a.queued) * a.Stagger
+		a.queued++
+	}
+	return d, true
+}
+
+// Chain composes adversaries: the first one that claims a message (returns
+// ok=true) decides its delay; later ones are not consulted. Nil entries
+// are skipped.
+type Chain []network.Adversary
+
+var _ network.Adversary = Chain(nil)
+
+// MessageDelay implements network.Adversary.
+func (c Chain) MessageDelay(from, to types.ProcID, at types.Time, payload any) (types.Duration, bool) {
+	for _, a := range c {
+		if a == nil {
+			continue
+		}
+		if d, ok := a.MessageDelay(from, to, at, payload); ok {
+			return d, true
 		}
 	}
 	return 0, false

@@ -255,3 +255,58 @@ func TestConsensusSplitterSelectivity(t *testing.T) {
 		t.Fatal("non-message payload delayed")
 	}
 }
+
+// TestHealingPartitionHoldsThenHeals checks that cross-block messages
+// are proposed for delivery no earlier than the heal instant, while
+// intra-block and post-heal traffic is untouched.
+func TestHealingPartitionHoldsThenHeals(t *testing.T) {
+	heal := types.Time(100 * time.Millisecond)
+	a := &adversary.HealingPartition{
+		Side:    map[types.ProcID]int{1: 1, 2: 1}, // 3, 4 default to block 0
+		HealAt:  heal,
+		Stagger: types.Duration(time.Microsecond),
+	}
+	if _, ok := a.MessageDelay(1, 2, 0, nil); ok {
+		t.Error("intra-block message was claimed")
+	}
+	d1, ok := a.MessageDelay(1, 3, 0, nil)
+	if !ok || types.Time(0).Add(d1) < heal {
+		t.Errorf("cross-block message at t=0 delivered at %v, want ≥ %v", d1, heal)
+	}
+	d2, ok := a.MessageDelay(3, 2, types.Time(40*time.Millisecond), nil)
+	if !ok || types.Time(40*time.Millisecond).Add(d2) < heal {
+		t.Errorf("cross-block message at t=40ms delivered too early")
+	}
+	if d2 <= types.Duration(heal)-40*time.Millisecond-types.Duration(time.Nanosecond) {
+		// staggered behind the first queued message
+		t.Errorf("second queued message not staggered: %v", d2)
+	}
+	if _, ok := a.MessageDelay(1, 3, heal, nil); ok {
+		t.Error("post-heal message was claimed")
+	}
+}
+
+// TestChainFirstClaimWins checks the adversary combinator's precedence.
+func TestChainFirstClaimWins(t *testing.T) {
+	first := &adversary.HealingPartition{
+		Side: map[types.ProcID]int{1: 1}, HealAt: types.Time(time.Second),
+	}
+	second := adversary.NewTargetedDelay(
+		map[[2]types.ProcID]bool{{1, 2}: true, {3, 4}: true},
+		types.Duration(5*time.Millisecond), 0, 1)
+	c := adversary.Chain{nil, first, second}
+	// 1→2 crosses the partition: first claims it with the heal delay.
+	d, ok := c.MessageDelay(1, 2, 0, nil)
+	if !ok || d < types.Duration(time.Second) {
+		t.Errorf("chain did not apply the partition delay: %v ok=%v", d, ok)
+	}
+	// 3→4 is intra-block: falls through to the targeted delay.
+	d, ok = c.MessageDelay(3, 4, 0, nil)
+	if !ok || d != types.Duration(5*time.Millisecond) {
+		t.Errorf("chain did not fall through: %v ok=%v", d, ok)
+	}
+	// 2→3 is claimed by nobody.
+	if _, ok := c.MessageDelay(2, 3, 0, nil); ok {
+		t.Error("unclaimed message was claimed")
+	}
+}

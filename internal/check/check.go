@@ -62,6 +62,15 @@ func (r *Report) violate(format string, args ...any) {
 	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
 }
 
+// Violatef records a violation from an external property family (e.g. the
+// LOG-* total-order properties checked by the scenario engine, which need
+// the committed logs rather than the trace).
+func (r *Report) Violatef(format string, args ...any) { r.violate(format, args...) }
+
+// Observe counts one evaluation of an external property family, mirroring
+// the internal checkers' bookkeeping.
+func (r *Report) Observe(family string) { r.count(family) }
+
 func (r *Report) count(family string) {
 	if r.Checked == nil {
 		r.Checked = make(map[string]int)

@@ -100,6 +100,69 @@ func (f DelayFunc) Delay(from, to types.ProcID, at types.Time, rng *rand.Rand) t
 	return f(from, to, at, rng)
 }
 
+// Band is one delay class of a LinkClassDelay policy.
+type Band struct {
+	Min, Max types.Duration
+}
+
+// LinkClassDelay gives every ordered channel its own delay class: each
+// link is deterministically assigned one of Bands (hashed from Seed and
+// the link endpoints, independent of the scheduler's rng), and draws its
+// per-message delay uniformly from that band. BurstProb adds an
+// occasional BurstDelay spike on any link, modeling transient congestion.
+// The same Seed always yields the same class assignment, so runs stay
+// reproducible; on (eventually) timely channels the network still clamps
+// every draw to the δ bound.
+type LinkClassDelay struct {
+	Seed       int64
+	Bands      []Band
+	BurstProb  float64
+	BurstDelay types.Duration
+}
+
+var _ DelayPolicy = LinkClassDelay{}
+
+// DefaultBands is the stock fast/mid/slow class set.
+var DefaultBands = []Band{
+	{Min: types.Duration(1 * time.Millisecond), Max: types.Duration(3 * time.Millisecond)},
+	{Min: types.Duration(5 * time.Millisecond), Max: types.Duration(15 * time.Millisecond)},
+	{Min: types.Duration(20 * time.Millisecond), Max: types.Duration(60 * time.Millisecond)},
+}
+
+// Class returns the band index assigned to the channel from → to.
+func (l LinkClassDelay) Class(from, to types.ProcID) int {
+	bands := l.Bands
+	if len(bands) == 0 {
+		bands = DefaultBands
+	}
+	// FNV-1a over (seed, from, to): stable across runs and platforms.
+	h := uint64(14695981039346656037)
+	for _, x := range []uint64{uint64(l.Seed), uint64(from), uint64(to)} {
+		for i := 0; i < 8; i++ {
+			h ^= (x >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return int(h % uint64(len(bands)))
+}
+
+// Delay implements DelayPolicy.
+func (l LinkClassDelay) Delay(from, to types.ProcID, _ types.Time, rng *rand.Rand) types.Duration {
+	bands := l.Bands
+	if len(bands) == 0 {
+		bands = DefaultBands
+	}
+	b := bands[l.Class(from, to)]
+	d := b.Min
+	if b.Max > b.Min {
+		d += types.Duration(rng.Int63n(int64(b.Max-b.Min) + 1))
+	}
+	if l.BurstProb > 0 && rng.Float64() < l.BurstProb {
+		d += l.BurstDelay
+	}
+	return d
+}
+
 // Adversary lets an experiment override the delay of individual messages on
 // the asynchronous portion of channels. Returning (0, false) keeps the
 // policy delay; returning (d, true) uses d. Timeliness bounds are enforced

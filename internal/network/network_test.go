@@ -281,3 +281,44 @@ func TestClassString(t *testing.T) {
 		t.Error("unknown class name wrong")
 	}
 }
+
+// TestLinkClassDelayDeterministicClasses checks that the per-link class
+// assignment is a pure function of the seed and that draws stay inside
+// the assigned band.
+func TestLinkClassDelayDeterministicClasses(t *testing.T) {
+	p := LinkClassDelay{Seed: 42}
+	q := LinkClassDelay{Seed: 42}
+	other := LinkClassDelay{Seed: 43}
+	differs := false
+	for i := 1; i <= 5; i++ {
+		for j := 1; j <= 5; j++ {
+			from, to := types.ProcID(i), types.ProcID(j)
+			if p.Class(from, to) != q.Class(from, to) {
+				t.Fatalf("class of %v→%v differs across identical seeds", from, to)
+			}
+			if p.Class(from, to) != other.Class(from, to) {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Error("seeds 42 and 43 assigned identical classes on every link")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		band := DefaultBands[p.Class(1, 2)]
+		d := p.Delay(1, 2, 0, rng)
+		if d < band.Min || d > band.Max {
+			t.Fatalf("delay %v outside band [%v, %v]", d, band.Min, band.Max)
+		}
+	}
+}
+
+// TestLinkClassDelayBurst checks the congestion-spike path.
+func TestLinkClassDelayBurst(t *testing.T) {
+	p := LinkClassDelay{Seed: 7, BurstProb: 1.0, BurstDelay: types.Duration(time.Second)}
+	rng := rand.New(rand.NewSource(1))
+	if d := p.Delay(1, 2, 0, rng); d < types.Duration(time.Second) {
+		t.Fatalf("burst not applied: %v", d)
+	}
+}

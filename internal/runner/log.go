@@ -8,6 +8,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/proto"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/types"
 )
 
@@ -29,6 +30,9 @@ type LogSpec struct {
 	FIFO bool
 	// Seed drives all randomness.
 	Seed int64
+	// Record keeps the trace log (scenario digests and timeliness
+	// analysis need it; throughput runs leave it off).
+	Record bool
 	// Commands is the client workload, submitted to every correct
 	// process. Commands must be distinct (the log deduplicates by
 	// content).
@@ -68,6 +72,8 @@ type LogResult struct {
 	Stop sim.StopReason
 	// Events is the number of simulation events executed.
 	Events uint64
+	// Log is the trace (nil unless Spec.Record).
+	Log *trace.Log
 	// Engines gives access to per-process log engines (introspection).
 	Engines map[types.ProcID]*log.Engine
 }
@@ -148,6 +154,7 @@ func RunLog(spec LogSpec) (*LogResult, error) {
 		Adv:      spec.Adv,
 		FIFO:     spec.FIFO,
 		Seed:     spec.Seed,
+		Record:   spec.Record,
 		BotOK:    true,
 	})
 	if err != nil {
@@ -205,6 +212,7 @@ func RunLog(spec LogSpec) (*LogResult, error) {
 	res.Events = w.Sched.Executed
 	res.Messages = w.Net.Sent()
 	res.Duplicates = w.DroppedDuplicates()
+	res.Log = w.Log
 	for _, id := range res.Correct {
 		if eng := res.Engines[id]; eng != nil && eng.Err() != nil {
 			return nil, fmt.Errorf("runner: log engine %v: %w", id, eng.Err())

@@ -1,0 +1,267 @@
+package scenario
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/types"
+)
+
+// registry holds the curated named scenarios. Keep entries small enough
+// that the whole matrix runs in seconds: CI sweeps it across seeds.
+var registry = []Spec{
+	// --- Single-shot consensus, full synchrony: the fault gauntlet ------
+	{
+		Name: "baseline-sync", Desc: "n=4 full synchrony, no faults",
+		N: 4, T: 1, M: 2,
+		Net: Net{Kind: NetFull}, Work: Work{Kind: WorkConsensus},
+		ExpectTermination: true,
+	},
+	{
+		Name: "sync-silent", Desc: "n=4 full synchrony, one crash-from-start",
+		N: 4, T: 1, M: 2,
+		Faults: []Fault{{Kind: FaultSilent}},
+		Net:    Net{Kind: NetFull}, Work: Work{Kind: WorkConsensus},
+		ExpectTermination: true,
+	},
+	{
+		Name: "sync-relay-only", Desc: "n=4 full synchrony, one RB-relay-only mute",
+		N: 4, T: 1, M: 2,
+		Faults: []Fault{{Kind: FaultRelayOnly}},
+		Net:    Net{Kind: NetFull}, Work: Work{Kind: WorkConsensus},
+		ExpectTermination: true,
+	},
+	{
+		Name: "sync-crash-mid", Desc: "n=4 full synchrony, omission failure at 40ms",
+		N: 4, T: 1, M: 2,
+		Faults: []Fault{{Kind: FaultCrashAt, After: 40 * time.Millisecond}},
+		Net:    Net{Kind: NetFull}, Work: Work{Kind: WorkConsensus},
+		ExpectTermination: true,
+	},
+	{
+		Name: "sync-equivocate", Desc: "n=4 full synchrony, per-receiver equivocation",
+		N: 4, T: 1, M: 2,
+		Faults: []Fault{{Kind: FaultEquivocate}},
+		Net:    Net{Kind: NetFull}, Work: Work{Kind: WorkConsensus},
+		ExpectTermination: true,
+	},
+	{
+		Name: "sync-mute-coordinator", Desc: "n=4 full synchrony, coordinator withholds EA_COORD",
+		N: 4, T: 1, M: 2,
+		Faults: []Fault{{Kind: FaultMuteCoordinator}},
+		Net:    Net{Kind: NetFull}, Work: Work{Kind: WorkConsensus},
+		ExpectTermination: true,
+	},
+	{
+		Name: "sync-poison-coordinator", Desc: "n=4 full synchrony, unproposed value championed",
+		N: 4, T: 1, M: 2,
+		Faults: []Fault{{Kind: FaultPoison}},
+		Net:    Net{Kind: NetFull}, Work: Work{Kind: WorkConsensus},
+		ExpectTermination: true,
+	},
+	{
+		Name: "sync-random-byz", Desc: "n=4 full synchrony, seeded random drops and flips",
+		N: 4, T: 1, M: 2,
+		Faults: []Fault{{Kind: FaultRandom}},
+		Net:    Net{Kind: NetFull}, Work: Work{Kind: WorkConsensus},
+		ExpectTermination: true,
+	},
+	{
+		Name: "sync-spam", Desc: "n=4 full synchrony, protocol-message flood",
+		N: 4, T: 1, M: 2,
+		Faults: []Fault{{Kind: FaultSpam}},
+		Net:    Net{Kind: NetFull}, Work: Work{Kind: WorkConsensus},
+		ExpectTermination: true,
+	},
+	{
+		Name: "sync-fake-decide", Desc: "n=4 full synchrony, forged DECIDE broadcast",
+		N: 4, T: 1, M: 2,
+		Faults: []Fault{{Kind: FaultFakeDecide}},
+		Net:    Net{Kind: NetFull}, Work: Work{Kind: WorkConsensus},
+		ExpectTermination: true,
+	},
+	{
+		Name: "n7-double-fault", Desc: "n=7 t=2, silent + equivocator together",
+		N: 7, T: 2, M: 2,
+		Faults: []Fault{{Kind: FaultSilent}, {Kind: FaultEquivocate}},
+		Net:    Net{Kind: NetFull}, Work: Work{Kind: WorkConsensus},
+		ExpectTermination: true,
+	},
+	{
+		Name: "n7-spam-poison", Desc: "n=7 t=2, spammer + poison coordinator",
+		N: 7, T: 2, M: 2,
+		Faults: []Fault{{Kind: FaultSpam}, {Kind: FaultPoison}},
+		Net:    Net{Kind: NetFull}, Work: Work{Kind: WorkConsensus},
+		ExpectTermination: true,
+	},
+
+	// --- Degraded synchrony: eventual, minimal bisource, splitter -------
+	{
+		Name: "eventual-silent", Desc: "n=4 ◇synchrony (GST 150ms), one silent",
+		N: 4, T: 1, M: 2,
+		Faults: []Fault{{Kind: FaultSilent}},
+		Net:    Net{Kind: NetEventual}, Work: Work{Kind: WorkConsensus},
+		ExpectTermination: true,
+	},
+	{
+		Name: "bisource-minimal", Desc: "n=4, single planted ◇⟨t+1⟩bisource, rest async, one silent",
+		N: 4, T: 1, M: 2,
+		Faults: []Fault{{Kind: FaultSilent}},
+		Net:    Net{Kind: NetBisource}, Work: Work{Kind: WorkConsensus},
+		ExpectTermination: true,
+	},
+	{
+		Name: "bisource-equivocate", Desc: "n=4 minimal bisource, equivocator",
+		N: 4, T: 1, M: 2,
+		Faults: []Fault{{Kind: FaultEquivocate}},
+		Net:    Net{Kind: NetBisource}, Work: Work{Kind: WorkConsensus},
+		ExpectTermination: true,
+	},
+	{
+		Name: "bisource-splitter", Desc: "n=4 minimal bisource vs the ConsensusSplitter schedule",
+		N: 4, T: 1, M: 2,
+		Faults: []Fault{{Kind: FaultSilent}},
+		Net: Net{
+			Kind: NetBisource, Splitter: true,
+			Bisource: bisrc(2, []types.ProcID{1}, []types.ProcID{3}),
+		},
+		Work:              Work{Kind: WorkConsensus},
+		ExpectTermination: true,
+		MaxRounds:         200,
+	},
+	{
+		Name: "async-safety", Desc: "n=4 no synchrony at all: safety must hold, liveness is off the table",
+		N: 4, T: 1, M: 2,
+		Faults: []Fault{{Kind: FaultEquivocate}},
+		Net:    Net{Kind: NetAsync}, Work: Work{Kind: WorkConsensus},
+	},
+
+	// --- Partitions that heal and hostile delay distributions -----------
+	{
+		Name: "partition-heal", Desc: "n=4 ◇synchrony, {1,2}|{3,4} partition healing at GST",
+		N: 4, T: 1, M: 2,
+		Net:               Net{Kind: NetEventual, GST: 120 * time.Millisecond, PartitionCut: 2},
+		Work:              Work{Kind: WorkConsensus},
+		ExpectTermination: true,
+	},
+	{
+		Name: "bisource-partition-heal", Desc: "n=7 t=2 minimal bisource, 3|4 partition healing before GST",
+		N: 7, T: 2, M: 2,
+		Faults: []Fault{{Kind: FaultSilent}},
+		Net: Net{
+			Kind: NetBisource, GST: 200 * time.Millisecond,
+			PartitionCut: 3, HealAt: 150 * time.Millisecond,
+		},
+		Work:              Work{Kind: WorkConsensus},
+		ExpectTermination: true,
+	},
+	{
+		Name: "jitter-classes", Desc: "n=4 ◇synchrony with per-link fast/mid/slow delay classes",
+		N: 4, T: 1, M: 2,
+		Faults:            []Fault{{Kind: FaultSilent}},
+		Net:               Net{Kind: NetEventual, GST: 100 * time.Millisecond, Jitter: JitterClasses},
+		Work:              Work{Kind: WorkConsensus},
+		ExpectTermination: true,
+	},
+	{
+		Name: "reorder-storm", Desc: "n=4 ◇synchrony, bursty delays + spam: aggressive reordering",
+		N: 4, T: 1, M: 2,
+		Faults:            []Fault{{Kind: FaultSpam}},
+		Net:               Net{Kind: NetEventual, Jitter: JitterBursty},
+		Work:              Work{Kind: WorkConsensus},
+		ExpectTermination: true,
+	},
+
+	// --- §7 ⊥-validity variant ------------------------------------------
+	{
+		Name: "botmode-poison", Desc: "n=4 ⊥-variant, poison coordinator",
+		N: 4, T: 1, M: 2,
+		Faults:            []Fault{{Kind: FaultPoison}},
+		Net:               Net{Kind: NetFull},
+		Work:              Work{Kind: WorkConsensus, BotMode: true},
+		ExpectTermination: true,
+	},
+	{
+		Name: "botmode-many-values", Desc: "n=4 ⊥-variant with m=4 values (infeasible without ⊥)",
+		N: 4, T: 1, M: 4,
+		Net:               Net{Kind: NetFull},
+		Work:              Work{Kind: WorkConsensus, BotMode: true, Values: []types.Value{"a", "b", "c", "d"}},
+		ExpectTermination: true,
+	},
+
+	// --- Replicated-log workloads ---------------------------------------
+	{
+		Name: "log-baseline", Desc: "n=4 full synchrony, 24 commands, batch 8 × pipeline 2",
+		N: 4, T: 1, M: 1,
+		Net:               Net{Kind: NetFull},
+		Work:              Work{Kind: WorkLog, Commands: 24},
+		ExpectTermination: true,
+	},
+	{
+		Name: "log-silent-replica", Desc: "n=4 log with one silent replica",
+		N: 4, T: 1, M: 1,
+		Faults:            []Fault{{Kind: FaultSilent}},
+		Net:               Net{Kind: NetFull},
+		Work:              Work{Kind: WorkLog, Commands: 24},
+		ExpectTermination: true,
+	},
+	{
+		Name: "log-deep-pipeline", Desc: "n=4 log, batch 4 × pipeline 8, staggered submissions",
+		N: 4, T: 1, M: 1,
+		Net: Net{Kind: NetFull},
+		Work: Work{
+			Kind: WorkLog, Commands: 32, BatchSize: 4, Pipeline: 8,
+			SubmitEvery: time.Millisecond,
+		},
+		ExpectTermination: true,
+	},
+	{
+		Name: "log-partition-heal", Desc: "n=4 log across a healing partition",
+		N: 4, T: 1, M: 1,
+		Net:               Net{Kind: NetEventual, GST: 100 * time.Millisecond, PartitionCut: 2},
+		Work:              Work{Kind: WorkLog, Commands: 16},
+		ExpectTermination: true,
+	},
+	{
+		Name: "log-jitter-classes", Desc: "n=4 log under per-link delay classes with a silent replica",
+		N: 4, T: 1, M: 1,
+		Faults:            []Fault{{Kind: FaultSilent}},
+		Net:               Net{Kind: NetEventual, GST: 80 * time.Millisecond, Jitter: JitterClasses},
+		Work:              Work{Kind: WorkLog, Commands: 16},
+		ExpectTermination: true,
+	},
+}
+
+// bisrc is a registry-literal helper for explicit bisource placement
+// (GST/Delta stay zero and inherit the Net defaults).
+func bisrc(p types.ProcID, in, out []types.ProcID) network.BisourceSpec {
+	return network.BisourceSpec{P: p, In: in, Out: out}
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns the registered scenarios in registry (curation) order.
+func All() []Spec {
+	out := make([]Spec, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Get returns the named scenario.
+func Get(name string) (Spec, bool) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

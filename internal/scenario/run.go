@@ -1,0 +1,355 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/runner"
+	"repro/internal/timeliness"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// Outcome reports one scenario execution.
+type Outcome struct {
+	// Name and Seed identify the run.
+	Name string
+	Seed int64
+	// Workload is the workload family ("consensus" / "log").
+	Workload string
+	// Pass reports whether every checked property held (including the
+	// liveness expectation, when the spec promises one).
+	Pass bool
+	// Report is the full property report.
+	Report *check.Report
+	// Digest is a SHA-256 over the complete trace and the final
+	// decisions/logs: identical seeds must reproduce identical digests.
+	Digest string
+	// Decided counts decided processes (consensus) or the minimum
+	// committed command count (log).
+	Decided int
+	// Messages and Events count network traffic and simulation events.
+	Messages uint64
+	Events   uint64
+	// End is the virtual time when the run stopped.
+	End time.Duration
+	// Stalled counts correct processes that hit the MaxRounds cap.
+	Stalled int
+	// BisourceSeen reports whether the timeliness analyzer re-discovered
+	// the promised bisource from the trace alone (informational: false
+	// when nothing was promised or observations were too sparse).
+	BisourceSeen bool
+}
+
+// String renders one machine-readable table row (tab-separated):
+// name, seed, workload, pass, violations, decided, msgs, events, vtime,
+// digest.
+func (o *Outcome) String() string {
+	status := "PASS"
+	if !o.Pass {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("%s\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%v\t%s",
+		o.Name, o.Seed, o.Workload, status, len(o.Report.Violations),
+		o.Decided, o.Messages, o.Events, o.End, o.Digest[:16])
+}
+
+// TableHeader is the column header matching Outcome.String.
+const TableHeader = "scenario\tseed\tworkload\tstatus\tviolations\tdecided\tmsgs\tevents\tvtime\tdigest"
+
+// Run executes the scenario under the given seed. The same (spec, seed)
+// pair always produces an identical Outcome, digest included.
+func Run(s Spec, seed int64) (*Outcome, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Work.Kind {
+	case WorkLog:
+		return runLog(s, seed)
+	default:
+		return runConsensus(s, seed)
+	}
+}
+
+// buildBehavior materializes one fault preset. The per-fault seed keeps
+// FaultRandom deterministic yet distinct across processes.
+func buildBehavior(f Fault, ecfg core.Config, vals []types.Value, seed int64) (harness.Behavior, error) {
+	v := f.Value
+	if v == "" {
+		v = vals[0]
+	}
+	alt := f.Alt
+	if alt == "" {
+		if len(vals) > 1 {
+			alt = vals[1]
+		} else {
+			alt = v
+		}
+	}
+	after := f.After
+	if after <= 0 {
+		after = 40 * time.Millisecond
+	}
+	switch f.Kind {
+	case FaultSilent:
+		return adversary.Silent(), nil
+	case FaultRelayOnly:
+		return adversary.RBRelayOnly(), nil
+	case FaultCrashAt:
+		return adversary.CrashAt(ecfg, v, after), nil
+	case FaultEquivocate:
+		return adversary.Equivocator(ecfg, [2]types.Value{v, alt}), nil
+	case FaultMuteCoordinator:
+		return adversary.MuteCoordinator(ecfg, v), nil
+	case FaultPoison:
+		if f.Alt == "" {
+			alt = "poison!"
+		}
+		return adversary.PoisonCoordinator(ecfg, v, alt), nil
+	case FaultRandom:
+		return adversary.RandomlyByzantine(ecfg, v, []types.Value{v, alt}, seed, 0.2, 0.3), nil
+	case FaultSpam:
+		if f.Value == "" {
+			v = "spam!"
+		}
+		return adversary.SpamStreams(v, 64), nil
+	case FaultFakeDecide:
+		if f.Value == "" {
+			v = "forged!"
+		}
+		return adversary.FakeDecide(v), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown fault kind %v", f.Kind)
+	}
+}
+
+// byzantine materializes the fault assignment.
+func (s Spec) byzantine(ecfg core.Config, seed int64) (map[types.ProcID]harness.Behavior, error) {
+	vals := s.values()
+	ids := s.ByzProcs()
+	out := make(map[types.ProcID]harness.Behavior, len(ids))
+	for i, f := range s.Faults {
+		id := ids[i]
+		b, err := buildBehavior(f, ecfg, vals, seed+int64(id))
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: process %v: %w", s.Name, id, err)
+		}
+		out[id] = b
+	}
+	return out, nil
+}
+
+// deadline resolves the virtual-time budget.
+func (s Spec) deadline() types.Time {
+	if s.Deadline > 0 {
+		return types.Time(s.Deadline)
+	}
+	if s.Net.Kind == NetAsync {
+		return types.Time(3 * time.Second)
+	}
+	return 0
+}
+
+func runConsensus(s Spec, seed int64) (*Outcome, error) {
+	ecfg := s.engineConfig()
+	byz, err := s.byzantine(ecfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	vals := s.values()
+	props := make(map[types.ProcID]types.Value)
+	correct := s.CorrectProcs()
+	for i, id := range correct {
+		props[id] = vals[i%len(vals)]
+	}
+	res, err := runner.Run(runner.Spec{
+		Params:    s.Params(),
+		Topology:  s.Topology(),
+		Policy:    s.policy(seed),
+		Adv:       s.adversaryFor(seed),
+		FIFO:      s.Net.FIFO,
+		Seed:      seed,
+		Record:    true,
+		Proposals: props,
+		Byzantine: byz,
+		Engine:    ecfg,
+		Deadline:  s.deadline(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	report := check.All(res.Log, check.Ground{
+		Correct:           res.Correct,
+		Proposals:         props,
+		BotMode:           s.Work.BotMode,
+		ExpectTermination: s.ExpectTermination,
+	})
+	o := &Outcome{
+		Name:     s.Name,
+		Seed:     seed,
+		Workload: s.Work.Kind.String(),
+		Report:   report,
+		Decided:  len(res.Decisions),
+		Messages: res.Messages,
+		Events:   res.Events,
+		End:      time.Duration(res.End),
+		Stalled:  len(res.Stalled),
+	}
+	h := sha256.New()
+	digestTrace(h, res.Log)
+	for _, id := range res.Correct {
+		if v, ok := res.Decisions[id]; ok {
+			fmt.Fprintf(h, "decide %v %q %v\n", id, v, res.DecideRound[id])
+		}
+	}
+	o.Digest = hex.EncodeToString(h.Sum(nil))
+	o.BisourceSeen = s.bisourceSeen(res.Log)
+	o.Pass = report.OK()
+	return o, nil
+}
+
+func runLog(s Spec, seed int64) (*Outcome, error) {
+	w := s.Work
+	if w.Commands <= 0 {
+		w.Commands = 16
+	}
+	if w.BatchSize <= 0 {
+		w.BatchSize = 8
+	}
+	if w.Pipeline <= 0 {
+		w.Pipeline = 2
+	}
+	cmds := make([]types.Value, w.Commands)
+	for i := range cmds {
+		cmds[i] = types.Value(fmt.Sprintf("cmd-%03d", i))
+	}
+	ecfg := s.engineConfig()
+	byz, err := s.byzantine(ecfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	spec := runner.LogSpec{
+		Params:      s.Params(),
+		Topology:    s.Topology(),
+		Policy:      s.policy(seed),
+		Adv:         s.adversaryFor(seed),
+		FIFO:        s.Net.FIFO,
+		Seed:        seed,
+		Record:      true,
+		Commands:    cmds,
+		SubmitEvery: w.SubmitEvery,
+		Byzantine:   byz,
+		Deadline:    s.deadline(),
+	}
+	spec.Log.Engine = ecfg
+	spec.Log.BatchSize = w.BatchSize
+	spec.Log.Pipeline = w.Pipeline
+	res, err := runner.RunLog(spec)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+
+	// The trace checkers are single-instance; log runs are verified by
+	// the LOG-* total-order properties on the committed logs instead.
+	report := &check.Report{}
+	report.Observe("log-consistency")
+	if !res.Consistent() {
+		report.Violatef("LOG-Consistency: correct logs are not pairwise prefix-consistent")
+	}
+	if s.ExpectTermination {
+		report.Observe("log-termination")
+		if !res.AllCommitted(len(cmds)) {
+			report.Violatef("LOG-Termination: only %d/%d commands committed everywhere",
+				res.MinCommitted(), len(cmds))
+		}
+	}
+	o := &Outcome{
+		Name:     s.Name,
+		Seed:     seed,
+		Workload: s.Work.Kind.String(),
+		Report:   report,
+		Decided:  res.MinCommitted(),
+		Messages: res.Messages,
+		Events:   res.Events,
+		End:      time.Duration(res.End),
+	}
+	h := sha256.New()
+	digestTrace(h, res.Log)
+	for _, id := range res.Correct {
+		for _, e := range res.Logs[id] {
+			fmt.Fprintf(h, "commit %v %d %v %q\n", id, e.Index, e.Instance, e.Cmd)
+		}
+	}
+	o.Digest = hex.EncodeToString(h.Sum(nil))
+	o.BisourceSeen = s.bisourceSeen(res.Log)
+	o.Pass = report.OK()
+	return o, nil
+}
+
+// digestTrace feeds every trace event into the hash in emission order.
+func digestTrace(w io.Writer, log *trace.Log) {
+	for _, e := range log.Events() {
+		io.WriteString(w, e.String())
+		io.WriteString(w, "\n")
+	}
+}
+
+// bisourceSeen re-discovers the promised bisource from the trace with
+// the timeliness analyzer (§4's extraction, reference [12]). The answer
+// is informational: sparse observations on a quiet channel can miss a
+// genuine bisource, but a reported sighting is a sound witness.
+func (s Spec) bisourceSeen(log *trace.Log) bool {
+	p, promised := s.PromisedBisource()
+	if !promised || log.Len() == 0 {
+		return false
+	}
+	n := s.netDefaults()
+	a := timeliness.FromTrace(s.N, log)
+	q := timeliness.Query{Tau: types.Time(n.GST), Delta: n.Delta, MinObservations: 2}
+	return a.IsBisource(p, s.T+1, q)
+}
+
+// MatrixResult pairs one matrix cell with its outcome or error.
+type MatrixResult struct {
+	Spec    Spec
+	Seed    int64
+	Outcome *Outcome
+	Err     error
+}
+
+// RunMatrix executes every (spec, seed) cell concurrently on up to
+// workers goroutines (workers ≤ 0 = 4) and returns results in cell order
+// (seed-major within each spec). Each cell builds an independent world,
+// so cells share no mutable state.
+func RunMatrix(specs []Spec, seeds []int64, workers int) []MatrixResult {
+	if workers <= 0 {
+		workers = 4
+	}
+	cells := make([]MatrixResult, 0, len(specs)*len(seeds))
+	for _, sp := range specs {
+		for _, seed := range seeds {
+			cells = append(cells, MatrixResult{Spec: sp, Seed: seed})
+		}
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		go func(c *MatrixResult) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c.Outcome, c.Err = Run(c.Spec, c.Seed)
+		}(&cells[i])
+	}
+	wg.Wait()
+	return cells
+}

@@ -1,0 +1,223 @@
+package scenario_test
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/types"
+)
+
+// TestRegistryInvariants checks the structural invariants of every
+// curated scenario: the registry is big enough, names are unique, specs
+// validate (which includes the fault budget and the bisource promise),
+// and the Byzantine assignment never exceeds t.
+func TestRegistryInvariants(t *testing.T) {
+	all := scenario.All()
+	if len(all) < 20 {
+		t.Fatalf("registry has %d scenarios, want ≥ 20", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, s := range all {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			if seen[s.Name] {
+				t.Fatalf("duplicate scenario name %q", s.Name)
+			}
+			seen[s.Name] = true
+			if s.Desc == "" {
+				t.Errorf("scenario %q has no description", s.Name)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if len(s.Faults) > s.T {
+				t.Errorf("%d faults exceed t=%d", len(s.Faults), s.T)
+			}
+			if got := len(s.ByzProcs()); got != len(s.Faults) {
+				t.Errorf("ByzProcs has %d entries, want %d", got, len(s.Faults))
+			}
+			// Byzantine and correct IDs must partition 1..N.
+			ids := make(map[types.ProcID]int)
+			for _, id := range s.CorrectProcs() {
+				ids[id]++
+			}
+			for _, id := range s.ByzProcs() {
+				ids[id]++
+			}
+			if len(ids) != s.N {
+				t.Errorf("correct+byz cover %d processes, want %d", len(ids), s.N)
+			}
+			for id, k := range ids {
+				if k != 1 {
+					t.Errorf("process %v assigned %d times", id, k)
+				}
+			}
+			// When the schedule promises a bisource, the topology must
+			// actually deliver it: a correct process with ≥ t timely
+			// in/out channels from/to correct processes.
+			if p, promised := s.PromisedBisource(); promised {
+				topo := s.Topology()
+				byz := make(map[types.ProcID]bool)
+				for _, id := range s.ByzProcs() {
+					byz[id] = true
+				}
+				if byz[p] {
+					t.Fatalf("promised bisource %v is Byzantine", p)
+				}
+				in, out := 0, 0
+				for _, q := range topo.TimelyIn(p).Members() {
+					if q != p && !byz[q] {
+						in++
+					}
+				}
+				for _, q := range topo.TimelyOut(p).Members() {
+					if q != p && !byz[q] {
+						out++
+					}
+				}
+				if in < s.T || out < s.T {
+					t.Errorf("promised bisource %v has %d timely in / %d out correct channels, want ≥ %d each", p, in, out, s.T)
+				}
+			} else if s.ExpectTermination {
+				t.Errorf("termination expected without a bisource promise")
+			}
+		})
+	}
+}
+
+// TestRegistryDeterminism runs every curated scenario twice under the
+// same seed and requires identical outcomes, trace digest included —
+// the reproducibility contract CI relies on. It also requires every
+// curated scenario to actually pass its property checks.
+func TestRegistryDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix replay is not short")
+	}
+	for _, s := range scenario.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			const seed = 1
+			a, err := scenario.Run(s, seed)
+			if err != nil {
+				t.Fatalf("run 1: %v", err)
+			}
+			b, err := scenario.Run(s, seed)
+			if err != nil {
+				t.Fatalf("run 2: %v", err)
+			}
+			if a.Digest != b.Digest {
+				t.Errorf("digest not reproducible:\n  run 1: %s\n  run 2: %s", a.Digest, b.Digest)
+			}
+			if a.Messages != b.Messages || a.Events != b.Events || a.End != b.End {
+				t.Errorf("run stats not reproducible: (%d,%d,%v) vs (%d,%d,%v)",
+					a.Messages, a.Events, a.End, b.Messages, b.Events, b.End)
+			}
+			if !a.Pass {
+				t.Errorf("scenario failed its property checks:\n%s", a.Report)
+			}
+		})
+	}
+}
+
+// TestSeedSensitivity spot-checks that the seed actually steers the
+// schedule: different seeds should explore different executions (digests
+// differ) while both passing.
+func TestSeedSensitivity(t *testing.T) {
+	s, ok := scenario.Get("sync-equivocate")
+	if !ok {
+		t.Fatal("sync-equivocate not registered")
+	}
+	a, err := scenario.Run(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scenario.Run(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest == b.Digest {
+		t.Error("seeds 1 and 2 produced identical digests; the seed is not reaching the schedule")
+	}
+	if !a.Pass || !b.Pass {
+		t.Errorf("pass=%v/%v, want both true", a.Pass, b.Pass)
+	}
+}
+
+// TestRandomGenerator checks that Random is deterministic per seed,
+// always model-legal, and that its samples run reproducibly.
+func TestRandomGenerator(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a := scenario.Random(seed)
+		b := scenario.Random(seed)
+		if a.Name != b.Name || len(a.Faults) != len(b.Faults) || a.N != b.N ||
+			a.Net.Kind != b.Net.Kind || a.Net.GST != b.Net.GST ||
+			a.Net.PartitionCut != b.Net.PartitionCut || a.Net.Jitter != b.Net.Jitter ||
+			a.Work.Kind != b.Work.Kind || a.Work.Commands != b.Work.Commands {
+			t.Fatalf("seed %d: Random is not deterministic: %+v vs %+v", seed, a, b)
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		if len(a.Faults) > a.T {
+			t.Errorf("seed %d: %d faults exceed t=%d", seed, len(a.Faults), a.T)
+		}
+	}
+	// One full replay of a random sample.
+	s := scenario.Random(7)
+	a, err := scenario.Run(s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scenario.Run(s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Errorf("random-7 digest not reproducible")
+	}
+}
+
+// TestRunMatrixConcurrent exercises the concurrent matrix runner (the
+// race detector CI job leans on this) and checks that concurrency does
+// not perturb determinism: matrix outcomes equal serial outcomes.
+func TestRunMatrixConcurrent(t *testing.T) {
+	specs := []scenario.Spec{}
+	for _, name := range []string{"baseline-sync", "sync-equivocate", "sync-spam", "log-baseline"} {
+		s, ok := scenario.Get(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		specs = append(specs, s)
+	}
+	seeds := []int64{1, 2}
+	results := scenario.RunMatrix(specs, seeds, 8)
+	if len(results) != len(specs)*len(seeds) {
+		t.Fatalf("got %d results, want %d", len(results), len(specs)*len(seeds))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s seed %d: %v", r.Spec.Name, r.Seed, r.Err)
+		}
+		serial, err := scenario.Run(r.Spec, r.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Digest != r.Outcome.Digest {
+			t.Errorf("%s seed %d: concurrent digest differs from serial", r.Spec.Name, r.Seed)
+		}
+	}
+}
+
+// TestOutcomeTableRow sanity-checks the machine-readable row format.
+func TestOutcomeTableRow(t *testing.T) {
+	s, _ := scenario.Get("baseline-sync")
+	o, err := scenario.Run(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := o.String()
+	if row == "" || len(o.Digest) != 64 {
+		t.Fatalf("bad row %q / digest %q", row, o.Digest)
+	}
+}

@@ -190,6 +190,13 @@ func (a *Analyzer) Bisources(k int, q Query) []types.ProcID {
 	return out
 }
 
+// IsBisource reports whether p is a ⟨k⟩bisource in the observed graph:
+// at least k timely in-channels and k timely out-channels, counting the
+// always-timely self channel.
+func (a *Analyzer) IsBisource(p types.ProcID, k int, q Query) bool {
+	return a.SinkDegree(p, q) >= k && a.SourceDegree(p, q) >= k
+}
+
 // Report renders per-process degrees for diagnostics.
 func (a *Analyzer) Report(q Query) string {
 	s := fmt.Sprintf("timeliness graph (τ=%v, δ=%v, ≥%d samples):\n", q.Tau, q.Delta, q.minObs())
