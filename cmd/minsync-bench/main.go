@@ -1,0 +1,284 @@
+// minsync-bench is the perf-trajectory harness: it drives a fixed suite of
+// kernel, consensus, scenario-matrix and replicated-log workloads through
+// the simulator, measures wall time, simulation-event throughput and
+// allocation counts (internal/metrics.Span), and writes a machine-readable
+// BENCH_<label>.json so successive commits can be compared (CI uploads the
+// file as an artifact and benchstat-style tooling tracks the trend).
+//
+// Usage:
+//
+//	minsync-bench [-label ci] [-out dir] [-seeds 5]
+//	minsync-bench -digests        # dump the scenario digest table instead
+//
+// The -digests mode prints "name<TAB>seed<TAB>sha256" for every curated
+// scenario at seeds 1 and 7 — the source of truth for the golden-digest
+// regression fixtures (internal/scenario/golden_test.go and
+// bench/golden_digests_pre.tsv).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/runner"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// result is one suite entry of the BENCH_*.json file.
+type result struct {
+	Name         string  `json:"name"`
+	Ops          int     `json:"ops"`
+	WallNS       int64   `json:"wall_ns"`
+	Events       uint64  `json:"events"`
+	Messages     uint64  `json:"messages"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+}
+
+// report is the whole BENCH_*.json document.
+type report struct {
+	Label       string   `json:"label"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	CreatedUnix int64    `json:"created_unix"`
+	Seeds       int      `json:"seeds"`
+	Results     []result `json:"results"`
+}
+
+func main() {
+	label := flag.String("label", "local", "label embedded in the output file name")
+	out := flag.String("out", ".", "directory for BENCH_<label>.json")
+	seeds := flag.Int("seeds", 5, "seeds (= ops) per workload")
+	digests := flag.Bool("digests", false, "print the scenario digest table and exit")
+	flag.Parse()
+
+	if *digests {
+		if err := dumpDigests(); err != nil {
+			fmt.Fprintln(os.Stderr, "minsync-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep := report{
+		Label:       *label,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CreatedUnix: time.Now().Unix(),
+		Seeds:       *seeds,
+	}
+	for _, w := range suite(*seeds) {
+		fmt.Fprintf(os.Stderr, "running %s...\n", w.name)
+		perf, err := w.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "minsync-bench: %s: %v\n", w.name, err)
+			os.Exit(1)
+		}
+		rep.Results = append(rep.Results, result{
+			Name:         w.name,
+			Ops:          perf.Ops,
+			WallNS:       perf.Wall.Nanoseconds(),
+			Events:       perf.Events,
+			Messages:     perf.Messages,
+			EventsPerSec: perf.EventsPerSec(),
+			AllocsPerOp:  perf.AllocsPerOp(),
+			BytesPerOp:   perf.BytesPerOp(),
+		})
+	}
+
+	path := filepath.Join(*out, "BENCH_"+*label+".json")
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minsync-bench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "minsync-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(path)
+	for _, r := range rep.Results {
+		fmt.Printf("%-24s %8.2fM events/s  %10.0f allocs/op  %6.1fms wall/op\n",
+			r.Name, r.EventsPerSec/1e6, r.AllocsPerOp,
+			float64(r.WallNS)/float64(r.Ops)/1e6)
+	}
+}
+
+// workload is one named suite entry.
+type workload struct {
+	name string
+	run  func() (metrics.Perf, error)
+}
+
+// suite builds the fixed workload list. Every workload runs `seeds` times
+// with seeds 1..seeds so the numbers smooth over schedule variation.
+func suite(seeds int) []workload {
+	return []workload{
+		{"scheduler-raw", func() (metrics.Perf, error) { return schedulerRaw(seeds) }},
+		{"consensus-n7", func() (metrics.Perf, error) { return consensus(7, seeds) }},
+		{"consensus-n13", func() (metrics.Perf, error) { return consensus(13, seeds) }},
+		{"matrix-smoke", func() (metrics.Perf, error) { return matrixSmoke(seeds) }},
+		{"log-n4-b32p4", func() (metrics.Perf, error) { return logRun(4, 32, 4, seeds) }},
+		{"log-n7-b16p4", func() (metrics.Perf, error) { return logRun(7, 16, 4, seeds) }},
+	}
+}
+
+// schedulerRaw measures the bare kernel: a self-spawning event chain of
+// one million events per op, no network, no protocol.
+func schedulerRaw(ops int) (metrics.Perf, error) {
+	const chain = 1_000_000
+	span := metrics.StartSpan()
+	var events uint64
+	for op := 0; op < ops; op++ {
+		s := sim.NewScheduler(int64(op + 1))
+		n := 0
+		var spawn func()
+		spawn = func() {
+			n++
+			if n < chain {
+				s.After(types.Duration(n%100), spawn)
+			}
+		}
+		s.After(0, spawn)
+		s.Run(0, 0)
+		events += s.Executed
+	}
+	return span.End(ops, events, 0), nil
+}
+
+// consensus runs the E5-style workload: full synchrony, mixed proposals,
+// equivocating Byzantine processes at the top IDs.
+func consensus(n, ops int) (metrics.Perf, error) {
+	tf := (n - 1) / 3
+	span := metrics.StartSpan()
+	var events, msgs uint64
+	for op := 0; op < ops; op++ {
+		props := make(map[types.ProcID]types.Value)
+		byz := make(map[types.ProcID]harness.Behavior)
+		for i := 1; i <= n; i++ {
+			id := types.ProcID(i)
+			if i > n-tf {
+				byz[id] = adversary.Equivocator(core.Config{TimeUnit: exp.Unit}, [2]types.Value{"a", "b"})
+				continue
+			}
+			v := types.Value("a")
+			if i%2 == 0 {
+				v = "b"
+			}
+			props[id] = v
+		}
+		res, err := runner.Run(runner.Spec{
+			Params:    types.Params{N: n, T: tf, M: 2},
+			Topology:  network.FullySynchronous(n, exp.Delta),
+			Seed:      int64(op + 1),
+			Proposals: props,
+			Byzantine: byz,
+			Engine:    core.Config{TimeUnit: exp.Unit},
+		})
+		if err != nil {
+			return metrics.Perf{}, err
+		}
+		if !res.AllDecided() {
+			return metrics.Perf{}, fmt.Errorf("seed %d: no decision", op+1)
+		}
+		events += res.Events
+		msgs += res.Messages
+	}
+	return span.End(ops, events, msgs), nil
+}
+
+// matrixNames is the representative scenario slice also used by
+// BenchmarkScenarioMatrix.
+var matrixNames = []string{
+	"baseline-sync", "sync-equivocate", "sync-spam", "bisource-minimal",
+	"partition-heal", "reorder-storm", "log-baseline", "log-deep-pipeline",
+}
+
+// matrixSmoke runs the representative matrix slice; one op = one full
+// sweep of the slice at one seed.
+func matrixSmoke(ops int) (metrics.Perf, error) {
+	prepared := make([]*scenario.Prepared, 0, len(matrixNames))
+	for _, name := range matrixNames {
+		s, ok := scenario.Get(name)
+		if !ok {
+			return metrics.Perf{}, fmt.Errorf("scenario %q not registered", name)
+		}
+		p, err := scenario.Prepare(s)
+		if err != nil {
+			return metrics.Perf{}, err
+		}
+		prepared = append(prepared, p)
+	}
+	span := metrics.StartSpan()
+	var events, msgs uint64
+	for op := 0; op < ops; op++ {
+		for _, p := range prepared {
+			o, err := p.Run(int64(op + 1))
+			if err != nil {
+				return metrics.Perf{}, err
+			}
+			if !o.Pass {
+				return metrics.Perf{}, fmt.Errorf("%s seed %d failed:\n%s", p.Spec.Name, op+1, o.Report)
+			}
+			events += o.Events
+			msgs += o.Messages
+		}
+	}
+	return span.End(ops, events, msgs), nil
+}
+
+// logRun commits a 200-command replicated-log workload per op (the
+// canonical exp.LogWorkloadSpec workload, identical to the in-repo
+// benchmarks so BENCH_*.json trends stay comparable).
+func logRun(n, batch, pipeline, ops int) (metrics.Perf, error) {
+	const workload = 200
+	span := metrics.StartSpan()
+	var events, msgs uint64
+	for op := 0; op < ops; op++ {
+		res, err := runner.RunLog(exp.LogWorkloadSpec(n, batch, pipeline, workload, int64(op+1)))
+		if err != nil {
+			return metrics.Perf{}, err
+		}
+		if !res.AllCommitted(workload) {
+			return metrics.Perf{}, fmt.Errorf("seed %d: only %d/%d committed", op+1, res.MinCommitted(), workload)
+		}
+		events += res.Events
+		msgs += res.Messages
+	}
+	return span.End(ops, events, msgs), nil
+}
+
+// dumpDigests prints the digest table for every curated scenario.
+func dumpDigests() error {
+	for _, s := range scenario.All() {
+		p, err := scenario.Prepare(s)
+		if err != nil {
+			return err
+		}
+		for _, seed := range []int64{1, 7} {
+			o, err := p.Run(seed)
+			if err != nil {
+				return fmt.Errorf("%s seed=%d: %w", s.Name, seed, err)
+			}
+			fmt.Printf("%s\t%d\t%s\n", s.Name, seed, o.Digest)
+		}
+	}
+	return nil
+}

@@ -312,7 +312,7 @@ type ConsensusSplitter struct {
 
 // MessageDelay implements network.Adversary.
 func (a ConsensusSplitter) MessageDelay(from, to types.ProcID, _ types.Time, payload any) (types.Duration, bool) {
-	m, ok := payload.(proto.Message)
+	m, ok := proto.AsMessage(payload)
 	if !ok {
 		return 0, false
 	}

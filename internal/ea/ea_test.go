@@ -213,7 +213,7 @@ type antiFastPathAdv struct {
 }
 
 func (a antiFastPathAdv) MessageDelay(from, to types.ProcID, _ types.Time, payload any) (types.Duration, bool) {
-	m, ok := payload.(proto.Message)
+	m, ok := proto.AsMessage(payload)
 	if !ok || m.Kind != proto.MsgEAProp2 {
 		return 0, false
 	}

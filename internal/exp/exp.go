@@ -540,3 +540,27 @@ func GSTSweep() Result {
 		Notes: "large-GST rows show the bisource is load-bearing: the decision lands right after stabilization (small latency−GST tail)",
 	}
 }
+
+// LogWorkloadSpec is the canonical replicated-log throughput workload
+// shared by BenchmarkLogThroughput/BenchmarkLogScaleN and
+// cmd/minsync-bench: `workload` distinct commands ordered by a
+// full-synchrony n-process log engine with the given batch size and
+// pipeline depth. Keeping one builder means the BENCH_*.json trajectory
+// and the in-repo benchmarks always measure the same workload.
+func LogWorkloadSpec(n, batch, pipeline, workload int, seed int64) runner.LogSpec {
+	cmds := make([]types.Value, workload)
+	for i := range cmds {
+		cmds[i] = types.Value(fmt.Sprintf("cmd-%04d", i))
+	}
+	spec := runner.LogSpec{
+		Params:   types.Params{N: n, T: (n - 1) / 3},
+		Topology: network.FullySynchronous(n, Delta),
+		Seed:     seed,
+		Commands: cmds,
+		Deadline: types.Time(10 * time.Minute),
+	}
+	spec.Log.Engine.TimeUnit = Unit
+	spec.Log.BatchSize = batch
+	spec.Log.Pipeline = pipeline
+	return spec
+}

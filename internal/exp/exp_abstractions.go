@@ -423,7 +423,7 @@ func EAScenario(mode ea.FastPathMode, seed int64) (returned map[types.ProcID]typ
 type prop2Delayer struct{}
 
 func (prop2Delayer) MessageDelay(from, to types.ProcID, _ types.Time, payload any) (types.Duration, bool) {
-	m, ok := payload.(proto.Message)
+	m, ok := proto.AsMessage(payload)
 	if !ok || m.Kind != proto.MsgEAProp2 {
 		return 0, false
 	}

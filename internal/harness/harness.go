@@ -52,6 +52,8 @@ type World struct {
 
 	nodes map[types.ProcID]*proto.Node
 	envs  map[types.ProcID]*env
+	pool  proto.MsgPool  // outbound message boxes; world is single-threaded
+	procs []types.ProcID // 1..N, cached so Broadcast never re-materializes it
 }
 
 // New builds the world. Processes are added with SetBehavior before Run.
@@ -70,6 +72,7 @@ func New(cfg Config) (*World, error) {
 		Params: cfg.Params,
 		nodes:  make(map[types.ProcID]*proto.Node, cfg.Params.N),
 		envs:   make(map[types.ProcID]*env, cfg.Params.N),
+		procs:  cfg.Params.AllProcs(),
 	}
 	if cfg.Record {
 		w.Log = trace.NewLog()
@@ -107,17 +110,25 @@ func (w *World) SetBehavior(id types.ProcID, b Behavior) error {
 // events or read the clock).
 func (w *World) Env(id types.ProcID) proto.Env { return w.envs[id] }
 
-// receive is the network's delivery callback.
+// receive is the network's delivery callback. Pooled message boxes are
+// recycled here — handlers only ever see a value copy, so nothing can
+// retain the box.
 func (w *World) receive(to, from types.ProcID, payload any) {
-	n, ok := w.nodes[to]
-	if !ok {
-		return // silent process: drops everything
-	}
-	m, ok := payload.(proto.Message)
-	if !ok {
+	var m proto.Message
+	switch p := payload.(type) {
+	case *proto.Message:
+		m = *p
+		w.pool.Put(p)
+	case proto.Message:
+		m = p
+	default:
 		// Non-protocol payloads are dropped; the network cannot corrupt
 		// messages, so this only happens on harness misuse.
 		return
+	}
+	n, ok := w.nodes[to]
+	if !ok {
+		return // silent process: drops everything
 	}
 	n.Dispatch(from, m)
 }
@@ -149,18 +160,17 @@ func (e *env) Params() types.Params { return e.world.Params }
 func (e *env) Now() types.Time      { return e.world.Sched.Now() }
 
 func (e *env) Send(to types.ProcID, m proto.Message) {
-	e.world.Net.Send(e.id, to, m)
+	e.world.Net.Send(e.id, to, e.world.pool.Get(m))
 }
 
 func (e *env) Broadcast(m proto.Message) {
-	for _, p := range e.world.Params.AllProcs() {
-		e.world.Net.Send(e.id, p, m)
+	for _, p := range e.world.procs {
+		e.world.Net.Send(e.id, p, e.world.pool.Get(m))
 	}
 }
 
 func (e *env) SetTimer(d types.Duration, fn func()) (cancel func()) {
-	c := e.world.Sched.After(d, fn)
-	return func() { c() }
+	return e.world.Sched.After(d, fn).Cancel
 }
 
 func (e *env) Trace() trace.Sink {

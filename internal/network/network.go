@@ -316,16 +316,22 @@ type Config struct {
 // Network schedules message deliveries on a sim.Scheduler according to the
 // topology's timing model. It is the single place where the synchrony
 // assumptions of the paper are enforced.
+//
+// Delivery rides the scheduler's typed deliver-message event: Send costs no
+// closure and no heap node, and the trace sink is consulted only when it
+// actually records (one branch on the hot path).
 type Network struct {
 	cfg      Config
 	sched    *sim.Scheduler
 	recv     Receiver
+	rec      bool                           // cfg.Trace actually records
 	lastArr  map[[2]types.ProcID]types.Time // FIFO watermark
 	sent     uint64
 	byteless uint64 // messages counted, payload bytes unknown in sim
 }
 
-// New creates a network over the scheduler. recv must not be nil.
+// New creates a network over the scheduler. recv must not be nil. The
+// network installs itself as the scheduler's deliver hook.
 func New(sched *sim.Scheduler, cfg Config, recv Receiver) (*Network, error) {
 	if cfg.Topology == nil {
 		return nil, fmt.Errorf("network: nil topology")
@@ -339,12 +345,23 @@ func New(sched *sim.Scheduler, cfg Config, recv Receiver) (*Network, error) {
 	if cfg.Trace == nil {
 		cfg.Trace = (*trace.Log)(nil)
 	}
-	return &Network{
+	nw := &Network{
 		cfg:     cfg,
 		sched:   sched,
 		recv:    recv,
+		rec:     trace.Recording(cfg.Trace),
 		lastArr: make(map[[2]types.ProcID]types.Time),
-	}, nil
+	}
+	sched.SetDeliver(nw.deliver)
+	return nw, nil
+}
+
+// deliver is the scheduler's deliver-message hook.
+func (nw *Network) deliver(from, to types.ProcID, payload any) {
+	if nw.rec {
+		nw.cfg.Trace.Emit(trace.Event{At: nw.sched.Now(), Kind: trace.KindDeliver, Proc: to, Peer: from})
+	}
+	nw.recv(to, from, payload)
 }
 
 // Sent returns the number of point-to-point messages sent so far.
@@ -408,9 +425,8 @@ func (nw *Network) Send(from, to types.ProcID, payload any) {
 	}
 
 	nw.sent++
-	nw.cfg.Trace.Emit(trace.Event{At: now, Kind: trace.KindSend, Proc: from, Peer: to})
-	nw.sched.At(arrival, func() {
-		nw.cfg.Trace.Emit(trace.Event{At: nw.sched.Now(), Kind: trace.KindDeliver, Proc: to, Peer: from})
-		nw.recv(to, from, payload)
-	})
+	if nw.rec {
+		nw.cfg.Trace.Emit(trace.Event{At: now, Kind: trace.KindSend, Proc: from, Peer: to})
+	}
+	nw.sched.ScheduleDeliver(arrival, from, to, payload)
 }

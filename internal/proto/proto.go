@@ -29,17 +29,26 @@ const (
 	MsgEARelay // EA_RELAY[r](v | ⊥)    — Fig. 3 line 18
 )
 
-var msgKindNames = map[MsgKind]string{
-	MsgRBInit: "RB_INIT", MsgRBEcho: "RB_ECHO", MsgRBReady: "RB_READY",
-	MsgEAProp2: "EA_PROP2", MsgEACoord: "EA_COORD", MsgEARelay: "EA_RELAY",
-}
-
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. A switch, not a map: tracing and error
+// paths stringify kinds per message, and a package-level map would cost a
+// hash lookup on a shared structure every time.
 func (k MsgKind) String() string {
-	if s, ok := msgKindNames[k]; ok {
-		return s
+	switch k {
+	case MsgRBInit:
+		return "RB_INIT"
+	case MsgRBEcho:
+		return "RB_ECHO"
+	case MsgRBReady:
+		return "RB_READY"
+	case MsgEAProp2:
+		return "EA_PROP2"
+	case MsgEACoord:
+		return "EA_COORD"
+	case MsgEARelay:
+		return "EA_RELAY"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", int(k))
 	}
-	return fmt.Sprintf("MsgKind(%d)", int(k))
 }
 
 // Module identifies which protocol object a message (or RB stream) belongs
@@ -65,17 +74,25 @@ const (
 	ModDecide
 )
 
-var moduleNames = map[Module]string{
-	ModConsCB0: "cons-cb0", ModEACB: "ea-cb", ModEA: "ea",
-	ModACCB: "ac-cb", ModACEst: "ac-est", ModDecide: "decide",
-}
-
-// String implements fmt.Stringer.
+// String implements fmt.Stringer (a switch for the same reason as
+// MsgKind.String).
 func (m Module) String() string {
-	if s, ok := moduleNames[m]; ok {
-		return s
+	switch m {
+	case ModConsCB0:
+		return "cons-cb0"
+	case ModEACB:
+		return "ea-cb"
+	case ModEA:
+		return "ea"
+	case ModACCB:
+		return "ac-cb"
+	case ModACEst:
+		return "ac-est"
+	case ModDecide:
+		return "decide"
+	default:
+		return fmt.Sprintf("Module(%d)", int(m))
 	}
-	return fmt.Sprintf("Module(%d)", int(m))
 }
 
 // Tag identifies a protocol instance: a module family plus the round it
@@ -144,6 +161,50 @@ func Key(from types.ProcID, m Message) DedupKey {
 	return DedupKey{From: from, Instance: m.Instance, Kind: m.Kind, Tag: m.Tag, Origin: m.Origin}
 }
 
+// AsMessage extracts the protocol message from a raw network payload,
+// which may be boxed by value or travel behind a pooled pointer (see
+// MsgPool). Network-level adversaries and harness receivers must go
+// through it rather than type-asserting Message directly.
+func AsMessage(payload any) (Message, bool) {
+	switch p := payload.(type) {
+	case *Message:
+		return *p, true
+	case Message:
+		return p, true
+	default:
+		return Message{}, false
+	}
+}
+
+// MsgPool is a free list of outbound Message boxes. Sending a Message
+// through an `any` network payload would box (heap-allocate) the struct on
+// every send; a pool turns the steady state into zero allocations. It is
+// NOT synchronized — each simulated world owns one and runs
+// single-threaded, which is also why sync.Pool would be overkill here.
+type MsgPool struct {
+	free []*Message
+}
+
+// Get returns a box holding a copy of m.
+func (p *MsgPool) Get(m Message) *Message {
+	if n := len(p.free); n > 0 {
+		pm := p.free[n-1]
+		p.free = p.free[:n-1]
+		*pm = m
+		return pm
+	}
+	pm := new(Message)
+	*pm = m
+	return pm
+}
+
+// Put recycles a box after its payload has been consumed. The box is
+// cleared so recycled messages cannot leak stale values.
+func (p *MsgPool) Put(pm *Message) {
+	*pm = Message{}
+	p.free = append(p.free, pm)
+}
+
 // Env is everything a protocol module may do to the outside world. The
 // simulation runtime and the real-time runtime both implement it, so the
 // protocol code in rb/cb/ac/ea/core runs unchanged under either.
@@ -188,9 +249,10 @@ type Node struct {
 	Dropped uint64
 }
 
-// NewNode wraps h with duplicate suppression.
+// NewNode wraps h with duplicate suppression. The seen set is sized for a
+// few protocol rounds up front so the dispatch path rarely rehashes.
 func NewNode(h Handler) *Node {
-	return &Node{h: h, seen: make(map[DedupKey]struct{})}
+	return &Node{h: h, seen: make(map[DedupKey]struct{}, 256)}
 }
 
 // Dispatch feeds one raw network delivery through deduplication.

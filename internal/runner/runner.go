@@ -71,6 +71,9 @@ type Result struct {
 	Stop sim.StopReason
 	// Events is the number of simulation events executed.
 	Events uint64
+	// Compactions counts event-heap compaction passes (canceled-timer
+	// reclamation in the kernel; see sim.Scheduler).
+	Compactions uint64
 	// Log is the trace (nil unless Spec.Record).
 	Log *trace.Log
 	// Engines gives access to per-process engine state (introspection).
@@ -206,6 +209,7 @@ func Run(spec Spec) (*Result, error) {
 	res.Stop = w.Run(spec.Deadline, spec.MaxEvents)
 	res.End = w.Sched.Now()
 	res.Events = w.Sched.Executed
+	res.Compactions = w.Sched.Compactions
 	res.Messages = w.Net.Sent()
 	res.Duplicates = w.DroppedDuplicates()
 	res.Log = w.Log

@@ -1,0 +1,53 @@
+package scenario
+
+import "testing"
+
+// TestGoldenDigests pins the SHA-256 trace digests of a diverse slice of
+// (scenario, seed) cells. The digests were recorded at the pre-refactor
+// commit of the zero-allocation event kernel (see bench/golden_digests_pre.tsv
+// for the full 28-scenario table; regenerate with `minsync-bench -digests`).
+//
+// Any kernel, network, trace or scenario change that perturbs the schedule
+// — event ordering, RNG draw order, trace rendering — fails this test
+// loudly. That is the point: determinism is the refactor contract, and
+// "same seed ⇒ same digest" must survive every storage/layout change. If a
+// change intentionally alters the schedule (new event source, different
+// draw order), re-record the table and say so in the commit.
+func TestGoldenDigests(t *testing.T) {
+	cases := []struct {
+		name   string
+		seed   int64
+		digest string
+	}{
+		{"baseline-sync", 1, "590310488066aebc466384fb8957f54907495f7e93db7a78e8907ae4d68f21dd"},
+		{"baseline-sync", 7, "a16e2673c54f8938cd6a469b78ae522f2cd5a740f12922668241db63cddc0cd7"},
+		{"sync-spam", 1, "071b73b2bbddc01ec6c276c67ef19fa8e9ea8c63a47771398bb1873982056294"},
+		{"sync-random-byz", 1, "e510700371075308f711e2e54715826b28a94d9e65aa89944779143c5ca3099e"},
+		{"async-safety", 1, "08d1c826525206ee2c18d91246b14491b7ed8a83a01c0c51b64ba45bc74815f4"},
+		{"jitter-classes", 1, "92ae615250ef20410f73413d4093b571fb1028c7bab941a8ab604c763e7559c9"},
+		{"bisource-minimal", 7, "4feba88e895edd7db6a216f246d10b727b9ec773caa59be5d7a76b3c4d9c0971"},
+		{"bisource-splitter", 1, "196c15f55302996ed4a1f43803c9c0c31ced89e5a7f944aea8a972e0e5e808f3"},
+		{"partition-heal", 7, "67bd7ae458ec3290e15f3cd5cfef88a17bf27895cea6a51bc81aa5083f9b2b0a"},
+		{"botmode-many-values", 1, "d5edddb22776eaf9d2be0bfe42f141e92858cd1f2ac924d4c0a6cb250f1c2018"},
+		{"log-baseline", 1, "5316e762fb1edce20ddb7d464f8aa02af3dc64f3d884eaca0a2b059ca61d3a4b"},
+		{"log-deep-pipeline", 7, "3c677e4ed22681cff4935789d86465e2a250e01878755a06304ba584e1025c00"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			s, ok := Get(tc.name)
+			if !ok {
+				t.Fatalf("scenario %q not registered", tc.name)
+			}
+			o, err := Run(s, tc.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.Digest != tc.digest {
+				t.Errorf("digest drifted for (%s, seed %d):\n  got  %s\n  want %s\nthe kernel refactor contract is byte-identical schedules — see the test comment",
+					tc.name, tc.seed, o.Digest, tc.digest)
+			}
+		})
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/network"
 	"repro/internal/runner"
 	"repro/internal/timeliness"
 	"repro/internal/trace"
@@ -65,18 +66,61 @@ func (o *Outcome) String() string {
 // TableHeader is the column header matching Outcome.String.
 const TableHeader = "scenario\tseed\tworkload\tstatus\tviolations\tdecided\tmsgs\tevents\tvtime\tdigest"
 
-// Run executes the scenario under the given seed. The same (spec, seed)
-// pair always produces an identical Outcome, digest included.
-func Run(s Spec, seed int64) (*Outcome, error) {
+// Prepared is a validated scenario with the seed-independent world
+// ingredients materialized once: the channel topology (read-only during
+// runs, so concurrent seeds share one matrix) and the log workload. The
+// matrix runner prepares each spec once and reuses it across every seed —
+// the mutable world (scheduler, nodes, engines) is rebuilt per seed, which
+// is what seed-determinism requires.
+type Prepared struct {
+	Spec Spec
+	topo *network.Topology
+	cmds []types.Value
+}
+
+// Prepare validates the spec and materializes its immutable parts.
+func Prepare(s Spec) (*Prepared, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	switch s.Work.Kind {
-	case WorkLog:
-		return runLog(s, seed)
-	default:
-		return runConsensus(s, seed)
+	p := &Prepared{Spec: s, topo: s.Topology()}
+	if s.Work.Kind == WorkLog {
+		p.cmds = logCommands(s.Work)
 	}
+	return p, nil
+}
+
+// Run executes the prepared scenario under the given seed.
+func (p *Prepared) Run(seed int64) (*Outcome, error) {
+	switch p.Spec.Work.Kind {
+	case WorkLog:
+		return runLog(p, seed)
+	default:
+		return runConsensus(p, seed)
+	}
+}
+
+// Run executes the scenario under the given seed. The same (spec, seed)
+// pair always produces an identical Outcome, digest included.
+func Run(s Spec, seed int64) (*Outcome, error) {
+	p, err := Prepare(s)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(seed)
+}
+
+// logCommands builds the WorkLog command stream (defaults applied).
+func logCommands(w Work) []types.Value {
+	n := w.Commands
+	if n <= 0 {
+		n = 16
+	}
+	cmds := make([]types.Value, n)
+	for i := range cmds {
+		cmds[i] = types.Value(fmt.Sprintf("cmd-%03d", i))
+	}
+	return cmds
 }
 
 // buildBehavior materializes one fault preset. The per-fault seed keeps
@@ -158,7 +202,8 @@ func (s Spec) deadline() types.Time {
 	return 0
 }
 
-func runConsensus(s Spec, seed int64) (*Outcome, error) {
+func runConsensus(p *Prepared, seed int64) (*Outcome, error) {
+	s := p.Spec
 	ecfg := s.engineConfig()
 	byz, err := s.byzantine(ecfg, seed)
 	if err != nil {
@@ -172,7 +217,7 @@ func runConsensus(s Spec, seed int64) (*Outcome, error) {
 	}
 	res, err := runner.Run(runner.Spec{
 		Params:    s.Params(),
-		Topology:  s.Topology(),
+		Topology:  p.topo,
 		Policy:    s.policy(seed),
 		Adv:       s.adversaryFor(seed),
 		FIFO:      s.Net.FIFO,
@@ -216,21 +261,16 @@ func runConsensus(s Spec, seed int64) (*Outcome, error) {
 	return o, nil
 }
 
-func runLog(s Spec, seed int64) (*Outcome, error) {
+func runLog(p *Prepared, seed int64) (*Outcome, error) {
+	s := p.Spec
 	w := s.Work
-	if w.Commands <= 0 {
-		w.Commands = 16
-	}
 	if w.BatchSize <= 0 {
 		w.BatchSize = 8
 	}
 	if w.Pipeline <= 0 {
 		w.Pipeline = 2
 	}
-	cmds := make([]types.Value, w.Commands)
-	for i := range cmds {
-		cmds[i] = types.Value(fmt.Sprintf("cmd-%03d", i))
-	}
+	cmds := p.cmds
 	ecfg := s.engineConfig()
 	byz, err := s.byzantine(ecfg, seed)
 	if err != nil {
@@ -238,7 +278,7 @@ func runLog(s Spec, seed int64) (*Outcome, error) {
 	}
 	spec := runner.LogSpec{
 		Params:      s.Params(),
-		Topology:    s.Topology(),
+		Topology:    p.topo,
 		Policy:      s.policy(seed),
 		Adv:         s.adversaryFor(seed),
 		FIFO:        s.Net.FIFO,
@@ -294,12 +334,15 @@ func runLog(s Spec, seed int64) (*Outcome, error) {
 	return o, nil
 }
 
-// digestTrace feeds every trace event into the hash in emission order.
+// digestTrace feeds every trace event into the hash in emission order,
+// reusing one render buffer across the whole log.
 func digestTrace(w io.Writer, log *trace.Log) {
-	for _, e := range log.Events() {
-		io.WriteString(w, e.String())
-		io.WriteString(w, "\n")
-	}
+	var buf []byte
+	log.ForEach(func(e trace.Event) {
+		buf = e.AppendTo(buf[:0])
+		buf = append(buf, '\n')
+		w.Write(buf)
+	})
 }
 
 // bisourceSeen re-discovers the promised bisource from the trace with
@@ -327,28 +370,36 @@ type MatrixResult struct {
 
 // RunMatrix executes every (spec, seed) cell concurrently on up to
 // workers goroutines (workers ≤ 0 = 4) and returns results in cell order
-// (seed-major within each spec). Each cell builds an independent world,
-// so cells share no mutable state.
+// (seed-major within each spec). Each spec is prepared once — validation,
+// topology and workload materialization are shared by all of its seeds —
+// while every cell still builds an independent mutable world, so cells
+// share no mutable state.
 func RunMatrix(specs []Spec, seeds []int64, workers int) []MatrixResult {
 	if workers <= 0 {
 		workers = 4
 	}
 	cells := make([]MatrixResult, 0, len(specs)*len(seeds))
+	prepared := make([]*Prepared, 0, len(specs))
 	for _, sp := range specs {
+		p, err := Prepare(sp)
 		for _, seed := range seeds {
-			cells = append(cells, MatrixResult{Spec: sp, Seed: seed})
+			cells = append(cells, MatrixResult{Spec: sp, Seed: seed, Err: err})
 		}
+		prepared = append(prepared, p)
 	}
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i := range cells {
+		if cells[i].Err != nil {
+			continue // Prepare failed: every cell of the spec reports it
+		}
 		wg.Add(1)
-		go func(c *MatrixResult) {
+		go func(c *MatrixResult, p *Prepared) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			c.Outcome, c.Err = Run(c.Spec, c.Seed)
-		}(&cells[i])
+			c.Outcome, c.Err = p.Run(c.Seed)
+		}(&cells[i], prepared[i/len(seeds)])
 	}
 	wg.Wait()
 	return cells

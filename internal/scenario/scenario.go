@@ -427,9 +427,12 @@ func (s Spec) adversaryFor(seed int64) network.Adversary {
 			side[types.ProcID(i)] = 1
 		}
 		chain = append(chain, &adversary.HealingPartition{
-			Side:    side,
-			HealAt:  types.Time(n.HealAt),
-			Stagger: types.Duration(seed%7+1) * time.Microsecond,
+			Side:   side,
+			HealAt: types.Time(n.HealAt),
+			// The double mod keeps the stagger positive for negative seeds
+			// (Go's % keeps the dividend's sign); without it the post-heal
+			// backlog would flush as one simultaneous burst.
+			Stagger: types.Duration((seed%7+7)%7+1) * time.Microsecond,
 		})
 	}
 	if n.Splitter {

@@ -61,8 +61,8 @@ func TestCancel(t *testing.T) {
 	s := NewScheduler(1)
 	fired := false
 	cancel := s.After(10, func() { fired = true })
-	cancel()
-	cancel() // double-cancel is a no-op
+	cancel.Cancel()
+	cancel.Cancel() // double-cancel is a no-op
 	s.Run(0, 0)
 	if fired {
 		t.Fatal("canceled event fired")
@@ -77,7 +77,7 @@ func TestCancelFromEarlierEvent(t *testing.T) {
 	fired := false
 	var cancel Canceler
 	cancel = s.After(20, func() { fired = true })
-	s.After(10, func() { cancel() })
+	s.After(10, func() { cancel.Cancel() })
 	s.Run(0, 0)
 	if fired {
 		t.Fatal("event canceled at t=10 still fired at t=20")

@@ -66,7 +66,7 @@ func FromTrace(n int, log *trace.Log) *Analyzer {
 	type chanKey struct{ from, to types.ProcID }
 	sends := make(map[chanKey][]types.Time)
 	recvs := make(map[chanKey][]types.Time)
-	for _, e := range log.Events() {
+	log.ForEach(func(e trace.Event) {
 		switch e.Kind {
 		case trace.KindSend:
 			k := chanKey{from: e.Proc, to: e.Peer}
@@ -75,7 +75,7 @@ func FromTrace(n int, log *trace.Log) *Analyzer {
 			k := chanKey{from: e.Peer, to: e.Proc}
 			recvs[k] = append(recvs[k], e.At)
 		}
-	}
+	})
 	for k, ss := range sends {
 		rs := recvs[k]
 		sort.Slice(ss, func(i, j int) bool { return ss[i] < ss[j] })

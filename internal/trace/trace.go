@@ -10,7 +10,10 @@ package trace
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"time"
+	"unicode/utf8"
 
 	"repro/internal/types"
 )
@@ -56,24 +59,54 @@ const (
 	KindByzAction
 )
 
-var kindNames = map[Kind]string{
-	KindSend: "send", KindDeliver: "deliver",
-	KindRBBroadcast: "rb-broadcast", KindRBDeliver: "rb-deliver",
-	KindCBBroadcast: "cb-broadcast", KindCBValid: "cb-valid", KindCBReturn: "cb-return",
-	KindACPropose: "ac-propose", KindACReturn: "ac-return",
-	KindEAPropose: "ea-propose", KindEAFastPath: "ea-fastpath", KindEACoord: "ea-coord",
-	KindEARelay: "ea-relay", KindEATimeout: "ea-timeout", KindEAReturn: "ea-return",
-	KindConsPropose: "cons-propose", KindConsRoundStart: "cons-round",
-	KindConsCommitBcast: "cons-commit", KindConsDecide: "cons-decide",
-	KindByzAction: "byz",
-}
-
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. It is a switch rather than a map lookup:
+// the digest and error paths render every event, and a shared map would
+// cost a hash plus a read barrier per call.
 func (k Kind) String() string {
-	if s, ok := kindNames[k]; ok {
-		return s
+	switch k {
+	case KindSend:
+		return "send"
+	case KindDeliver:
+		return "deliver"
+	case KindRBBroadcast:
+		return "rb-broadcast"
+	case KindRBDeliver:
+		return "rb-deliver"
+	case KindCBBroadcast:
+		return "cb-broadcast"
+	case KindCBValid:
+		return "cb-valid"
+	case KindCBReturn:
+		return "cb-return"
+	case KindACPropose:
+		return "ac-propose"
+	case KindACReturn:
+		return "ac-return"
+	case KindEAPropose:
+		return "ea-propose"
+	case KindEAFastPath:
+		return "ea-fastpath"
+	case KindEACoord:
+		return "ea-coord"
+	case KindEARelay:
+		return "ea-relay"
+	case KindEATimeout:
+		return "ea-timeout"
+	case KindEAReturn:
+		return "ea-return"
+	case KindConsPropose:
+		return "cons-propose"
+	case KindConsRoundStart:
+		return "cons-round"
+	case KindConsCommitBcast:
+		return "cons-commit"
+	case KindConsDecide:
+		return "cons-decide"
+	case KindByzAction:
+		return "byz"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
 	}
-	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
 // Event is one structured record. Field meaning depends on Kind; unused
@@ -90,25 +123,62 @@ type Event struct {
 }
 
 // String renders the event compactly for logs and test failures.
-func (e Event) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s t=%-14v %v", e.Kind, e.At, e.Proc)
+func (e Event) String() string { return string(e.AppendTo(nil)) }
+
+// appendPadded appends s left-justified to fmt's %-<w>s semantics: padded
+// with spaces to w runes (durations carry a two-byte µ).
+func appendPadded(b []byte, s string, w int) []byte {
+	b = append(b, s...)
+	for n := utf8.RuneCountInString(s); n < w; n++ {
+		b = append(b, ' ')
+	}
+	return b
+}
+
+func appendProc(b []byte, p types.ProcID) []byte {
+	if p == types.NoProc {
+		return append(b, "p?"...)
+	}
+	b = append(b, 'p')
+	return strconv.AppendInt(b, int64(p), 10)
+}
+
+// AppendTo appends the String rendering to b without fmt — the digest path
+// renders every recorded event, and fmt's reflection machinery was the
+// single largest consumer in matrix profiles. The output is byte-identical
+// to the historical fmt-based format (the golden digest tests pin it).
+func (e Event) AppendTo(b []byte) []byte {
+	b = appendPadded(b, e.Kind.String(), 12)
+	b = append(b, " t="...)
+	b = appendPadded(b, time.Duration(e.At).String(), 14)
+	b = append(b, ' ')
+	b = appendProc(b, e.Proc)
 	if e.Peer != types.NoProc {
-		fmt.Fprintf(&b, "↔%v", e.Peer)
+		b = append(b, "↔"...)
+		b = appendProc(b, e.Peer)
 	}
 	if e.Round != 0 {
-		fmt.Fprintf(&b, " %v", e.Round)
+		b = append(b, ' ', 'r')
+		b = strconv.AppendInt(b, int64(e.Round), 10)
 	}
 	if e.Value != "" {
-		fmt.Fprintf(&b, " val=%s", e.Value)
+		b = append(b, " val="...)
+		b = append(b, e.Value...)
 	}
 	if e.Opt.Valid || e.Kind == KindEARelay {
-		fmt.Fprintf(&b, " opt=%s", e.Opt)
+		b = append(b, " opt="...)
+		if e.Opt.Valid {
+			b = append(b, e.Opt.V...)
+		} else {
+			b = append(b, "⊥"...)
+		}
 	}
 	if e.Aux != "" {
-		fmt.Fprintf(&b, " [%s]", e.Aux)
+		b = append(b, " ["...)
+		b = append(b, e.Aux...)
+		b = append(b, ']')
 	}
-	return b.String()
+	return b
 }
 
 // Sink consumes events. Implementations must be cheap; the hot path calls
@@ -117,10 +187,17 @@ type Sink interface {
 	Emit(Event)
 }
 
+// chunkSize is the fixed capacity of one log chunk. Chunked growth means a
+// million-event log never copies recorded events: filling up allocates one
+// fresh chunk instead of doubling-and-moving the whole history.
+const chunkSize = 4096
+
 // Log is an in-memory Sink. A nil *Log discards events, so callers can
-// emit unconditionally.
+// emit unconditionally. Storage is chunked; Events consolidates on demand
+// for the replay-style consumers.
 type Log struct {
-	events []Event
+	chunks [][]Event
+	n      int
 }
 
 var _ Sink = (*Log)(nil)
@@ -133,16 +210,42 @@ func (l *Log) Emit(e Event) {
 	if l == nil {
 		return
 	}
-	l.events = append(l.events, e)
+	if k := len(l.chunks); k == 0 || len(l.chunks[k-1]) >= chunkSize {
+		l.chunks = append(l.chunks, make([]Event, 0, chunkSize))
+	}
+	l.chunks[len(l.chunks)-1] = append(l.chunks[len(l.chunks)-1], e)
+	l.n++
 }
 
-// Events returns the recorded events in emission order. The returned slice
-// is the live backing array; callers must not mutate it.
+// Events returns the recorded events in emission order; callers must not
+// mutate the slice. Multi-chunk logs are consolidated into a single
+// contiguous chunk first (the old chunks are released, so repeated calls
+// cost nothing extra and the log is never held twice in memory).
 func (l *Log) Events() []Event {
-	if l == nil {
+	if l == nil || l.n == 0 {
 		return nil
 	}
-	return l.events
+	if len(l.chunks) > 1 {
+		flat := make([]Event, 0, l.n)
+		for _, c := range l.chunks {
+			flat = append(flat, c...)
+		}
+		l.chunks = append(l.chunks[:0], flat)
+	}
+	return l.chunks[0]
+}
+
+// ForEach calls fn on every recorded event in emission order without
+// flattening (the digest and metrics paths iterate this way).
+func (l *Log) ForEach(fn func(Event)) {
+	if l == nil {
+		return
+	}
+	for _, c := range l.chunks {
+		for i := range c {
+			fn(c[i])
+		}
+	}
 }
 
 // Len returns the number of recorded events (0 for nil).
@@ -150,7 +253,7 @@ func (l *Log) Len() int {
 	if l == nil {
 		return 0
 	}
-	return len(l.events)
+	return l.n
 }
 
 // Filter returns the events matching every given predicate.
@@ -159,15 +262,14 @@ func (l *Log) Filter(preds ...func(Event) bool) []Event {
 		return nil
 	}
 	var out []Event
-outer:
-	for _, e := range l.events {
+	l.ForEach(func(e Event) {
 		for _, p := range preds {
 			if !p(e) {
-				continue outer
+				return
 			}
 		}
 		out = append(out, e)
-	}
+	})
 	return out
 }
 
@@ -186,11 +288,26 @@ func (l *Log) Dump() string {
 		return ""
 	}
 	var b strings.Builder
-	for _, e := range l.events {
+	l.ForEach(func(e Event) {
 		b.WriteString(e.String())
 		b.WriteByte('\n')
-	}
+	})
 	return b.String()
+}
+
+// Recording reports whether the sink actually records events, so hot paths
+// can skip event construction and the interface call with one branch.
+func Recording(s Sink) bool {
+	switch v := s.(type) {
+	case nil:
+		return false
+	case *Log:
+		return v != nil
+	case Discard:
+		return false
+	default:
+		return true
+	}
 }
 
 // Discard is a Sink that drops everything (an explicit alternative to a
