@@ -9,20 +9,28 @@
 //
 //	minsync-bench [-label ci] [-out dir] [-seeds 5]
 //	minsync-bench -digests        # dump the scenario digest table instead
+//	minsync-bench -trend [-out dir] [-format md|tsv]
 //
 // The -digests mode prints "name<TAB>seed<TAB>sha256" for every curated
 // scenario at seeds 1 and 7 — the source of truth for the golden-digest
 // regression fixtures (internal/scenario/golden_test.go and
-// bench/golden_digests_pre.tsv).
+// bench/golden_digests.tsv).
+//
+// The -trend mode reads every BENCH_*.json snapshot in -out (CI artifacts
+// downloaded locally, or accumulated local runs), orders them by creation
+// time, and renders the performance trajectory as one table per metric —
+// the missing "graph the trend" step on top of the per-push artifacts.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/adversary"
@@ -65,10 +73,19 @@ func main() {
 	out := flag.String("out", ".", "directory for BENCH_<label>.json")
 	seeds := flag.Int("seeds", 5, "seeds (= ops) per workload")
 	digests := flag.Bool("digests", false, "print the scenario digest table and exit")
+	trend := flag.Bool("trend", false, "render the BENCH_*.json trajectory table and exit")
+	format := flag.String("format", "md", "trend output format: md or tsv")
 	flag.Parse()
 
 	if *digests {
 		if err := dumpDigests(); err != nil {
+			fmt.Fprintln(os.Stderr, "minsync-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *trend {
+		if err := renderTrend(*out, *format, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "minsync-bench:", err)
 			os.Exit(1)
 		}
@@ -137,6 +154,7 @@ func suite(seeds int) []workload {
 		{"matrix-smoke", func() (metrics.Perf, error) { return matrixSmoke(seeds) }},
 		{"log-n4-b32p4", func() (metrics.Perf, error) { return logRun(4, 32, 4, seeds) }},
 		{"log-n7-b16p4", func() (metrics.Perf, error) { return logRun(7, 16, 4, seeds) }},
+		{"kv-n4-compact", func() (metrics.Perf, error) { return kvRun(4, seeds) }},
 	}
 }
 
@@ -258,6 +276,116 @@ func logRun(n, batch, pipeline, ops int) (metrics.Perf, error) {
 		}
 		if !res.AllCommitted(workload) {
 			return metrics.Perf{}, fmt.Errorf("seed %d: only %d/%d committed", op+1, res.MinCommitted(), workload)
+		}
+		events += res.Events
+		msgs += res.Messages
+	}
+	return span.End(ops, events, msgs), nil
+}
+
+// renderTrend reads every BENCH_*.json in dir, orders the snapshots by
+// creation time and writes one row per workload and one column per
+// snapshot, for each tracked metric. Snapshots missing a workload (the
+// suite grows over time) render as "-".
+func renderTrend(dir, format string, w io.Writer) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no BENCH_*.json files in %s", dir)
+	}
+	reps := make([]report, 0, len(paths))
+	for _, p := range paths {
+		buf, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		var rep report
+		if err := json.Unmarshal(buf, &rep); err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		reps = append(reps, rep)
+	}
+	sort.SliceStable(reps, func(i, j int) bool { return reps[i].CreatedUnix < reps[j].CreatedUnix })
+
+	// Workload rows in first-seen order, so historical suites lead.
+	var names []string
+	seen := map[string]bool{}
+	for _, rep := range reps {
+		for _, r := range rep.Results {
+			if !seen[r.Name] {
+				seen[r.Name] = true
+				names = append(names, r.Name)
+			}
+		}
+	}
+	cell := func(rep report, name string, metric func(result) string) string {
+		for _, r := range rep.Results {
+			if r.Name == name {
+				return metric(r)
+			}
+		}
+		return "-"
+	}
+	metrics := []struct {
+		title string
+		fn    func(result) string
+	}{
+		{"events/sec (M)", func(r result) string { return fmt.Sprintf("%.2f", r.EventsPerSec/1e6) }},
+		{"wall ms/op", func(r result) string {
+			return fmt.Sprintf("%.1f", float64(r.WallNS)/float64(max(r.Ops, 1))/1e6)
+		}},
+		{"allocs/op (k)", func(r result) string { return fmt.Sprintf("%.0f", r.AllocsPerOp/1e3) }},
+	}
+	sep, open, mid := "\t", "", ""
+	if format == "md" {
+		sep, open, mid = " | ", "| ", " |"
+	} else if format != "tsv" {
+		return fmt.Errorf("unknown format %q (want md or tsv)", format)
+	}
+	for _, m := range metrics {
+		fmt.Fprintf(w, "%s%s", open, m.title)
+		for _, rep := range reps {
+			fmt.Fprintf(w, "%s%s (%s)", sep, rep.Label, time.Unix(rep.CreatedUnix, 0).UTC().Format("01-02"))
+		}
+		fmt.Fprintln(w, mid)
+		if format == "md" {
+			fmt.Fprint(w, "|---")
+			for range reps {
+				fmt.Fprint(w, "|---")
+			}
+			fmt.Fprintln(w, "|")
+		}
+		for _, name := range names {
+			fmt.Fprintf(w, "%s%s", open, name)
+			for _, rep := range reps {
+				fmt.Fprintf(w, "%s%s", sep, cell(rep, name, m.fn))
+			}
+			fmt.Fprintln(w, mid)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// kvRun commits a 240-command replicated-KV workload per op with
+// snapshots every 16 entries and compaction on — the full service stack
+// (log → applier → sessions → snapshots → compaction) as one trend line
+// (the canonical exp.KVWorkloadSpec workload, identical to the in-repo
+// BenchmarkKVService/compact=true so BENCH_*.json trends stay
+// comparable).
+func kvRun(n, ops int) (metrics.Perf, error) {
+	const workload = 240
+	span := metrics.StartSpan()
+	var events, msgs uint64
+	for op := 0; op < ops; op++ {
+		res, err := runner.RunKV(exp.KVWorkloadSpec(n, workload, int64(op+1)))
+		if err != nil {
+			return metrics.Perf{}, err
+		}
+		if !res.StatesAgree() {
+			return metrics.Perf{}, fmt.Errorf("seed %d: state digests disagree", op+1)
 		}
 		events += res.Events
 		msgs += res.Messages

@@ -1,0 +1,390 @@
+// KV service mode: the replica runs the full state-machine stack — log
+// engine, sm applier, kv store with client sessions — and serves client
+// gets/puts over a separate TCP listener. Client frames are wire-codec v3
+// bodies (MsgKVRequest / MsgKVResponse) behind a 4-byte little-endian
+// length prefix.
+//
+// Every operation, reads included, is ordered through the replicated log
+// before it is answered, so answers are linearizable. A command submitted
+// to one replica rides that replica's batches; clients that need
+// submission-path fault tolerance send the same (client, seq) command to
+// several replicas — the session table makes the duplicates harmless.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	stdlog "log"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kv"
+	"repro/internal/log"
+	"repro/internal/netx"
+	"repro/internal/proto"
+	"repro/internal/rt"
+	"repro/internal/sm"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// kvFrameMax bounds client frames (defense against rogue clients).
+const kvFrameMax = 1 << 20
+
+func writeKVFrame(w io.Writer, m proto.Message) error {
+	body, err := wire.Encode(m)
+	if err != nil {
+		return err
+	}
+	var lenb [4]byte
+	binary.LittleEndian.PutUint32(lenb[:], uint32(len(body)))
+	if _, err := w.Write(lenb[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+func readKVFrame(r io.Reader) (proto.Message, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return proto.Message{}, err
+	}
+	n := binary.LittleEndian.Uint32(lenb[:])
+	if n > kvFrameMax {
+		return proto.Message{}, fmt.Errorf("frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return proto.Message{}, err
+	}
+	return wire.Decode(body)
+}
+
+// waiterKey identifies one outstanding client request.
+type waiterKey struct {
+	client, seq uint64
+}
+
+// kvForwardFunc consumes a replica-to-replica MsgKVRequest frame:
+// forwarded client commands must bypass the first-message-only rule (they
+// all share one dedup identity) and go straight to Submit, which is
+// idempotent by content. The Recv hook in main routes ALL MsgKVRequest
+// frames here (or drops them when no forwarder is installed) — they are
+// client vocabulary and must never reach the consensus dispatcher.
+type kvForwardFunc func(from types.ProcID, m proto.Message)
+
+// kvForward is set once by runKVServe and read by transport reader
+// goroutines, hence the atomic box.
+var kvForward atomic.Pointer[kvForwardFunc]
+
+// runKVServe runs the replica in serving mode: consensus with the peers,
+// a client listener answering gets/puts.
+//
+// A client may submit a command to a single replica, but a batch only
+// commits when its instance decides it — and instances routinely decide
+// some other replica's (possibly empty) batch. The stack's client model
+// is therefore PBFT-style "clients broadcast to every replica"; the
+// server recreates it by forwarding each accepted client command to all
+// peers as a MsgKVRequest frame, so every correct replica proposes it
+// and any decided non-⊥ batch makes progress.
+func runKVServe(node *rt.Node, tr *netx.Transport, self types.ProcID,
+	clientAddr string, batch, pipeline, snapEvery int, compact bool,
+	unit, wait, startIn time.Duration, target int) {
+
+	store := kv.NewStore()
+	var engine *log.Engine
+	var engErr error
+
+	// Install the forward interceptor before the node loop starts: a
+	// faster peer can forward client commands during our startup sleep.
+	// Posts enqueued here run after Start builds the engine, so the
+	// closure never sees a nil engine. (The handful of frames that could
+	// arrive before this line are dropped by the Recv hook — losing a
+	// forward is harmless, the forwarding replica proposes the command
+	// itself.)
+	fwd := kvForwardFunc(func(from types.ProcID, m proto.Message) {
+		cmd := m.Val
+		node.Post(func() {
+			if err := engine.Submit(cmd); err != nil {
+				stdlog.Printf("forwarded submit: %v", err)
+			}
+		})
+	})
+	kvForward.Store(&fwd)
+
+	// Waiters are registered from connection goroutines and resolved on
+	// the node loop; the map itself is only touched on the loop (via
+	// Post), so no lock is needed — the channel hand-off is the sync.
+	// Each key holds a LIST: a client may retry the same (client, seq)
+	// on a second connection before the first resolves, and both must be
+	// answered.
+	waiters := make(map[waiterKey][]chan types.Value)
+
+	applier, err := sm.New(sm.Config{
+		Machine:       store,
+		SnapshotEvery: snapEvery,
+		OnSnapshot: func(s sm.Snapshot) {
+			stdlog.Printf("snapshot: %d entries through instance %v, digest %x…", s.Index, s.Instance, s.Digest[:8])
+			if compact && engine != nil {
+				if released := engine.Compact(s.Instance - 4); released > 0 {
+					stdlog.Printf("compacted: released %d instances, floor now %v", released, engine.Floor())
+				}
+			}
+		},
+		OnResponse: func(e log.Entry, resp types.Value) {
+			c, err := kv.DecodeCommand(e.Cmd)
+			if err != nil || c.Client == 0 {
+				return
+			}
+			k := waiterKey{c.Client, c.Seq}
+			for _, ch := range waiters[k] {
+				select {
+				case ch <- resp:
+				default:
+				}
+			}
+			delete(waiters, k)
+		},
+	})
+	if err != nil {
+		stdlog.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var once sync.Once
+	// appliedCount mirrors applier.Applied() for the main goroutine's
+	// timeout message; every other applier access stays on the node loop.
+	var appliedCount atomic.Int64
+	node.Start(func(env proto.Env) proto.Handler {
+		cfg := log.Config{
+			Env:       env,
+			BatchSize: batch,
+			Pipeline:  pipeline,
+			Target:    target,
+			OnCommit: func(e log.Entry) {
+				applier.OnCommit(e)
+				appliedCount.Store(int64(applier.Applied()))
+				if target > 0 && applier.Applied() >= target {
+					once.Do(func() { close(done) })
+				}
+			},
+			OnApply: func(i types.Instance, newly int) {
+				if os.Getenv("MINSYNC_KV_DEBUG") != "" {
+					stdlog.Printf("debug: applied instance %v (%d new)", i, newly)
+				}
+				applier.OnApply(i, newly)
+			},
+		}
+		cfg.Engine.TimeUnit = types.Duration(unit)
+		eng, err := log.New(cfg)
+		if err != nil {
+			engErr = err
+			return proto.HandlerFunc(func(types.ProcID, proto.Message) {})
+		}
+		engine = eng
+		return eng
+	})
+	if engErr != nil {
+		stdlog.Fatal(engErr)
+	}
+	time.Sleep(startIn) // let peers come up before opening the pipeline
+	node.Post(func() {
+		engine.SetRetirer(node.Dispatcher())
+		if err := engine.Start(); err != nil {
+			stdlog.Printf("start: %v", err)
+		}
+	})
+
+	ln, err := net.Listen("tcp", clientAddr)
+	if err != nil {
+		stdlog.Fatal(err)
+	}
+	defer ln.Close()
+	stdlog.Printf("process %v: consensus on %s, serving KV clients on %s (batch %d, pipeline %d, snapshots every %d, compact %v)",
+		self, tr.Addr(), ln.Addr(), batch, pipeline, snapEvery, compact)
+
+	var peers []types.ProcID
+	for _, p := range node.Params().AllProcs() {
+		if p != self {
+			peers = append(peers, p)
+		}
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go serveKVConn(conn, node, tr, peers, &engine, store, waiters, wait)
+		}
+	}()
+
+	if target > 0 {
+		select {
+		case <-done:
+			node.Post(func() {
+				d := applier.StateDigest()
+				fmt.Printf("process %v applied %d commands, state digest %x (keys %d, sessions %d, dups %d, retired %d instances)\n",
+					self, applier.Applied(), d[:12], store.Len(), store.Sessions(), store.Duplicates(), engine.Retired())
+			})
+		case <-time.After(wait):
+			stdlog.Printf("applied only %d/%d within %v", appliedCount.Load(), target, wait)
+			os.Exit(1)
+		}
+		// Linger so lagging peers can still finish their own runs.
+		time.Sleep(2 * time.Second)
+		return
+	}
+	select {} // serve until killed
+}
+
+// serveKVConn handles one client connection: request frames in, response
+// frames out, one at a time.
+func serveKVConn(conn net.Conn, node *rt.Node, tr *netx.Transport, peers []types.ProcID,
+	engine **log.Engine, store *kv.Store, waiters map[waiterKey][]chan types.Value, wait time.Duration) {
+	defer conn.Close()
+	for {
+		m, err := readKVFrame(conn)
+		if err != nil {
+			return
+		}
+		if m.Kind != proto.MsgKVRequest {
+			return
+		}
+		c, err := kv.DecodeCommand(m.Val)
+		if err != nil || c.Client == 0 {
+			// Sessionless commands have no response identity to wait on.
+			writeKVFrame(conn, proto.Message{
+				Kind: proto.MsgKVResponse, Tag: proto.Tag{Mod: proto.ModKV},
+				Val: kv.Response{Status: kv.StatusErr}.Encode(),
+			})
+			continue
+		}
+		ch := make(chan types.Value, 1)
+		cmd := m.Val
+		node.Post(func() {
+			// A retry of an already-applied request must be answered from
+			// the session cache here: the log's content dedup absorbs the
+			// re-submission, so no new apply — and hence no OnResponse —
+			// will ever fire for it.
+			if seq, cached, ok := store.CachedResponse(c.Client); ok && c.Seq <= seq {
+				if c.Seq == seq {
+					ch <- cached
+				} else {
+					ch <- kv.Response{Status: kv.StatusStale}.Encode()
+				}
+				return
+			}
+			k := waiterKey{c.Client, c.Seq}
+			waiters[k] = append(waiters[k], ch)
+			if err := (*engine).Submit(cmd); err != nil {
+				stdlog.Printf("submit: %v", err)
+			}
+			// Recreate the client-broadcast model: hand the command to
+			// every peer so each replica's batches carry it (see the
+			// runKVServe doc). Same-goroutine transport sends are the
+			// established pattern (rt env.Send does the same).
+			fwd := proto.Message{Kind: proto.MsgKVRequest, Tag: proto.Tag{Mod: proto.ModKV}, Val: cmd}
+			for _, peer := range peers {
+				if err := tr.Send(peer, fwd); err != nil {
+					stdlog.Printf("forward to %v: %v", peer, err)
+				}
+			}
+		})
+		var resp types.Value
+		select {
+		case resp = <-ch:
+		case <-time.After(wait):
+			resp = kv.Response{Status: kv.StatusErr}.Encode()
+			node.Post(func() {
+				// Only clean up OUR registration: other connections may
+				// still be waiting on the same (client, seq).
+				k := waiterKey{c.Client, c.Seq}
+				list := waiters[k]
+				for i, w := range list {
+					if w == ch {
+						waiters[k] = append(list[:i], list[i+1:]...)
+						break
+					}
+				}
+				if len(waiters[k]) == 0 {
+					delete(waiters, k)
+				}
+			})
+		}
+		if err := writeKVFrame(conn, proto.Message{
+			Kind: proto.MsgKVResponse, Tag: proto.Tag{Mod: proto.ModKV}, Val: resp,
+		}); err != nil {
+			return
+		}
+	}
+}
+
+// runKVClient is the client mode: connect to one or more replicas, run a
+// comma-separated op script ("put:k=v,get:k,del:k"), print each answer.
+// Sending to several replicas exercises the session layer's exactly-once
+// guarantee — the duplicates are answered from the response cache.
+func runKVClient(addrs string, client uint64, script string, timeout time.Duration) {
+	var conns []net.Conn
+	for _, a := range strings.Split(addrs, ",") {
+		conn, err := net.DialTimeout("tcp", strings.TrimSpace(a), timeout)
+		if err != nil {
+			stdlog.Fatalf("dial %s: %v", a, err)
+		}
+		defer conn.Close()
+		conns = append(conns, conn)
+	}
+	seq := uint64(0)
+	for _, op := range strings.Split(script, ",") {
+		op = strings.TrimSpace(op)
+		if op == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(op, ":")
+		if !ok {
+			stdlog.Fatalf("bad op %q (want put:k=v, get:k or del:k)", op)
+		}
+		seq++
+		c := kv.Command{Client: client, Seq: seq}
+		switch kind {
+		case "put":
+			k, v, ok := strings.Cut(rest, "=")
+			if !ok {
+				stdlog.Fatalf("bad put %q (want put:k=v)", op)
+			}
+			c.Op, c.Key, c.Val = kv.OpPut, k, v
+		case "get":
+			c.Op, c.Key = kv.OpGet, rest
+		case "del":
+			c.Op, c.Key = kv.OpDel, rest
+		default:
+			stdlog.Fatalf("bad op kind %q", kind)
+		}
+		req := proto.Message{Kind: proto.MsgKVRequest, Tag: proto.Tag{Mod: proto.ModKV}, Val: c.Encode()}
+		for _, conn := range conns {
+			if err := writeKVFrame(conn, req); err != nil {
+				stdlog.Fatalf("send: %v", err)
+			}
+		}
+		for i, conn := range conns {
+			conn.SetReadDeadline(time.Now().Add(timeout))
+			m, err := readKVFrame(conn)
+			if err != nil {
+				stdlog.Fatalf("recv: %v", err)
+			}
+			r, err := kv.DecodeResponse(m.Val)
+			if err != nil {
+				stdlog.Fatalf("bad response: %v", err)
+			}
+			if i == 0 {
+				fmt.Printf("%-16s -> %v\n", op, r)
+			}
+		}
+	}
+}

@@ -23,6 +23,20 @@
 //	minsync-node -id 2 -peers ...same...     -t 1 -log 120 -batch 16 -pipeline 4
 //	...
 //
+// Replicated-KV mode (-kv): each process additionally runs the
+// state-machine stack (sm applier + kv store with client sessions,
+// snapshots and log compaction) and serves client gets/puts over a
+// separate TCP listener (-kv-listen). Reads are ordered through the log
+// too, so answers are linearizable:
+//
+//	minsync-node -id 1 -peers ...as above... -t 1 -kv -kv-listen 127.0.0.1:9001
+//	...
+//	minsync-node -kv-client 127.0.0.1:9001 -client-id 7 -ops "put:user=ada,get:user"
+//
+// The client mode accepts several replica addresses; sending the same
+// (client, seq) command to all of them demonstrates the session layer's
+// exactly-once guarantee.
+//
 // The i-th peer address belongs to process i.
 package main
 
@@ -52,15 +66,32 @@ func main() {
 		mF       = flag.Int("m", 2, "distinct proposable values (single-shot mode)")
 		propose  = flag.String("propose", "", "value to propose (required in single-shot mode)")
 		logN     = flag.Int("log", 0, "replicated-log mode: totally order this many commands")
-		batch    = flag.Int("batch", 16, "log mode: max commands per batch")
-		pipeline = flag.Int("pipeline", 4, "log mode: consensus instances in flight")
+		batch    = flag.Int("batch", 16, "log/kv mode: max commands per batch")
+		pipeline = flag.Int("pipeline", 4, "log/kv mode: consensus instances in flight")
 		unit     = flag.Duration("unit", 50*time.Millisecond, "EA round timer unit")
 		wait     = flag.Duration("wait", 2*time.Minute, "give up after this long")
 		startIn  = flag.Duration("start-in", 2*time.Second, "delay before proposing (lets peers come up)")
+
+		kvMode    = flag.Bool("kv", false, "replicated-KV mode: serve gets/puts over TCP")
+		kvListen  = flag.String("kv-listen", "127.0.0.1:0", "kv mode: client listener address")
+		kvTarget  = flag.Int("kv-target", 0, "kv mode: exit after applying this many commands (0 = serve until killed)")
+		snapEvery = flag.Int("snapshot-every", 16, "kv mode: snapshot cadence in applied entries (0 = off)")
+		compact   = flag.Bool("compact", true, "kv mode: retire pre-snapshot state after each snapshot")
+
+		kvClient = flag.String("kv-client", "", "client mode: comma list of replica kv-listen addresses")
+		clientID = flag.Uint64("client-id", 1, "client mode: session id (nonzero)")
+		ops      = flag.String("ops", "", `client mode: op script, e.g. "put:k=v,get:k,del:k"`)
 	)
 	flag.Parse()
-	if *logN <= 0 && *propose == "" {
-		stdlog.Fatal("-propose is required (or use -log N)")
+	if *kvClient != "" {
+		if *clientID == 0 || *ops == "" {
+			stdlog.Fatal("-kv-client needs a nonzero -client-id and an -ops script")
+		}
+		runKVClient(*kvClient, *clientID, *ops, *wait)
+		return
+	}
+	if *logN <= 0 && !*kvMode && *propose == "" {
+		stdlog.Fatal("-propose is required (or use -log N / -kv)")
 	}
 	peers := strings.Split(*peersF, ",")
 	n := len(peers)
@@ -68,7 +99,7 @@ func main() {
 		stdlog.Fatalf("-id must be in 1..%d", n)
 	}
 	params := types.Params{N: n, T: *tF, M: *mF}
-	if err := params.Validate(*logN > 0); err != nil {
+	if err := params.Validate(*logN > 0 || *kvMode); err != nil {
 		stdlog.Fatal(err)
 	}
 	self := types.ProcID(*idF)
@@ -82,6 +113,17 @@ func main() {
 		Self:  self,
 		Addrs: addrs,
 		Recv: func(from types.ProcID, m proto.Message) {
+			// KV request frames are client vocabulary, never consensus
+			// traffic: route them to the forward interceptor when one is
+			// installed (kv mode) and drop them otherwise — letting one
+			// into the dispatcher would consume the shared dedup identity
+			// and silently swallow every later forward from that peer.
+			if m.Kind == proto.MsgKVRequest {
+				if f := kvForward.Load(); f != nil {
+					(*f)(from, m)
+				}
+				return
+			}
 			node.Deliver(from, m)
 		},
 		Logf: stdlog.Printf,
@@ -101,6 +143,10 @@ func main() {
 	}
 	defer node.Stop()
 
+	if *kvMode {
+		runKVServe(node, tr, self, *kvListen, *batch, *pipeline, *snapEvery, *compact, *unit, *wait, *startIn, *kvTarget)
+		return
+	}
 	if *logN > 0 {
 		runLogMode(node, tr, self, *logN, *batch, *pipeline, *unit, *wait, *startIn)
 		return

@@ -1,0 +1,104 @@
+// Replicated KV service: the full state-machine-replication stack on top
+// of the paper's consensus.
+//
+// Four processes (n=4, t=1, one silent Byzantine replica) run a key-value
+// store driven by the replicated log: client commands — puts, gets,
+// deletes, all carrying (client, seq) session identities — are totally
+// ordered by batched, pipelined consensus instances and applied by every
+// replica's deterministic state machine. The workload deliberately
+// includes client RETRIES (same client and sequence number submitted
+// twice, once with a different payload): the session table applies each
+// request exactly once and answers the duplicates from its response
+// cache.
+//
+// Every 8 applied entries each replica takes a digest-stamped snapshot of
+// its state; each snapshot lets the replica retire everything older —
+// consensus-instance bookkeeping, message-dedup maps, committed-entry
+// prefixes — wholesale (log compaction), which is what bounds memory on
+// long runs. The demo prints the final state digest of every replica:
+// they are byte-identical, which is the whole point of state-machine
+// replication.
+//
+// Run with: go run ./examples/replicated-kv
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/minsync"
+)
+
+func main() {
+	// A small banking-flavored workload: 3 clients, mixed ops, retries.
+	var cmds []minsync.KVCommand
+	seqs := map[uint64]uint64{}
+	next := func(client uint64) uint64 { seqs[client]++; return seqs[client] }
+	for i := 0; i < 36; i++ {
+		client := uint64(i%3 + 1)
+		c := minsync.KVCommand{
+			Op:     minsync.KVPut,
+			Client: client, Seq: next(client),
+			Key: fmt.Sprintf("account-%02d", i%6),
+			Val: fmt.Sprintf("balance-%04d", 100*i),
+		}
+		switch i % 6 {
+		case 2:
+			c.Op, c.Val = minsync.KVGet, ""
+		case 5:
+			c.Op, c.Val = minsync.KVDel, ""
+		}
+		cmds = append(cmds, c)
+		if i%9 == 4 {
+			// The client times out and retries through another replica —
+			// same (client, seq), re-encoded payload. Exactly-once must
+			// hold anyway.
+			retry := c
+			if retry.Op == minsync.KVPut {
+				retry.Val += "-retry"
+			}
+			cmds = append(cmds, retry)
+		}
+	}
+
+	res, err := minsync.SimulateKV(minsync.KVConfig{
+		N: 4, T: 1,
+		Commands:      cmds,
+		BatchSize:     8,
+		Pipeline:      2,
+		SnapshotEvery: 8,
+		Compact:       true,
+		CompactKeep:   2,
+		Byzantine:     map[minsync.ProcID]minsync.Fault{4: {Kind: minsync.FaultSilent}},
+		Synchrony:     minsync.FullSynchrony(3 * time.Millisecond),
+		Seed:          2026,
+		Deadline:      10 * time.Minute,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("workload: %d submissions (%d clients, retries included), n=4 t=1 (p4 silent)\n\n", len(cmds), 3)
+	fmt.Printf("  committed everywhere: %v    logs consistent: %v    states agree: %v\n",
+		res.AllCommitted, res.Consistent, res.StatesAgree)
+	fmt.Printf("  state digest: %s…\n", res.StateDigest[:24])
+	fmt.Printf("  store: %d keys, %d sessions\n", res.Keys, res.Sessions)
+	fmt.Printf("  session layer: %d applies, %d duplicates answered from cache, %d stale rejections\n",
+		res.Applies, res.Duplicates, res.Stales)
+	fmt.Printf("  snapshots: %d    compaction: %d instances retired, %d still live\n",
+		res.Snapshots, res.RetiredInstances, res.LiveInstances)
+	fmt.Printf("  messages: %d    virtual time: %v\n\n", res.Messages, res.Latency.Round(time.Millisecond))
+
+	if v, ok := res.Get("account-01"); ok {
+		fmt.Printf("  account-01 = %q\n", v)
+	}
+
+	if !res.AllCommitted || !res.Consistent || !res.StatesAgree {
+		panic("replicated KV service violated its guarantees")
+	}
+	if res.Duplicates == 0 {
+		panic("retry workload was not suppressed by the session layer")
+	}
+	fmt.Println("\nThree correct replicas hold byte-identical state, retries applied")
+	fmt.Println("exactly once, and everything before the last snapshot was retired.")
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ea"
 	"repro/internal/harness"
+	"repro/internal/kv"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/runner"
@@ -562,5 +563,46 @@ func LogWorkloadSpec(n, batch, pipeline, workload int, seed int64) runner.LogSpe
 	spec.Log.Engine.TimeUnit = Unit
 	spec.Log.BatchSize = batch
 	spec.Log.Pipeline = pipeline
+	// Long throughput runs retire per-instance state (consensus engines,
+	// dedup sub-maps, entry prefixes) once it trails the apply point by a
+	// generous margin — the ROADMAP's "retire wholesale when an instance
+	// commits". The lag keeps echo service alive far beyond the pipeline
+	// depth, and bounded retained state is what keeps the big-n cells out
+	// of GC trouble.
+	spec.Log.AutoCompactLag = 64
+	return spec
+}
+
+// KVWorkloadSpec builds the canonical replicated-KV benchmark workload
+// (the one both the in-repo benchmarks and cmd/minsync-bench measure, so
+// BENCH_*.json trends stay comparable): `workload` session-carrying
+// commands over 4 clients and 16 keys, every 5th a read, snapshots every
+// 16 entries with compaction on. Callers wanting the compaction-off
+// ablation clear SnapshotEvery/Compact on the returned spec.
+func KVWorkloadSpec(n, workload int, seed int64) runner.KVSpec {
+	cmds := make([]kv.Command, workload)
+	seqs := make(map[uint64]uint64, 4)
+	for i := range cmds {
+		client := uint64(i%4 + 1)
+		seqs[client]++
+		cmds[i] = kv.Command{Op: kv.OpPut, Client: client, Seq: seqs[client],
+			Key: fmt.Sprintf("key-%02d", i%16), Val: fmt.Sprintf("val-%04d", i)}
+		if i%5 == 3 {
+			cmds[i].Op, cmds[i].Val = kv.OpGet, ""
+		}
+	}
+	spec := runner.KVSpec{
+		Params:        types.Params{N: n, T: (n - 1) / 3},
+		Topology:      network.FullySynchronous(n, Delta),
+		Seed:          seed,
+		Commands:      cmds,
+		SnapshotEvery: 16,
+		Compact:       true,
+		CompactKeep:   2,
+		Deadline:      types.Time(10 * time.Minute),
+	}
+	spec.Log.Engine.TimeUnit = Unit
+	spec.Log.BatchSize = 8
+	spec.Log.Pipeline = 2
 	return spec
 }

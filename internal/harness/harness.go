@@ -110,6 +110,11 @@ func (w *World) SetBehavior(id types.ProcID, b Behavior) error {
 // events or read the clock).
 func (w *World) Env(id types.ProcID) proto.Env { return w.envs[id] }
 
+// Node returns the dedup dispatcher of process id (nil before
+// SetBehavior). The replicated-log runner wires it to the engine as the
+// compaction Retirer.
+func (w *World) Node(id types.ProcID) *proto.Node { return w.nodes[id] }
+
 // receive is the network's delivery callback. Pooled message boxes are
 // recycled here — handlers only ever see a value copy, so nothing can
 // retain the box.

@@ -59,6 +59,29 @@ type Config struct {
 	// OnCommit, if non-nil, is called for every committed command, in
 	// log order.
 	OnCommit func(e Entry)
+	// OnApply, if non-nil, is called after each instance is applied (all
+	// its commits delivered), with the number of entries it contributed.
+	// The state-machine layer (internal/sm) drives its snapshot cadence
+	// from this hook; snapshots at instance boundaries are what make log
+	// compaction exact.
+	OnApply func(i types.Instance, newly int)
+	// AutoCompactLag, when > 0, compacts instance i as soon as instance
+	// i+AutoCompactLag is applied — the "retire wholesale when an instance
+	// commits" mode for pure log runs that keep no snapshots. 0 disables
+	// it (the default: compaction changes which late messages still get
+	// echo service, hence the message schedule, so digest-pinned runs must
+	// leave it off). State-machine runs should compact via snapshots
+	// (sm.Applier + Compact) instead, so recovery always has a snapshot
+	// covering the trimmed prefix.
+	AutoCompactLag types.Instance
+}
+
+// Retirer releases per-instance message-dedup state below an instance
+// boundary. proto.Node implements it; the hosting runtime wires its node
+// to the engine with SetRetirer so Compact can retire dedup sub-maps in
+// the same stroke as the engine's own per-instance state.
+type Retirer interface {
+	RetireInstancesBefore(floor types.Instance)
 }
 
 // Engine is one correct replica of the replicated log. It implements
@@ -81,10 +104,16 @@ type Engine struct {
 	pendingSet map[types.Value]struct{}
 	inFlight   map[types.Value]int // commands inside own undecided batches
 	committed  map[types.Value]struct{}
-	entries    []Entry
+	entries    []Entry // retained suffix: entries [entriesBase, Committed())
+
+	floor       types.Instance // instances < floor are compacted away
+	entriesBase int            // entries below this index were trimmed
+	retired     int            // instance engines released by Compact
+	retirer     Retirer        // optional dedup retirement hook
 
 	noOps      int    // applied instances that committed nothing new
 	dropsAhead uint64 // messages dropped by the MaxLead guard
+	dropsBelow uint64 // messages dropped for compacted instances
 	running    bool
 	closed     bool
 	err        error // first per-instance construction error, if any
@@ -173,11 +202,22 @@ func (l *Engine) Submit(cmd types.Value) error {
 // reliable-broadcast layers of old instances for slower peers.
 func (l *Engine) Close() { l.closed = true }
 
+// SetRetirer wires the message-dedup layer into compaction: Compact will
+// call r.RetireInstancesBefore with the same floor it applies to its own
+// per-instance state. Set once, before Start.
+func (l *Engine) SetRetirer(r Retirer) { l.retirer = r }
+
 // OnMessage implements proto.Handler: demultiplex to the instance engine.
 func (l *Engine) OnMessage(from types.ProcID, m proto.Message) {
 	i := m.Instance
 	if i < 0 || i >= l.applied+l.cfg.MaxLead {
 		l.dropsAhead++
+		return
+	}
+	if i < l.floor {
+		// The instance was compacted: its state is gone and its outcome is
+		// already reflected in the applied prefix (and any snapshot).
+		l.dropsBelow++
 		return
 	}
 	inst := l.getInstance(i)
@@ -286,7 +326,7 @@ func (l *Engine) tryApply() {
 					}
 					l.committed[c] = struct{}{}
 					l.removePending(c)
-					e := Entry{Index: len(l.entries), Instance: i, Cmd: c}
+					e := Entry{Index: l.entriesBase + len(l.entries), Instance: i, Cmd: c}
 					l.entries = append(l.entries, e)
 					newly++
 					if l.cfg.OnCommit != nil {
@@ -298,11 +338,79 @@ func (l *Engine) tryApply() {
 		if newly == 0 {
 			l.noOps++
 		}
-		if l.cfg.Target > 0 && len(l.entries) >= l.cfg.Target {
+		if l.cfg.OnApply != nil {
+			// The hook may snapshot and call Compact re-entrantly; Compact
+			// touches only state below the applied boundary, so the loop's
+			// own bookkeeping (decided, applied) stays coherent.
+			l.cfg.OnApply(i, newly)
+		}
+		if lag := l.cfg.AutoCompactLag; lag > 0 && l.applied > lag {
+			l.Compact(l.applied - lag)
+		}
+		if l.cfg.Target > 0 && l.Committed() >= l.cfg.Target {
 			l.closed = true
 		}
 		l.startNext()
 	}
+}
+
+// Compact retires every instance below floor wholesale: the per-instance
+// consensus engines (with all their RB/CB/AC/EA bookkeeping), the
+// committed-entry prefix those instances produced, the commit-dedup
+// entries of the trimmed commands, and — via the Retirer — the message
+// dedup sub-maps. floor is clamped to the applied boundary: unapplied
+// instances are never compacted.
+//
+// Dropping commit-dedup entries means a command committed before floor
+// can commit AGAIN if a client (or Byzantine proposer) re-submits it:
+// bounded memory moves the exactly-once obligation up to the state
+// machine's session layer (internal/kv), which is the classic SMR
+// arrangement. Total order is unaffected: compaction instants are a
+// deterministic function of the applied prefix, so every correct replica
+// trims identical state at identical prefix points.
+//
+// Safety of retiring instance engines mid-run: an engine is only retired
+// after this replica applied its decision, by which point the replica has
+// broadcast every contribution the instance will ever need from it (a
+// decided core engine halts its round loop and has already RB-broadcast
+// DECIDE). Laggards therefore still receive all previously sent traffic;
+// what they lose is the retired replica's future echo service, which a
+// snapshot-based state transfer — Recover on the sm layer — replaces.
+//
+// Returns the number of instance engines released.
+func (l *Engine) Compact(floor types.Instance) int {
+	if floor > l.applied {
+		floor = l.applied
+	}
+	if floor <= l.floor {
+		return 0
+	}
+	released := 0
+	for i := l.floor; i < floor; i++ {
+		if _, ok := l.insts[i]; ok {
+			delete(l.insts, i)
+			released++
+		}
+	}
+	trim := 0
+	for trim < len(l.entries) && l.entries[trim].Instance < floor {
+		delete(l.committed, l.entries[trim].Cmd)
+		trim++
+	}
+	if trim > 0 {
+		// Copy the suffix into a fresh slice so the trimmed prefix's
+		// backing array (and its command strings) become collectable.
+		rest := make([]Entry, len(l.entries)-trim)
+		copy(rest, l.entries[trim:])
+		l.entries = rest
+		l.entriesBase += trim
+	}
+	l.floor = floor
+	l.retired += released
+	if l.retirer != nil {
+		l.retirer.RetireInstancesBefore(floor)
+	}
+	return released
 }
 
 // removePending deletes c from the pending queue (linear; batches are
@@ -320,12 +428,18 @@ func (l *Engine) removePending(c types.Value) {
 	}
 }
 
-// Entries returns the committed log (shared slice; callers must not
-// mutate).
+// Entries returns the retained committed-entry suffix (shared slice;
+// callers must not mutate). Before any compaction this is the whole log;
+// after, it starts at EntriesBase().
 func (l *Engine) Entries() []Entry { return l.entries }
 
-// Committed returns the number of committed commands.
-func (l *Engine) Committed() int { return len(l.entries) }
+// EntriesBase returns the index of the first retained entry (entries
+// below it were trimmed by Compact).
+func (l *Engine) EntriesBase() int { return l.entriesBase }
+
+// Committed returns the number of committed commands (including trimmed
+// ones).
+func (l *Engine) Committed() int { return l.entriesBase + len(l.entries) }
 
 // Applied returns the number of applied instances (instances [0, Applied)
 // are applied).
@@ -340,6 +454,16 @@ func (l *Engine) NoOps() int { return l.noOps }
 
 // DroppedAhead returns how many messages the MaxLead guard dropped.
 func (l *Engine) DroppedAhead() uint64 { return l.dropsAhead }
+
+// DroppedRetired returns how many messages arrived for compacted
+// instances.
+func (l *Engine) DroppedRetired() uint64 { return l.dropsBelow }
+
+// Floor returns the compaction floor: instances < Floor are retired.
+func (l *Engine) Floor() types.Instance { return l.floor }
+
+// Retired returns how many instance engines Compact has released.
+func (l *Engine) Retired() int { return l.retired }
 
 // Closed reports whether the engine stopped starting new instances.
 func (l *Engine) Closed() bool { return l.closed }

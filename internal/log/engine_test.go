@@ -266,3 +266,163 @@ func TestTargetClosesEngine(t *testing.T) {
 		t.Fatalf("closed engine opened instance (insts=%d)", eng.Instances())
 	}
 }
+
+// retireRecorder captures Retirer calls.
+type retireRecorder struct{ floors []types.Instance }
+
+func (r *retireRecorder) RetireInstancesBefore(f types.Instance) { r.floors = append(r.floors, f) }
+
+func TestCompactRetiresWholesale(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{Pipeline: 4})
+	rec := &retireRecorder{}
+	eng.SetRetirer(rec)
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.onInstanceDecided(0, EncodeBatch([]types.Value{"a", "b"}))
+	eng.onInstanceDecided(1, EncodeBatch([]types.Value{"c"}))
+	eng.onInstanceDecided(2, EncodeBatch([]types.Value{"d"}))
+	if eng.Applied() != 3 || eng.Committed() != 4 {
+		t.Fatalf("setup: applied=%v committed=%d", eng.Applied(), eng.Committed())
+	}
+	instsBefore := eng.Instances()
+
+	released := eng.Compact(2)
+	if released != 2 {
+		t.Fatalf("released %d engines, want 2", released)
+	}
+	if eng.Floor() != 2 || eng.Retired() != 2 {
+		t.Fatalf("floor=%v retired=%d", eng.Floor(), eng.Retired())
+	}
+	if eng.Instances() != instsBefore-2 {
+		t.Fatalf("live instances %d, want %d", eng.Instances(), instsBefore-2)
+	}
+	// Entries of instances 0 and 1 ("a","b","c") are trimmed; the suffix
+	// and the total count survive.
+	if eng.EntriesBase() != 3 || eng.Committed() != 4 {
+		t.Fatalf("base=%d committed=%d", eng.EntriesBase(), eng.Committed())
+	}
+	if len(eng.Entries()) != 1 || eng.Entries()[0].Cmd != "d" || eng.Entries()[0].Index != 3 {
+		t.Fatalf("retained entries: %+v", eng.Entries())
+	}
+	if len(rec.floors) != 1 || rec.floors[0] != 2 {
+		t.Fatalf("retirer calls: %v", rec.floors)
+	}
+}
+
+func TestCompactClampsToApplied(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{Pipeline: 4})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.onInstanceDecided(0, EncodeBatch([]types.Value{"a"}))
+	// Instance 1 not applied: a floor of 100 must clamp to 1.
+	eng.Compact(100)
+	if eng.Floor() != 1 {
+		t.Fatalf("floor=%v, want clamp to applied boundary 1", eng.Floor())
+	}
+	// Re-compacting at or below the floor is a no-op.
+	if n := eng.Compact(1); n != 0 {
+		t.Fatalf("re-compact released %d", n)
+	}
+}
+
+func TestCompactDropsRetiredInstanceTraffic(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{Pipeline: 2})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.onInstanceDecided(0, EncodeBatch([]types.Value{"a"}))
+	eng.Compact(1)
+	m := proto.Message{
+		Kind: proto.MsgRBInit, Tag: proto.Tag{Mod: proto.ModConsCB0},
+		Instance: 0, Origin: 2, Val: "late",
+	}
+	eng.OnMessage(2, m)
+	if eng.DroppedRetired() != 1 {
+		t.Fatalf("retired-instance message not dropped (drops=%d)", eng.DroppedRetired())
+	}
+	if eng.Instances() == 0 {
+		t.Fatal("live instances vanished")
+	}
+}
+
+// TestCompactForgetsContentDedup: compaction trades the log's commit-time
+// content dedup for bounded memory — a command committed before the floor
+// may commit again (the session layer above restores exactly-once).
+func TestCompactForgetsContentDedup(t *testing.T) {
+	var got []types.Value
+	eng, _ := newTestEngine(t, Config{Pipeline: 8, OnCommit: func(e Entry) {
+		got = append(got, e.Cmd)
+	}})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.onInstanceDecided(0, EncodeBatch([]types.Value{"x"}))
+	// Before compaction a re-decided "x" deduplicates.
+	eng.onInstanceDecided(1, EncodeBatch([]types.Value{"x"}))
+	if eng.Committed() != 1 {
+		t.Fatalf("pre-compaction dedup broken: committed=%d", eng.Committed())
+	}
+	eng.Compact(2)
+	eng.onInstanceDecided(2, EncodeBatch([]types.Value{"x"}))
+	if eng.Committed() != 2 {
+		t.Fatalf("post-compaction recommit suppressed: committed=%d", eng.Committed())
+	}
+	if len(got) != 2 || got[0] != "x" || got[1] != "x" {
+		t.Fatalf("commit stream: %q", got)
+	}
+}
+
+func TestAutoCompactLag(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{Pipeline: 8, AutoCompactLag: 2})
+	rec := &retireRecorder{}
+	eng.SetRetirer(rec)
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := types.Instance(0); i < 6; i++ {
+		eng.onInstanceDecided(i, EncodeBatch([]types.Value{types.Value("c" + i.String())}))
+	}
+	// applied = 6, lag = 2 ⇒ floor must trail at 4.
+	if eng.Floor() != 4 {
+		t.Fatalf("floor=%v, want 4", eng.Floor())
+	}
+	if eng.Retired() != 4 {
+		t.Fatalf("retired=%d, want 4", eng.Retired())
+	}
+}
+
+func TestOnApplyHookOrderAndCounts(t *testing.T) {
+	type applyRec struct {
+		inst  types.Instance
+		newly int
+	}
+	var applies []applyRec
+	var commitsSeen int
+	eng, _ := newTestEngine(t, Config{
+		Pipeline: 3,
+		OnCommit: func(e Entry) { commitsSeen++ },
+		OnApply: func(i types.Instance, newly int) {
+			applies = append(applies, applyRec{i, newly})
+			if newly > commitsSeen {
+				t.Errorf("OnApply(%v) before its commits delivered", i)
+			}
+		},
+	})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.onInstanceDecided(1, EncodeBatch([]types.Value{"b"}))
+	eng.onInstanceDecided(0, EncodeBatch([]types.Value{"a", "c"}))
+	eng.onInstanceDecided(2, types.BotValue)
+	want := []applyRec{{0, 2}, {1, 1}, {2, 0}}
+	if len(applies) != len(want) {
+		t.Fatalf("applies: %+v", applies)
+	}
+	for i := range want {
+		if applies[i] != want[i] {
+			t.Fatalf("applies: %+v, want %+v", applies, want)
+		}
+	}
+}

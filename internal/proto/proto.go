@@ -27,6 +27,12 @@ const (
 	MsgEAProp2 // EA_PROP2[r](aux)      — Fig. 3 line 2
 	MsgEACoord // EA_COORD[r](w)        — Fig. 3 line 13
 	MsgEARelay // EA_RELAY[r](v | ⊥)    — Fig. 3 line 18
+	// The KV kinds are the client-facing vocabulary of the replicated KV
+	// service (wire codec v3): they travel between clients and replicas,
+	// never between replicas, and bypass the consensus dedup/dispatch
+	// path entirely.
+	MsgKVRequest  // KV_REQ(encoded kv.Command)
+	MsgKVResponse // KV_RESP(encoded kv.Response)
 )
 
 // String implements fmt.Stringer. A switch, not a map: tracing and error
@@ -46,6 +52,10 @@ func (k MsgKind) String() string {
 		return "EA_COORD"
 	case MsgEARelay:
 		return "EA_RELAY"
+	case MsgKVRequest:
+		return "KV_REQ"
+	case MsgKVResponse:
+		return "KV_RESP"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", int(k))
 	}
@@ -72,6 +82,9 @@ const (
 	// ModDecide is the RB stream of DECIDE messages (Fig. 4 line 7);
 	// Round is always 0.
 	ModDecide
+	// ModKV tags the client-facing KV request/response messages of the
+	// replicated KV service; Round is always 0.
+	ModKV
 )
 
 // String implements fmt.Stringer (a switch for the same reason as
@@ -90,6 +103,8 @@ func (m Module) String() string {
 		return "ac-est"
 	case ModDecide:
 		return "decide"
+	case ModKV:
+		return "kv"
 	default:
 		return fmt.Sprintf("Module(%d)", int(m))
 	}
@@ -141,24 +156,6 @@ func (m Message) String() string {
 	default:
 		return fmt.Sprintf("%v[%s%v](%s)", m.Kind, inst, m.Tag, m.Val)
 	}
-}
-
-// DedupKey is the identity under the paper's "single message per TAG"
-// rule: a process accepts at most one message per (sender, instance,
-// kind, tag, origin) tuple; later ones are discarded regardless of
-// content. Instance is part of the identity so that every log instance
-// gets its own fresh first-message rule.
-type DedupKey struct {
-	From     types.ProcID
-	Instance types.Instance
-	Kind     MsgKind
-	Tag      Tag
-	Origin   types.ProcID
-}
-
-// Key builds the DedupKey of a message from a given network sender.
-func Key(from types.ProcID, m Message) DedupKey {
-	return DedupKey{From: from, Instance: m.Instance, Kind: m.Kind, Tag: m.Tag, Origin: m.Origin}
 }
 
 // AsMessage extracts the protocol message from a raw network payload,
@@ -239,32 +236,89 @@ var _ Handler = HandlerFunc(nil)
 // OnMessage implements Handler.
 func (f HandlerFunc) OnMessage(from types.ProcID, m Message) { f(from, m) }
 
-// Node applies the first-message-only rule in front of a Handler. Protocol
-// layers can therefore assume every (sender, kind, tag, origin) arrives at
-// most once, which is what the paper's pseudo-code assumes implicitly.
-type Node struct {
-	h    Handler
-	seen map[DedupKey]struct{}
-	// Dropped counts discarded duplicates (Byzantine spam metric).
-	Dropped uint64
+// instKey is the per-message dedup identity inside one instance sub-map:
+// the paper's "single message per TAG" rule accepts at most one message
+// per (sender, kind, tag, origin) tuple per instance; later ones are
+// discarded regardless of content. Instance lives in the sub-map key, not
+// here, which keeps the hashed key at 40 bytes on the dispatch hot path
+// (the historical flat key hashed 48).
+type instKey struct {
+	From   types.ProcID
+	Kind   MsgKind
+	Tag    Tag
+	Origin types.ProcID
 }
 
-// NewNode wraps h with duplicate suppression. The seen set is sized for a
-// few protocol rounds up front so the dispatch path rarely rehashes.
+// Node applies the first-message-only rule in front of a Handler. Protocol
+// layers can therefore assume every (sender, kind, tag, origin) arrives at
+// most once per instance, which is what the paper's pseudo-code assumes
+// implicitly.
+//
+// The seen set is sharded per log instance so that a whole instance's
+// dedup state can be retired in O(1) map deletes when the replicated-log
+// layer compacts it (RetireInstancesBefore) — the flat set of earlier
+// releases grew without bound on long log runs.
+type Node struct {
+	h     Handler
+	seen  map[types.Instance]map[instKey]struct{}
+	floor types.Instance // instances < floor are retired
+	// Dropped counts discarded duplicates (Byzantine spam metric).
+	Dropped uint64
+	// DroppedRetired counts messages for instances already retired by
+	// RetireInstancesBefore (late traffic after compaction).
+	DroppedRetired uint64
+}
+
+// NewNode wraps h with duplicate suppression.
 func NewNode(h Handler) *Node {
-	return &Node{h: h, seen: make(map[DedupKey]struct{}, 256)}
+	return &Node{h: h, seen: make(map[types.Instance]map[instKey]struct{}, 8)}
 }
 
 // Dispatch feeds one raw network delivery through deduplication.
 func (n *Node) Dispatch(from types.ProcID, m Message) {
-	k := Key(from, m)
-	if _, dup := n.seen[k]; dup {
+	if m.Instance < n.floor {
+		n.DroppedRetired++
+		return
+	}
+	sub, ok := n.seen[m.Instance]
+	if !ok {
+		// No size hint: a Byzantine peer can name a distinct instance in
+		// every frame (the engine's MaxLead guard rejects them only AFTER
+		// dedup), and pre-sizing would amplify each such frame into a
+		// multi-kilobyte allocation. Unhinted maps keep the spam cost
+		// comparable to the historical flat set; busy instances grow
+		// amortized.
+		sub = make(map[instKey]struct{})
+		n.seen[m.Instance] = sub
+	}
+	k := instKey{From: from, Kind: m.Kind, Tag: m.Tag, Origin: m.Origin}
+	if _, dup := sub[k]; dup {
 		n.Dropped++
 		return
 	}
-	n.seen[k] = struct{}{}
+	sub[k] = struct{}{}
 	n.h.OnMessage(from, m)
 }
+
+// RetireInstancesBefore drops the dedup sub-maps of every instance below
+// floor and rejects their future traffic outright. The replicated-log
+// layer calls it when a snapshot makes those instances disposable; the
+// first-message rule for live instances is unaffected.
+func (n *Node) RetireInstancesBefore(floor types.Instance) {
+	if floor <= n.floor {
+		return
+	}
+	for i := range n.seen {
+		if i < floor {
+			delete(n.seen, i)
+		}
+	}
+	n.floor = floor
+}
+
+// LiveInstances returns the number of instance dedup sub-maps currently
+// held (memory introspection).
+func (n *Node) LiveInstances() int { return len(n.seen) }
 
 // Broadcast is a helper for modules that need the paper's best-effort
 // broadcast given only a point-to-point Send (used by Byzantine behaviors

@@ -43,17 +43,30 @@ func TestDedup(t *testing.T) {
 }
 
 func TestKeyFields(t *testing.T) {
+	// The payload value must NOT be part of the dedup identity (the
+	// first-message rule is per tag, not per content): a second message
+	// differing only in Val is a duplicate.
+	delivered := 0
+	n := NewNode(HandlerFunc(func(types.ProcID, Message) { delivered++ }))
 	m := Message{Kind: MsgEAProp2, Tag: Tag{Mod: ModEA, Round: 9}, Origin: 0, Val: "x"}
-	k := Key(5, m)
-	if k.From != 5 || k.Kind != MsgEAProp2 || k.Tag.Round != 9 || k.Tag.Mod != ModEA {
-		t.Fatalf("Key = %+v", k)
+	n.Dispatch(5, m)
+	m.Val = "y"
+	n.Dispatch(5, m)
+	if delivered != 1 || n.Dropped != 1 {
+		t.Fatalf("delivered=%d dropped=%d: dedup identity must ignore the payload value", delivered, n.Dropped)
 	}
-	// Value must NOT be part of the key (first-message rule is per tag,
-	// not per content).
-	m2 := m
-	m2.Val = "y"
-	if Key(5, m2) != k {
-		t.Fatal("dedup key must ignore the payload value")
+	// Each identity component distinguishes: changing any accepts again.
+	for _, mm := range []Message{
+		{Kind: MsgEACoord, Tag: Tag{Mod: ModEA, Round: 9}},
+		{Kind: MsgEAProp2, Tag: Tag{Mod: ModEA, Round: 10}},
+		{Kind: MsgEAProp2, Tag: Tag{Mod: ModACCB, Round: 9}},
+		{Kind: MsgEAProp2, Tag: Tag{Mod: ModEA, Round: 9}, Origin: 3},
+	} {
+		n.Dispatch(5, mm)
+	}
+	n.Dispatch(6, m) // different sender
+	if delivered != 6 {
+		t.Fatalf("delivered=%d, want 6: every identity component must distinguish", delivered)
 	}
 }
 
@@ -101,5 +114,61 @@ func TestNamesComplete(t *testing.T) {
 		if strings.HasPrefix(m.String(), "Module(") {
 			t.Errorf("module %d unnamed", int(m))
 		}
+	}
+}
+
+// TestDedupPerInstance: the first-message rule is scoped per instance —
+// the same (sender, kind, tag, origin) is accepted once in each instance.
+func TestDedupPerInstance(t *testing.T) {
+	var got []Message
+	n := NewNode(HandlerFunc(func(from types.ProcID, m Message) { got = append(got, m) }))
+	m := Message{Kind: MsgRBEcho, Tag: Tag{Mod: ModACEst, Round: 1}, Origin: 3, Val: "v"}
+	for _, inst := range []types.Instance{0, 1, 2, 1, 0} {
+		m.Instance = inst
+		n.Dispatch(2, m)
+	}
+	if len(got) != 3 || n.Dropped != 2 {
+		t.Fatalf("delivered %d dropped %d, want 3/2", len(got), n.Dropped)
+	}
+	if n.LiveInstances() != 3 {
+		t.Fatalf("live instance sub-maps = %d, want 3", n.LiveInstances())
+	}
+}
+
+// TestRetireInstancesBefore: retired sub-maps are dropped wholesale and
+// their late traffic is rejected without reopening dedup state.
+func TestRetireInstancesBefore(t *testing.T) {
+	delivered := 0
+	n := NewNode(HandlerFunc(func(types.ProcID, Message) { delivered++ }))
+	m := Message{Kind: MsgRBEcho, Tag: Tag{Mod: ModACEst, Round: 1}, Origin: 3, Val: "v"}
+	for inst := types.Instance(0); inst < 5; inst++ {
+		m.Instance = inst
+		n.Dispatch(2, m)
+	}
+	n.RetireInstancesBefore(3)
+	if n.LiveInstances() != 2 {
+		t.Fatalf("live sub-maps = %d, want 2", n.LiveInstances())
+	}
+	// Late traffic for a retired instance: rejected, no sub-map rebuilt.
+	m.Instance = 1
+	m.Origin = 4 // would be a fresh key if the instance were live
+	n.Dispatch(2, m)
+	if n.DroppedRetired != 1 || n.LiveInstances() != 2 {
+		t.Fatalf("retired traffic: droppedRetired=%d live=%d", n.DroppedRetired, n.LiveInstances())
+	}
+	if delivered != 5 {
+		t.Fatalf("delivered = %d, want 5", delivered)
+	}
+	// The floor is monotone: lowering it is a no-op.
+	n.RetireInstancesBefore(1)
+	if n.LiveInstances() != 2 {
+		t.Fatal("floor regressed")
+	}
+	// Live instances above the floor still dedup normally.
+	m.Instance = 4
+	m.Origin = 3
+	n.Dispatch(2, m)
+	if n.Dropped != 1 {
+		t.Fatalf("live-instance dedup broken: dropped=%d", n.Dropped)
 	}
 }

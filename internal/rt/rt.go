@@ -128,6 +128,15 @@ func (n *Node) Deliver(from types.ProcID, m proto.Message) {
 	n.Post(func() { n.dispatcher.Dispatch(from, m) })
 }
 
+// Params returns the node's resilience parameters.
+func (n *Node) Params() types.Params { return n.params }
+
+// Dispatcher exposes the dedup layer (nil before Start). The replicated-KV
+// server wires it to the log engine as the compaction Retirer; like every
+// dispatcher operation it must only be touched from the loop goroutine
+// (via Post).
+func (n *Node) Dispatcher() *proto.Node { return n.dispatcher }
+
 // Stop terminates the loop and waits for it.
 func (n *Node) Stop() {
 	n.once.Do(func() { close(n.stop) })

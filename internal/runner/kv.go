@@ -1,0 +1,359 @@
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/kv"
+	"repro/internal/log"
+	"repro/internal/network"
+	"repro/internal/proto"
+	"repro/internal/sm"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// KVSpec describes one replicated-KV execution on the simulator: every
+// correct process runs the full service stack — log.Engine ordering
+// commands, sm.Applier consuming them, kv.Store holding state — and the
+// same client workload is submitted to all of them (clients broadcast
+// requests, the classic BFT model).
+//
+// Unlike LogSpec, the workload may contain duplicate submissions: client
+// retries are the point of the session layer, and the whole stack must
+// stay exactly-once under them.
+type KVSpec struct {
+	// Params are the (n, t, m) resilience parameters (m is ignored: log
+	// instances run the ⊥-validity variant).
+	Params types.Params
+	// Topology is the synchrony matrix (nil = fully asynchronous).
+	Topology *network.Topology
+	// Policy draws async-channel delays (nil = uniform 1–20 ms).
+	Policy network.DelayPolicy
+	// Adv optionally adversarially overrides async delays.
+	Adv network.Adversary
+	// FIFO enforces per-channel ordering.
+	FIFO bool
+	// Seed drives all randomness.
+	Seed int64
+	// Record keeps the trace log.
+	Record bool
+	// Commands is the client workload in submission order. Duplicates
+	// (retries) are allowed; the reserved key prefixes of the kv codec
+	// keep them well-formed.
+	Commands []kv.Command
+	// SubmitEvery staggers the workload: command k is submitted at time
+	// k·SubmitEvery (0 = everything at time 0).
+	SubmitEvery types.Duration
+	// Byzantine maps faulty processes to behaviors.
+	Byzantine map[types.ProcID]harness.Behavior
+	// Log carries the engine knobs (Engine, BatchSize, Pipeline, MaxLead).
+	// Env, Target, OnCommit and OnApply are set by the runner.
+	Log log.Config
+	// SnapshotEvery is the applier's snapshot cadence in entries
+	// (0 = snapshots off).
+	SnapshotEvery int
+	// Compact retires pre-snapshot state after each snapshot. Requires
+	// SnapshotEvery > 0.
+	Compact bool
+	// CompactKeep retains this many applied instances below the snapshot
+	// boundary (echo service margin for mildly lagging peers; default 4).
+	CompactKeep types.Instance
+	// RecoverAt schedules crash-recoveries: at each mapped virtual time
+	// the process discards its live state and rebuilds it from its latest
+	// snapshot plus the retained log suffix (sm.Applier.Recover).
+	RecoverAt map[types.ProcID]types.Time
+	// Target, when > 0, overrides the stop rule with a raw entry-count
+	// target (log.Config.Target semantics). The default stop rule counts
+	// DISTINCT workload commands instead: under compaction a forgotten
+	// duplicate can legitimately commit twice, and raw entry counts would
+	// let engines close before every distinct command is ordered.
+	Target int
+	// Deadline bounds virtual time (0 = run to drain).
+	Deadline types.Time
+	// MaxEvents bounds the number of simulation events (0 = unlimited).
+	MaxEvents uint64
+}
+
+// KVResult is the outcome of one replicated-KV execution.
+type KVResult struct {
+	LogResult
+	// Stores holds every correct process's live state machine.
+	Stores map[types.ProcID]*kv.Store
+	// Appliers holds the sm layer of every correct process.
+	Appliers map[types.ProcID]*sm.Applier
+	// StateDigests is the SHA-256 of each correct process's final machine
+	// state — byte-identical state ⇒ identical digests.
+	StateDigests map[types.ProcID][32]byte
+	// SnapshotLog records every snapshot each correct process took, in
+	// order (Index/Instance/Digest; Data omitted).
+	SnapshotLog map[types.ProcID][]sm.Snapshot
+	// RecoverErrs records failed Recover calls (nil entries are success).
+	RecoverErrs map[types.ProcID]error
+	// Covered maps each correct process to the number of DISTINCT
+	// workload commands it committed (duplicates and forged commands
+	// excluded); Distinct is the workload's distinct-command count.
+	Covered  map[types.ProcID]int
+	Distinct int
+}
+
+// MinCovered returns the smallest distinct-command coverage among
+// correct processes.
+func (r *KVResult) MinCovered() int {
+	min := -1
+	for _, id := range r.Correct {
+		if n := r.Covered[id]; min < 0 || n < min {
+			min = n
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// CoveredAll reports whether every correct process committed every
+// distinct workload command (the KV termination property — robust to
+// post-compaction duplicate commits, unlike raw entry counts).
+func (r *KVResult) CoveredAll() bool {
+	return len(r.Correct) > 0 && r.MinCovered() >= r.Distinct
+}
+
+// StatesAgree reports whether every pair of correct processes with the
+// same applied count has the same state digest, and that processes at
+// different applied counts at least took byte-identical snapshots at
+// common snapshot indexes (SnapshotsAgree).
+func (r *KVResult) StatesAgree() bool {
+	byApplied := make(map[int][32]byte)
+	for _, id := range r.Correct {
+		a := r.Appliers[id]
+		if a == nil {
+			return false
+		}
+		d := r.StateDigests[id]
+		if prev, ok := byApplied[a.Applied()]; ok && prev != d {
+			return false
+		}
+		byApplied[a.Applied()] = d
+	}
+	return len(r.Correct) > 0 && r.SnapshotsAgree()
+}
+
+// SnapshotsAgree reports whether every snapshot index reached by two or
+// more correct processes produced byte-identical snapshots (equal
+// digests) everywhere.
+func (r *KVResult) SnapshotsAgree() bool {
+	byIndex := make(map[int][32]byte)
+	for _, id := range r.Correct {
+		for _, s := range r.SnapshotLog[id] {
+			if prev, ok := byIndex[s.Index]; ok && prev != s.Digest {
+				return false
+			}
+			byIndex[s.Index] = s.Digest
+		}
+	}
+	return true
+}
+
+// ReferenceDivergence replays the reference process's committed log
+// through a fresh single-node store and compares digests with the live
+// replicated state: any difference means the applier path diverged from
+// the sequential semantics. Returns "" when they match.
+func (r *KVResult) ReferenceDivergence() string {
+	if len(r.Correct) == 0 {
+		return "no correct processes"
+	}
+	ref := r.Correct[0]
+	oracle := kv.NewStore()
+	for _, e := range r.Logs[ref] {
+		oracle.Apply(e.Cmd)
+	}
+	app := r.Appliers[ref]
+	if app == nil {
+		return "no applier at reference process"
+	}
+	want := sm.Digest(oracle)
+	if got := r.StateDigests[ref]; got != want {
+		return fmt.Sprintf("replica %v state %x diverges from sequential replay %x", ref, got[:8], want[:8])
+	}
+	return ""
+}
+
+// RunKV executes the spec.
+func RunKV(spec KVSpec) (*KVResult, error) {
+	p := spec.Params
+	if err := p.Validate(true); err != nil {
+		return nil, fmt.Errorf("runner: %w", err)
+	}
+	if len(spec.Byzantine) > p.T {
+		return nil, fmt.Errorf("runner: %d Byzantine processes exceed t=%d", len(spec.Byzantine), p.T)
+	}
+	if len(spec.Commands) == 0 {
+		return nil, fmt.Errorf("runner: empty KV workload")
+	}
+	if spec.Compact && spec.SnapshotEvery <= 0 {
+		return nil, fmt.Errorf("runner: Compact requires SnapshotEvery > 0")
+	}
+	if spec.Log.AutoCompactLag > 0 {
+		// Snapshot-driven compaction is the only safe mode under a state
+		// machine: AutoCompactLag trims entries without a covering
+		// snapshot, which would leave Recover with a gap and poison the
+		// applier.
+		return nil, fmt.Errorf("runner: AutoCompactLag is a pure-log knob; KV runs compact via SnapshotEvery+Compact")
+	}
+	if spec.CompactKeep <= 0 {
+		spec.CompactKeep = 4
+	}
+	encoded := make([]types.Value, len(spec.Commands))
+	distinct := make(map[types.Value]struct{}, len(spec.Commands))
+	for i, c := range spec.Commands {
+		encoded[i] = c.Encode()
+		distinct[encoded[i]] = struct{}{}
+	}
+	w, err := harness.New(harness.Config{
+		Params:   p,
+		Topology: spec.Topology,
+		Policy:   spec.Policy,
+		Adv:      spec.Adv,
+		FIFO:     spec.FIFO,
+		Seed:     spec.Seed,
+		Record:   spec.Record,
+		BotOK:    true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runner: %w", err)
+	}
+
+	res := &KVResult{
+		LogResult: LogResult{
+			Logs:    make(map[types.ProcID][]log.Entry),
+			Engines: make(map[types.ProcID]*log.Engine),
+		},
+		Stores:       make(map[types.ProcID]*kv.Store),
+		Appliers:     make(map[types.ProcID]*sm.Applier),
+		StateDigests: make(map[types.ProcID][32]byte),
+		SnapshotLog:  make(map[types.ProcID][]sm.Snapshot),
+		RecoverErrs:  make(map[types.ProcID]error),
+		Covered:      make(map[types.ProcID]int),
+		Distinct:     len(distinct),
+	}
+	for _, id := range p.AllProcs() {
+		id := id
+		if b, ok := spec.Byzantine[id]; ok {
+			if err := w.SetBehavior(id, b); err != nil {
+				return nil, fmt.Errorf("runner: %w", err)
+			}
+			continue
+		}
+		res.Correct = append(res.Correct, id)
+		var engErr error
+		err := w.SetBehavior(id, func(env proto.Env) proto.Handler {
+			store := kv.NewStore()
+			var eng *log.Engine
+			app, err := sm.New(sm.Config{
+				Machine:       store,
+				SnapshotEvery: spec.SnapshotEvery,
+				OnSnapshot: func(s sm.Snapshot) {
+					res.SnapshotLog[id] = append(res.SnapshotLog[id],
+						sm.Snapshot{Index: s.Index, Instance: s.Instance, Digest: s.Digest})
+					env.Trace().Emit(trace.Event{
+						At: env.Now(), Kind: trace.KindKVSnapshot, Proc: id,
+						Aux: fmt.Sprintf("idx=%d inst=%v digest=%x", s.Index, s.Instance, s.Digest[:8]),
+					})
+					if spec.Compact && eng != nil {
+						eng.Compact(s.Instance - spec.CompactKeep)
+					}
+				},
+			})
+			if err != nil {
+				engErr = err
+				return proto.HandlerFunc(func(types.ProcID, proto.Message) {})
+			}
+			cfg := spec.Log
+			cfg.Env = env
+			cfg.Target = spec.Target
+			seen := make(map[types.Value]struct{}, len(distinct))
+			cfg.OnCommit = func(e log.Entry) {
+				res.Logs[id] = append(res.Logs[id], e)
+				app.OnCommit(e)
+				// Default stop rule: close once every distinct workload
+				// command committed. Duplicate re-commits (possible after
+				// compaction forgets the content dedup) and forged
+				// commands from Byzantine batches don't count toward it —
+				// a deterministic function of the applied prefix, so
+				// instance starts stay symmetric.
+				if _, workload := distinct[e.Cmd]; !workload {
+					return
+				}
+				if _, dup := seen[e.Cmd]; dup {
+					return
+				}
+				seen[e.Cmd] = struct{}{}
+				res.Covered[id] = len(seen)
+				if spec.Target <= 0 && len(seen) >= len(distinct) && eng != nil {
+					eng.Close()
+				}
+			}
+			cfg.OnApply = app.OnApply
+			eng, err = log.New(cfg)
+			if err != nil {
+				engErr = err
+				return proto.HandlerFunc(func(types.ProcID, proto.Message) {})
+			}
+			res.Engines[id] = eng
+			res.Stores[id] = store
+			res.Appliers[id] = app
+			for k, c := range encoded {
+				c := c
+				env.SetTimer(types.Duration(k)*spec.SubmitEvery, func() { _ = eng.Submit(c) })
+			}
+			if at, ok := spec.RecoverAt[id]; ok {
+				env.SetTimer(types.Duration(at), func() {
+					if err := app.Recover(eng.Entries()); err != nil {
+						res.RecoverErrs[id] = err
+						return
+					}
+					env.Trace().Emit(trace.Event{
+						At: env.Now(), Kind: trace.KindKVRecover, Proc: id,
+						Aux: fmt.Sprintf("replayed-to=%d", app.Applied()),
+					})
+				})
+			}
+			env.SetTimer(0, func() {
+				if err := eng.Start(); err != nil {
+					engErr = err
+				}
+			})
+			return eng
+		})
+		if err != nil {
+			return nil, fmt.Errorf("runner: %w", err)
+		}
+		if engErr != nil {
+			return nil, fmt.Errorf("runner: kv replica %v: %w", id, engErr)
+		}
+		wireRetirer(w, id, res.Engines[id])
+	}
+
+	res.Stop = w.Run(spec.Deadline, spec.MaxEvents)
+	res.End = w.Sched.Now()
+	res.Events = w.Sched.Executed
+	res.Compactions = w.Sched.Compactions
+	res.Messages = w.Net.Sent()
+	res.Duplicates = w.DroppedDuplicates()
+	res.Log = w.Log
+	for _, id := range res.Correct {
+		if eng := res.Engines[id]; eng != nil && eng.Err() != nil {
+			return nil, fmt.Errorf("runner: kv replica %v: %w", id, eng.Err())
+		}
+		if app := res.Appliers[id]; app != nil {
+			res.StateDigests[id] = app.StateDigest()
+			if err := app.Err(); err != nil && res.RecoverErrs[id] == nil {
+				// A poisoned applier (failed Recover after state mutation)
+				// stopped applying; surface it as a recovery failure.
+				res.RecoverErrs[id] = err
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,255 @@
+package runner
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/harness"
+	"repro/internal/kv"
+	"repro/internal/network"
+	"repro/internal/types"
+)
+
+// kvWorkload builds n session-carrying commands spread over `clients`
+// clients and `keys` keys, with a deterministic op mix.
+func kvWorkload(n, clients, keys int) []kv.Command {
+	cmds := make([]kv.Command, 0, n)
+	seqs := make(map[uint64]uint64, clients)
+	for i := 0; i < n; i++ {
+		client := uint64(i%clients + 1)
+		seqs[client]++
+		c := kv.Command{Client: client, Seq: seqs[client], Key: fmt.Sprintf("key-%02d", (i*7)%keys)}
+		switch i % 5 {
+		case 3:
+			c.Op = kv.OpGet
+		case 4:
+			c.Op = kv.OpDel
+		default:
+			c.Op = kv.OpPut
+			c.Val = fmt.Sprintf("val-%04d", i)
+		}
+		cmds = append(cmds, c)
+	}
+	return cmds
+}
+
+func kvSpec(n, ncmds int, seed int64) KVSpec {
+	spec := KVSpec{
+		Params:   types.Params{N: n, T: (n - 1) / 3},
+		Topology: network.FullySynchronous(n, types.Duration(2*time.Millisecond)),
+		Seed:     seed,
+		Commands: kvWorkload(ncmds, 3, 8),
+		Deadline: types.Time(10 * time.Minute),
+	}
+	spec.Log.Engine.TimeUnit = types.Duration(10 * time.Millisecond)
+	spec.Log.BatchSize = 8
+	spec.Log.Pipeline = 2
+	return spec
+}
+
+func TestKVStateAgreesAcrossReplicas(t *testing.T) {
+	spec := kvSpec(4, 40, 1)
+	spec.SnapshotEvery = 10
+	res, err := RunKV(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllCommitted(40) {
+		t.Fatalf("only %d commands committed everywhere", res.MinCommitted())
+	}
+	if !res.Consistent() {
+		t.Fatal("logs inconsistent")
+	}
+	if !res.StatesAgree() {
+		t.Fatal("state digests disagree")
+	}
+	if d := res.ReferenceDivergence(); d != "" {
+		t.Fatal(d)
+	}
+	ref := res.StateDigests[res.Correct[0]]
+	for _, id := range res.Correct[1:] {
+		if res.StateDigests[id] != ref {
+			t.Fatalf("replica %v state digest differs", id)
+		}
+	}
+	for _, id := range res.Correct {
+		if len(res.SnapshotLog[id]) == 0 {
+			t.Fatalf("replica %v took no snapshots", id)
+		}
+	}
+	if !res.SnapshotsAgree() {
+		t.Fatal("snapshot digests disagree at common indexes")
+	}
+}
+
+// TestKVCompactionBoundsState: with compaction on, a long run retires
+// instance engines, dedup sub-maps and entry prefixes; retained state
+// stays bounded instead of growing with the log.
+func TestKVCompactionBoundsState(t *testing.T) {
+	spec := kvSpec(4, 120, 3)
+	spec.Log.BatchSize = 4 // more instances
+	spec.SnapshotEvery = 8
+	spec.Compact = true
+	spec.CompactKeep = 2
+	res, err := RunKV(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllCommitted(120) || !res.Consistent() || !res.StatesAgree() {
+		t.Fatalf("run degraded: committed=%d consistent=%v states=%v",
+			res.MinCommitted(), res.Consistent(), res.StatesAgree())
+	}
+	for _, id := range res.Correct {
+		eng := res.Engines[id]
+		if eng.Retired() == 0 {
+			t.Fatalf("replica %v retired no instances", id)
+		}
+		if eng.Floor() == 0 {
+			t.Fatalf("replica %v never advanced its floor", id)
+		}
+		// Live per-instance state must be a small margin, not the whole
+		// run: floor trails the applied point by at most keep + snapshot
+		// window, and everything below it is gone.
+		live := eng.Instances()
+		total := int(eng.Applied())
+		if live >= total {
+			t.Fatalf("replica %v holds %d live instances of %d applied (nothing retired?)", id, live, total)
+		}
+		if eng.EntriesBase() == 0 {
+			t.Fatalf("replica %v trimmed no entries", id)
+		}
+	}
+}
+
+// TestKVClientRetriesStayExactlyOnce: the workload carries retries — a
+// byte-identical duplicate and a re-encoded duplicate of the same
+// (client, seq) — under compaction aggressive enough that the log's
+// content dedup can forget the originals. The session layer must keep
+// the state machine exactly-once everywhere.
+func TestKVClientRetriesStayExactlyOnce(t *testing.T) {
+	base := kvWorkload(60, 3, 8)
+	cmds := make([]kv.Command, 0, len(base)+20)
+	for i, c := range base {
+		cmds = append(cmds, c)
+		if i%6 == 2 {
+			cmds = append(cmds, c) // byte-identical retry
+		}
+		if i%6 == 5 && c.Op == kv.OpPut {
+			retry := c
+			retry.Val = c.Val + "-retry" // re-encoded retry, same (client, seq)
+			cmds = append(cmds, retry)
+		}
+	}
+	spec := kvSpec(4, 1, 5)
+	spec.Commands = cmds
+	spec.Log.BatchSize = 4
+	spec.SnapshotEvery = 6
+	spec.Compact = true
+	spec.CompactKeep = 2
+	spec.SubmitEvery = types.Duration(500 * time.Microsecond)
+	res, err := RunKV(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent() || !res.StatesAgree() {
+		t.Fatal("retries broke consistency")
+	}
+	if d := res.ReferenceDivergence(); d != "" {
+		t.Fatal(d)
+	}
+	ref := res.Correct[0]
+	store := res.Stores[ref]
+	if store.Duplicates() == 0 {
+		t.Fatal("no duplicate suppression observed — the retry workload did not exercise sessions")
+	}
+	// Sequential oracle over the committed log gives the authoritative
+	// apply/dup counts; every replica's live store must match it exactly.
+	oracle := kv.NewStore()
+	for _, e := range res.Logs[ref] {
+		oracle.Apply(e.Cmd)
+	}
+	for _, id := range res.Correct {
+		s := res.Stores[id]
+		if s.Applies() != oracle.Applies() || s.Duplicates() != oracle.Duplicates() || s.Stales() != oracle.Stales() {
+			t.Fatalf("replica %v counters (%d,%d,%d) != oracle (%d,%d,%d)",
+				id, s.Applies(), s.Duplicates(), s.Stales(),
+				oracle.Applies(), oracle.Duplicates(), oracle.Stales())
+		}
+	}
+}
+
+func TestKVRecoverMidRun(t *testing.T) {
+	spec := kvSpec(4, 80, 7)
+	spec.SnapshotEvery = 8
+	spec.Compact = true
+	spec.SubmitEvery = types.Duration(time.Millisecond)
+	spec.RecoverAt = map[types.ProcID]types.Time{2: types.Time(60 * time.Millisecond)}
+	res, err := RunKV(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.RecoverErrs[2]; err != nil {
+		t.Fatalf("recover failed: %v", err)
+	}
+	if res.Appliers[2].Recoveries() != 1 {
+		t.Fatal("recovery did not run")
+	}
+	if !res.AllCommitted(80) || !res.Consistent() || !res.StatesAgree() {
+		t.Fatalf("post-recovery run degraded: committed=%d consistent=%v states=%v",
+			res.MinCommitted(), res.Consistent(), res.StatesAgree())
+	}
+}
+
+func TestKVSilentReplica(t *testing.T) {
+	spec := kvSpec(4, 40, 11)
+	spec.SnapshotEvery = 10
+	spec.Compact = true
+	spec.Byzantine = map[types.ProcID]harness.Behavior{4: adversary.Silent()}
+	res, err := RunKV(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllCommitted(40) || !res.Consistent() || !res.StatesAgree() {
+		t.Fatalf("faulty run degraded: committed=%d consistent=%v states=%v",
+			res.MinCommitted(), res.Consistent(), res.StatesAgree())
+	}
+}
+
+// TestKVDeterministicReplay: same spec, same seed ⇒ identical state
+// digests and snapshot logs.
+func TestKVDeterministicReplay(t *testing.T) {
+	run := func() *KVResult {
+		spec := kvSpec(4, 40, 13)
+		spec.SnapshotEvery = 10
+		spec.Compact = true
+		res, err := RunKV(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for _, id := range a.Correct {
+		if a.StateDigests[id] != b.StateDigests[id] {
+			t.Fatalf("replica %v digests differ across identical runs", id)
+		}
+		if len(a.SnapshotLog[id]) != len(b.SnapshotLog[id]) {
+			t.Fatalf("replica %v snapshot counts differ", id)
+		}
+	}
+}
+
+func TestKVSpecValidation(t *testing.T) {
+	spec := kvSpec(4, 10, 1)
+	spec.Compact = true // without SnapshotEvery
+	if _, err := RunKV(spec); err == nil {
+		t.Fatal("Compact without SnapshotEvery accepted")
+	}
+	spec = kvSpec(4, 10, 1)
+	spec.Commands = nil
+	if _, err := RunKV(spec); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+}

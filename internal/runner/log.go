@@ -128,6 +128,19 @@ func (r *LogResult) MinCommitted() int {
 	return min
 }
 
+// wireRetirer connects a replica's dedup dispatcher to its log engine so
+// Compact retires message-dedup sub-maps in the same stroke as the
+// engine's own per-instance state. Must run after SetBehavior (the node
+// exists only then); a nil engine (construction failed) is a no-op.
+func wireRetirer(w *harness.World, id types.ProcID, eng *log.Engine) {
+	if eng == nil {
+		return
+	}
+	if n := w.Node(id); n != nil {
+		eng.SetRetirer(n)
+	}
+}
+
 // RunLog executes the spec.
 func RunLog(spec LogSpec) (*LogResult, error) {
 	p := spec.Params
@@ -208,6 +221,7 @@ func RunLog(spec LogSpec) (*LogResult, error) {
 		if engErr != nil {
 			return nil, fmt.Errorf("runner: log engine %v: %w", id, engErr)
 		}
+		wireRetirer(w, id, res.Engines[id])
 	}
 
 	res.Stop = w.Run(spec.Deadline, spec.MaxEvents)

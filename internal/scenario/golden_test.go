@@ -31,6 +31,15 @@ func TestGoldenDigests(t *testing.T) {
 		{"botmode-many-values", 1, "d5edddb22776eaf9d2be0bfe42f141e92858cd1f2ac924d4c0a6cb250f1c2018"},
 		{"log-baseline", 1, "5316e762fb1edce20ddb7d464f8aa02af3dc64f3d884eaca0a2b059ca61d3a4b"},
 		{"log-deep-pipeline", 7, "3c677e4ed22681cff4935789d86465e2a250e01878755a06304ba584e1025c00"},
+		// KV-service rows, recorded when the state-machine layer landed.
+		// Their digests additionally cover per-replica state digests and
+		// the snapshot log (see runKV), so session semantics, snapshot
+		// determinism and compaction scheduling are all pinned here.
+		{"kv-mixed", 1, "acacfd4365a08eff5508d7ea31d7123589f46ff1bc9f719fafcc3195e8c04d3f"},
+		{"kv-sessions", 1, "df600a40b60f447ae4a3884fe73b8cb912463e7566e2c6f90f384c34942c5fca"},
+		{"kv-sessions", 7, "130eb6fc3f45466a688eaf43cfcd0bde2a20716871595dd545fabde9ff48b79a"},
+		{"kv-snapshot-recover", 1, "e5a5456cb1e7d02fc07d3183f27520bec88d9b05e8edbd2379581b45333f3d56"},
+		{"kv-long-compaction", 7, "f5595179a379c5e2663ac5e3fc924f92aad19a4eacc62ee71409c91770af6274"},
 	}
 	for _, tc := range cases {
 		tc := tc

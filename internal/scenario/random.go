@@ -27,7 +27,8 @@ func Random(seed int64) Spec {
 	s.M = 2
 
 	// Workload.
-	if rng.Intn(4) == 0 {
+	switch rng.Intn(8) {
+	case 0, 1:
 		s.Work = Work{
 			Kind:      WorkLog,
 			Commands:  8 + rng.Intn(17), // 8..24
@@ -35,7 +36,23 @@ func Random(seed int64) Spec {
 			Pipeline:  []int{1, 2, 4}[rng.Intn(3)],
 		}
 		s.M = 1
-	} else {
+	case 2:
+		s.Work = Work{
+			Kind:      WorkKV,
+			Commands:  16 + rng.Intn(25), // 16..40
+			BatchSize: []int{4, 8}[rng.Intn(2)],
+			Pipeline:  []int{1, 2, 4}[rng.Intn(3)],
+			Clients:   1 + rng.Intn(4),
+			HotKey:    rng.Intn(2) == 0,
+			Retries:   []int{0, 5}[rng.Intn(2)],
+		}
+		if rng.Intn(2) == 0 {
+			s.Work.SnapshotEvery = 6 + rng.Intn(7) // 6..12
+			s.Work.Compact = rng.Intn(2) == 0
+			s.Work.CompactKeep = 2
+		}
+		s.M = 1
+	default:
 		s.Work = Work{Kind: WorkConsensus, BotMode: rng.Intn(3) == 0}
 	}
 

@@ -231,6 +231,74 @@ var registry = []Spec{
 		Work:              Work{Kind: WorkLog, Commands: 16},
 		ExpectTermination: true,
 	},
+
+	// --- Replicated KV service (log → applier → store) ------------------
+	{
+		Name: "kv-mixed", Desc: "n=4 KV service, mixed read/write, snapshots + compaction",
+		N: 4, T: 1, M: 1,
+		Net: Net{Kind: NetFull},
+		Work: Work{
+			Kind: WorkKV, Commands: 36,
+			SnapshotEvery: 8, Compact: true, CompactKeep: 2,
+		},
+		ExpectTermination: true,
+	},
+	{
+		Name: "kv-hot-key", Desc: "n=4 KV with 70% hot-key skew and a silent replica, ◇synchrony",
+		N: 4, T: 1, M: 1,
+		Faults: []Fault{{Kind: FaultSilent}},
+		Net:    Net{Kind: NetEventual, GST: 100 * time.Millisecond},
+		Work: Work{
+			Kind: WorkKV, Commands: 32, HotKey: true, Keys: 6,
+			SnapshotEvery: 10, Compact: true, CompactKeep: 2,
+		},
+		ExpectTermination: true,
+	},
+	{
+		Name: "kv-sessions", Desc: "n=4 session-heavy KV: client retries + out-of-order seqs under aggressive compaction",
+		N: 4, T: 1, M: 1,
+		Net: Net{Kind: NetFull},
+		Work: Work{
+			Kind: WorkKV, Commands: 40, Clients: 4, BatchSize: 4,
+			Retries: 5, OutOfOrder: true,
+			SnapshotEvery: 6, Compact: true, CompactKeep: 1,
+			SubmitEvery: 500 * time.Microsecond,
+		},
+		ExpectTermination: true,
+	},
+	{
+		Name: "kv-snapshot-recover", Desc: "n=4 KV, one replica crash-recovers from its snapshot mid-run",
+		N: 4, T: 1, M: 1,
+		Net: Net{Kind: NetFull},
+		Work: Work{
+			Kind: WorkKV, Commands: 48, BatchSize: 4,
+			SnapshotEvery: 6, Compact: true, CompactKeep: 2,
+			SubmitEvery: time.Millisecond,
+			RecoverAt:   60 * time.Millisecond,
+		},
+		ExpectTermination: true,
+	},
+	{
+		Name: "kv-partition-heal", Desc: "n=4 KV service across a healing partition, equivocator, compaction on",
+		N: 4, T: 1, M: 1,
+		Faults: []Fault{{Kind: FaultEquivocate}},
+		Net:    Net{Kind: NetEventual, GST: 100 * time.Millisecond, PartitionCut: 2},
+		Work: Work{
+			Kind: WorkKV, Commands: 24,
+			SnapshotEvery: 8, Compact: true, CompactKeep: 2,
+		},
+		ExpectTermination: true,
+	},
+	{
+		Name: "kv-long-compaction", Desc: "n=4 long KV run: bounded retained state is the property under test",
+		N: 4, T: 1, M: 1,
+		Net: Net{Kind: NetFull},
+		Work: Work{
+			Kind: WorkKV, Commands: 120, BatchSize: 4, Pipeline: 2,
+			SnapshotEvery: 8, Compact: true, CompactKeep: 2,
+		},
+		ExpectTermination: true,
+	},
 }
 
 // bisrc is a registry-literal helper for explicit bisource placement

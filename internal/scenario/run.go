@@ -12,6 +12,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/kv"
 	"repro/internal/network"
 	"repro/internal/runner"
 	"repro/internal/timeliness"
@@ -73,9 +74,10 @@ const TableHeader = "scenario\tseed\tworkload\tstatus\tviolations\tdecided\tmsgs
 // the mutable world (scheduler, nodes, engines) is rebuilt per seed, which
 // is what seed-determinism requires.
 type Prepared struct {
-	Spec Spec
-	topo *network.Topology
-	cmds []types.Value
+	Spec   Spec
+	topo   *network.Topology
+	cmds   []types.Value
+	kvCmds []kv.Command
 }
 
 // Prepare validates the spec and materializes its immutable parts.
@@ -84,8 +86,11 @@ func Prepare(s Spec) (*Prepared, error) {
 		return nil, err
 	}
 	p := &Prepared{Spec: s, topo: s.Topology()}
-	if s.Work.Kind == WorkLog {
+	switch s.Work.Kind {
+	case WorkLog:
 		p.cmds = logCommands(s.Work)
+	case WorkKV:
+		p.kvCmds = kvCommands(s.Work)
 	}
 	return p, nil
 }
@@ -95,6 +100,8 @@ func (p *Prepared) Run(seed int64) (*Outcome, error) {
 	switch p.Spec.Work.Kind {
 	case WorkLog:
 		return runLog(p, seed)
+	case WorkKV:
+		return runKV(p, seed)
 	default:
 		return runConsensus(p, seed)
 	}
@@ -121,6 +128,94 @@ func logCommands(w Work) []types.Value {
 		cmds[i] = types.Value(fmt.Sprintf("cmd-%03d", i))
 	}
 	return cmds
+}
+
+// kvCommands builds the WorkKV client workload (defaults applied): a
+// deterministic mix of puts, gets and deletes over `Clients` sessions and
+// `Keys` keys, optionally skewed to a hot key, with retry duplicates and
+// regressed-sequence injections when the spec asks for them. Pure data —
+// the same Work always yields the same commands.
+func kvCommands(w Work) []kv.Command {
+	n := w.Commands
+	if n <= 0 {
+		n = 24
+	}
+	clients := w.Clients
+	if clients <= 0 {
+		clients = 3
+	}
+	keys := w.Keys
+	if keys <= 0 {
+		keys = 8
+	}
+	seqs := make(map[uint64]uint64, clients)
+	firstPut := make(map[uint64]kv.Command, clients)
+	lastCmd := make(map[uint64]kv.Command, clients)
+	out := make([]kv.Command, 0, n+n/2)
+	for i := 0; i < n; i++ {
+		client := uint64(i%clients + 1)
+		seqs[client]++
+		key := (i * 7) % keys
+		if w.HotKey && i%10 < 7 {
+			key = 0
+		}
+		c := kv.Command{Client: client, Seq: seqs[client], Key: fmt.Sprintf("key-%02d", key)}
+		switch i % 5 {
+		case 3:
+			c.Op = kv.OpGet
+		case 4:
+			c.Op = kv.OpDel
+		default:
+			c.Op = kv.OpPut
+			c.Val = fmt.Sprintf("val-%04d", i)
+		}
+		out = append(out, c)
+		lastCmd[client] = c
+		if c.Op == kv.OpPut {
+			if _, ok := firstPut[client]; !ok {
+				firstPut[client] = c
+			}
+		}
+		if w.Retries > 0 && i%w.Retries == w.Retries-1 {
+			// A byte-identical retry, and for puts also a re-encoded retry
+			// (same client/seq, different payload) — the second kind always
+			// commits as a distinct log entry, so it provably exercises the
+			// session table even when the log's content dedup absorbs the
+			// first kind.
+			out = append(out, c)
+			if c.Op == kv.OpPut {
+				r := c
+				r.Val += "-retry"
+				out = append(out, r)
+			}
+		}
+	}
+	if w.Retries > 0 {
+		// A re-encoded retry of each client's FINAL command: nothing later
+		// from that client advances the watermark, so whichever copy
+		// applies second is answered from the session's response cache —
+		// the guaranteed cache-hit duplicate (mid-workload retries usually
+		// land as stale instead, because the client has moved on).
+		for client := 1; client <= clients; client++ {
+			if last, ok := lastCmd[uint64(client)]; ok {
+				last.Val += "#tail-retry"
+				out = append(out, last)
+			}
+		}
+	}
+	if w.OutOfOrder {
+		// One regressed-sequence command per client, distinct bytes from
+		// the original so it commits and must be rejected as stale.
+		for client := 1; client <= clients; client++ {
+			id := uint64(client)
+			if first, ok := firstPut[id]; ok && seqs[id] > first.Seq {
+				late := first
+				late.Val = "out-of-order-write"
+				out = append(out, late)
+			}
+		}
+	}
+	return out
 }
 
 // buildBehavior materializes one fault preset. The per-fault seed keeps
@@ -326,6 +421,159 @@ func runLog(p *Prepared, seed int64) (*Outcome, error) {
 	for _, id := range res.Correct {
 		for _, e := range res.Logs[id] {
 			fmt.Fprintf(h, "commit %v %d %v %q\n", id, e.Index, e.Instance, e.Cmd)
+		}
+	}
+	o.Digest = hex.EncodeToString(h.Sum(nil))
+	o.BisourceSeen = s.bisourceSeen(res.Log)
+	o.Pass = report.OK()
+	return o, nil
+}
+
+// kvRunnerSpec materializes the runner spec of a prepared KV scenario at
+// one seed (shared by runKV and the scenario-level KV tests, so tests
+// always exercise the exact configuration the engine runs).
+func (p *Prepared) kvRunnerSpec(seed int64) (runner.KVSpec, error) {
+	s := p.Spec
+	w := s.Work
+	if w.BatchSize <= 0 {
+		w.BatchSize = 8
+	}
+	if w.Pipeline <= 0 {
+		w.Pipeline = 2
+	}
+	ecfg := s.engineConfig()
+	byz, err := s.byzantine(ecfg, seed)
+	if err != nil {
+		return runner.KVSpec{}, err
+	}
+	spec := runner.KVSpec{
+		Params:        s.Params(),
+		Topology:      p.topo,
+		Policy:        s.policy(seed),
+		Adv:           s.adversaryFor(seed),
+		FIFO:          s.Net.FIFO,
+		Seed:          seed,
+		Record:        true,
+		Commands:      p.kvCmds,
+		SubmitEvery:   w.SubmitEvery,
+		Byzantine:     byz,
+		SnapshotEvery: w.SnapshotEvery,
+		Compact:       w.Compact,
+		CompactKeep:   types.Instance(w.CompactKeep),
+		Deadline:      s.deadline(),
+	}
+	spec.Log.Engine = ecfg
+	spec.Log.BatchSize = w.BatchSize
+	spec.Log.Pipeline = w.Pipeline
+	if w.RecoverAt > 0 {
+		// The lowest-ID correct replica crashes and recovers. With faults
+		// on the top IDs, that is always process 1.
+		spec.RecoverAt = map[types.ProcID]types.Time{
+			s.CorrectProcs()[0]: types.Time(w.RecoverAt),
+		}
+	}
+	return spec, nil
+}
+
+func runKV(p *Prepared, seed int64) (*Outcome, error) {
+	s := p.Spec
+	w := s.Work
+	spec, err := p.kvRunnerSpec(seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runner.RunKV(spec)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+
+	// KV runs are verified end-to-end on the service state, not just the
+	// log order: identical live state, identical snapshots at common
+	// indexes, agreement with a sequential replay oracle, and — when the
+	// workload carries retries — proof that the session layer actually
+	// suppressed them.
+	report := &check.Report{}
+	report.Observe("log-consistency")
+	if !res.Consistent() {
+		report.Violatef("LOG-Consistency: correct logs are not pairwise prefix-consistent")
+	}
+	report.Observe("kv-state-agreement")
+	if !res.StatesAgree() {
+		report.Violatef("KV-StateAgreement: correct replicas hold different state digests")
+	}
+	report.Observe("kv-snapshot-agreement")
+	if !res.SnapshotsAgree() {
+		report.Violatef("KV-SnapshotAgreement: snapshot digests differ at a common index")
+	}
+	report.Observe("kv-reference-replay")
+	if d := res.ReferenceDivergence(); d != "" {
+		report.Violatef("KV-ReferenceReplay: %s", d)
+	}
+	// Suppression and compaction are PROGRESS properties (they need the
+	// run to get somewhere), so like log-termination they are only
+	// checked when the schedule actually promises termination — a
+	// deadline-truncated async run that never applied a retry pair is
+	// not a violation.
+	if (w.Retries > 0 || w.OutOfOrder) && s.ExpectTermination {
+		report.Observe("kv-session-suppression")
+		if ref := res.Correct; len(ref) > 0 {
+			store := res.Stores[ref[0]]
+			if store.Duplicates()+store.Stales() == 0 {
+				report.Violatef("KV-SessionSuppression: retry workload triggered no duplicate/stale suppression")
+			}
+		}
+	}
+	if w.RecoverAt > 0 {
+		report.Observe("kv-recovery")
+		for id, rerr := range res.RecoverErrs {
+			if rerr != nil {
+				report.Violatef("KV-Recovery: replica %v failed to recover: %v", id, rerr)
+			}
+		}
+	}
+	if w.Compact && s.ExpectTermination {
+		report.Observe("kv-compaction")
+		bounded := false
+		for _, id := range res.Correct {
+			if res.Engines[id].Retired() > 0 {
+				bounded = true
+			}
+		}
+		if !bounded {
+			report.Violatef("KV-Compaction: no replica retired any instance state")
+		}
+	}
+	if s.ExpectTermination {
+		report.Observe("kv-termination")
+		// Coverage, not raw entry counts: under compaction a forgotten
+		// duplicate can legitimately commit twice, so entry counts can
+		// both overshoot and (by closing engines early) undershoot.
+		if !res.CoveredAll() {
+			report.Violatef("KV-Termination: only %d/%d distinct commands committed everywhere",
+				res.MinCovered(), res.Distinct)
+		}
+	}
+
+	o := &Outcome{
+		Name:     s.Name,
+		Seed:     seed,
+		Workload: s.Work.Kind.String(),
+		Report:   report,
+		Decided:  res.MinCovered(),
+		Messages: res.Messages,
+		Events:   res.Events,
+		End:      time.Duration(res.End),
+	}
+	h := sha256.New()
+	digestTrace(h, res.Log)
+	for _, id := range res.Correct {
+		for _, e := range res.Logs[id] {
+			fmt.Fprintf(h, "commit %v %d %v %q\n", id, e.Index, e.Instance, e.Cmd)
+		}
+		d := res.StateDigests[id]
+		fmt.Fprintf(h, "state %v %x\n", id, d)
+		for _, snap := range res.SnapshotLog[id] {
+			fmt.Fprintf(h, "snapshot %v %d %v %x\n", id, snap.Index, snap.Instance, snap.Digest)
 		}
 	}
 	o.Digest = hex.EncodeToString(h.Sum(nil))

@@ -168,6 +168,10 @@ const (
 	// WorkLog is a replicated-log run: a command stream totally ordered
 	// by pipelined consensus instances (⊥-validity variant).
 	WorkLog
+	// WorkKV is a replicated-KV-service run: the full state-machine
+	// stack — log, applier, key-value store with client sessions — with
+	// optional snapshots, log compaction and mid-run crash recovery.
+	WorkKV
 )
 
 // String implements fmt.Stringer.
@@ -177,6 +181,8 @@ func (k WorkKind) String() string {
 		return "consensus"
 	case WorkLog:
 		return "log"
+	case WorkKV:
+		return "kv"
 	default:
 		return fmt.Sprintf("WorkKind(%d)", int(k))
 	}
@@ -194,12 +200,44 @@ type Work struct {
 	BotMode bool
 	// K is the §5.4 tuning parameter.
 	K int
-	// Commands is the WorkLog workload size (default 16).
+	// Commands is the WorkLog/WorkKV workload size (default 16 / 24).
 	Commands int
-	// BatchSize / Pipeline are the WorkLog engine knobs (defaults 8 / 2).
+	// BatchSize / Pipeline are the WorkLog/WorkKV engine knobs
+	// (defaults 8 / 2).
 	BatchSize, Pipeline int
-	// SubmitEvery staggers the WorkLog command submissions.
+	// SubmitEvery staggers the WorkLog/WorkKV command submissions.
 	SubmitEvery time.Duration
+
+	// --- WorkKV workload shape --------------------------------------
+
+	// Clients is the session count (default 3); Keys the key-space size
+	// (default 8).
+	Clients, Keys int
+	// HotKey skews the workload: ~70% of operations hit key 0.
+	HotKey bool
+	// Retries > 0 interleaves client retries: every Retries-th command is
+	// followed by a byte-identical duplicate, and every Retries-th put by
+	// a re-encoded duplicate with the same (client, seq). The session
+	// layer must absorb all of them.
+	Retries int
+	// OutOfOrder appends one regressed-sequence command per client at the
+	// end of the workload; the store must reject them as stale.
+	OutOfOrder bool
+
+	// --- WorkKV snapshot / compaction / recovery lifecycle ----------
+	// All default to off so that legacy scenarios (and their pinned
+	// golden digests) are untouched; new KV scenarios opt in.
+
+	// SnapshotEvery is the applier snapshot cadence in applied entries
+	// (0 = snapshots off).
+	SnapshotEvery int
+	// Compact retires pre-snapshot per-instance state after each
+	// snapshot; CompactKeep is the retained-instance margin (default 4).
+	Compact     bool
+	CompactKeep int
+	// RecoverAt > 0 crash-recovers the lowest-ID correct replica at this
+	// virtual time (snapshot restore + retained-suffix replay).
+	RecoverAt time.Duration
 }
 
 // Spec is one named scenario: resilience parameters, fault assignment,
@@ -259,15 +297,21 @@ func (s Spec) Validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("scenario: empty name")
 	}
-	botOK := s.Work.BotMode || s.Work.Kind == WorkLog
+	botOK := s.Work.BotMode || s.Work.Kind == WorkLog || s.Work.Kind == WorkKV
 	if err := s.Params().Validate(botOK); err != nil {
 		return fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
 	if len(s.Faults) > s.T {
 		return fmt.Errorf("scenario %s: %d faults exceed t=%d", s.Name, len(s.Faults), s.T)
 	}
-	if s.Work.Kind != WorkConsensus && s.Work.Kind != WorkLog {
+	if s.Work.Kind != WorkConsensus && s.Work.Kind != WorkLog && s.Work.Kind != WorkKV {
 		return fmt.Errorf("scenario %s: unknown workload kind %v", s.Name, s.Work.Kind)
+	}
+	if s.Work.Compact && s.Work.SnapshotEvery <= 0 {
+		return fmt.Errorf("scenario %s: Compact requires SnapshotEvery > 0", s.Name)
+	}
+	if (s.Work.SnapshotEvery > 0 || s.Work.Compact || s.Work.RecoverAt > 0) && s.Work.Kind != WorkKV {
+		return fmt.Errorf("scenario %s: snapshot/compaction/recovery knobs require the kv workload", s.Name)
 	}
 	if s.Net.Kind < NetFull || s.Net.Kind > NetBisource {
 		return fmt.Errorf("scenario %s: unknown net kind %v", s.Name, s.Net.Kind)

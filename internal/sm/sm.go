@@ -1,0 +1,298 @@
+// Package sm is the state-machine-replication layer: it consumes the
+// committed entries of a replicated log (internal/log) in total order and
+// drives a deterministic application state machine, turning the ordering
+// service into a replicated service.
+//
+// The Applier owns the snapshot/compaction lifecycle. Every SnapshotEvery
+// applied entries it takes a snapshot at the next instance boundary: a
+// deterministic, digest-stamped encoding of the machine state plus the
+// apply position. Because applying is a pure function of the committed
+// prefix and snapshot instants are a pure function of the apply position,
+// every correct replica produces byte-identical snapshots at the same
+// positions — the digests are the cross-replica correctness check.
+//
+// A snapshot makes everything before it disposable: the OnSnapshot hook is
+// where the hosting runtime retires pre-snapshot per-instance state
+// wholesale (log.Engine.Compact), which is what bounds memory on long
+// runs. It also makes crash recovery local: Recover rebuilds the machine
+// from the latest snapshot plus the log suffix the engine still retains,
+// verifying on the way that re-encoding the restored state reproduces the
+// snapshot digest (a cheap nondeterminism detector).
+package sm
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/log"
+	"repro/internal/types"
+)
+
+// Resetter is an optional Machine extension: zero the state in place.
+// Machines that implement it can Recover even before any snapshot exists
+// (full log replay from empty state).
+type Resetter interface {
+	Reset()
+}
+
+// Machine is a deterministic application state machine. All methods are
+// called from the hosting runtime's single event loop.
+//
+// Determinism contract: Apply's response and state change, and Snapshot's
+// bytes, must be pure functions of the machine state and inputs — no
+// clocks, no randomness, no map-iteration-order dependence.
+type Machine interface {
+	// Apply executes one committed command and returns the response.
+	Apply(cmd types.Value) types.Value
+	// Snapshot encodes the full state deterministically.
+	Snapshot() []byte
+	// Restore replaces the full state from a Snapshot encoding.
+	Restore(data []byte) error
+}
+
+// Snapshot is one digest-stamped state capture.
+type Snapshot struct {
+	// Index: entries [0, Index) are reflected in the state.
+	Index int
+	// Instance: instances [0, Instance) are fully applied. Everything
+	// below Instance is retirable.
+	Instance types.Instance
+	// Digest is SHA-256 over Data.
+	Digest [32]byte
+	// Data is the header-wrapped machine encoding (see Encode layout).
+	Data []byte
+}
+
+// snapHeaderLen: magic byte + u64 index + u64 instance.
+const snapHeaderLen = 1 + 8 + 8
+
+const snapMagic = 'Z'
+
+// encodeSnapshot wraps the machine bytes with the apply position.
+func encodeSnapshot(index int, instance types.Instance, machine []byte) []byte {
+	buf := make([]byte, snapHeaderLen, snapHeaderLen+len(machine))
+	buf[0] = snapMagic
+	binary.LittleEndian.PutUint64(buf[1:], uint64(index))
+	binary.LittleEndian.PutUint64(buf[9:], uint64(instance))
+	return append(buf, machine...)
+}
+
+// DecodeSnapshot splits a snapshot encoding into position and machine
+// bytes.
+func DecodeSnapshot(data []byte) (index int, instance types.Instance, machine []byte, err error) {
+	if len(data) < snapHeaderLen || data[0] != snapMagic {
+		return 0, 0, nil, fmt.Errorf("sm: not a snapshot (%d bytes)", len(data))
+	}
+	index = int(binary.LittleEndian.Uint64(data[1:]))
+	instance = types.Instance(binary.LittleEndian.Uint64(data[9:]))
+	if index < 0 || instance < 0 {
+		return 0, 0, nil, fmt.Errorf("sm: negative snapshot position")
+	}
+	return index, instance, data[snapHeaderLen:], nil
+}
+
+// Config assembles an Applier.
+type Config struct {
+	// Machine is the application state machine (required).
+	Machine Machine
+	// SnapshotEvery takes a snapshot once at least this many entries
+	// applied since the previous one, at the next instance boundary
+	// (0 = snapshots disabled).
+	SnapshotEvery int
+	// OnSnapshot fires after each snapshot. The hosting runtime hooks
+	// compaction here (log.Engine.Compact with its chosen lag).
+	OnSnapshot func(s Snapshot)
+	// OnResponse fires with the machine's response to every applied entry
+	// (client reply path; nil = discard).
+	OnResponse func(e log.Entry, resp types.Value)
+}
+
+// Applier drives a Machine from a committed log. Wire OnCommit into
+// log.Config.OnCommit and OnApply into log.Config.OnApply.
+type Applier struct {
+	cfg Config
+
+	applied   int // entries applied
+	sinceSnap int
+
+	snap    Snapshot // latest
+	hasSnap bool
+	taken   int // snapshots taken (including discarded ones)
+
+	recoveries int
+	poisoned   error // set when a failed Recover left the state undefined
+}
+
+// New builds an Applier.
+func New(cfg Config) (*Applier, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("sm: nil Machine")
+	}
+	if cfg.SnapshotEvery < 0 {
+		return nil, fmt.Errorf("sm: negative SnapshotEvery %d", cfg.SnapshotEvery)
+	}
+	return &Applier{cfg: cfg}, nil
+}
+
+// OnCommit applies one committed entry. Entries must arrive in log order
+// (index-contiguous), which is exactly what log.Config.OnCommit delivers.
+func (a *Applier) OnCommit(e log.Entry) {
+	if a.poisoned != nil {
+		// A failed Recover left machine state and apply position out of
+		// sync; applying further entries would silently fork the replica.
+		// The replica behaves as crashed from here on (see Err).
+		return
+	}
+	if e.Index != a.applied {
+		// A gap here is a hosting bug, not Byzantine input: the log engine
+		// emits a contiguous index sequence. Applying out of order would
+		// silently fork the replica, so refuse loudly.
+		panic(fmt.Sprintf("sm: entry index %d applied at position %d", e.Index, a.applied))
+	}
+	resp := a.cfg.Machine.Apply(e.Cmd)
+	a.applied++
+	a.sinceSnap++
+	if a.cfg.OnResponse != nil {
+		a.cfg.OnResponse(e, resp)
+	}
+}
+
+// OnApply marks instance i fully applied; all its entries have passed
+// through OnCommit. Snapshots happen here — at instance boundaries — so a
+// snapshot never splits an instance's batch and its covered-instance
+// watermark is exact.
+func (a *Applier) OnApply(i types.Instance, newly int) {
+	if a.cfg.SnapshotEvery <= 0 || a.sinceSnap < a.cfg.SnapshotEvery {
+		return
+	}
+	a.takeSnapshot(i + 1)
+}
+
+// takeSnapshot captures the state covering instances [0, instance).
+func (a *Applier) takeSnapshot(instance types.Instance) {
+	data := encodeSnapshot(a.applied, instance, a.cfg.Machine.Snapshot())
+	a.snap = Snapshot{
+		Index:    a.applied,
+		Instance: instance,
+		Digest:   sha256.Sum256(data),
+		Data:     data,
+	}
+	a.hasSnap = true
+	a.taken++
+	a.sinceSnap = 0
+	if a.cfg.OnSnapshot != nil {
+		a.cfg.OnSnapshot(a.snap)
+	}
+}
+
+// Latest returns the most recent snapshot.
+func (a *Applier) Latest() (Snapshot, bool) { return a.snap, a.hasSnap }
+
+// Applied returns the number of entries applied.
+func (a *Applier) Applied() int { return a.applied }
+
+// Snapshots returns how many snapshots have been taken.
+func (a *Applier) Snapshots() int { return a.taken }
+
+// Recoveries returns how many times Recover ran.
+func (a *Applier) Recoveries() int { return a.recoveries }
+
+// StateDigest hashes the machine's current state (SHA-256 over its
+// Snapshot encoding). Equal digests across replicas at equal applied
+// counts certify byte-identical state.
+func (a *Applier) StateDigest() [32]byte { return Digest(a.cfg.Machine) }
+
+// Digest hashes a machine's current state (SHA-256 over its Snapshot
+// encoding).
+func Digest(m Machine) [32]byte { return sha256.Sum256(m.Snapshot()) }
+
+// Recover models a crash-restart: it discards the live machine state,
+// restores the latest snapshot, verifies the restored state re-encodes to
+// the snapshot digest, and re-applies the retained log suffix (entries
+// the engine still holds past the snapshot index). After Recover the
+// machine is byte-identical to an uncrashed replica at the same applied
+// count.
+//
+// retained is the engine's retained entry suffix (log.Engine.Entries());
+// it must cover [snapshot.Index, applied), which compaction guarantees:
+// the engine only trims entries below the snapshot floor it was given.
+// Once the live state has been touched, any subsequent failure poisons
+// the applier: machine state and apply position can no longer be trusted
+// to agree, so OnCommit becomes a no-op (the replica behaves as crashed)
+// and Err reports why. Failures detected before any mutation leave the
+// applier fully usable.
+func (a *Applier) Recover(retained []log.Entry) error {
+	if a.poisoned != nil {
+		return a.poisoned
+	}
+	target := a.applied
+	if !a.hasSnap {
+		// Crash before the first snapshot: recovery is a full replay from
+		// an empty machine, possible only if the machine can zero itself
+		// and the whole log is still retained. Snapshot-driven hosts
+		// guarantee that (they only Compact below a snapshot); engines
+		// running the pure-log AutoCompactLag mode do NOT, which is why
+		// runner.RunKV rejects that combination up front.
+		r, ok := a.cfg.Machine.(Resetter)
+		if !ok {
+			return fmt.Errorf("sm: no snapshot to recover from and machine cannot Reset")
+		}
+		r.Reset()
+		a.applied, a.sinceSnap = 0, 0
+		return a.replay(retained, target)
+	}
+	_, _, machine, err := DecodeSnapshot(a.snap.Data)
+	if err != nil {
+		return err
+	}
+	if err := a.cfg.Machine.Restore(machine); err != nil {
+		return a.poison(fmt.Errorf("sm: restore: %w", err))
+	}
+	// Determinism check: the restored state must re-encode to the bytes we
+	// snapshotted. A mismatch means the machine is nondeterministic (or
+	// Restore is lossy) — exactly the bug class snapshots must not paper
+	// over.
+	redo := encodeSnapshot(a.snap.Index, a.snap.Instance, a.cfg.Machine.Snapshot())
+	if sha256.Sum256(redo) != a.snap.Digest {
+		return a.poison(fmt.Errorf("sm: restored state does not reproduce snapshot digest (nondeterministic machine?)"))
+	}
+	a.applied = a.snap.Index
+	a.sinceSnap = 0
+	return a.replay(retained, target)
+}
+
+// Err returns the poisoning error of a failed Recover, if any. A
+// poisoned applier ignores further entries (the replica is effectively
+// crashed) — hosting runtimes should surface this.
+func (a *Applier) Err() error { return a.poisoned }
+
+func (a *Applier) poison(err error) error {
+	a.poisoned = err
+	return err
+}
+
+// replay re-applies retained entries from the current apply position up
+// to target. The machine has already been reset/restored, so any failure
+// here poisons the applier.
+func (a *Applier) replay(retained []log.Entry, target int) error {
+	for _, e := range retained {
+		if e.Index < a.applied {
+			continue
+		}
+		if e.Index != a.applied {
+			return a.poison(fmt.Errorf("sm: retained entries have a gap at index %d (replay position %d)", e.Index, a.applied))
+		}
+		if e.Index >= target {
+			break
+		}
+		a.cfg.Machine.Apply(e.Cmd)
+		a.applied++
+		a.sinceSnap++
+	}
+	if a.applied != target {
+		return a.poison(fmt.Errorf("sm: replay stopped at %d of %d entries", a.applied, target))
+	}
+	a.recoveries++
+	return nil
+}

@@ -1,0 +1,258 @@
+package sm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/kv"
+	"repro/internal/log"
+	"repro/internal/types"
+)
+
+// feed pushes n entries through the applier, batching `perInst` entries
+// per instance (mimicking the log engine's OnCommit/OnApply cadence).
+func feed(t *testing.T, a *Applier, start, n, perInst int, inst0 types.Instance) types.Instance {
+	t.Helper()
+	inst := inst0
+	inBatch := 0
+	for i := 0; i < n; i++ {
+		cmd := kv.Command{Op: kv.OpPut, Client: 1, Seq: uint64(start + i + 1),
+			Key: fmt.Sprintf("k%d", (start+i)%7), Val: fmt.Sprintf("v%d", start+i)}
+		a.OnCommit(log.Entry{Index: start + i, Instance: inst, Cmd: cmd.Encode()})
+		if inBatch++; inBatch == perInst {
+			a.OnApply(inst, inBatch)
+			inst++
+			inBatch = 0
+		}
+	}
+	if inBatch > 0 {
+		a.OnApply(inst, inBatch)
+		inst++
+	}
+	return inst
+}
+
+func TestApplierSnapshotCadence(t *testing.T) {
+	var snaps []Snapshot
+	store := kv.NewStore()
+	a, err := New(Config{
+		Machine:       store,
+		SnapshotEvery: 10,
+		OnSnapshot:    func(s Snapshot) { snaps = append(snaps, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, a, 0, 35, 4, 0) // 9 instances, snapshot at instance boundaries ≥ 10 entries
+	if a.Applied() != 35 {
+		t.Fatalf("applied = %d", a.Applied())
+	}
+	// Boundaries fall at the first instance end crossing each multiple of
+	// 10 applied entries: 12, 24, then the final short batch at 35.
+	if len(snaps) != 3 {
+		t.Fatalf("snapshots = %d, want 3 (%v)", len(snaps), snaps)
+	}
+	for i, want := range []int{12, 24, 35} {
+		if snaps[i].Index != want {
+			t.Errorf("snapshot %d at index %d, want %d", i, snaps[i].Index, want)
+		}
+	}
+	for _, s := range snaps {
+		idx, inst, _, err := DecodeSnapshot(s.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != s.Index || inst != s.Instance {
+			t.Errorf("header (%d,%v) != snapshot (%d,%v)", idx, inst, s.Index, s.Instance)
+		}
+	}
+}
+
+// TestSnapshotDigestsMatchAcrossReplicas: two appliers fed the same
+// entries through different instance batching produce byte-identical
+// machine state; snapshots at the same entry index have equal digests.
+func TestSnapshotDigestsMatchAcrossReplicas(t *testing.T) {
+	run := func(perInst, every int) (*Applier, []Snapshot) {
+		var snaps []Snapshot
+		a, err := New(Config{
+			Machine:       kv.NewStore(),
+			SnapshotEvery: every,
+			OnSnapshot:    func(s Snapshot) { snaps = append(snaps, s) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(t, a, 0, 40, perInst, 0)
+		return a, snaps
+	}
+	a1, s1 := run(4, 8)
+	a2, s2 := run(4, 8)
+	if a1.StateDigest() != a2.StateDigest() {
+		t.Fatal("same input, different state digests")
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("snapshot counts differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i].Digest != s2[i].Digest || s1[i].Index != s2[i].Index {
+			t.Fatalf("snapshot %d differs: %+v vs %+v", i, s1[i], s2[i])
+		}
+	}
+}
+
+func TestApplierPanicsOnGap(t *testing.T) {
+	a, _ := New(Config{Machine: kv.NewStore()})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("index gap not detected")
+		}
+	}()
+	a.OnCommit(log.Entry{Index: 3, Instance: 0, Cmd: kv.Command{Op: kv.OpPut, Key: "k"}.Encode()})
+}
+
+func TestRecoverFromSnapshotPlusSuffix(t *testing.T) {
+	store := kv.NewStore()
+	var retained []log.Entry
+	a, err := New(Config{Machine: store, SnapshotEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the entry list alongside so we can hand Recover a suffix.
+	inst := types.Instance(0)
+	for i := 0; i < 30; i++ {
+		cmd := kv.Command{Op: kv.OpPut, Client: 2, Seq: uint64(i + 1),
+			Key: fmt.Sprintf("k%d", i%5), Val: fmt.Sprintf("v%d", i)}
+		e := log.Entry{Index: i, Instance: inst, Cmd: cmd.Encode()}
+		retained = append(retained, e)
+		a.OnCommit(e)
+		if (i+1)%3 == 0 {
+			a.OnApply(inst, 3)
+			inst++
+		}
+	}
+	want := a.StateDigest()
+	snap, ok := a.Latest()
+	if !ok {
+		t.Fatal("no snapshot")
+	}
+
+	// Corrupt the live state, then recover: snapshot + suffix must rebuild
+	// the exact bytes. Only entries ≥ snapshot index are needed.
+	store.Apply(kv.Command{Op: kv.OpPut, Client: 0, Key: "corruption", Val: "x"}.Encode())
+	if a.StateDigest() == want {
+		t.Fatal("corruption had no effect?")
+	}
+	if err := a.Recover(retained[snap.Index:]); err != nil {
+		t.Fatal(err)
+	}
+	if a.StateDigest() != want {
+		t.Fatal("recovered state differs from pre-crash state")
+	}
+	if a.Applied() != 30 || a.Recoveries() != 1 {
+		t.Fatalf("applied=%d recoveries=%d", a.Applied(), a.Recoveries())
+	}
+}
+
+func TestRecoverWithoutSnapshotFullReplay(t *testing.T) {
+	store := kv.NewStore()
+	a, _ := New(Config{Machine: store}) // snapshots disabled
+	var all []log.Entry
+	for i := 0; i < 12; i++ {
+		cmd := kv.Command{Op: kv.OpPut, Client: 1, Seq: uint64(i + 1), Key: "k", Val: fmt.Sprintf("%d", i)}
+		e := log.Entry{Index: i, Instance: types.Instance(i), Cmd: cmd.Encode()}
+		all = append(all, e)
+		a.OnCommit(e)
+		a.OnApply(types.Instance(i), 1)
+	}
+	want := a.StateDigest()
+	store.Apply(kv.Command{Op: kv.OpDel, Client: 0, Key: "k"}.Encode())
+	if err := a.Recover(all); err != nil {
+		t.Fatal(err)
+	}
+	if a.StateDigest() != want {
+		t.Fatal("full replay diverged")
+	}
+}
+
+func TestRecoverDetectsGapInRetained(t *testing.T) {
+	a, _ := New(Config{Machine: kv.NewStore(), SnapshotEvery: 2})
+	var all []log.Entry
+	for i := 0; i < 8; i++ {
+		e := log.Entry{Index: i, Instance: types.Instance(i),
+			Cmd: kv.Command{Op: kv.OpPut, Key: "k", Val: "v"}.Encode()}
+		all = append(all, e)
+		a.OnCommit(e)
+		a.OnApply(types.Instance(i), 1)
+	}
+	snap, _ := a.Latest()
+	// Drop one mid-suffix entry: the replay must refuse, not skip.
+	suffix := append([]log.Entry{}, all[snap.Index:]...)
+	if len(suffix) > 2 {
+		suffix = append(suffix[:1], suffix[2:]...)
+		if err := a.Recover(suffix); err == nil {
+			t.Fatal("gap in retained entries not detected")
+		}
+	}
+}
+
+// nondetMachine snapshots differently every time — Recover must refuse it.
+type nondetMachine struct {
+	kv.Store
+	n int
+}
+
+func (m *nondetMachine) Snapshot() []byte {
+	m.n++
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(m.n))
+	return append(m.Store.Snapshot(), b[:]...)
+}
+
+func (m *nondetMachine) Restore(b []byte) error {
+	if len(b) < 8 {
+		return fmt.Errorf("short")
+	}
+	return m.Store.Restore(b[:len(b)-8])
+}
+
+func TestRecoverDetectsNondeterminism(t *testing.T) {
+	m := &nondetMachine{Store: *kv.NewStore()}
+	a, _ := New(Config{Machine: m, SnapshotEvery: 1})
+	e := log.Entry{Index: 0, Instance: 0, Cmd: kv.Command{Op: kv.OpPut, Key: "k", Val: "v"}.Encode()}
+	a.OnCommit(e)
+	a.OnApply(0, 1)
+	if _, ok := a.Latest(); !ok {
+		t.Fatal("no snapshot")
+	}
+	if err := a.Recover(nil); err == nil {
+		t.Fatal("nondeterministic machine not detected")
+	}
+	// The failed recovery touched live state, so the applier is poisoned:
+	// it must refuse further entries instead of silently forking.
+	if a.Err() == nil {
+		t.Fatal("failed recovery did not poison the applier")
+	}
+	before := a.Applied()
+	a.OnCommit(log.Entry{Index: before, Instance: 1, Cmd: kv.Command{Op: kv.OpPut, Key: "k2", Val: "v"}.Encode()})
+	if a.Applied() != before {
+		t.Fatal("poisoned applier applied an entry")
+	}
+}
+
+func TestSnapshotCodec(t *testing.T) {
+	data := encodeSnapshot(42, 7, []byte("machine-bytes"))
+	idx, inst, m, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 42 || inst != 7 || !bytes.Equal(m, []byte("machine-bytes")) {
+		t.Fatalf("decode: %d %v %q", idx, inst, m)
+	}
+	for _, bad := range [][]byte{nil, {snapMagic}, []byte("XXXXXXXXXXXXXXXXXXXX")} {
+		if _, _, _, err := DecodeSnapshot(bad); err == nil {
+			t.Errorf("malformed snapshot %q accepted", bad)
+		}
+	}
+}

@@ -57,6 +57,10 @@ const (
 
 	// Byzantine action annotations (emitted by adversary behaviors).
 	KindByzAction
+
+	// Replicated KV service (state-machine layer above the log).
+	KindKVSnapshot // digest-stamped state snapshot taken
+	KindKVRecover  // replica rebuilt state from snapshot + retained log
 )
 
 // String implements fmt.Stringer. It is a switch rather than a map lookup:
@@ -104,6 +108,10 @@ func (k Kind) String() string {
 		return "cons-decide"
 	case KindByzAction:
 		return "byz"
+	case KindKVSnapshot:
+		return "kv-snapshot"
+	case KindKVRecover:
+		return "kv-recover"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

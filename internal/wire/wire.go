@@ -14,14 +14,20 @@
 //	24      4     value length L (uint32, ≤ MaxValueLen)
 //	28      L     value bytes
 //
-// Version 1 (the single-shot format of the pre-log releases) is identical
-// except that it has no instance field: the value length sits at offset 16
-// and the header is 20 bytes. Compatibility is decode-only: Decode still
-// accepts version-1 frames and maps them to instance 0, so a new binary
-// understands an old peer — but it always sends version 2, which an old
-// binary rejects, so a mixed-version cluster needs the old side upgraded
-// (or a future per-peer version negotiation). EncodeV1 produces legacy
-// frames for tests and tooling that exercise that decode path.
+// Version 3 extends version 2's vocabulary, not its layout: the header is
+// byte-identical, but the kind range grows to cover the client-facing KV
+// service messages (proto.MsgKVRequest / proto.MsgKVResponse, module
+// proto.ModKV). Version 2 is the replica-to-replica log format; version 1
+// (the single-shot format of the pre-log releases) additionally has no
+// instance field — its value length sits at offset 16 and the header is
+// 20 bytes. Compatibility is decode-only: Decode accepts all three
+// versions, enforcing each version's own vocabulary (a v2 frame naming a
+// KV kind is rejected) and mapping v1 frames to instance 0. A new binary
+// therefore understands any old peer — but it always sends version 3,
+// which an old binary rejects, so a mixed-version cluster needs the old
+// side upgraded (or a future per-peer version negotiation). EncodeV1 and
+// EncodeV2 produce the older frames for tests and tooling that exercise
+// those decode paths.
 //
 // Frames on the wire are length-prefixed by the transport; this package
 // only encodes message bodies.
@@ -35,8 +41,13 @@ import (
 	"repro/internal/types"
 )
 
-// Version is the current codec version byte.
-const Version = 2
+// Version is the current codec version byte (adds the KV client
+// vocabulary).
+const Version = 3
+
+// VersionLog is the replica-only log codec version, still accepted by
+// Decode.
+const VersionLog = 2
 
 // VersionLegacy is the pre-instance codec version, still accepted by Decode.
 const VersionLegacy = 1
@@ -69,8 +80,23 @@ func payload(m proto.Message) ([]byte, error) {
 	return val, nil
 }
 
-// Encode serializes m in the current (version 2) format.
+// Encode serializes m in the current (version 3) format.
 func Encode(m proto.Message) ([]byte, error) {
+	return encode28(m, Version)
+}
+
+// EncodeV2 serializes m in the version-2 log format. It refuses the KV
+// kinds that vocabulary cannot express; like EncodeV1 it exists so tests
+// and tooling can exercise the back-compat decode path.
+func EncodeV2(m proto.Message) ([]byte, error) {
+	if m.Kind > proto.MsgEARelay || m.Tag.Mod > proto.ModDecide {
+		return nil, fmt.Errorf("wire: version 2 cannot carry %v[%v]", m.Kind, m.Tag.Mod)
+	}
+	return encode28(m, VersionLog)
+}
+
+// encode28 writes the shared 28-byte-header layout of versions 2 and 3.
+func encode28(m proto.Message, version byte) ([]byte, error) {
 	val, err := payload(m)
 	if err != nil {
 		return nil, err
@@ -79,7 +105,7 @@ func Encode(m proto.Message) ([]byte, error) {
 		return nil, fmt.Errorf("wire: negative instance %d", m.Instance)
 	}
 	buf := make([]byte, headerLenV2+len(val))
-	buf[0] = Version
+	buf[0] = version
 	buf[1] = byte(m.Kind)
 	buf[2] = byte(m.Tag.Mod)
 	if m.Kind == proto.MsgEARelay && !m.Opt.IsBot() {
@@ -127,10 +153,16 @@ func Decode(b []byte) (proto.Message, error) {
 		return m, fmt.Errorf("wire: short message (%d bytes)", len(b))
 	}
 	headerLen := headerLenV2
+	// Each version enforces its own vocabulary: frames claiming an old
+	// version must not smuggle in kinds that version never defined.
+	maxKind, maxMod := proto.MsgKVResponse, proto.ModKV
 	switch b[0] {
 	case Version:
+	case VersionLog:
+		maxKind, maxMod = proto.MsgEARelay, proto.ModDecide
 	case VersionLegacy:
 		headerLen = headerLenV1
+		maxKind, maxMod = proto.MsgEARelay, proto.ModDecide
 	default:
 		return m, fmt.Errorf("wire: unsupported version %d", b[0])
 	}
@@ -138,12 +170,12 @@ func Decode(b []byte) (proto.Message, error) {
 		return m, fmt.Errorf("wire: short message (%d bytes)", len(b))
 	}
 	kind := proto.MsgKind(b[1])
-	if kind < proto.MsgRBInit || kind > proto.MsgEARelay {
-		return m, fmt.Errorf("wire: invalid kind %d", b[1])
+	if kind < proto.MsgRBInit || kind > maxKind {
+		return m, fmt.Errorf("wire: invalid kind %d for version %d", b[1], b[0])
 	}
 	mod := proto.Module(b[2])
-	if mod < proto.ModConsCB0 || mod > proto.ModDecide {
-		return m, fmt.Errorf("wire: invalid module %d", b[2])
+	if mod < proto.ModConsCB0 || mod > maxMod {
+		return m, fmt.Errorf("wire: invalid module %d for version %d", b[2], b[0])
 	}
 	round := int64(binary.LittleEndian.Uint64(b[4:]))
 	if round < 0 {
@@ -154,7 +186,7 @@ func Decode(b []byte) (proto.Message, error) {
 		return m, fmt.Errorf("wire: negative origin %d", origin)
 	}
 	var instance int64
-	if b[0] == Version {
+	if b[0] != VersionLegacy {
 		instance = int64(binary.LittleEndian.Uint64(b[16:]))
 		if instance < 0 {
 			return m, fmt.Errorf("wire: negative instance %d", instance)

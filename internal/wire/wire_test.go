@@ -338,3 +338,77 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// TestV3KVRoundTrip: the current version carries the KV client
+// vocabulary.
+func TestV3KVRoundTrip(t *testing.T) {
+	for _, m := range []proto.Message{
+		{Kind: proto.MsgKVRequest, Tag: proto.Tag{Mod: proto.ModKV}, Val: "encoded-kv-command"},
+		{Kind: proto.MsgKVResponse, Tag: proto.Tag{Mod: proto.ModKV}, Val: "encoded-kv-response"},
+	} {
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", m, err)
+		}
+		if b[0] != Version {
+			t.Fatalf("Encode wrote version %d, want %d", b[0], Version)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if got != m {
+			t.Fatalf("round trip: got %+v want %+v", got, m)
+		}
+	}
+}
+
+// TestV2RoundTrip: EncodeV2 frames still decode (instance preserved), and
+// the v2 vocabulary excludes the KV kinds.
+func TestV2RoundTrip(t *testing.T) {
+	m := proto.Message{
+		Kind: proto.MsgRBEcho, Tag: proto.Tag{Mod: proto.ModACEst, Round: 3},
+		Instance: 42, Origin: 2, Val: "v",
+	}
+	b, err := EncodeV2(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != VersionLog {
+		t.Fatalf("EncodeV2 wrote version %d", b[0])
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("round trip: got %+v want %+v", got, m)
+	}
+	if _, err := EncodeV2(proto.Message{Kind: proto.MsgKVRequest, Tag: proto.Tag{Mod: proto.ModKV}}); err == nil {
+		t.Fatal("EncodeV2 accepted a KV kind")
+	}
+}
+
+// TestOldVersionsRejectKVVocabulary: a frame claiming version 1 or 2 must
+// not smuggle in kinds/modules those versions never defined.
+func TestOldVersionsRejectKVVocabulary(t *testing.T) {
+	b, err := Encode(proto.Message{Kind: proto.MsgKVRequest, Tag: proto.Tag{Mod: proto.ModKV}, Val: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := bytes.Clone(b)
+	forged[0] = VersionLog
+	if _, err := Decode(forged); err == nil {
+		t.Fatal("v2 frame with KV kind accepted")
+	}
+	// Same via the module byte only.
+	b2, err := Encode(proto.Message{Kind: proto.MsgRBInit, Tag: proto.Tag{Mod: proto.ModKV}, Origin: 1, Val: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged = bytes.Clone(b2)
+	forged[0] = VersionLog
+	if _, err := Decode(forged); err == nil {
+		t.Fatal("v2 frame with KV module accepted")
+	}
+}
