@@ -129,6 +129,15 @@ func runKVServe(node *rt.Node, tr *netx.Transport, self types.ProcID,
 	applier, err := sm.New(sm.Config{
 		Machine:       store,
 		SnapshotEvery: snapEvery,
+		// Every snapshot captures the engine's retained suffix too, so
+		// this replica can serve complete transfer payloads (snapshot +
+		// content-dedup window) to lagging or restarted peers.
+		RetainedEntries: func() []log.Entry {
+			if engine == nil {
+				return nil
+			}
+			return engine.Entries()
+		},
 		OnSnapshot: func(s sm.Snapshot) {
 			stdlog.Printf("snapshot: %d entries through instance %v, digest %x…", s.Index, s.Instance, s.Digest[:8])
 			if compact && engine != nil {
@@ -182,13 +191,48 @@ func runKVServe(node *rt.Node, tr *netx.Transport, self types.ProcID,
 			},
 		}
 		cfg.Engine.TimeUnit = types.Duration(unit)
+		// Named transfer, not tr: the enclosing function's tr is the
+		// netx.Transport, and shadowing it here is a trap.
+		var transfer *sm.Transfer
+		cfg.OnDroppedAhead = func(i types.Instance) {
+			if transfer != nil {
+				transfer.OnDroppedAhead(i)
+			}
+		}
 		eng, err := log.New(cfg)
 		if err != nil {
 			engErr = err
 			return proto.HandlerFunc(func(types.ProcID, proto.Message) {})
 		}
 		engine = eng
-		return eng
+		// Snapshot state transfer makes the crash-recovery story real
+		// over TCP: a restarted replica misses its peers' frames for
+		// good (no transport retransmission), so once the cluster has
+		// compacted past it, only fetching a corroborated peer snapshot
+		// can bring it back. The stall probe covers the restart case
+		// where no inbound pressure exists at all.
+		transfer, err = sm.NewTransfer(sm.TransferConfig{
+			Env:        env,
+			Applier:    applier,
+			Log:        eng,
+			Next:       eng,
+			RetryEvery: time.Second,
+			StallProbe: 2 * time.Second,
+			OnInstall: func(s sm.Snapshot) {
+				stdlog.Printf("installed peer snapshot: %d entries through instance %v, digest %x…",
+					s.Index, s.Instance, s.Digest[:8])
+				// An install can satisfy the -kv-target stop rule without
+				// a single local commit (the snapshot IS the prefix).
+				if target > 0 && applier.Applied() >= target {
+					once.Do(func() { close(done) })
+				}
+			},
+		})
+		if err != nil {
+			engErr = err
+			return proto.HandlerFunc(func(types.ProcID, proto.Message) {})
+		}
+		return transfer
 	})
 	if engErr != nil {
 		stdlog.Fatal(engErr)

@@ -378,12 +378,49 @@ func (a *HealingPartition) MessageDelay(from, to types.ProcID, at types.Time, _ 
 	return d, true
 }
 
+// DroppingPartition severs every cross-block channel until the heal
+// instant: unlike HealingPartition, which only holds messages back,
+// traffic crossing the cut is LOST for good (network.Dropper). This
+// models a crashed or disconnected replica in the deployed system — TCP
+// frames sent to a dead peer are not queued anywhere, and the transport
+// does not retransmit history — and it deliberately breaks the paper's
+// reliable-channel assumption for the duration of the cut. A replica on
+// the minority side misses that traffic forever: once the majority's log
+// compaction retires the corresponding instances, replay is impossible
+// by construction and only snapshot state transfer (sm.Transfer) can
+// bring the replica back. Safety is unaffected — quorums on the majority
+// side never depend on the victim — which is exactly the property the
+// kv-lag-transfer scenarios pin down.
+type DroppingPartition struct {
+	// Side maps each process to its block; processes absent from the map
+	// are block 0.
+	Side map[types.ProcID]int
+	// HealAt is the instant the cut heals; messages sent from then on
+	// flow normally.
+	HealAt types.Time
+}
+
+var _ network.Adversary = (*DroppingPartition)(nil)
+var _ network.Dropper = (*DroppingPartition)(nil)
+
+// MessageDelay implements network.Adversary (never claims a delay; the
+// drop hook does all the work).
+func (a *DroppingPartition) MessageDelay(types.ProcID, types.ProcID, types.Time, any) (types.Duration, bool) {
+	return 0, false
+}
+
+// DropMessage implements network.Dropper.
+func (a *DroppingPartition) DropMessage(from, to types.ProcID, at types.Time, _ any) bool {
+	return a.Side[from] != a.Side[to] && at < a.HealAt
+}
+
 // Chain composes adversaries: the first one that claims a message (returns
 // ok=true) decides its delay; later ones are not consulted. Nil entries
 // are skipped.
 type Chain []network.Adversary
 
 var _ network.Adversary = Chain(nil)
+var _ network.Dropper = Chain(nil)
 
 // MessageDelay implements network.Adversary.
 func (c Chain) MessageDelay(from, to types.ProcID, at types.Time, payload any) (types.Duration, bool) {
@@ -396,6 +433,17 @@ func (c Chain) MessageDelay(from, to types.ProcID, at types.Time, payload any) (
 		}
 	}
 	return 0, false
+}
+
+// DropMessage implements network.Dropper: the message is lost if any
+// chained adversary that models omissions claims it.
+func (c Chain) DropMessage(from, to types.ProcID, at types.Time, payload any) bool {
+	for _, a := range c {
+		if dr, ok := a.(network.Dropper); ok && dr.DropMessage(from, to, at, payload) {
+			return true
+		}
+	}
+	return false
 }
 
 // IsolateExceptBisource delays every channel that is not one of the

@@ -306,6 +306,24 @@ func (e *Engine) onDecideDeliver(origin types.ProcID, v types.Value) {
 	}
 }
 
+// Halt permanently stops an undecided engine: the round loop is frozen
+// (reported as Stalled) and the EA round timers are canceled so the
+// instance schedules no further work. The replicated-log layer calls it
+// when a snapshot install retires an instance whose outcome the snapshot
+// already covers — the local engine may be mid-round with live timers,
+// and without Halt those zombie timers would keep firing long after the
+// instance's state became unreachable. Message handling stays wired (a
+// halted engine still serves RB echoes it owes peers), but no new rounds
+// start. Halting a decided engine is a no-op (deciding already cancels
+// the timers).
+func (e *Engine) Halt() {
+	if e.decided || e.stalled {
+		return
+	}
+	e.stalled = true
+	e.eao.CancelTimers()
+}
+
 // Decision reports the decided value, if any.
 func (e *Engine) Decision() (types.Value, bool) { return e.decision, e.decided }
 

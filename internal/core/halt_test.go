@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/proto"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// haltEnv is a minimal single-process environment for white-box Halt
+// tests: sends vanish, timers are recorded but never fire.
+type haltEnv struct {
+	timers  int
+	cancels int
+}
+
+var _ proto.Env = (*haltEnv)(nil)
+
+func (e *haltEnv) ID() types.ProcID                      { return 1 }
+func (e *haltEnv) Params() types.Params                  { return types.Params{N: 4, T: 1, M: 2} }
+func (e *haltEnv) Now() types.Time                       { return 0 }
+func (e *haltEnv) Send(to types.ProcID, m proto.Message) {}
+func (e *haltEnv) Broadcast(m proto.Message)             {}
+func (e *haltEnv) Trace() trace.Sink                     { return trace.Discard{} }
+func (e *haltEnv) SetTimer(d types.Duration, fn func()) (cancel func()) {
+	e.timers++
+	return func() { e.cancels++ }
+}
+
+// TestHaltStopsUndecidedEngine: Halt freezes the round loop (reported as
+// Stalled) and cancels whatever EA timers are pending, so a retired
+// instance schedules no further work.
+func TestHaltStopsUndecidedEngine(t *testing.T) {
+	env := &haltEnv{}
+	eng, err := New(Config{Env: env, BotMode: true, TimeUnit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Propose("v"); err != nil {
+		t.Fatal(err)
+	}
+	eng.Halt()
+	if !eng.Stalled() {
+		t.Fatal("halted engine not stalled")
+	}
+	if _, decided := eng.Decision(); decided {
+		t.Fatal("halt fabricated a decision")
+	}
+	// The frozen loop must refuse to start rounds.
+	round := eng.Round()
+	eng.startRound(round + 1)
+	if eng.Round() != round {
+		t.Fatal("halted engine started a round")
+	}
+	// Idempotent.
+	cancels := env.cancels
+	eng.Halt()
+	if env.cancels != cancels {
+		t.Fatal("second Halt re-canceled timers")
+	}
+}

@@ -350,61 +350,82 @@ func (s *Store) Snapshot() []byte {
 }
 
 // Restore implements sm.Machine: replace the whole state from a snapshot.
+// It is all-or-nothing (the sm.Machine contract): the encoding is fully
+// decoded into fresh maps before anything live is swapped, so a malformed
+// snapshot — e.g. Byzantine bytes arriving through peer state transfer —
+// leaves the store exactly as it was.
 func (s *Store) Restore(b []byte) error {
+	data, sessions, counters, err := decodeStoreSnapshot(b)
+	if err != nil {
+		return err
+	}
+	s.data = data
+	s.sessions = sessions
+	s.applies, s.dups, s.stales, s.badCmds = counters[0], counters[1], counters[2], counters[3]
+	return nil
+}
+
+// ValidateSnapshot checks that b is a well-formed Store snapshot without
+// building a store: the install-validation entry point for hosts that
+// want to vet transferred bytes before committing to a Restore.
+func ValidateSnapshot(b []byte) error {
+	_, _, _, err := decodeStoreSnapshot(b)
+	return err
+}
+
+// decodeStoreSnapshot parses a snapshot encoding into fresh state,
+// touching nothing live. Defensive at every length: the bytes may come
+// from a Byzantine peer.
+func decodeStoreSnapshot(b []byte) (data map[string]string, sessions map[uint64]session, counters [5]uint64, err error) {
 	if len(b) < 1+5*8 || b[0] != snapMagic {
-		return fmt.Errorf("kv: not a store snapshot (%d bytes)", len(b))
+		return nil, nil, counters, fmt.Errorf("kv: not a store snapshot (%d bytes)", len(b))
 	}
 	rest := b[1:]
-	var counters [5]uint64
 	for i := range counters {
 		counters[i] = binary.LittleEndian.Uint64(rest)
 		rest = rest[8:]
 	}
 	nKeys := counters[4]
 	if nKeys > uint64(len(rest)) { // each key/value pair is ≥ 8 bytes
-		return fmt.Errorf("kv: key count %d exceeds snapshot size", nKeys)
+		return nil, nil, counters, fmt.Errorf("kv: key count %d exceeds snapshot size", nKeys)
 	}
-	data := make(map[string]string, nKeys)
-	var err error
+	data = make(map[string]string, nKeys)
 	var k, v string
 	for i := uint64(0); i < nKeys; i++ {
 		if k, rest, err = readString(rest); err != nil {
-			return err
+			return nil, nil, counters, err
 		}
 		if v, rest, err = readString(rest); err != nil {
-			return err
+			return nil, nil, counters, err
 		}
 		data[k] = v
 	}
 	if len(rest) < 8 {
-		return fmt.Errorf("kv: truncated session count")
+		return nil, nil, counters, fmt.Errorf("kv: truncated session count")
 	}
 	nSess := binary.LittleEndian.Uint64(rest)
 	rest = rest[8:]
 	if nSess > uint64(len(rest)) { // each session is ≥ 20 bytes
-		return fmt.Errorf("kv: session count %d exceeds snapshot size", nSess)
+		return nil, nil, counters, fmt.Errorf("kv: session count %d exceeds snapshot size", nSess)
 	}
-	sessions := make(map[uint64]session, nSess)
+	sessions = make(map[uint64]session, nSess)
 	for i := uint64(0); i < nSess; i++ {
 		if len(rest) < 16 {
-			return fmt.Errorf("kv: truncated session entry")
+			return nil, nil, counters, fmt.Errorf("kv: truncated session entry")
 		}
 		client := binary.LittleEndian.Uint64(rest)
 		seq := binary.LittleEndian.Uint64(rest[8:])
 		rest = rest[16:]
 		var resp string
 		if resp, rest, err = readString(rest); err != nil {
-			return err
+			return nil, nil, counters, err
 		}
 		sessions[client] = session{seq: seq, resp: types.Value(resp)}
 	}
 	if len(rest) != 0 {
-		return fmt.Errorf("kv: %d trailing bytes after snapshot", len(rest))
+		return nil, nil, counters, fmt.Errorf("kv: %d trailing bytes after snapshot", len(rest))
 	}
-	s.data = data
-	s.sessions = sessions
-	s.applies, s.dups, s.stales, s.badCmds = counters[0], counters[1], counters[2], counters[3]
-	return nil
+	return data, sessions, counters, nil
 }
 
 // Reset zeroes the store in place (sm.Resetter): pre-snapshot crash
@@ -442,8 +463,22 @@ func (s *Store) CachedResponse(client uint64) (seq uint64, resp types.Value, ok 
 	return sess.seq, sess.resp, ok
 }
 
-// Applies, Duplicates, Stales and BadCommands expose the apply counters.
-func (s *Store) Applies() uint64     { return s.applies }
-func (s *Store) Duplicates() uint64  { return s.dups }
-func (s *Store) Stales() uint64      { return s.stales }
+// Applies returns how many commands executed against the data map (reads
+// included). Part of the snapshot encoding, so it is identical across
+// replicas at identical applied prefixes.
+func (s *Store) Applies() uint64 { return s.applies }
+
+// Duplicates returns how many commands were answered from a session's
+// response cache instead of executing (same (client, seq) as the
+// watermark). Part of the snapshot encoding — which is why commit/skip
+// decisions must match across replicas (see log.Engine.InstallSnapshot).
+func (s *Store) Duplicates() uint64 { return s.dups }
+
+// Stales returns how many commands were rejected for a regressed
+// sequence number. Part of the snapshot encoding.
+func (s *Store) Stales() uint64 { return s.stales }
+
+// BadCommands returns how many committed values failed to decode as
+// commands (Byzantine proposers can commit garbage; it must not desync
+// replicas). Part of the snapshot encoding.
 func (s *Store) BadCommands() uint64 { return s.badCmds }

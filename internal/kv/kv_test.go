@@ -233,3 +233,29 @@ func TestRestoreRejectsMalformed(t *testing.T) {
 		}
 	}
 }
+
+// TestValidateSnapshot: the dry-run decode agrees with Restore, and a
+// failed Restore leaves live state untouched (the all-or-nothing
+// contract peer-snapshot installation relies on).
+func TestValidateSnapshot(t *testing.T) {
+	s := NewStore()
+	s.Apply(Command{Op: OpPut, Client: 1, Seq: 1, Key: "k", Val: "v"}.Encode())
+	snap := s.Snapshot()
+	if err := ValidateSnapshot(snap); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	if err := ValidateSnapshot(snap[:len(snap)-1]); err == nil {
+		t.Fatal("truncated snapshot validated")
+	}
+	if err := ValidateSnapshot([]byte("junk")); err == nil {
+		t.Fatal("junk validated")
+	}
+	// Restore of garbage must not disturb the live store.
+	before := string(s.Snapshot())
+	if err := s.Restore(snap[:len(snap)-1]); err == nil {
+		t.Fatal("truncated snapshot restored")
+	}
+	if string(s.Snapshot()) != before {
+		t.Fatal("failed Restore mutated live state")
+	}
+}

@@ -45,11 +45,21 @@ type Config struct {
 	// MaxLead instances ahead of us (possible under long asynchrony,
 	// since n−t quorums exclude us), their protocol messages for those
 	// instances are dropped and never resent, and we cannot commit past
-	// that point on our own. Catching such a replica up needs a state-
-	// transfer mechanism (log snapshot fetch), which this engine does
-	// not implement yet; Target-bounded runs are unaffected in practice
-	// when MaxLead exceeds the total instance count.
+	// that point on our own. Catching such a replica up needs state
+	// transfer: OnDroppedAhead surfaces the pressure, sm.Transfer fetches
+	// a peer snapshot, and InstallSnapshot resumes consensus from its
+	// boundary. Target-bounded runs without a transfer layer are
+	// unaffected in practice when MaxLead exceeds the total instance
+	// count.
 	MaxLead types.Instance
+	// OnDroppedAhead, if non-nil, fires for every message the MaxLead
+	// guard drops, with the instance the message named. Persistent fire
+	// at instances far past `applied` is the lag signal: the cluster has
+	// outrun this replica and (after compaction retires the peers' echo
+	// service) replay can no longer close the gap. The snapshot-transfer
+	// layer (sm.Transfer) turns this pressure into a fetch trigger. The
+	// hook must not call back into the engine.
+	OnDroppedAhead func(i types.Instance)
 	// Target stops the engine from starting new instances once this many
 	// commands committed (0 = unlimited; use Close). All correct
 	// processes must configure the same Target: the stop rule is a
@@ -108,7 +118,8 @@ type Engine struct {
 
 	floor       types.Instance // instances < floor are compacted away
 	entriesBase int            // entries below this index were trimmed
-	retired     int            // instance engines released by Compact
+	retired     int            // instance engines released by Compact/Install
+	installs    int            // snapshots installed via InstallSnapshot
 	retirer     Retirer        // optional dedup retirement hook
 
 	noOps      int    // applied instances that committed nothing new
@@ -212,6 +223,9 @@ func (l *Engine) OnMessage(from types.ProcID, m proto.Message) {
 	i := m.Instance
 	if i < 0 || i >= l.applied+l.cfg.MaxLead {
 		l.dropsAhead++
+		if l.cfg.OnDroppedAhead != nil && i > 0 {
+			l.cfg.OnDroppedAhead(i)
+		}
 		return
 	}
 	if i < l.floor {
@@ -413,6 +427,137 @@ func (l *Engine) Compact(floor types.Instance) int {
 	return released
 }
 
+// InstallSnapshot jumps the engine forward to a snapshot boundary
+// obtained from a peer: instances [0, boundary) are declared applied
+// without local decisions, index is the number of commands the
+// snapshot's state already reflects, and retained is the entry suffix
+// that traveled with the snapshot — the content-dedup window every
+// replica carries forward from that boundary. The state machine itself
+// must have been installed FIRST (sm.Applier.Install) — this method only
+// realigns the ordering layer.
+//
+// It is Compact generalized past the apply point: every instance below
+// boundary is retired wholesale — undecided local engines are Halted
+// (their outcome is already inside the snapshot, and their timers must
+// not keep firing), own in-flight batches are released back to pending
+// accounting, buffered decisions below the boundary are discarded, the
+// local entry log is replaced by the transferred suffix, and the
+// message-dedup layer drops everything below the suffix via the Retirer.
+//
+// Seeding entries and content dedup from the transferred suffix is a
+// CORRECTNESS requirement, not bookkeeping: commit/skip decisions are
+// part of the replicated state. The peers still hold dedup entries for
+// their retained window, so an in-flight instance re-deciding one of
+// those commands is skipped by every peer — a receiver installed with an
+// empty dedup would commit it, forking the entry streams (and, through
+// the session layer's duplicate counters, the state digests). With the
+// suffix seeded, the receiver's dedup window — and every future
+// compaction instant, which trims it — is byte-for-byte the function of
+// the committed prefix it is on every other correct replica.
+//
+// After the jump the pipeline restarts at the boundary: nextStart moves
+// to max(nextStart, boundary) and proposals refill the window, so the
+// replica resumes proposing symmetrically with the cluster. Buffered
+// decisions at or past the boundary then apply normally via tryApply.
+//
+// Errors: boundary must exceed the current apply point (stale snapshots
+// are the caller's problem to filter), index must not run behind the
+// locally committed count (a snapshot claiming fewer commands than we
+// already applied contradicts total order), and the retained suffix must
+// be index-contiguous ending at index−1 with ascending instances below
+// boundary — defense against forged payload structure.
+func (l *Engine) InstallSnapshot(boundary types.Instance, index int, retained []Entry) error {
+	if boundary <= l.applied {
+		return fmt.Errorf("log: snapshot boundary %v not past applied %v", boundary, l.applied)
+	}
+	if index < l.Committed() {
+		return fmt.Errorf("log: snapshot index %d behind committed %d", index, l.Committed())
+	}
+	if len(retained) > index {
+		return fmt.Errorf("log: %d retained entries exceed snapshot index %d", len(retained), index)
+	}
+	base := index - len(retained)
+	prevInst := types.Instance(-1)
+	for k, e := range retained {
+		if e.Index != base+k {
+			return fmt.Errorf("log: retained entry %d has index %d, want %d", k, e.Index, base+k)
+		}
+		if e.Instance < prevInst || e.Instance >= boundary {
+			return fmt.Errorf("log: retained entry %d instance %v out of order for boundary %v", k, e.Instance, boundary)
+		}
+		prevInst = e.Instance
+	}
+	// Instance-number order, not map order: Halt cancels timers in the
+	// shared scheduler, and determinism requires an iteration order that
+	// is a pure function of the engine state.
+	for i := l.floor; i < boundary; i++ {
+		inst, ok := l.insts[i]
+		if !ok {
+			continue
+		}
+		for _, c := range inst.ownBatch {
+			if l.inFlight[c]--; l.inFlight[c] <= 0 {
+				delete(l.inFlight, c)
+			}
+		}
+		inst.eng.Halt()
+		delete(l.insts, i)
+		l.retired++
+	}
+	for i := range l.decided {
+		if i < boundary {
+			delete(l.decided, i)
+		}
+	}
+	// Replace the local entry log (all of it predates the boundary — we
+	// had applied less than the snapshot covers) with the transferred
+	// suffix, and rebuild content dedup from it.
+	for _, e := range l.entries {
+		delete(l.committed, e.Cmd)
+	}
+	l.entries = append([]Entry(nil), retained...)
+	l.entriesBase = base
+	for _, e := range l.entries {
+		l.committed[e.Cmd] = struct{}{}
+	}
+	// Drop the whole pending queue, not just the retained window: pending
+	// commands committed in the SKIPPED prefix are invisible here (their
+	// dedup was compacted away everywhere), and re-proposing one would
+	// make it commit a second time on every replica — a duplicate entry
+	// that double-counts against entry-count stop rules. Nothing is lost:
+	// in the client-broadcast model every command was submitted to all
+	// replicas, so anything genuinely uncommitted is still pending at the
+	// peers, which propose it.
+	l.pending = nil
+	l.pendingSet = make(map[types.Value]struct{})
+	l.applied = boundary
+	// The dedup window's floor: the suffix's first instance, exactly
+	// where every peer's compaction left ITS floor at this boundary — so
+	// future compaction instants (and the dedup trims they perform) stay
+	// identical across replicas.
+	l.floor = boundary
+	if len(l.entries) > 0 {
+		l.floor = l.entries[0].Instance
+	}
+	l.installs++
+	if l.cfg.Target > 0 && l.Committed() >= l.cfg.Target {
+		// The snapshot alone satisfies the stop rule; don't reopen the
+		// pipeline just to propose into instances nobody else will run.
+		l.closed = true
+	}
+	if l.retirer != nil {
+		l.retirer.RetireInstancesBefore(l.floor)
+	}
+	if l.nextStart < boundary {
+		l.nextStart = boundary
+	}
+	for !l.closed && l.nextStart < l.applied+types.Instance(l.cfg.Pipeline) {
+		l.startNext()
+	}
+	l.tryApply()
+	return nil
+}
+
 // removePending deletes c from the pending queue (linear; batches are
 // small and the queue holds only uncommitted commands).
 func (l *Engine) removePending(c types.Value) {
@@ -462,8 +607,12 @@ func (l *Engine) DroppedRetired() uint64 { return l.dropsBelow }
 // Floor returns the compaction floor: instances < Floor are retired.
 func (l *Engine) Floor() types.Instance { return l.floor }
 
-// Retired returns how many instance engines Compact has released.
+// Retired returns how many instance engines Compact and InstallSnapshot
+// have released.
 func (l *Engine) Retired() int { return l.retired }
+
+// Installs returns how many peer snapshots InstallSnapshot has applied.
+func (l *Engine) Installs() int { return l.installs }
 
 // Closed reports whether the engine stopped starting new instances.
 func (l *Engine) Closed() bool { return l.closed }

@@ -426,3 +426,165 @@ func TestOnApplyHookOrderAndCounts(t *testing.T) {
 		}
 	}
 }
+
+// --- Snapshot-install tests (state transfer) ---------------------------------
+
+// installRetained builds a contiguous retained suffix ending at index−1.
+func installRetained(index int, pairs ...struct {
+	inst types.Instance
+	cmd  types.Value
+}) []Entry {
+	out := make([]Entry, len(pairs))
+	base := index - len(pairs)
+	for i, p := range pairs {
+		out[i] = Entry{Index: base + i, Instance: p.inst, Cmd: p.cmd}
+	}
+	return out
+}
+
+func pair(inst types.Instance, cmd types.Value) struct {
+	inst types.Instance
+	cmd  types.Value
+} {
+	return struct {
+		inst types.Instance
+		cmd  types.Value
+	}{inst, cmd}
+}
+
+func TestInstallSnapshotJumpsAndSeeds(t *testing.T) {
+	var commits []Entry
+	eng, _ := newTestEngine(t, Config{
+		Pipeline: 2, BatchSize: 4,
+		OnCommit: func(e Entry) { commits = append(commits, e) },
+	})
+	for _, c := range []types.Value{"a", "b", "x", "y"} {
+		if err := eng.Submit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot covers 5 entries through instance 10; the retained window
+	// holds the last two ("a" committed at i8, "b" at i9).
+	retained := installRetained(5, pair(8, "a"), pair(9, "b"))
+	if err := eng.InstallSnapshot(10, 5, retained); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Applied() != 10 || eng.Committed() != 5 || eng.Floor() != 8 {
+		t.Fatalf("applied=%v committed=%d floor=%v, want 10/5/8", eng.Applied(), eng.Committed(), eng.Floor())
+	}
+	if eng.Installs() != 1 {
+		t.Fatalf("installs=%d", eng.Installs())
+	}
+	if got := eng.EntriesBase(); got != 3 {
+		t.Fatalf("entriesBase=%d, want 3", got)
+	}
+	// The pipeline reopened at the boundary.
+	if eng.insts[10] == nil || eng.insts[11] == nil {
+		t.Fatal("pipeline not reopened at boundary")
+	}
+	// Dedup was seeded: a batch re-deciding "a" and "b" commits nothing,
+	// while "x" (pending, never committed) commits at index 5.
+	eng.onInstanceDecided(10, EncodeBatch([]types.Value{"a", "b", "x"}))
+	if len(commits) != 1 || commits[0].Cmd != "x" || commits[0].Index != 5 {
+		t.Fatalf("post-install commits: %+v", commits)
+	}
+	// The pending queue was dropped wholesale at install: commands
+	// committed in the SKIPPED prefix are indistinguishable from live
+	// ones here, and re-proposing one would commit it twice everywhere.
+	if eng.Pending() != 0 {
+		t.Fatalf("pending=%d after install, want 0", eng.Pending())
+	}
+	if got := eng.insts[11].ownBatch; len(got) != 0 {
+		t.Fatalf("post-install proposal carries %q", got)
+	}
+}
+
+func TestInstallSnapshotHaltsRetiredInstances(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{Pipeline: 2})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	i0 := eng.Instance(0)
+	if err := eng.InstallSnapshot(6, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !i0.Stalled() {
+		t.Fatal("retired undecided instance engine not halted")
+	}
+	if eng.Instance(0) != nil {
+		t.Fatal("retired instance still registered")
+	}
+	if eng.Retired() != 2 {
+		t.Fatalf("retired=%d, want 2", eng.Retired())
+	}
+	// With no retained suffix the floor is the boundary itself.
+	if eng.Floor() != 6 {
+		t.Fatalf("floor=%v, want 6", eng.Floor())
+	}
+}
+
+func TestInstallSnapshotRejectsStaleAndForged(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{Pipeline: 2})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.onInstanceDecided(0, EncodeBatch([]types.Value{"a"}))
+	if err := eng.InstallSnapshot(1, 5, nil); err == nil {
+		t.Fatal("boundary at applied accepted")
+	}
+	if err := eng.InstallSnapshot(4, 0, nil); err == nil {
+		t.Fatal("index behind committed accepted")
+	}
+	// Retained suffix with a gap in indexes.
+	bad := []Entry{{Index: 1, Instance: 2, Cmd: "b"}, {Index: 3, Instance: 3, Cmd: "c"}}
+	if err := eng.InstallSnapshot(5, 3, bad); err == nil {
+		t.Fatal("gapped retained suffix accepted")
+	}
+	// Retained entry at or past the boundary.
+	bad = []Entry{{Index: 2, Instance: 7, Cmd: "b"}}
+	if err := eng.InstallSnapshot(5, 3, bad); err == nil {
+		t.Fatal("retained instance past boundary accepted")
+	}
+	if eng.Installs() != 0 {
+		t.Fatalf("failed installs counted: %d", eng.Installs())
+	}
+}
+
+func TestInstallSnapshotClosesAtTarget(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{Pipeline: 2, Target: 5})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.InstallSnapshot(9, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Closed() {
+		t.Fatal("engine open past Target after install")
+	}
+	// No proposals into instances nobody else will run.
+	if eng.insts[9] != nil {
+		t.Fatal("closed engine reopened the pipeline")
+	}
+}
+
+func TestOnDroppedAheadHook(t *testing.T) {
+	var lagged []types.Instance
+	eng, _ := newTestEngine(t, Config{
+		Pipeline: 2, MaxLead: 4,
+		OnDroppedAhead: func(i types.Instance) { lagged = append(lagged, i) },
+	})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.OnMessage(2, proto.Message{Kind: proto.MsgRBInit, Tag: proto.Tag{Mod: proto.ModConsCB0}, Instance: 7, Origin: 2, Val: "v"})
+	eng.OnMessage(2, proto.Message{Kind: proto.MsgRBInit, Tag: proto.Tag{Mod: proto.ModConsCB0}, Instance: 2, Origin: 2, Val: "v"})
+	if len(lagged) != 1 || lagged[0] != 7 {
+		t.Fatalf("lag hook calls: %v", lagged)
+	}
+	if eng.DroppedAhead() != 1 {
+		t.Fatalf("droppedAhead=%d", eng.DroppedAhead())
+	}
+}

@@ -8,8 +8,12 @@
 // bound δ such that a message sent at τ′ is delivered by max(GST, τ′)+δ.
 // Asynchronous channels have finite but unbounded delays, chosen by a
 // delay policy or overridden by a network adversary. The network never
-// loses, duplicates, or corrupts messages, and senders are authenticated
-// by construction (no impersonation), exactly as assumed by the paper.
+// duplicates or corrupts messages, and senders are authenticated by
+// construction (no impersonation), exactly as assumed by the paper. It
+// never loses messages either — unless a scenario explicitly installs a
+// Dropper adversary, the one deliberate deviation from the paper's model
+// (omission episodes, used to exercise the snapshot state-transfer
+// recovery path; see Dropper).
 package network
 
 import (
@@ -173,6 +177,22 @@ type Adversary interface {
 	MessageDelay(from, to types.ProcID, at types.Time, payload any) (types.Duration, bool)
 }
 
+// Dropper is an optional Adversary extension that models OMISSION
+// episodes: a message it claims is lost outright — no delivery event is
+// ever scheduled. This deliberately steps outside the paper's
+// reliable-channel model (§2.1 channels never lose messages), because
+// the deployed transport does: TCP frames sent to a crashed or
+// disconnected replica are gone for good, and the snapshot state-transfer
+// subsystem exists precisely to recover from that. Drops are applied
+// BEFORE the timeliness clamp — a severed channel loses even "timely"
+// traffic for the duration of the episode — so scenarios that use a
+// Dropper own the liveness consequences; safety of the quorum-based
+// layers is unaffected (missing messages can only slow a process down,
+// never fork it).
+type Dropper interface {
+	DropMessage(from, to types.ProcID, at types.Time, payload any) bool
+}
+
 // Topology is the full n×n channel matrix. Self-channels (i→i) are always
 // timely with zero delay, matching the paper's "virtual input/output
 // channel from itself to itself, which is always timely".
@@ -325,8 +345,10 @@ type Network struct {
 	sched    *sim.Scheduler
 	recv     Receiver
 	rec      bool                           // cfg.Trace actually records
+	drop     Dropper                        // cfg.Adv's Dropper side, resolved once (nil = none)
 	lastArr  map[[2]types.ProcID]types.Time // FIFO watermark
 	sent     uint64
+	dropped  uint64 // messages lost to a Dropper adversary
 	byteless uint64 // messages counted, payload bytes unknown in sim
 }
 
@@ -352,6 +374,11 @@ func New(sched *sim.Scheduler, cfg Config, recv Receiver) (*Network, error) {
 		rec:     trace.Recording(cfg.Trace),
 		lastArr: make(map[[2]types.ProcID]types.Time),
 	}
+	// Resolve the adversary's Dropper side once: Send is the hot path and
+	// must not pay a dynamic interface assertion per message.
+	if dr, ok := cfg.Adv.(Dropper); ok {
+		nw.drop = dr
+	}
 	sched.SetDeliver(nw.deliver)
 	return nw, nil
 }
@@ -364,8 +391,12 @@ func (nw *Network) deliver(from, to types.ProcID, payload any) {
 	nw.recv(to, from, payload)
 }
 
-// Sent returns the number of point-to-point messages sent so far.
+// Sent returns the number of point-to-point messages sent so far
+// (dropped ones included: the sender did send them).
 func (nw *Network) Sent() uint64 { return nw.sent }
+
+// Dropped returns the number of messages a Dropper adversary destroyed.
+func (nw *Network) Dropped() uint64 { return nw.dropped }
 
 // Send schedules the delivery of payload on the channel from → to,
 // applying the channel's timing class:
@@ -376,6 +407,18 @@ func (nw *Network) Sent() uint64 { return nw.sent }
 func (nw *Network) Send(from, to types.ProcID, payload any) {
 	now := nw.sched.Now()
 	link := nw.cfg.Topology.LinkOf(from, to)
+
+	// 0. Omission episodes (see Dropper): the message is counted and
+	// traced as sent, then destroyed. Self-channels are exempt — the
+	// paper's virtual self-channel cannot fail.
+	if nw.drop != nil && from != to && nw.drop.DropMessage(from, to, now, payload) {
+		nw.sent++
+		nw.dropped++
+		if nw.rec {
+			nw.cfg.Trace.Emit(trace.Event{At: now, Kind: trace.KindSend, Proc: from, Peer: to})
+		}
+		return
+	}
 
 	// 1. Natural/adversarial delay proposal.
 	var d types.Duration

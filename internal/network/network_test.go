@@ -322,3 +322,50 @@ func TestLinkClassDelayBurst(t *testing.T) {
 		t.Fatalf("burst not applied: %v", d)
 	}
 }
+
+// dropAll is a Dropper that severs 1→2 before t=50ms.
+type dropAll struct{}
+
+func (dropAll) MessageDelay(types.ProcID, types.ProcID, types.Time, any) (types.Duration, bool) {
+	return 0, false
+}
+func (dropAll) DropMessage(from, to types.ProcID, at types.Time, _ any) bool {
+	return from == 1 && to == 2 && at < types.Time(50*time.Millisecond)
+}
+
+// TestDropperLosesMessages: a Dropper adversary destroys claimed
+// messages outright — even on a timely channel (drops run BEFORE the
+// timeliness clamp) — while unclaimed traffic flows and the self-channel
+// is exempt.
+func TestDropperLosesMessages(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	var got []arrival
+	tp := FullySynchronous(3, types.Duration(5*time.Millisecond))
+	nw, err := New(sched, Config{
+		Topology: tp,
+		Policy:   FixedDelay{D: types.Duration(time.Millisecond)},
+		Adv:      dropAll{},
+	}, collector(sched, &got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Send(1, 2, "lost")    // severed
+	nw.Send(1, 3, "flows")   // different destination
+	nw.Send(1, 1, "self-ok") // self-channel exempt by construction
+	// Advance the virtual clock past the heal instant before re-sending.
+	sched.After(types.Duration(60*time.Millisecond), func() { nw.Send(1, 2, "post-heal") })
+	sched.Run(0, 0)
+	if nw.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", nw.Dropped())
+	}
+	if nw.Sent() != 4 {
+		t.Fatalf("sent = %d, want 4 (drops still count as sends)", nw.Sent())
+	}
+	delivered := map[any]bool{}
+	for _, a := range got {
+		delivered[a.payload] = true
+	}
+	if delivered["lost"] || !delivered["flows"] || !delivered["self-ok"] || !delivered["post-heal"] {
+		t.Fatalf("deliveries: %v", got)
+	}
+}

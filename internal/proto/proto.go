@@ -33,6 +33,14 @@ const (
 	// path entirely.
 	MsgKVRequest  // KV_REQ(encoded kv.Command)
 	MsgKVResponse // KV_RESP(encoded kv.Response)
+	// The snapshot-transfer kinds (wire codec v3, module ModSnap) carry
+	// peer-to-peer state transfer for replicas that compaction has left
+	// unable to catch up by replay: a request names the requester's
+	// applied boundary, a response carries one digest-stamped sm.Snapshot
+	// in a single frame. Unlike every kind above they are exempt from the
+	// first-message-only rule (see Node.Dispatch).
+	MsgSnapRequest  // SNAP_REQ(Instance = requester's applied boundary)
+	MsgSnapResponse // SNAP_RESP(digest ‖ snapshot bytes; Instance = snapshot boundary)
 )
 
 // String implements fmt.Stringer. A switch, not a map: tracing and error
@@ -56,6 +64,10 @@ func (k MsgKind) String() string {
 		return "KV_REQ"
 	case MsgKVResponse:
 		return "KV_RESP"
+	case MsgSnapRequest:
+		return "SNAP_REQ"
+	case MsgSnapResponse:
+		return "SNAP_RESP"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", int(k))
 	}
@@ -85,6 +97,9 @@ const (
 	// ModKV tags the client-facing KV request/response messages of the
 	// replicated KV service; Round is always 0.
 	ModKV
+	// ModSnap tags the replica-to-replica snapshot-transfer messages
+	// (MsgSnapRequest/MsgSnapResponse); Round is always 0.
+	ModSnap
 )
 
 // String implements fmt.Stringer (a switch for the same reason as
@@ -105,6 +120,8 @@ func (m Module) String() string {
 		return "decide"
 	case ModKV:
 		return "kv"
+	case ModSnap:
+		return "snap"
 	default:
 		return fmt.Sprintf("Module(%d)", int(m))
 	}
@@ -275,7 +292,23 @@ func NewNode(h Handler) *Node {
 }
 
 // Dispatch feeds one raw network delivery through deduplication.
+//
+// Snapshot-transfer frames (MsgSnapRequest/MsgSnapResponse) bypass both
+// the first-message rule and the retired-instance floor: a lagging
+// replica legitimately re-requests from the same boundary until a
+// transfer lands (retries share the dedup identity the rule would
+// consume), a request's boundary instance is usually far BELOW the
+// server's compaction floor, and a response's is far ABOVE the
+// requester's MaxLead window — all three filters would misfire. The
+// frames are safe without the rule: they are idempotent, self-validating
+// (digest check plus t+1 corroboration at the requester, rate limiting
+// at the server — see sm.Transfer), and never feed the consensus layers
+// the rule protects.
 func (n *Node) Dispatch(from types.ProcID, m Message) {
+	if m.Kind == MsgSnapRequest || m.Kind == MsgSnapResponse {
+		n.h.OnMessage(from, m)
+		return
+	}
 	if m.Instance < n.floor {
 		n.DroppedRetired++
 		return

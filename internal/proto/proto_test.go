@@ -172,3 +172,35 @@ func TestRetireInstancesBefore(t *testing.T) {
 		t.Fatalf("live-instance dedup broken: dropped=%d", n.Dropped)
 	}
 }
+
+// TestSnapFramesBypassDedup: snapshot-transfer frames are exempt from the
+// first-message rule and the retired-instance floor — a lagging replica
+// legitimately re-requests from the same boundary, and responses name
+// instances far outside the requester's live window.
+func TestSnapFramesBypassDedup(t *testing.T) {
+	delivered := 0
+	n := NewNode(HandlerFunc(func(types.ProcID, Message) { delivered++ }))
+	req := Message{Kind: MsgSnapRequest, Tag: Tag{Mod: ModSnap}, Instance: 2}
+	n.Dispatch(3, req)
+	n.Dispatch(3, req) // an identical retry must get through
+	if delivered != 2 || n.Dropped != 0 {
+		t.Fatalf("retry deduplicated: delivered=%d dropped=%d", delivered, n.Dropped)
+	}
+	// Below the retirement floor: still delivered (a request's boundary
+	// instance is usually below the server's compaction floor).
+	n.RetireInstancesBefore(10)
+	n.Dispatch(3, req)
+	if delivered != 3 || n.DroppedRetired != 0 {
+		t.Fatalf("floor applied to transfer frame: delivered=%d droppedRetired=%d", delivered, n.DroppedRetired)
+	}
+	resp := Message{Kind: MsgSnapResponse, Tag: Tag{Mod: ModSnap}, Instance: 1 << 30, Val: "payload"}
+	n.Dispatch(2, resp)
+	n.Dispatch(2, resp)
+	if delivered != 5 {
+		t.Fatalf("responses deduplicated: delivered=%d", delivered)
+	}
+	// No dedup state accumulates for transfer traffic.
+	if n.LiveInstances() != 0 {
+		t.Fatalf("transfer frames grew dedup sub-maps: %d", n.LiveInstances())
+	}
+}

@@ -63,6 +63,18 @@ type KVSpec struct {
 	// the process discards its live state and rebuilds it from its latest
 	// snapshot plus the retained log suffix (sm.Applier.Recover).
 	RecoverAt map[types.ProcID]types.Time
+	// Transfer enables peer-to-peer snapshot state transfer (sm.Transfer)
+	// on every correct replica: a replica that falls more than MaxLead
+	// instances behind fetches a corroborated peer snapshot and resumes
+	// from its boundary instead of stalling forever. Requires
+	// SnapshotEvery > 0 (there must be snapshots to serve). Off by
+	// default: the transfer layer arms probe timers and can inject
+	// request/response traffic, which perturbs digest-pinned schedules.
+	Transfer bool
+	// TransferRetry and TransferProbe override sm.TransferConfig's
+	// RetryEvery/StallProbe cadences (0 = the sm defaults).
+	TransferRetry types.Duration
+	TransferProbe types.Duration
 	// Target, when > 0, overrides the stop rule with a raw entry-count
 	// target (log.Config.Target semantics). The default stop rule counts
 	// DISTINCT workload commands instead: under compaction a forgotten
@@ -90,6 +102,11 @@ type KVResult struct {
 	SnapshotLog map[types.ProcID][]sm.Snapshot
 	// RecoverErrs records failed Recover calls (nil entries are success).
 	RecoverErrs map[types.ProcID]error
+	// Transfers maps each correct process to the sm.Transfer layer's
+	// install count (snapshots adopted from peers); TransferServed counts
+	// snapshots it served to peers. Both empty unless KVSpec.Transfer.
+	Transfers      map[types.ProcID]int
+	TransferServed map[types.ProcID]int
 	// Covered maps each correct process to the number of DISTINCT
 	// workload commands it committed (duplicates and forged commands
 	// excluded); Distinct is the workload's distinct-command count.
@@ -158,12 +175,25 @@ func (r *KVResult) SnapshotsAgree() bool {
 // ReferenceDivergence replays the reference process's committed log
 // through a fresh single-node store and compares digests with the live
 // replicated state: any difference means the applier path diverged from
-// the sequential semantics. Returns "" when they match.
+// the sequential semantics. Returns "" when they match. The reference is
+// the first correct process with a FULL history (first entry at index
+// 0): a replica that joined via snapshot transfer holds only a suffix
+// locally and cannot be replayed from scratch — if no full-history
+// replica exists the check is vacuous.
 func (r *KVResult) ReferenceDivergence() string {
 	if len(r.Correct) == 0 {
 		return "no correct processes"
 	}
-	ref := r.Correct[0]
+	ref := types.NoProc
+	for _, id := range r.Correct {
+		if lg := r.Logs[id]; len(lg) > 0 && lg[0].Index == 0 {
+			ref = id
+			break
+		}
+	}
+	if ref == types.NoProc {
+		return "" // every correct replica transferred in; nothing to replay
+	}
 	oracle := kv.NewStore()
 	for _, e := range r.Logs[ref] {
 		oracle.Apply(e.Cmd)
@@ -204,6 +234,9 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 	if spec.CompactKeep <= 0 {
 		spec.CompactKeep = 4
 	}
+	if spec.Transfer && spec.SnapshotEvery <= 0 {
+		return nil, fmt.Errorf("runner: Transfer requires SnapshotEvery > 0 (peers serve snapshots)")
+	}
 	encoded := make([]types.Value, len(spec.Commands))
 	distinct := make(map[types.Value]struct{}, len(spec.Commands))
 	for i, c := range spec.Commands {
@@ -229,14 +262,17 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 			Logs:    make(map[types.ProcID][]log.Entry),
 			Engines: make(map[types.ProcID]*log.Engine),
 		},
-		Stores:       make(map[types.ProcID]*kv.Store),
-		Appliers:     make(map[types.ProcID]*sm.Applier),
-		StateDigests: make(map[types.ProcID][32]byte),
-		SnapshotLog:  make(map[types.ProcID][]sm.Snapshot),
-		RecoverErrs:  make(map[types.ProcID]error),
-		Covered:      make(map[types.ProcID]int),
-		Distinct:     len(distinct),
+		Stores:         make(map[types.ProcID]*kv.Store),
+		Appliers:       make(map[types.ProcID]*sm.Applier),
+		StateDigests:   make(map[types.ProcID][32]byte),
+		SnapshotLog:    make(map[types.ProcID][]sm.Snapshot),
+		RecoverErrs:    make(map[types.ProcID]error),
+		Transfers:      make(map[types.ProcID]int),
+		TransferServed: make(map[types.ProcID]int),
+		Covered:        make(map[types.ProcID]int),
+		Distinct:       len(distinct),
 	}
+	trs := make(map[types.ProcID]*sm.Transfer)
 	for _, id := range p.AllProcs() {
 		id := id
 		if b, ok := spec.Byzantine[id]; ok {
@@ -253,6 +289,16 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 			app, err := sm.New(sm.Config{
 				Machine:       store,
 				SnapshotEvery: spec.SnapshotEvery,
+				// The retained-suffix capture rides every snapshot so this
+				// replica can serve complete transfer payloads (snapshot +
+				// dedup window); cheap (CompactKeep-sized) when compaction
+				// is on.
+				RetainedEntries: func() []log.Entry {
+					if eng == nil {
+						return nil
+					}
+					return eng.Entries()
+				},
 				OnSnapshot: func(s sm.Snapshot) {
 					res.SnapshotLog[id] = append(res.SnapshotLog[id],
 						sm.Snapshot{Index: s.Index, Instance: s.Instance, Digest: s.Digest})
@@ -295,10 +341,36 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 				}
 			}
 			cfg.OnApply = app.OnApply
+			var tr *sm.Transfer
+			if spec.Transfer {
+				// Late-bound: tr exists only after the engine it wraps.
+				cfg.OnDroppedAhead = func(i types.Instance) {
+					if tr != nil {
+						tr.OnDroppedAhead(i)
+					}
+				}
+			}
 			eng, err = log.New(cfg)
 			if err != nil {
 				engErr = err
 				return proto.HandlerFunc(func(types.ProcID, proto.Message) {})
+			}
+			handler := proto.Handler(eng)
+			if spec.Transfer {
+				tr, err = sm.NewTransfer(sm.TransferConfig{
+					Env:        env,
+					Applier:    app,
+					Log:        eng,
+					Next:       eng,
+					RetryEvery: spec.TransferRetry,
+					StallProbe: spec.TransferProbe,
+				})
+				if err != nil {
+					engErr = err
+					return proto.HandlerFunc(func(types.ProcID, proto.Message) {})
+				}
+				trs[id] = tr
+				handler = tr
 			}
 			res.Engines[id] = eng
 			res.Stores[id] = store
@@ -324,7 +396,7 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 					engErr = err
 				}
 			})
-			return eng
+			return handler
 		})
 		if err != nil {
 			return nil, fmt.Errorf("runner: %w", err)
@@ -353,6 +425,10 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 				// stopped applying; surface it as a recovery failure.
 				res.RecoverErrs[id] = err
 			}
+		}
+		if tr := trs[id]; tr != nil {
+			res.Transfers[id] = tr.Installs()
+			res.TransferServed[id] = tr.Served()
 		}
 	}
 	return res, nil

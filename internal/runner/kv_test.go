@@ -253,3 +253,67 @@ func TestKVSpecValidation(t *testing.T) {
 		t.Fatal("empty workload accepted")
 	}
 }
+
+// TestKVLagTransfer: a replica severed by a dropping partition until the
+// cluster has compacted past its replay horizon must reconverge through
+// peer snapshot transfer — byte-identical state at an identical applied
+// count, with the transfer counters proving the path taken.
+func TestKVLagTransfer(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		spec := kvSpec(4, 60, seed)
+		spec.Commands = kvWorkload(60, 3, 8)
+		spec.SubmitEvery = types.Duration(2 * time.Millisecond)
+		spec.SnapshotEvery = 1
+		spec.Compact = true
+		spec.CompactKeep = 1
+		spec.Transfer = true
+		spec.Target = 60
+		spec.Log.BatchSize = 2
+		spec.Log.MaxLead = 4
+		spec.Adv = &adversary.DroppingPartition{
+			Side:   map[types.ProcID]int{1: 1},
+			HealAt: types.Time(250 * time.Millisecond),
+		}
+		res, err := RunKV(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Transfers[1] == 0 {
+			t.Fatalf("seed %d: severed replica installed no snapshot", seed)
+		}
+		served := 0
+		for _, id := range res.Correct {
+			served += res.TransferServed[id]
+		}
+		if served == 0 {
+			t.Fatalf("seed %d: no peer served a snapshot", seed)
+		}
+		if res.Engines[1].DroppedAhead() == 0 {
+			t.Fatalf("seed %d: the severed replica never crossed the replay horizon", seed)
+		}
+		if !res.Consistent() {
+			t.Fatalf("seed %d: logs inconsistent", seed)
+		}
+		if d := res.ReferenceDivergence(); d != "" {
+			t.Fatalf("seed %d: %s", seed, d)
+		}
+		ref := res.Correct[1] // full-history replica
+		for _, id := range res.Correct {
+			if got, want := res.Appliers[id].Applied(), res.Appliers[ref].Applied(); got != want {
+				t.Fatalf("seed %d: replica %v applied %d entries, want %d", seed, id, got, want)
+			}
+			if res.StateDigests[id] != res.StateDigests[ref] {
+				t.Fatalf("seed %d: replica %v state digest diverged", seed, id)
+			}
+		}
+	}
+}
+
+// TestKVTransferRequiresSnapshots: serving peers need snapshots to serve.
+func TestKVTransferRequiresSnapshots(t *testing.T) {
+	spec := kvSpec(4, 8, 1)
+	spec.Transfer = true
+	if _, err := RunKV(spec); err == nil {
+		t.Fatal("Transfer without SnapshotEvery accepted")
+	}
+}

@@ -92,19 +92,31 @@ func (r *LogResult) AllCommitted(target int) bool {
 	return len(r.Correct) > 0
 }
 
-// Consistent reports whether all correct logs are pairwise
-// prefix-consistent (the total-order safety property: no two processes
-// commit different commands at the same index).
+// Consistent reports whether all correct logs agree wherever they
+// overlap (the total-order safety property: no two processes commit
+// different commands at the same index). Alignment is by Entry.Index,
+// not slice position: a replica that joined through snapshot state
+// transfer commits only a suffix of the log locally, and positional
+// comparison would misread that shift as divergence.
 func (r *LogResult) Consistent() bool {
 	for i, a := range r.Correct {
 		for _, b := range r.Correct[i+1:] {
 			la, lb := r.Logs[a], r.Logs[b]
-			n := len(la)
-			if len(lb) < n {
-				n = len(lb)
+			if len(la) == 0 || len(lb) == 0 {
+				continue
 			}
-			for k := 0; k < n; k++ {
-				if la[k].Cmd != lb[k].Cmd || la[k].Instance != lb[k].Instance {
+			// Each log is index-contiguous; shift to the common range.
+			lo := la[0].Index
+			if lb[0].Index > lo {
+				lo = lb[0].Index
+			}
+			hi := la[len(la)-1].Index
+			if top := lb[len(lb)-1].Index; top < hi {
+				hi = top
+			}
+			for k := lo; k <= hi; k++ {
+				ea, eb := la[k-la[0].Index], lb[k-lb[0].Index]
+				if ea.Cmd != eb.Cmd || ea.Instance != eb.Instance {
 					return false
 				}
 			}

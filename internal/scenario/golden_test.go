@@ -40,6 +40,16 @@ func TestGoldenDigests(t *testing.T) {
 		{"kv-sessions", 7, "130eb6fc3f45466a688eaf43cfcd0bde2a20716871595dd545fabde9ff48b79a"},
 		{"kv-snapshot-recover", 1, "e5a5456cb1e7d02fc07d3183f27520bec88d9b05e8edbd2379581b45333f3d56"},
 		{"kv-long-compaction", 7, "f5595179a379c5e2663ac5e3fc924f92aad19a4eacc62ee71409c91770af6274"},
+		// Snapshot-state-transfer rows, recorded when the transfer
+		// subsystem landed. Their digests additionally cover the
+		// SNAP_REQ/SNAP_RESP traffic, the stall-probe schedule and the
+		// laggard's install boundary, so the whole transfer protocol's
+		// schedule is pinned here. All pre-transfer rows above are
+		// byte-identical to their previous recordings (transfer only
+		// activates where it is enabled).
+		{"kv-lag-transfer", 1, "a4f10d52106b9d232f1706924be35165d8d3d41ef85f43b433499b293e295c7d"},
+		{"kv-lag-transfer", 7, "4f52b8ce04074517a2e2abcf163a60e77540cd8955581e79ad3580134a606a39"},
+		{"kv-lag-transfer-n7", 1, "531dc579c0a030d12469ce93d053c8861199f04cffe37dee009729ae56099005"},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -299,6 +299,45 @@ var registry = []Spec{
 		},
 		ExpectTermination: true,
 	},
+
+	// --- Snapshot state transfer between replicas ------------------------
+	// A severing partition (PartitionDrop) loses the victim's traffic for
+	// good — modeling a crashed/disconnected replica — while the majority
+	// keeps ordering, snapshotting and compacting. By heal time, replay is
+	// impossible by construction: the victim's MaxLead horizon dropped the
+	// live stream and the peers retired the instances it would need. Only
+	// a peer snapshot install (sm.Transfer) can reconverge it; the
+	// KV-Transfer property pins exactly that.
+	{
+		Name: "kv-lag-transfer", Desc: "n=4 KV: replica severed past the replay horizon rejoins via snapshot transfer",
+		N: 4, T: 1, M: 1,
+		Net: Net{
+			Kind:         NetFull,
+			PartitionCut: 1, PartitionDrop: true, HealAt: 250 * time.Millisecond,
+		},
+		Work: Work{
+			Kind: WorkKV, Commands: 96, BatchSize: 2, Pipeline: 2,
+			SubmitEvery:   2 * time.Millisecond,
+			SnapshotEvery: 1, Compact: true, CompactKeep: 1,
+			Transfer: true, MaxLead: 4,
+		},
+		ExpectTermination: true,
+	},
+	{
+		Name: "kv-lag-transfer-n7", Desc: "n=7 t=2 KV lag transfer: installs need t+1=3 corroborating peers",
+		N: 7, T: 2, M: 1,
+		Net: Net{
+			Kind:         NetFull,
+			PartitionCut: 1, PartitionDrop: true, HealAt: 250 * time.Millisecond,
+		},
+		Work: Work{
+			Kind: WorkKV, Commands: 72, BatchSize: 3, Pipeline: 2,
+			SubmitEvery:   2 * time.Millisecond,
+			SnapshotEvery: 1, Compact: true, CompactKeep: 1,
+			Transfer: true, MaxLead: 4,
+		},
+		ExpectTermination: true,
+	},
 }
 
 // bisrc is a registry-literal helper for explicit bisource placement

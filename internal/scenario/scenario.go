@@ -148,6 +148,14 @@ type Net struct {
 	// HealAt is the partition heal instant (default GST when a partition
 	// is requested).
 	HealAt time.Duration
+	// PartitionDrop makes the partition sever instead of delay:
+	// cross-boundary messages sent before HealAt are LOST
+	// (adversary.DroppingPartition), modeling a crashed/disconnected
+	// replica whose transport frames are gone for good. This deliberately
+	// breaks the paper's reliable-channel model during the cut — a
+	// minority-side replica can then only reconverge through snapshot
+	// state transfer, which is what the kv-lag-transfer scenarios pin.
+	PartitionDrop bool
 	// Jitter selects the async delay policy.
 	Jitter Jitter
 	// FIFO enforces per-channel ordering (false = reordering allowed).
@@ -238,6 +246,23 @@ type Work struct {
 	// RecoverAt > 0 crash-recovers the lowest-ID correct replica at this
 	// virtual time (snapshot restore + retained-suffix replay).
 	RecoverAt time.Duration
+
+	// --- WorkKV peer snapshot state transfer -------------------------
+
+	// Transfer enables snapshot state transfer (sm.Transfer) on every
+	// correct replica: a replica that falls more than MaxLead instances
+	// behind fetches a t+1-corroborated peer snapshot and resumes from
+	// its boundary. Requires SnapshotEvery > 0. Transfer runs close
+	// their engines on a raw entry-count target (the transferred replica
+	// never re-commits the prefix it skipped, so the default
+	// distinct-coverage stop rule could never release it), which is why
+	// Retries/OutOfOrder — whose duplicate commits would satisfy an
+	// entry count early — are rejected alongside it.
+	Transfer bool
+	// MaxLead overrides the log engine's replay horizon (0 = default
+	// 256). Lag-transfer scenarios shrink it so a partitioned replica
+	// crosses the horizon within a short run.
+	MaxLead int
 }
 
 // Spec is one named scenario: resilience parameters, fault assignment,
@@ -310,8 +335,19 @@ func (s Spec) Validate() error {
 	if s.Work.Compact && s.Work.SnapshotEvery <= 0 {
 		return fmt.Errorf("scenario %s: Compact requires SnapshotEvery > 0", s.Name)
 	}
-	if (s.Work.SnapshotEvery > 0 || s.Work.Compact || s.Work.RecoverAt > 0) && s.Work.Kind != WorkKV {
-		return fmt.Errorf("scenario %s: snapshot/compaction/recovery knobs require the kv workload", s.Name)
+	if (s.Work.SnapshotEvery > 0 || s.Work.Compact || s.Work.RecoverAt > 0 || s.Work.Transfer || s.Work.MaxLead > 0) && s.Work.Kind != WorkKV {
+		return fmt.Errorf("scenario %s: snapshot/compaction/recovery/transfer knobs require the kv workload", s.Name)
+	}
+	if s.Work.Transfer {
+		if s.Work.SnapshotEvery <= 0 {
+			return fmt.Errorf("scenario %s: Transfer requires SnapshotEvery > 0", s.Name)
+		}
+		if s.Work.Retries > 0 || s.Work.OutOfOrder {
+			return fmt.Errorf("scenario %s: Transfer is incompatible with Retries/OutOfOrder (entry-count stop rule)", s.Name)
+		}
+	}
+	if s.Net.PartitionDrop && s.Net.PartitionCut <= 0 {
+		return fmt.Errorf("scenario %s: PartitionDrop requires PartitionCut > 0", s.Name)
 	}
 	if s.Net.Kind < NetFull || s.Net.Kind > NetBisource {
 		return fmt.Errorf("scenario %s: unknown net kind %v", s.Name, s.Net.Kind)
@@ -470,14 +506,23 @@ func (s Spec) adversaryFor(seed int64) network.Adversary {
 		for i := 1; i <= n.PartitionCut; i++ {
 			side[types.ProcID(i)] = 1
 		}
-		chain = append(chain, &adversary.HealingPartition{
-			Side:   side,
-			HealAt: types.Time(n.HealAt),
-			// The double mod keeps the stagger positive for negative seeds
-			// (Go's % keeps the dividend's sign); without it the post-heal
-			// backlog would flush as one simultaneous burst.
-			Stagger: types.Duration((seed%7+7)%7+1) * time.Microsecond,
-		})
+		if n.PartitionDrop {
+			// Severing cut: cross-boundary traffic is lost, not queued —
+			// there is no backlog to flush at the heal, so no stagger.
+			chain = append(chain, &adversary.DroppingPartition{
+				Side:   side,
+				HealAt: types.Time(n.HealAt),
+			})
+		} else {
+			chain = append(chain, &adversary.HealingPartition{
+				Side:   side,
+				HealAt: types.Time(n.HealAt),
+				// The double mod keeps the stagger positive for negative seeds
+				// (Go's % keeps the dividend's sign); without it the post-heal
+				// backlog would flush as one simultaneous burst.
+				Stagger: types.Duration((seed%7+7)%7+1) * time.Microsecond,
+			})
+		}
 	}
 	if n.Splitter {
 		target := make(map[types.ProcID]types.ProcID, s.N)

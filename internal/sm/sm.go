@@ -47,7 +47,12 @@ type Machine interface {
 	Apply(cmd types.Value) types.Value
 	// Snapshot encodes the full state deterministically.
 	Snapshot() []byte
-	// Restore replaces the full state from a Snapshot encoding.
+	// Restore replaces the full state from a Snapshot encoding. It must
+	// be all-or-nothing: on any decode error the live state is left
+	// untouched. Peer-snapshot installation (Applier.Install) relies on
+	// this to reject Byzantine-supplied bytes without bricking the
+	// replica (kv.Store.Restore decodes fully before swapping anything
+	// in — see kv.ValidateSnapshot).
 	Restore(data []byte) error
 }
 
@@ -106,6 +111,18 @@ type Config struct {
 	// OnResponse fires with the machine's response to every applied entry
 	// (client reply path; nil = discard).
 	OnResponse func(e log.Entry, resp types.Value)
+	// RetainedEntries, if non-nil, returns the log engine's retained
+	// committed-entry suffix (log.Engine.Entries). The applier copies it
+	// right after each snapshot's OnSnapshot hook returns — i.e. after
+	// the hook's compaction — so the copy is exactly the content-dedup
+	// window every replica carries forward from that boundary. Snapshot
+	// state TRANSFER needs it: installing machine state alone would leave
+	// the receiving replica without the dedup entries its peers still
+	// hold, and the next in-flight duplicate would commit on the receiver
+	// but not on the peers, forking the entry streams. Hosts that serve
+	// transfers (sm.Transfer) must wire it; snapshot-only hosts can leave
+	// it nil.
+	RetainedEntries func() []log.Entry
 }
 
 // Applier drives a Machine from a committed log. Wire OnCommit into
@@ -119,9 +136,13 @@ type Applier struct {
 	snap    Snapshot // latest
 	hasSnap bool
 	taken   int // snapshots taken (including discarded ones)
+	// snapRetained is the retained entry suffix captured with snap (see
+	// Config.RetainedEntries); it travels with the snapshot in transfers.
+	snapRetained []log.Entry
 
 	recoveries int
-	poisoned   error // set when a failed Recover left the state undefined
+	installs   int   // peer snapshots installed via Install
+	poisoned   error // set when a failed Recover/Install left the state undefined
 }
 
 // New builds an Applier.
@@ -184,10 +205,25 @@ func (a *Applier) takeSnapshot(instance types.Instance) {
 	if a.cfg.OnSnapshot != nil {
 		a.cfg.OnSnapshot(a.snap)
 	}
+	if a.cfg.RetainedEntries != nil {
+		// After the hook: OnSnapshot is where hosts compact, and the
+		// window that must travel with this snapshot is the one that
+		// SURVIVES that compaction (it is what every replica's dedup
+		// holds from this boundary on). Copied — the engine mutates its
+		// slice as the log grows.
+		a.snapRetained = append([]log.Entry(nil), a.cfg.RetainedEntries()...)
+	}
 }
 
 // Latest returns the most recent snapshot.
 func (a *Applier) Latest() (Snapshot, bool) { return a.snap, a.hasSnap }
+
+// LatestTransfer returns the most recent snapshot together with the
+// retained entry suffix captured at its boundary (the transfer payload;
+// see Config.RetainedEntries). Callers must not mutate the slice.
+func (a *Applier) LatestTransfer() (Snapshot, []log.Entry, bool) {
+	return a.snap, a.snapRetained, a.hasSnap
+}
 
 // Applied returns the number of entries applied.
 func (a *Applier) Applied() int { return a.applied }
@@ -261,6 +297,67 @@ func (a *Applier) Recover(retained []log.Entry) error {
 	a.sinceSnap = 0
 	return a.replay(retained, target)
 }
+
+// Install replaces the machine state with a peer's snapshot: the state-
+// transfer path for a replica that can no longer catch up by replay
+// (compaction retired the echo service it needed — see log.Config.MaxLead).
+// Unlike Recover it moves FORWARD: s must cover strictly more entries
+// than are currently applied, and no retained-suffix replay follows —
+// the snapshot IS the new apply position.
+//
+// Validation is two-staged. Before any mutation: the header must decode,
+// the stamped digest must match the data bytes, and the position must
+// advance — failures leave the applier fully usable (the Machine.Restore
+// contract requires rejecting bad encodings without mutating, so a
+// garbage snapshot from a Byzantine peer cannot brick the replica).
+// After Restore succeeds, the restored state must re-encode to the
+// snapshot digest; a mismatch there means the machine restored
+// something it cannot reproduce (nondeterminism or a lossy Restore), the
+// live state is no longer trustworthy, and the applier poisons itself.
+//
+// retained is the entry suffix that traveled with the snapshot (the
+// boundary's content-dedup window); the applier keeps it with the
+// installed snapshot so this replica can serve onward transfers itself.
+//
+// The caller must realign the ordering layer in the same stroke
+// (log.Engine.InstallSnapshot with s.Instance, s.Index and the same
+// retained suffix) — sm.Transfer does both.
+func (a *Applier) Install(s Snapshot, retained []log.Entry) error {
+	if a.poisoned != nil {
+		return a.poisoned
+	}
+	index, instance, machine, err := DecodeSnapshot(s.Data)
+	if err != nil {
+		return err
+	}
+	if index != s.Index || instance != s.Instance {
+		return fmt.Errorf("sm: snapshot header (%d, %v) contradicts stamp (%d, %v)",
+			index, instance, s.Index, s.Instance)
+	}
+	if sha256.Sum256(s.Data) != s.Digest {
+		return fmt.Errorf("sm: snapshot data does not hash to its stamped digest")
+	}
+	if index <= a.applied {
+		return fmt.Errorf("sm: snapshot covers %d entries, already applied %d", index, a.applied)
+	}
+	if err := a.cfg.Machine.Restore(machine); err != nil {
+		return fmt.Errorf("sm: install restore: %w", err)
+	}
+	redo := encodeSnapshot(index, instance, a.cfg.Machine.Snapshot())
+	if sha256.Sum256(redo) != s.Digest {
+		return a.poison(fmt.Errorf("sm: installed state does not reproduce snapshot digest (nondeterministic machine?)"))
+	}
+	a.applied = index
+	a.sinceSnap = 0
+	a.snap = s
+	a.snapRetained = retained
+	a.hasSnap = true
+	a.installs++
+	return nil
+}
+
+// Installs returns how many peer snapshots Install has applied.
+func (a *Applier) Installs() int { return a.installs }
 
 // Err returns the poisoning error of a failed Recover, if any. A
 // poisoned applier ignores further entries (the replica is effectively

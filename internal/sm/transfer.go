@@ -1,0 +1,471 @@
+// Snapshot state transfer between replicas.
+//
+// Log compaction (log.Engine.Compact) bounds memory by retiring
+// pre-snapshot instance state — including the reliable-broadcast echo
+// service that lagging replicas relied on to catch up. A replica that
+// falls more than MaxLead instances behind the cluster therefore reaches
+// a state where replay is impossible by construction: the messages it
+// needs were dropped by its own MaxLead guard and will never be resent,
+// and the peers that could re-serve them have compacted the instances
+// away. Transfer closes that gap the way self-stabilizing protocols do —
+// by converging from a peer's CURRENT state instead of its history.
+//
+// The protocol is two messages (wire codec v3, module proto.ModSnap):
+//
+//	SNAP_REQ  — broadcast by a lagging replica; Instance carries the
+//	            requester's applied boundary so peers with nothing newer
+//	            can decline silently.
+//	SNAP_RESP — one digest-stamped sm.Snapshot in a single frame
+//	            (EncodeTransfer: SHA-256 ‖ snapshot bytes), sent
+//	            point-to-point to the requester.
+//
+// Trust model: a snapshot is installed only when (a) its bytes hash to
+// the stamped digest, (b) t+1 DISTINCT peers served byte-identical
+// snapshots (same digest), and (c) the restored state re-encodes to the
+// digest (Applier.Install). Because at most t peers are Byzantine, t+1
+// matching copies always include one from a correct replica, and correct
+// replicas only serve snapshots their own deterministic apply produced —
+// so an installed snapshot is a genuine cluster state. Responses that
+// fail (a) are dropped; forged snapshots can therefore waste bandwidth
+// but never state. Serving is rate-limited per requester so request spam
+// cannot amplify into snapshot-sized reply floods.
+package sm
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/log"
+	"repro/internal/proto"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// transferDigestLen prefixes every SNAP_RESP payload.
+const transferDigestLen = 32
+
+// maxTransferEntries bounds the retained-suffix count in a transfer
+// payload (Byzantine defense: a forged count must not force unbounded
+// allocation; real windows are CompactKeep-sized).
+const maxTransferEntries = 1 << 20
+
+// maxCandidates bounds the corroboration table. Unmatched payloads hold
+// full snapshot bytes, and a Byzantine peer can mint unlimited DISTINCT
+// well-formed payloads (the digest is unsigned), so the table must not
+// grow with attacker effort. On overflow the table is cleared wholesale:
+// correct peers re-serve on the next retry, so an attacker must win the
+// refill race on every round forever to starve a fetch — and can never
+// corrupt one (installs still need t+1 matching senders).
+const maxCandidates = 32
+
+// EncodeTransfer wraps a snapshot and the retained entry suffix captured
+// at its boundary into one self-validating wire payload:
+//
+//	SHA-256 over everything after it (the corroboration digest)
+//	u32 snapshot length ‖ snapshot bytes (sm encodeSnapshot layout)
+//	u32 entry count, then per entry: u64 index ‖ u64 instance ‖
+//	u32 command length ‖ command bytes
+//
+// The retained suffix travels because it IS log state: it is the
+// content-dedup window every replica carries forward from the boundary,
+// and a receiver without it would commit the next in-flight duplicate
+// its peers skip. Both parts are pure functions of the committed prefix,
+// so every correct replica produces byte-identical payloads for the same
+// boundary — which is what lets the requester corroborate them by
+// digest across t+1 senders.
+func EncodeTransfer(s Snapshot, retained []log.Entry) types.Value {
+	size := transferDigestLen + 4 + len(s.Data) + 4
+	for _, e := range retained {
+		size += 20 + len(e.Cmd)
+	}
+	buf := make([]byte, transferDigestLen, size)
+	var u [8]byte
+	binary.LittleEndian.PutUint32(u[:4], uint32(len(s.Data)))
+	buf = append(buf, u[:4]...)
+	buf = append(buf, s.Data...)
+	binary.LittleEndian.PutUint32(u[:4], uint32(len(retained)))
+	buf = append(buf, u[:4]...)
+	for _, e := range retained {
+		binary.LittleEndian.PutUint64(u[:], uint64(e.Index))
+		buf = append(buf, u[:]...)
+		binary.LittleEndian.PutUint64(u[:], uint64(e.Instance))
+		buf = append(buf, u[:]...)
+		binary.LittleEndian.PutUint32(u[:4], uint32(len(e.Cmd)))
+		buf = append(buf, u[:4]...)
+		buf = append(buf, e.Cmd...)
+	}
+	digest := sha256.Sum256(buf[transferDigestLen:])
+	copy(buf[:transferDigestLen], digest[:])
+	return types.Value(buf)
+}
+
+// DecodeTransfer parses and validates a SNAP_RESP payload: the body must
+// hash to the carried digest, the snapshot header must decode, and the
+// entry list must be well-formed. The bytes may come from a Byzantine
+// peer, so every failure is a normal error, never a panic. The returned
+// digest is the payload digest (over snapshot AND entries) — the
+// corroboration key; the Snapshot's own Digest field is recomputed from
+// its bytes.
+func DecodeTransfer(v types.Value) (s Snapshot, retained []log.Entry, payload [32]byte, err error) {
+	b := []byte(v)
+	if len(b) < transferDigestLen+8+snapHeaderLen {
+		return s, nil, payload, fmt.Errorf("sm: transfer frame of %d bytes is too short", len(b))
+	}
+	copy(payload[:], b[:transferDigestLen])
+	body := b[transferDigestLen:]
+	if sha256.Sum256(body) != payload {
+		return s, nil, payload, fmt.Errorf("sm: transfer body does not hash to its digest")
+	}
+	snapLen := binary.LittleEndian.Uint32(body)
+	rest := body[4:]
+	if uint64(snapLen) > uint64(len(rest)) {
+		return s, nil, payload, fmt.Errorf("sm: snapshot length %d exceeds payload", snapLen)
+	}
+	s.Data = rest[:snapLen]
+	rest = rest[snapLen:]
+	s.Digest = sha256.Sum256(s.Data)
+	if s.Index, s.Instance, _, err = DecodeSnapshot(s.Data); err != nil {
+		return s, nil, payload, err
+	}
+	if len(rest) < 4 {
+		return s, nil, payload, fmt.Errorf("sm: truncated entry count")
+	}
+	count := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	if count > maxTransferEntries || uint64(count)*20 > uint64(len(rest)) {
+		return s, nil, payload, fmt.Errorf("sm: entry count %d exceeds payload", count)
+	}
+	retained = make([]log.Entry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 20 {
+			return s, nil, payload, fmt.Errorf("sm: truncated entry %d", i)
+		}
+		idx := binary.LittleEndian.Uint64(rest)
+		inst := binary.LittleEndian.Uint64(rest[8:])
+		cmdLen := binary.LittleEndian.Uint32(rest[16:])
+		rest = rest[20:]
+		if uint64(cmdLen) > uint64(len(rest)) {
+			return s, nil, payload, fmt.Errorf("sm: entry %d command length %d exceeds payload", i, cmdLen)
+		}
+		if idx > 1<<62 || inst > 1<<62 {
+			return s, nil, payload, fmt.Errorf("sm: entry %d position out of range", i)
+		}
+		retained = append(retained, log.Entry{
+			Index:    int(idx),
+			Instance: types.Instance(inst),
+			Cmd:      types.Value(rest[:cmdLen]),
+		})
+		rest = rest[cmdLen:]
+	}
+	if len(rest) != 0 {
+		return s, nil, payload, fmt.Errorf("sm: %d trailing bytes after transfer payload", len(rest))
+	}
+	return s, retained, payload, nil
+}
+
+// LogControl is the slice of the replicated-log engine Transfer drives:
+// reading the apply/commit position, noticing the engine has closed, and
+// realigning it when a snapshot installs. log.Engine implements it.
+type LogControl interface {
+	// Applied returns the number of applied instances.
+	Applied() types.Instance
+	// Committed returns the number of committed commands (trimmed
+	// included).
+	Committed() int
+	// Closed reports whether the engine stopped starting new instances.
+	Closed() bool
+	// InstallSnapshot jumps the engine to a peer snapshot's boundary,
+	// seeding its retained entries and content dedup from the transfer's
+	// retained suffix.
+	InstallSnapshot(boundary types.Instance, index int, retained []log.Entry) error
+}
+
+// TransferConfig assembles a Transfer.
+type TransferConfig struct {
+	// Env is the process environment (required).
+	Env proto.Env
+	// Applier is this replica's state-machine layer (required); it serves
+	// its latest snapshot and installs fetched ones.
+	Applier *Applier
+	// Log is this replica's log engine (required).
+	Log LogControl
+	// Next receives every non-transfer message (required; normally the
+	// log engine itself).
+	Next proto.Handler
+	// RetryEvery re-broadcasts the fetch request while a fetch is in
+	// flight (default 25ms): responses can be lost, and peers at
+	// different positions serve different snapshots until t+1 align.
+	RetryEvery types.Duration
+	// StallProbe is the cadence of the stall detector (default 50ms): if
+	// the engine is open but the apply position has not advanced since
+	// the previous probe, a fetch request goes out even without inbound
+	// MaxLead pressure — the cluster may have finished and gone quiet,
+	// leaving no message stream to trigger on. 0 keeps the default; < 0
+	// disables probing (pressure-only triggering).
+	StallProbe types.Duration
+	// ServeEvery rate-limits responses per requester (default
+	// RetryEvery/2): request spam must not amplify into snapshot floods.
+	ServeEvery types.Duration
+	// OnInstall, if non-nil, fires after each successful install.
+	OnInstall func(s Snapshot)
+}
+
+// Transfer implements peer-to-peer snapshot state transfer for one
+// replica. It wraps the replica's message path (proto.Handler): transfer
+// frames are consumed, everything else forwards to Next. Like the rest
+// of the stack it is single-threaded — all calls must come from the
+// hosting runtime's event loop.
+type Transfer struct {
+	cfg TransferConfig
+
+	fetching    bool
+	fetchFrom   types.Instance // applied position when the fetch started
+	cancelRetry func()
+	// candidates accumulates responses of the current and past fetch
+	// rounds keyed by digest; senders is the corroboration set. Entries
+	// for boundaries we have meanwhile passed are filtered at install
+	// time, not eagerly.
+	candidates map[[32]byte]*candidate
+	lastServed map[types.ProcID]types.Time
+	lastProbe  types.Instance // applied position at the previous probe
+
+	requests int
+	served   int
+	installs int
+	rejected int
+}
+
+// candidate is one payload digest's corroboration state.
+type candidate struct {
+	snap     Snapshot
+	retained []log.Entry
+	senders  map[types.ProcID]struct{}
+}
+
+var _ proto.Handler = (*Transfer)(nil)
+
+// NewTransfer wires a Transfer and arms its stall probe.
+func NewTransfer(cfg TransferConfig) (*Transfer, error) {
+	if cfg.Env == nil || cfg.Applier == nil || cfg.Log == nil || cfg.Next == nil {
+		return nil, fmt.Errorf("sm: transfer needs Env, Applier, Log and Next")
+	}
+	if cfg.RetryEvery <= 0 {
+		cfg.RetryEvery = 25 * time.Millisecond
+	}
+	if cfg.StallProbe == 0 {
+		cfg.StallProbe = 50 * time.Millisecond
+	}
+	if cfg.ServeEvery <= 0 {
+		cfg.ServeEvery = cfg.RetryEvery / 2
+	}
+	t := &Transfer{
+		cfg:        cfg,
+		candidates: make(map[[32]byte]*candidate),
+		lastServed: make(map[types.ProcID]types.Time),
+	}
+	if cfg.StallProbe > 0 {
+		cfg.Env.SetTimer(cfg.StallProbe, t.probe)
+	}
+	return t, nil
+}
+
+// OnMessage implements proto.Handler: transfer frames are handled here,
+// everything else forwards to the wrapped handler.
+func (t *Transfer) OnMessage(from types.ProcID, m proto.Message) {
+	switch m.Kind {
+	case proto.MsgSnapRequest:
+		t.serve(from, m.Instance)
+	case proto.MsgSnapResponse:
+		t.consider(from, m)
+	default:
+		t.cfg.Next.OnMessage(from, m)
+	}
+}
+
+// OnDroppedAhead converts MaxLead drop pressure into a fetch trigger;
+// wire it to log.Config.OnDroppedAhead. The engine only fires it for
+// instances past applied+MaxLead, i.e. exactly when the cluster has
+// outrun what replay can recover.
+func (t *Transfer) OnDroppedAhead(i types.Instance) {
+	t.startFetch()
+}
+
+// startFetch begins a fetch round unless one is already in flight.
+func (t *Transfer) startFetch() {
+	if t.fetching || t.cfg.Log.Closed() {
+		return
+	}
+	t.fetching = true
+	t.fetchFrom = t.cfg.Log.Applied()
+	t.request()
+	t.armRetry()
+}
+
+// request broadcasts one SNAP_REQ carrying our applied boundary.
+func (t *Transfer) request() {
+	t.requests++
+	env := t.cfg.Env
+	if trace.Recording(env.Trace()) {
+		env.Trace().Emit(trace.Event{
+			At: env.Now(), Kind: trace.KindSnapRequest, Proc: env.ID(),
+			Aux: fmt.Sprintf("applied=%v", t.cfg.Log.Applied()),
+		})
+	}
+	env.Broadcast(proto.Message{
+		Kind:     proto.MsgSnapRequest,
+		Tag:      proto.Tag{Mod: proto.ModSnap},
+		Instance: t.cfg.Log.Applied(),
+	})
+}
+
+// armRetry schedules the next re-request of the in-flight fetch. The
+// retry loop ends on install (stopFetch), on engine close, or when the
+// apply position moves past the fetch's starting point on its own —
+// progress means replay is working after all, and renewed pressure (or a
+// renewed stall) simply starts a fresh fetch.
+func (t *Transfer) armRetry() {
+	t.cancelRetry = t.cfg.Env.SetTimer(t.cfg.RetryEvery, func() {
+		if !t.fetching || t.cfg.Log.Closed() || t.cfg.Log.Applied() > t.fetchFrom {
+			t.fetching = false
+			return
+		}
+		t.request()
+		t.armRetry()
+	})
+}
+
+// probe is the stall detector: when the engine is open but the apply
+// position froze between two probes, ask the cluster for a snapshot even
+// without inbound pressure. This covers the end-game where the peers
+// have finished (and gone quiet) while we still hold an unreachable gap:
+// their FINAL snapshot is the convergence point, and nobody is sending
+// the messages that would otherwise trigger a fetch. The probe re-arms
+// until the engine closes, so an open laggard keeps pulling.
+func (t *Transfer) probe() {
+	if t.cfg.Log.Closed() {
+		return // converged (or shut down): let the world drain
+	}
+	applied := t.cfg.Log.Applied()
+	if applied == t.lastProbe && !t.fetching {
+		t.startFetch()
+	}
+	t.lastProbe = applied
+	t.cfg.Env.SetTimer(t.cfg.StallProbe, t.probe)
+}
+
+// serve answers one SNAP_REQ: send our latest snapshot (with its
+// retained suffix) iff it is ahead of the requester's boundary, at most
+// once per ServeEvery per requester.
+func (t *Transfer) serve(from types.ProcID, reqBoundary types.Instance) {
+	snap, retained, ok := t.cfg.Applier.LatestTransfer()
+	if !ok || snap.Instance <= reqBoundary {
+		return // nothing the requester doesn't already have
+	}
+	env := t.cfg.Env
+	now := env.Now()
+	if last, ok := t.lastServed[from]; ok && now-last < types.Time(t.cfg.ServeEvery) {
+		return
+	}
+	t.lastServed[from] = now
+	t.served++
+	if trace.Recording(env.Trace()) {
+		env.Trace().Emit(trace.Event{
+			At: now, Kind: trace.KindSnapServe, Proc: env.ID(), Peer: from,
+			Aux: fmt.Sprintf("idx=%d inst=%v digest=%x", snap.Index, snap.Instance, snap.Digest[:8]),
+		})
+	}
+	env.Send(from, proto.Message{
+		Kind:     proto.MsgSnapResponse,
+		Tag:      proto.Tag{Mod: proto.ModSnap},
+		Instance: snap.Instance,
+		Val:      EncodeTransfer(snap, retained),
+	})
+}
+
+// consider validates one SNAP_RESP and installs once t+1 distinct peers
+// corroborate the same payload digest (snapshot AND retained suffix).
+func (t *Transfer) consider(from types.ProcID, m proto.Message) {
+	s, retained, payload, err := DecodeTransfer(m.Val)
+	if err != nil || s.Instance != m.Instance {
+		t.rejected++
+		return
+	}
+	if s.Instance <= t.cfg.Log.Applied() || s.Index <= t.cfg.Applier.Applied() {
+		return // stale by the time it arrived; not an offense
+	}
+	c := t.candidates[payload]
+	if c == nil {
+		if len(t.candidates) >= maxCandidates {
+			t.candidates = make(map[[32]byte]*candidate)
+			t.rejected++
+		}
+		c = &candidate{snap: s, retained: retained, senders: make(map[types.ProcID]struct{})}
+		t.candidates[payload] = c
+	}
+	c.senders[from] = struct{}{}
+	if len(c.senders) < t.cfg.Env.Params().T+1 {
+		return
+	}
+	t.install(c.snap, c.retained)
+}
+
+// install commits to a corroborated snapshot: state machine first
+// (Applier.Install re-checks the digest end to end), then the ordering
+// layer (LogControl.InstallSnapshot). The preconditions were checked in
+// consider and Install re-validates, so a failure here means the machine
+// itself misbehaved — the applier poisons itself and the hosting runtime
+// surfaces it; the fetch stops either way.
+func (t *Transfer) install(s Snapshot, retained []log.Entry) {
+	if err := t.cfg.Applier.Install(s, retained); err != nil {
+		t.rejected++
+		t.stopFetch()
+		return
+	}
+	if err := t.cfg.Log.InstallSnapshot(s.Instance, s.Index, retained); err != nil {
+		// Unreachable when Applier and Log were aligned (consider checked
+		// both positions); count it rather than hide it.
+		t.rejected++
+		t.stopFetch()
+		return
+	}
+	t.installs++
+	env := t.cfg.Env
+	if trace.Recording(env.Trace()) {
+		env.Trace().Emit(trace.Event{
+			At: env.Now(), Kind: trace.KindSnapInstall, Proc: env.ID(),
+			Aux: fmt.Sprintf("idx=%d inst=%v digest=%x", s.Index, s.Instance, s.Digest[:8]),
+		})
+	}
+	// Candidates at or below the installed boundary are dead; drop
+	// everything — fresher ones will re-accumulate if we are still
+	// behind, and keeping stale data only risks re-counting old senders.
+	t.candidates = make(map[[32]byte]*candidate)
+	t.stopFetch()
+	if t.cfg.OnInstall != nil {
+		t.cfg.OnInstall(s)
+	}
+}
+
+// stopFetch ends the in-flight fetch round.
+func (t *Transfer) stopFetch() {
+	t.fetching = false
+	if t.cancelRetry != nil {
+		t.cancelRetry()
+		t.cancelRetry = nil
+	}
+}
+
+// Requests returns how many SNAP_REQ broadcasts went out.
+func (t *Transfer) Requests() int { return t.requests }
+
+// Served returns how many snapshots this replica served to peers.
+func (t *Transfer) Served() int { return t.served }
+
+// Installs returns how many corroborated snapshots were installed.
+func (t *Transfer) Installs() int { return t.installs }
+
+// Rejected returns how many responses failed validation (bad digest,
+// malformed bytes, or an install-time inconsistency).
+func (t *Transfer) Rejected() int { return t.rejected }

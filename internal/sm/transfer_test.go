@@ -1,0 +1,332 @@
+package sm
+
+import (
+	"crypto/sha256"
+	"strings"
+	"testing"
+
+	"repro/internal/kv"
+	"repro/internal/log"
+	"repro/internal/proto"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// --- Transfer codec ----------------------------------------------------------
+
+func buildSnapshot(t *testing.T, entries int) (*Applier, Snapshot, []log.Entry) {
+	t.Helper()
+	a, err := New(Config{Machine: kv.NewStore(), SnapshotEvery: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, a, 0, entries, 2, 0)
+	s, ok := a.Latest()
+	if !ok {
+		t.Fatal("no snapshot taken")
+	}
+	retained := []log.Entry{
+		{Index: s.Index - 1, Instance: s.Instance - 1, Cmd: "retained-cmd"},
+	}
+	return a, s, retained
+}
+
+func TestTransferRoundTrip(t *testing.T) {
+	_, s, retained := buildSnapshot(t, 8)
+	v := EncodeTransfer(s, retained)
+	got, gotRetained, payload, err := DecodeTransfer(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Index != s.Index || got.Instance != s.Instance || got.Digest != s.Digest {
+		t.Fatalf("snapshot drifted: got (%d,%v,%x), want (%d,%v,%x)",
+			got.Index, got.Instance, got.Digest[:4], s.Index, s.Instance, s.Digest[:4])
+	}
+	if string(got.Data) != string(s.Data) {
+		t.Fatal("snapshot bytes drifted")
+	}
+	if len(gotRetained) != 1 || gotRetained[0] != retained[0] {
+		t.Fatalf("retained drifted: %+v", gotRetained)
+	}
+	var zero [32]byte
+	if payload == zero {
+		t.Fatal("zero payload digest")
+	}
+	// Same inputs, same payload digest (corroboration depends on it).
+	_, _, payload2, err := DecodeTransfer(EncodeTransfer(s, retained))
+	if err != nil || payload2 != payload {
+		t.Fatalf("payload digest not deterministic: %x vs %x (%v)", payload[:4], payload2[:4], err)
+	}
+}
+
+func TestTransferEmptyRetained(t *testing.T) {
+	_, s, _ := buildSnapshot(t, 4)
+	got, retained, _, err := DecodeTransfer(EncodeTransfer(s, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Index != s.Index || len(retained) != 0 {
+		t.Fatalf("empty-retained round trip: %d entries", len(retained))
+	}
+}
+
+func TestTransferRejectsTampering(t *testing.T) {
+	_, s, retained := buildSnapshot(t, 8)
+	valid := []byte(EncodeTransfer(s, retained))
+	tests := []struct {
+		name   string
+		mutate func(b []byte) []byte
+	}{
+		{"flip body byte", func(b []byte) []byte { b[40] ^= 1; return b }},
+		{"flip digest byte", func(b []byte) []byte { b[0] ^= 1; return b }},
+		{"truncate", func(b []byte) []byte { return b[:len(b)-2] }},
+		{"extend", func(b []byte) []byte { return append(b, 0) }},
+		{"empty", func(b []byte) []byte { return nil }},
+	}
+	for _, tt := range tests {
+		b := append([]byte(nil), valid...)
+		if _, _, _, err := DecodeTransfer(types.Value(tt.mutate(b))); err == nil {
+			t.Errorf("%s: accepted", tt.name)
+		}
+	}
+}
+
+// --- Applier.Install ---------------------------------------------------------
+
+func TestInstallAdoptsPeerState(t *testing.T) {
+	peer, s, retained := buildSnapshot(t, 8)
+	lag, err := New(Config{Machine: kv.NewStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lag.Install(s, retained); err != nil {
+		t.Fatal(err)
+	}
+	if lag.Applied() != s.Index {
+		t.Fatalf("applied=%d, want %d", lag.Applied(), s.Index)
+	}
+	if lag.Installs() != 1 {
+		t.Fatalf("installs=%d", lag.Installs())
+	}
+	if lag.StateDigest() != peer.StateDigest() {
+		t.Fatal("installed state does not match the peer's")
+	}
+	// The installed snapshot (and its retained suffix) is now servable
+	// onward.
+	got, gotRetained, ok := lag.LatestTransfer()
+	if !ok || got.Digest != s.Digest || len(gotRetained) != len(retained) {
+		t.Fatal("installed snapshot not retrievable for onward transfer")
+	}
+}
+
+func TestInstallRejectsStaleAndForged(t *testing.T) {
+	_, s, retained := buildSnapshot(t, 8)
+	lag, err := New(Config{Machine: kv.NewStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stamp contradiction.
+	bad := s
+	bad.Index++
+	if err := lag.Install(bad, retained); err == nil || !strings.Contains(err.Error(), "contradicts") {
+		t.Fatalf("header/stamp contradiction accepted: %v", err)
+	}
+	// Digest contradiction.
+	bad = s
+	bad.Digest[0] ^= 1
+	if err := lag.Install(bad, retained); err == nil || !strings.Contains(err.Error(), "digest") {
+		t.Fatalf("digest mismatch accepted: %v", err)
+	}
+	// Garbage machine bytes: rejected without poisoning (kv.Store.Restore
+	// is all-or-nothing).
+	bad = s
+	bad.Data = encodeSnapshot(s.Index, s.Instance, []byte("garbage"))
+	bad.Digest = sha256.Sum256(bad.Data)
+	if err := lag.Install(bad, retained); err == nil {
+		t.Fatal("garbage machine bytes accepted")
+	}
+	if lag.Err() != nil {
+		t.Fatalf("failed install poisoned the applier: %v", lag.Err())
+	}
+	// Stale boundary: not ahead of the live position.
+	feed(t, lag, 0, 12, 2, 0)
+	if err := lag.Install(s, retained); err == nil {
+		t.Fatal("stale snapshot accepted")
+	}
+	if lag.Installs() != 0 {
+		t.Fatalf("failed installs counted: %d", lag.Installs())
+	}
+}
+
+// --- Transfer handler --------------------------------------------------------
+
+// xferEnv is a scripted proto.Env for Transfer unit tests.
+type xferEnv struct {
+	id     types.ProcID
+	params types.Params
+	now    types.Time
+	sent   []struct {
+		to types.ProcID
+		m  proto.Message
+	}
+	bcast  []proto.Message
+	timers []func()
+}
+
+var _ proto.Env = (*xferEnv)(nil)
+
+func (e *xferEnv) ID() types.ProcID     { return e.id }
+func (e *xferEnv) Params() types.Params { return e.params }
+func (e *xferEnv) Now() types.Time      { return e.now }
+func (e *xferEnv) Send(to types.ProcID, m proto.Message) {
+	e.sent = append(e.sent, struct {
+		to types.ProcID
+		m  proto.Message
+	}{to, m})
+}
+func (e *xferEnv) Broadcast(m proto.Message) { e.bcast = append(e.bcast, m) }
+func (e *xferEnv) SetTimer(d types.Duration, fn func()) (cancel func()) {
+	e.timers = append(e.timers, fn)
+	return func() {}
+}
+func (e *xferEnv) Trace() trace.Sink { return trace.Discard{} }
+
+// fakeLog is a scripted LogControl.
+type fakeLog struct {
+	applied   types.Instance
+	committed int
+	closed    bool
+	installs  []types.Instance
+}
+
+func (f *fakeLog) Applied() types.Instance { return f.applied }
+func (f *fakeLog) Committed() int          { return f.committed }
+func (f *fakeLog) Closed() bool            { return f.closed }
+func (f *fakeLog) InstallSnapshot(b types.Instance, idx int, retained []log.Entry) error {
+	f.installs = append(f.installs, b)
+	f.applied = b
+	f.committed = idx
+	return nil
+}
+
+type sink struct{ msgs []proto.Message }
+
+func (s *sink) OnMessage(from types.ProcID, m proto.Message) { s.msgs = append(s.msgs, m) }
+
+func newTestTransfer(t *testing.T, app *Applier, lg *fakeLog) (*Transfer, *xferEnv, *sink) {
+	t.Helper()
+	env := &xferEnv{id: 1, params: types.Params{N: 4, T: 1}}
+	next := &sink{}
+	tr, err := NewTransfer(TransferConfig{Env: env, Applier: app, Log: lg, Next: next})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, env, next
+}
+
+func TestTransferServesAndDeclines(t *testing.T) {
+	peer, s, _ := buildSnapshot(t, 8)
+	tr, env, _ := newTestTransfer(t, peer, &fakeLog{applied: s.Instance, committed: s.Index})
+	// Requester behind the snapshot boundary: served.
+	tr.OnMessage(3, proto.Message{Kind: proto.MsgSnapRequest, Tag: proto.Tag{Mod: proto.ModSnap}, Instance: 0})
+	if tr.Served() != 1 || len(env.sent) != 1 || env.sent[0].m.Kind != proto.MsgSnapResponse {
+		t.Fatalf("serve: served=%d sent=%d", tr.Served(), len(env.sent))
+	}
+	if env.sent[0].m.Instance != s.Instance {
+		t.Fatalf("response instance %v, want %v", env.sent[0].m.Instance, s.Instance)
+	}
+	// Immediate re-request: rate-limited.
+	tr.OnMessage(3, proto.Message{Kind: proto.MsgSnapRequest, Tag: proto.Tag{Mod: proto.ModSnap}, Instance: 0})
+	if tr.Served() != 1 {
+		t.Fatalf("rate limit bypassed: served=%d", tr.Served())
+	}
+	// Requester at/past the boundary: declined.
+	env.now += types.Time(time1s)
+	tr.OnMessage(4, proto.Message{Kind: proto.MsgSnapRequest, Tag: proto.Tag{Mod: proto.ModSnap}, Instance: s.Instance})
+	if tr.Served() != 1 {
+		t.Fatalf("served a requester that was not behind: %d", tr.Served())
+	}
+}
+
+const time1s = 1_000_000_000
+
+func TestTransferInstallsOnCorroboration(t *testing.T) {
+	_, s, retained := buildSnapshot(t, 8)
+	lagApp, err := New(Config{Machine: kv.NewStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := &fakeLog{}
+	tr, _, _ := newTestTransfer(t, lagApp, lg)
+	resp := proto.Message{
+		Kind: proto.MsgSnapResponse, Tag: proto.Tag{Mod: proto.ModSnap},
+		Instance: s.Instance, Val: EncodeTransfer(s, retained),
+	}
+	tr.OnMessage(2, resp)
+	if tr.Installs() != 0 {
+		t.Fatal("installed on a single sender (t+1 = 2 required)")
+	}
+	tr.OnMessage(2, resp) // same sender again: still one voice
+	if tr.Installs() != 0 {
+		t.Fatal("duplicate sender counted twice")
+	}
+	tr.OnMessage(3, resp)
+	if tr.Installs() != 1 {
+		t.Fatalf("installs=%d after t+1 distinct senders", tr.Installs())
+	}
+	if len(lg.installs) != 1 || lg.installs[0] != s.Instance {
+		t.Fatalf("log install boundary: %v", lg.installs)
+	}
+	if lagApp.Applied() != s.Index {
+		t.Fatalf("applier at %d, want %d", lagApp.Applied(), s.Index)
+	}
+}
+
+func TestTransferRejectsForgedResponses(t *testing.T) {
+	_, s, retained := buildSnapshot(t, 8)
+	lagApp, err := New(Config{Machine: kv.NewStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, _ := newTestTransfer(t, lagApp, &fakeLog{})
+	v := []byte(EncodeTransfer(s, retained))
+	v[50] ^= 1 // corrupt the body
+	tr.OnMessage(2, proto.Message{Kind: proto.MsgSnapResponse, Tag: proto.Tag{Mod: proto.ModSnap}, Instance: s.Instance, Val: types.Value(v)})
+	if tr.Rejected() != 1 || tr.Installs() != 0 {
+		t.Fatalf("forged response: rejected=%d installs=%d", tr.Rejected(), tr.Installs())
+	}
+	// Frame/payload boundary contradiction.
+	tr.OnMessage(2, proto.Message{Kind: proto.MsgSnapResponse, Tag: proto.Tag{Mod: proto.ModSnap}, Instance: s.Instance + 1, Val: EncodeTransfer(s, retained)})
+	if tr.Rejected() != 2 {
+		t.Fatalf("boundary contradiction accepted: rejected=%d", tr.Rejected())
+	}
+}
+
+func TestTransferForwardsProtocolTraffic(t *testing.T) {
+	app, err := New(Config{Machine: kv.NewStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, next := newTestTransfer(t, app, &fakeLog{})
+	m := proto.Message{Kind: proto.MsgRBEcho, Tag: proto.Tag{Mod: proto.ModConsCB0}, Instance: 3, Origin: 2, Val: "v"}
+	tr.OnMessage(2, m)
+	if len(next.msgs) != 1 || next.msgs[0] != m {
+		t.Fatalf("protocol traffic not forwarded: %+v", next.msgs)
+	}
+}
+
+func TestTransferPressureTriggersFetch(t *testing.T) {
+	app, err := New(Config{Machine: kv.NewStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, env, _ := newTestTransfer(t, app, &fakeLog{})
+	tr.OnDroppedAhead(40)
+	if tr.Requests() != 1 || len(env.bcast) != 1 || env.bcast[0].Kind != proto.MsgSnapRequest {
+		t.Fatalf("pressure did not broadcast a request: requests=%d bcast=%d", tr.Requests(), len(env.bcast))
+	}
+	tr.OnDroppedAhead(41) // fetch already in flight: no second broadcast
+	if tr.Requests() != 1 {
+		t.Fatalf("duplicate fetch round: requests=%d", tr.Requests())
+	}
+}

@@ -61,6 +61,11 @@ const (
 	// Replicated KV service (state-machine layer above the log).
 	KindKVSnapshot // digest-stamped state snapshot taken
 	KindKVRecover  // replica rebuilt state from snapshot + retained log
+
+	// Snapshot state transfer between replicas (sm.Transfer).
+	KindSnapRequest // lagging replica broadcast a snapshot fetch request
+	KindSnapServe   // replica served its latest snapshot to a laggard
+	KindSnapInstall // laggard installed a corroborated peer snapshot
 )
 
 // String implements fmt.Stringer. It is a switch rather than a map lookup:
@@ -112,6 +117,12 @@ func (k Kind) String() string {
 		return "kv-snapshot"
 	case KindKVRecover:
 		return "kv-recover"
+	case KindSnapRequest:
+		return "snap-request"
+	case KindSnapServe:
+		return "snap-serve"
+	case KindSnapInstall:
+		return "snap-install"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

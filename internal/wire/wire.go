@@ -17,7 +17,13 @@
 // Version 3 extends version 2's vocabulary, not its layout: the header is
 // byte-identical, but the kind range grows to cover the client-facing KV
 // service messages (proto.MsgKVRequest / proto.MsgKVResponse, module
-// proto.ModKV). Version 2 is the replica-to-replica log format; version 1
+// proto.ModKV) and the replica-to-replica snapshot-transfer messages
+// (proto.MsgSnapRequest / proto.MsgSnapResponse, module proto.ModSnap).
+// A snapshot travels as ONE frame — digest plus boundary in the value
+// bytes (see sm.EncodeTransfer) — so the whole transfer fits the codec's
+// MaxValueLen bound with no chunking protocol; machines whose state can
+// exceed it need an incremental-snapshot scheme this codec deliberately
+// does not attempt. Version 2 is the replica-to-replica log format; version 1
 // (the single-shot format of the pre-log releases) additionally has no
 // instance field — its value length sits at offset 16 and the header is
 // 20 bytes. Compatibility is decode-only: Decode accepts all three
@@ -41,8 +47,8 @@ import (
 	"repro/internal/types"
 )
 
-// Version is the current codec version byte (adds the KV client
-// vocabulary).
+// Version is the current codec version byte (adds the KV client and
+// snapshot-transfer vocabularies on top of the v2 log layout).
 const Version = 3
 
 // VersionLog is the replica-only log codec version, still accepted by
@@ -86,8 +92,9 @@ func Encode(m proto.Message) ([]byte, error) {
 }
 
 // EncodeV2 serializes m in the version-2 log format. It refuses the KV
-// kinds that vocabulary cannot express; like EncodeV1 it exists so tests
-// and tooling can exercise the back-compat decode path.
+// and snapshot-transfer kinds that vocabulary cannot express; like
+// EncodeV1 it exists so tests and tooling can exercise the back-compat
+// decode path.
 func EncodeV2(m proto.Message) ([]byte, error) {
 	if m.Kind > proto.MsgEARelay || m.Tag.Mod > proto.ModDecide {
 		return nil, fmt.Errorf("wire: version 2 cannot carry %v[%v]", m.Kind, m.Tag.Mod)
@@ -120,10 +127,14 @@ func encode28(m proto.Message, version byte) ([]byte, error) {
 }
 
 // EncodeV1 serializes m in the legacy single-shot format. It refuses
-// messages that the old vocabulary cannot express (instance ≠ 0); it
-// exists so tests and tooling can exercise the back-compat decode path
-// (the transport itself always sends the current version).
+// messages that the old vocabulary cannot express (instance ≠ 0, and the
+// KV/snapshot-transfer kinds of the later versions); it exists so tests
+// and tooling can exercise the back-compat decode path (the transport
+// itself always sends the current version).
 func EncodeV1(m proto.Message) ([]byte, error) {
+	if m.Kind > proto.MsgEARelay || m.Tag.Mod > proto.ModDecide {
+		return nil, fmt.Errorf("wire: version 1 cannot carry %v[%v]", m.Kind, m.Tag.Mod)
+	}
 	if m.Instance != 0 {
 		return nil, fmt.Errorf("wire: version 1 cannot carry instance %d", m.Instance)
 	}
@@ -155,7 +166,7 @@ func Decode(b []byte) (proto.Message, error) {
 	headerLen := headerLenV2
 	// Each version enforces its own vocabulary: frames claiming an old
 	// version must not smuggle in kinds that version never defined.
-	maxKind, maxMod := proto.MsgKVResponse, proto.ModKV
+	maxKind, maxMod := proto.MsgSnapResponse, proto.ModSnap
 	switch b[0] {
 	case Version:
 	case VersionLog:
@@ -198,6 +209,17 @@ func Decode(b []byte) (proto.Message, error) {
 	}
 	if len(b) != headerLen+int(vlen) {
 		return m, fmt.Errorf("wire: length mismatch: header says %d, frame has %d", vlen, len(b)-headerLen)
+	}
+	// Flag hygiene: only the relay-validity bit exists, and only relay
+	// frames may set it. Anything else is a forged or corrupted frame —
+	// and silently ignoring junk bits would also break the decode→encode
+	// canonicality the fuzz harness pins.
+	if kind == proto.MsgEARelay {
+		if b[3]&^flagRelayValid != 0 {
+			return m, fmt.Errorf("wire: unknown flags %#x", b[3])
+		}
+	} else if b[3] != 0 {
+		return m, fmt.Errorf("wire: unknown flags %#x for %v", b[3], kind)
 	}
 	m.Kind = kind
 	m.Tag = proto.Tag{Mod: mod, Round: types.Round(round)}

@@ -59,6 +59,19 @@ type KVConfig struct {
 	// the process rebuilds its state from its latest snapshot plus the
 	// retained log suffix.
 	RecoverAt map[ProcID]time.Duration
+	// Transfer enables peer snapshot state transfer: a replica that falls
+	// more than MaxLead instances behind fetches a t+1-corroborated peer
+	// snapshot and resumes from its boundary (requires SnapshotEvery > 0).
+	// With Transfer on, engines stop on a raw entry-count target (Target,
+	// default len(Commands)) instead of distinct-command coverage — a
+	// transferred replica adopts the skipped prefix as state, never as
+	// local commits, so coverage could not release it.
+	Transfer bool
+	// MaxLead overrides the log engine's replay horizon (0 = default 256).
+	MaxLead int
+	// Target, when > 0, stops engines after this many committed entries
+	// (only meaningful with Transfer; 0 = len(Commands)).
+	Target int
 	// Byzantine maps faulty processes to behaviors.
 	Byzantine map[ProcID]Fault
 	// Synchrony is the network timing model (zero value = FullSynchrony
@@ -103,8 +116,10 @@ type KVResult struct {
 	// sequence numbers rejected.
 	Applies, Duplicates, Stales uint64
 	// Snapshots is the reference replica's snapshot count; Recoveries the
-	// number of successful crash-recoveries across replicas.
-	Snapshots, Recoveries int
+	// number of successful crash-recoveries across replicas; Transfers the
+	// number of peer snapshots installed across replicas (0 unless
+	// KVConfig.Transfer).
+	Snapshots, Recoveries, Transfers int
 	// RetiredInstances / LiveInstances show compaction at the reference
 	// replica: consensus instances released vs still held.
 	RetiredInstances, LiveInstances int
@@ -164,7 +179,15 @@ func SimulateKV(cfg KVConfig) (*KVResult, error) {
 		Compact:       cfg.Compact,
 		CompactKeep:   types.Instance(cfg.CompactKeep),
 		RecoverAt:     recoverAt,
+		Transfer:      cfg.Transfer,
 		Deadline:      types.Time(cfg.Deadline),
+	}
+	spec.Log.MaxLead = types.Instance(cfg.MaxLead)
+	if cfg.Transfer {
+		spec.Target = cfg.Target
+		if spec.Target <= 0 {
+			spec.Target = len(cfg.Commands)
+		}
 	}
 	res, err := runner.RunKV(spec)
 	if err != nil {
@@ -204,6 +227,7 @@ func SimulateKV(cfg KVConfig) (*KVResult, error) {
 		if app := res.Appliers[id]; app != nil {
 			out.Recoveries += app.Recoveries()
 		}
+		out.Transfers += res.Transfers[id]
 	}
 	return out, nil
 }

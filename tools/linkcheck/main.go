@@ -1,0 +1,106 @@
+// Command linkcheck verifies that intra-repo links in markdown files
+// resolve: every relative `[text](path)` and `[text](path#anchor)` target
+// must exist on disk, relative to the file that references it. External
+// links (http/https/mailto) and pure in-page anchors (#...) are skipped —
+// this is a dead-FILE-reference gate, not a web crawler. CI runs it over
+// docs/*.md and README.md so documentation cannot drift away from the
+// tree it describes.
+//
+// Usage: linkcheck <file-or-dir> [...]
+// Directories are walked for *.md files.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links; images share the syntax bar the
+// leading '!', which the pattern tolerates.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// codeSpanRe strips inline code spans before link extraction — protocol
+// notation like `EA_PROP2[r](aux)` is link-shaped but not a link.
+var codeSpanRe = regexp.MustCompile("`[^`]*`")
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file-or-dir> [...]")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d os.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return err
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	dead := 0
+	for _, f := range files {
+		dead += check(f)
+	}
+	if dead > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d dead file reference(s)\n", dead)
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d file(s), all intra-repo links resolve\n", len(files))
+}
+
+// check reports dead references in one markdown file.
+func check(file string) int {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+		os.Exit(2)
+	}
+	dir := filepath.Dir(file)
+	dead := 0
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		line = codeSpanRe.ReplaceAllString(line, "")
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			// Strip an in-page anchor; a bare "#..." link has no file part.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(dir, filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Printf("%s:%d: dead link %q (resolved %s)\n", file, i+1, m[1], resolved)
+				dead++
+			}
+		}
+	}
+	return dead
+}
