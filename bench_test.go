@@ -27,6 +27,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/harness"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/runner"
 	"repro/internal/scenario"
@@ -397,6 +398,37 @@ func BenchmarkLogThroughput(b *testing.B) {
 				}
 				b.ReportMetric(float64(insts), "instances/op")
 				b.ReportMetric(float64(last.Messages)/200, "msgs_per_cmd/op")
+			})
+		}
+	}
+}
+
+// BenchmarkLogThroughputObs is BenchmarkLogThroughput with a live obs
+// registry attached (per-replica log/RB/dedup bundles plus the shared
+// commit-latency histogram) — identical sub-benchmark names so benchstat
+// can diff the two directly after `sed s/LogThroughputObs/LogThroughput/`.
+// CI's telemetry-overhead guard runs exactly that comparison and warns
+// when the instrumented run regresses beyond noise (~3%).
+func BenchmarkLogThroughputObs(b *testing.B) {
+	for _, batch := range []int{8, 32} {
+		for _, pipeline := range []int{1, 4} {
+			batch, pipeline := batch, pipeline
+			b.Run(fmt.Sprintf("batch=%d/pipeline=%d", batch, pipeline), func(b *testing.B) {
+				reg := obs.NewRegistry()
+				for i := 0; i < b.N; i++ {
+					spec := logThroughputSpec(4, batch, pipeline, 200, int64(i))
+					spec.Obs = reg
+					res, err := runner.RunLog(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.AllCommitted(200) {
+						b.Fatalf("only %d/200 commands committed", res.MinCommitted())
+					}
+				}
+				if obs.NewCommitLatency(reg).Count() == 0 {
+					b.Fatal("registry attached but no commit latency observed")
+				}
 			})
 		}
 	}

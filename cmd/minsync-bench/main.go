@@ -39,6 +39,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -55,6 +56,12 @@ type result struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 	BytesPerOp   float64 `json:"bytes_per_op"`
+	// Commit-latency quantiles in virtual nanoseconds (submission → first
+	// local commit, from the obs commit-latency histogram across all seeds
+	// of the workload). Zero/absent for workloads without a commit path.
+	CommitP50NS  float64 `json:"commit_p50_ns,omitempty"`
+	CommitP99NS  float64 `json:"commit_p99_ns,omitempty"`
+	CommitP999NS float64 `json:"commit_p999_ns,omitempty"`
 }
 
 // report is the whole BENCH_*.json document.
@@ -102,12 +109,12 @@ func main() {
 	}
 	for _, w := range suite(*seeds) {
 		fmt.Fprintf(os.Stderr, "running %s...\n", w.name)
-		perf, err := w.run()
+		perf, lat, err := w.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "minsync-bench: %s: %v\n", w.name, err)
 			os.Exit(1)
 		}
-		rep.Results = append(rep.Results, result{
+		r := result{
 			Name:         w.name,
 			Ops:          perf.Ops,
 			WallNS:       perf.Wall.Nanoseconds(),
@@ -116,7 +123,13 @@ func main() {
 			EventsPerSec: perf.EventsPerSec(),
 			AllocsPerOp:  perf.AllocsPerOp(),
 			BytesPerOp:   perf.BytesPerOp(),
-		})
+		}
+		if lat.Count() > 0 {
+			r.CommitP50NS = lat.Quantile(0.5)
+			r.CommitP99NS = lat.Quantile(0.99)
+			r.CommitP999NS = lat.Quantile(0.999)
+		}
+		rep.Results = append(rep.Results, r)
 	}
 
 	path := filepath.Join(*out, "BENCH_"+*label+".json")
@@ -132,35 +145,41 @@ func main() {
 	}
 	fmt.Println(path)
 	for _, r := range rep.Results {
-		fmt.Printf("%-24s %8.2fM events/s  %10.0f allocs/op  %6.1fms wall/op\n",
+		fmt.Printf("%-24s %8.2fM events/s  %10.0f allocs/op  %6.1fms wall/op",
 			r.Name, r.EventsPerSec/1e6, r.AllocsPerOp,
 			float64(r.WallNS)/float64(r.Ops)/1e6)
+		if r.CommitP99NS > 0 {
+			fmt.Printf("  commit p50/p99 %.2f/%.2fms", r.CommitP50NS/1e6, r.CommitP99NS/1e6)
+		}
+		fmt.Println()
 	}
 }
 
-// workload is one named suite entry.
+// workload is one named suite entry. run returns the perf span and, for
+// workloads with a commit path, the commit-latency histogram accumulated
+// across every seed (nil otherwise — a nil *obs.Histogram reads as empty).
 type workload struct {
 	name string
-	run  func() (metrics.Perf, error)
+	run  func() (metrics.Perf, *obs.Histogram, error)
 }
 
 // suite builds the fixed workload list. Every workload runs `seeds` times
 // with seeds 1..seeds so the numbers smooth over schedule variation.
 func suite(seeds int) []workload {
 	return []workload{
-		{"scheduler-raw", func() (metrics.Perf, error) { return schedulerRaw(seeds) }},
-		{"consensus-n7", func() (metrics.Perf, error) { return consensus(7, seeds) }},
-		{"consensus-n13", func() (metrics.Perf, error) { return consensus(13, seeds) }},
-		{"matrix-smoke", func() (metrics.Perf, error) { return matrixSmoke(seeds) }},
-		{"log-n4-b32p4", func() (metrics.Perf, error) { return logRun(4, 32, 4, seeds) }},
-		{"log-n7-b16p4", func() (metrics.Perf, error) { return logRun(7, 16, 4, seeds) }},
-		{"kv-n4-compact", func() (metrics.Perf, error) { return kvRun(4, seeds) }},
+		{"scheduler-raw", func() (metrics.Perf, *obs.Histogram, error) { return schedulerRaw(seeds) }},
+		{"consensus-n7", func() (metrics.Perf, *obs.Histogram, error) { return consensus(7, seeds) }},
+		{"consensus-n13", func() (metrics.Perf, *obs.Histogram, error) { return consensus(13, seeds) }},
+		{"matrix-smoke", func() (metrics.Perf, *obs.Histogram, error) { return matrixSmoke(seeds) }},
+		{"log-n4-b32p4", func() (metrics.Perf, *obs.Histogram, error) { return logRun(4, 32, 4, seeds) }},
+		{"log-n7-b16p4", func() (metrics.Perf, *obs.Histogram, error) { return logRun(7, 16, 4, seeds) }},
+		{"kv-n4-compact", func() (metrics.Perf, *obs.Histogram, error) { return kvRun(4, seeds) }},
 	}
 }
 
 // schedulerRaw measures the bare kernel: a self-spawning event chain of
 // one million events per op, no network, no protocol.
-func schedulerRaw(ops int) (metrics.Perf, error) {
+func schedulerRaw(ops int) (metrics.Perf, *obs.Histogram, error) {
 	const chain = 1_000_000
 	span := metrics.StartSpan()
 	var events uint64
@@ -178,12 +197,12 @@ func schedulerRaw(ops int) (metrics.Perf, error) {
 		s.Run(0, 0)
 		events += s.Executed
 	}
-	return span.End(ops, events, 0), nil
+	return span.End(ops, events, 0), nil, nil
 }
 
 // consensus runs the E5-style workload: full synchrony, mixed proposals,
 // equivocating Byzantine processes at the top IDs.
-func consensus(n, ops int) (metrics.Perf, error) {
+func consensus(n, ops int) (metrics.Perf, *obs.Histogram, error) {
 	tf := (n - 1) / 3
 	span := metrics.StartSpan()
 	var events, msgs uint64
@@ -211,15 +230,15 @@ func consensus(n, ops int) (metrics.Perf, error) {
 			Engine:    core.Config{TimeUnit: exp.Unit},
 		})
 		if err != nil {
-			return metrics.Perf{}, err
+			return metrics.Perf{}, nil, err
 		}
 		if !res.AllDecided() {
-			return metrics.Perf{}, fmt.Errorf("seed %d: no decision", op+1)
+			return metrics.Perf{}, nil, fmt.Errorf("seed %d: no decision", op+1)
 		}
 		events += res.Events
 		msgs += res.Messages
 	}
-	return span.End(ops, events, msgs), nil
+	return span.End(ops, events, msgs), nil, nil
 }
 
 // matrixNames is the representative scenario slice also used by
@@ -231,16 +250,16 @@ var matrixNames = []string{
 
 // matrixSmoke runs the representative matrix slice; one op = one full
 // sweep of the slice at one seed.
-func matrixSmoke(ops int) (metrics.Perf, error) {
+func matrixSmoke(ops int) (metrics.Perf, *obs.Histogram, error) {
 	prepared := make([]*scenario.Prepared, 0, len(matrixNames))
 	for _, name := range matrixNames {
 		s, ok := scenario.Get(name)
 		if !ok {
-			return metrics.Perf{}, fmt.Errorf("scenario %q not registered", name)
+			return metrics.Perf{}, nil, fmt.Errorf("scenario %q not registered", name)
 		}
 		p, err := scenario.Prepare(s)
 		if err != nil {
-			return metrics.Perf{}, err
+			return metrics.Perf{}, nil, err
 		}
 		prepared = append(prepared, p)
 	}
@@ -250,37 +269,42 @@ func matrixSmoke(ops int) (metrics.Perf, error) {
 		for _, p := range prepared {
 			o, err := p.Run(int64(op + 1))
 			if err != nil {
-				return metrics.Perf{}, err
+				return metrics.Perf{}, nil, err
 			}
 			if !o.Pass {
-				return metrics.Perf{}, fmt.Errorf("%s seed %d failed:\n%s", p.Spec.Name, op+1, o.Report)
+				return metrics.Perf{}, nil, fmt.Errorf("%s seed %d failed:\n%s", p.Spec.Name, op+1, o.Report)
 			}
 			events += o.Events
 			msgs += o.Messages
 		}
 	}
-	return span.End(ops, events, msgs), nil
+	return span.End(ops, events, msgs), nil, nil
 }
 
 // logRun commits a 200-command replicated-log workload per op (the
 // canonical exp.LogWorkloadSpec workload, identical to the in-repo
 // benchmarks so BENCH_*.json trends stay comparable).
-func logRun(n, batch, pipeline, ops int) (metrics.Perf, error) {
+func logRun(n, batch, pipeline, ops int) (metrics.Perf, *obs.Histogram, error) {
 	const workload = 200
+	// One registry across all seeds: the commit-latency histogram
+	// accumulates every (replica, command) observation of the workload.
+	reg := obs.NewRegistry()
 	span := metrics.StartSpan()
 	var events, msgs uint64
 	for op := 0; op < ops; op++ {
-		res, err := runner.RunLog(exp.LogWorkloadSpec(n, batch, pipeline, workload, int64(op+1)))
+		spec := exp.LogWorkloadSpec(n, batch, pipeline, workload, int64(op+1))
+		spec.Obs = reg
+		res, err := runner.RunLog(spec)
 		if err != nil {
-			return metrics.Perf{}, err
+			return metrics.Perf{}, nil, err
 		}
 		if !res.AllCommitted(workload) {
-			return metrics.Perf{}, fmt.Errorf("seed %d: only %d/%d committed", op+1, res.MinCommitted(), workload)
+			return metrics.Perf{}, nil, fmt.Errorf("seed %d: only %d/%d committed", op+1, res.MinCommitted(), workload)
 		}
 		events += res.Events
 		msgs += res.Messages
 	}
-	return span.End(ops, events, msgs), nil
+	return span.End(ops, events, msgs), obs.NewCommitLatency(reg), nil
 }
 
 // renderTrend reads every BENCH_*.json in dir, orders the snapshots by
@@ -328,6 +352,14 @@ func renderTrend(dir, format string, w io.Writer) error {
 		}
 		return "-"
 	}
+	// Latency cells render "-" for workloads (or old snapshots) without a
+	// commit-latency histogram, same as a missing workload row.
+	lat := func(ns float64) string {
+		if ns == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", ns/1e6)
+	}
 	metrics := []struct {
 		title string
 		fn    func(result) string
@@ -337,6 +369,9 @@ func renderTrend(dir, format string, w io.Writer) error {
 			return fmt.Sprintf("%.1f", float64(r.WallNS)/float64(max(r.Ops, 1))/1e6)
 		}},
 		{"allocs/op (k)", func(r result) string { return fmt.Sprintf("%.0f", r.AllocsPerOp/1e3) }},
+		{"commit p50 ms", func(r result) string { return lat(r.CommitP50NS) }},
+		{"commit p99 ms", func(r result) string { return lat(r.CommitP99NS) }},
+		{"commit p999 ms", func(r result) string { return lat(r.CommitP999NS) }},
 	}
 	sep, open, mid := "\t", "", ""
 	if format == "md" {
@@ -375,22 +410,25 @@ func renderTrend(dir, format string, w io.Writer) error {
 // (the canonical exp.KVWorkloadSpec workload, identical to the in-repo
 // BenchmarkKVService/compact=true so BENCH_*.json trends stay
 // comparable).
-func kvRun(n, ops int) (metrics.Perf, error) {
+func kvRun(n, ops int) (metrics.Perf, *obs.Histogram, error) {
 	const workload = 240
+	reg := obs.NewRegistry()
 	span := metrics.StartSpan()
 	var events, msgs uint64
 	for op := 0; op < ops; op++ {
-		res, err := runner.RunKV(exp.KVWorkloadSpec(n, workload, int64(op+1)))
+		spec := exp.KVWorkloadSpec(n, workload, int64(op+1))
+		spec.Obs = reg
+		res, err := runner.RunKV(spec)
 		if err != nil {
-			return metrics.Perf{}, err
+			return metrics.Perf{}, nil, err
 		}
 		if !res.StatesAgree() {
-			return metrics.Perf{}, fmt.Errorf("seed %d: state digests disagree", op+1)
+			return metrics.Perf{}, nil, fmt.Errorf("seed %d: state digests disagree", op+1)
 		}
 		events += res.Events
 		msgs += res.Messages
 	}
-	return span.End(ops, events, msgs), nil
+	return span.End(ops, events, msgs), obs.NewCommitLatency(reg), nil
 }
 
 // dumpDigests prints the digest table for every curated scenario.

@@ -26,6 +26,7 @@ import (
 	"repro/internal/kv"
 	"repro/internal/log"
 	"repro/internal/netx"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/rt"
 	"repro/internal/sm"
@@ -93,11 +94,12 @@ var kvForward atomic.Pointer[kvForwardFunc]
 // server recreates it by forwarding each accepted client command to all
 // peers as a MsgKVRequest frame, so every correct replica proposes it
 // and any decided non-⊥ batch makes progress.
-func runKVServe(node *rt.Node, tr *netx.Transport, self types.ProcID,
-	clientAddr string, batch, pipeline, snapEvery int, compact bool,
+func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.ProcID,
+	clientAddr string, batch, pipeline, snapEvery, snapRefresh int, compact bool,
 	unit, wait, startIn time.Duration, target int) {
 
 	store := kv.NewStore()
+	store.SetMetrics(obs.NewKVMetrics(tel.registry(), ""))
 	var engine *log.Engine
 	var engErr error
 
@@ -129,6 +131,12 @@ func runKVServe(node *rt.Node, tr *netx.Transport, self types.ProcID,
 	applier, err := sm.New(sm.Config{
 		Machine:       store,
 		SnapshotEvery: snapEvery,
+		// The idle-rejoin fix: with -snapshot-refresh, the boundary is
+		// re-stamped on an instance cadence even when no entries land, so
+		// a replica restarting into a long-idle cluster always finds a
+		// corroborable snapshot past its own position.
+		RefreshEvery: types.Instance(snapRefresh),
+		Metrics:      obs.NewSMMetrics(tel.registry(), ""),
 		// Every snapshot captures the engine's retained suffix too, so
 		// this replica can serve complete transfer payloads (snapshot +
 		// content-dedup window) to lagging or restarted peers.
@@ -176,6 +184,7 @@ func runKVServe(node *rt.Node, tr *netx.Transport, self types.ProcID,
 			BatchSize: batch,
 			Pipeline:  pipeline,
 			Target:    target,
+			Metrics:   obs.NewLogMetrics(tel.registry(), ""),
 			OnCommit: func(e log.Entry) {
 				applier.OnCommit(e)
 				appliedCount.Store(int64(applier.Applied()))
@@ -191,6 +200,7 @@ func runKVServe(node *rt.Node, tr *netx.Transport, self types.ProcID,
 			},
 		}
 		cfg.Engine.TimeUnit = types.Duration(unit)
+		cfg.Engine.RBMetrics = obs.NewRBMetrics(tel.registry(), "")
 		// Named transfer, not tr: the enclosing function's tr is the
 		// netx.Transport, and shadowing it here is a trap.
 		var transfer *sm.Transfer
@@ -218,6 +228,7 @@ func runKVServe(node *rt.Node, tr *netx.Transport, self types.ProcID,
 			Next:       eng,
 			RetryEvery: time.Second,
 			StallProbe: 2 * time.Second,
+			Metrics:    obs.NewTransferMetrics(tel.registry(), ""),
 			OnInstall: func(s sm.Snapshot) {
 				stdlog.Printf("installed peer snapshot: %d entries through instance %v, digest %x…",
 					s.Index, s.Instance, s.Digest[:8])
@@ -237,6 +248,26 @@ func runKVServe(node *rt.Node, tr *netx.Transport, self types.ProcID,
 	if engErr != nil {
 		stdlog.Fatal(engErr)
 	}
+	wireNodeObs(node, tel)
+	tel.setStatus(func() map[string]any {
+		return probeStatus(node.Post, func() map[string]any {
+			st := map[string]any{
+				"mode":              "kv",
+				"applied_entries":   applier.Applied(),
+				"applied_instances": engine.Applied(),
+				"retired_instances": engine.Retired(),
+				"keys":              store.Len(),
+				"sessions":          store.Sessions(),
+				"snapshots_taken":   applier.Snapshots(),
+			}
+			if snap, ok := applier.Latest(); ok {
+				st["snapshot_boundary"] = snap.Instance
+				st["snapshot_index"] = snap.Index
+				st["snapshot_digest"] = fmt.Sprintf("%x", snap.Digest[:8])
+			}
+			return st
+		})
+	})
 	time.Sleep(startIn) // let peers come up before opening the pipeline
 	node.Post(func() {
 		engine.SetRetirer(node.Dispatcher())
@@ -265,7 +296,7 @@ func runKVServe(node *rt.Node, tr *netx.Transport, self types.ProcID,
 			if err != nil {
 				return
 			}
-			go serveKVConn(conn, node, tr, peers, &engine, store, waiters, wait)
+			go serveKVConn(conn, node, tr, tel, peers, &engine, store, waiters, wait)
 		}
 	}()
 
@@ -290,7 +321,7 @@ func runKVServe(node *rt.Node, tr *netx.Transport, self types.ProcID,
 
 // serveKVConn handles one client connection: request frames in, response
 // frames out, one at a time.
-func serveKVConn(conn net.Conn, node *rt.Node, tr *netx.Transport, peers []types.ProcID,
+func serveKVConn(conn net.Conn, node *rt.Node, tr *netx.Transport, tel *telemetry, peers []types.ProcID,
 	engine **log.Engine, store *kv.Store, waiters map[waiterKey][]chan types.Value, wait time.Duration) {
 	defer conn.Close()
 	for {
@@ -312,6 +343,7 @@ func serveKVConn(conn net.Conn, node *rt.Node, tr *netx.Transport, peers []types
 		}
 		ch := make(chan types.Value, 1)
 		cmd := m.Val
+		accepted := time.Now()
 		node.Post(func() {
 			// A retry of an already-applied request must be answered from
 			// the session cache here: the log's content dedup absorbs the
@@ -344,6 +376,10 @@ func serveKVConn(conn net.Conn, node *rt.Node, tr *netx.Transport, peers []types
 		var resp types.Value
 		select {
 		case resp = <-ch:
+			// Client-visible commit latency: request accepted → response
+			// resolved (wall clock; cache hits count, they ARE the fast
+			// path a retrying client sees).
+			tel.observeLatency(time.Since(accepted))
 		case <-time.After(wait):
 			resp = kv.Response{Status: kv.StatusErr}.Encode()
 			node.Post(func() {

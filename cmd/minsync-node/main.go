@@ -53,6 +53,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/log"
 	"repro/internal/netx"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/rt"
 	"repro/internal/types"
@@ -71,6 +72,9 @@ func main() {
 		unit     = flag.Duration("unit", 50*time.Millisecond, "EA round timer unit")
 		wait     = flag.Duration("wait", 2*time.Minute, "give up after this long")
 		startIn  = flag.Duration("start-in", 2*time.Second, "delay before proposing (lets peers come up)")
+
+		metricsF    = flag.String("metrics", "", "serve /metrics, /statusz and /debug/pprof/ on this address (empty = off)")
+		snapRefresh = flag.Int("snapshot-refresh", 0, "kv mode: re-stamp the snapshot every N applied instances even when idle, so rejoining replicas always find a fresh transfer boundary (0 = off)")
 
 		kvMode    = flag.Bool("kv", false, "replicated-KV mode: serve gets/puts over TCP")
 		kvListen  = flag.String("kv-listen", "127.0.0.1:0", "kv mode: client listener address")
@@ -108,10 +112,13 @@ func main() {
 		addrs[types.ProcID(i+1)] = strings.TrimSpace(a)
 	}
 
+	tel := newTelemetry(*metricsF, self, params)
+
 	var node *rt.Node
 	tr, err := netx.Listen(netx.Config{
-		Self:  self,
-		Addrs: addrs,
+		Self:    self,
+		Addrs:   addrs,
+		Metrics: tel.wireMetrics(),
 		Recv: func(from types.ProcID, m proto.Message) {
 			// KV request frames are client vocabulary, never consensus
 			// traffic: route them to the forward interceptor when one is
@@ -137,6 +144,8 @@ func main() {
 		ID:        self,
 		Params:    params,
 		Transport: sendAdapter{tr},
+		Trace:     tel.traceSink(),
+		Metrics:   obs.NewNodeMetrics(tel.registry(), ""),
 	})
 	if err != nil {
 		stdlog.Fatal(err)
@@ -144,25 +153,26 @@ func main() {
 	defer node.Stop()
 
 	if *kvMode {
-		runKVServe(node, tr, self, *kvListen, *batch, *pipeline, *snapEvery, *compact, *unit, *wait, *startIn, *kvTarget)
+		runKVServe(node, tr, tel, self, *kvListen, *batch, *pipeline, *snapEvery, *snapRefresh, *compact, *unit, *wait, *startIn, *kvTarget)
 		return
 	}
 	if *logN > 0 {
-		runLogMode(node, tr, self, *logN, *batch, *pipeline, *unit, *wait, *startIn)
+		runLogMode(node, tr, tel, self, *logN, *batch, *pipeline, *unit, *wait, *startIn)
 		return
 	}
-	runSingleShot(node, tr, self, *propose, *unit, *wait, *startIn)
+	runSingleShot(node, tr, tel, self, *propose, *unit, *wait, *startIn)
 }
 
 // runSingleShot is the classic one-decision mode.
-func runSingleShot(node *rt.Node, tr *netx.Transport, self types.ProcID, propose string, unit, wait, startIn time.Duration) {
+func runSingleShot(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.ProcID, propose string, unit, wait, startIn time.Duration) {
 	decided := make(chan types.Value, 1)
 	var engine *core.Engine
 	var engErr error
 	node.Start(func(env proto.Env) proto.Handler {
 		eng, err := core.New(core.Config{
-			Env:      env,
-			TimeUnit: types.Duration(unit),
+			Env:       env,
+			TimeUnit:  types.Duration(unit),
+			RBMetrics: obs.NewRBMetrics(tel.registry(), ""),
 			OnDecide: func(v types.Value) {
 				select {
 				case decided <- v:
@@ -181,6 +191,12 @@ func runSingleShot(node *rt.Node, tr *netx.Transport, self types.ProcID, propose
 		stdlog.Fatal(engErr)
 	}
 
+	wireNodeObs(node, tel)
+	tel.setStatus(func() map[string]any {
+		return probeStatus(node.Post, func() map[string]any {
+			return map[string]any{"mode": "single-shot", "proposing": propose}
+		})
+	})
 	stdlog.Printf("process %v listening on %s, proposing %q in %v", self, tr.Addr(), propose, startIn)
 	time.Sleep(startIn)
 	node.Post(func() {
@@ -202,7 +218,7 @@ func runSingleShot(node *rt.Node, tr *netx.Transport, self types.ProcID, propose
 // runLogMode orders `target` commands through the replicated-log engine.
 // Every process derives the same workload (clients broadcasting to all
 // replicas), so identical digests across processes certify the order.
-func runLogMode(node *rt.Node, tr *netx.Transport, self types.ProcID, target, batch, pipeline int, unit, wait, startIn time.Duration) {
+func runLogMode(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.ProcID, target, batch, pipeline int, unit, wait, startIn time.Duration) {
 	cmds := make([]types.Value, target)
 	for i := range cmds {
 		cmds[i] = types.Value(fmt.Sprintf("cmd-%05d", i))
@@ -220,6 +236,7 @@ func runLogMode(node *rt.Node, tr *netx.Transport, self types.ProcID, target, ba
 			BatchSize: batch,
 			Pipeline:  pipeline,
 			Target:    target,
+			Metrics:   obs.NewLogMetrics(tel.registry(), ""),
 			OnCommit: func(e log.Entry) {
 				// Runs on the node's event loop; the counter is atomic
 				// only because the timeout path below reads it from the
@@ -232,6 +249,7 @@ func runLogMode(node *rt.Node, tr *netx.Transport, self types.ProcID, target, ba
 			},
 		}
 		cfg.Engine.TimeUnit = types.Duration(unit)
+		cfg.Engine.RBMetrics = obs.NewRBMetrics(tel.registry(), "")
 		eng, err := log.New(cfg)
 		if err != nil {
 			engErr = err
@@ -244,6 +262,17 @@ func runLogMode(node *rt.Node, tr *netx.Transport, self types.ProcID, target, ba
 		stdlog.Fatal(engErr)
 	}
 
+	wireNodeObs(node, tel)
+	tel.setStatus(func() map[string]any {
+		return probeStatus(node.Post, func() map[string]any {
+			return map[string]any{
+				"mode":      "log",
+				"committed": committed.Load(),
+				"target":    target,
+				"instances": engine.Applied(),
+			}
+		})
+	})
 	stdlog.Printf("process %v listening on %s, ordering %d commands (batch %d, pipeline %d) in %v",
 		self, tr.Addr(), target, batch, pipeline, startIn)
 	time.Sleep(startIn)

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -45,11 +46,12 @@ func main() {
 
 // flags bundles the shared flag surface of both modes.
 type flags struct {
-	scenario string
-	seed     int64
-	seeds    string
-	workers  int
-	verbose  bool
+	scenario    string
+	seed        int64
+	seeds       string
+	workers     int
+	verbose     bool
+	metricsDump string
 
 	n, t, m    int
 	synchrony  string
@@ -68,6 +70,7 @@ func run() int {
 	flag.StringVar(&f.seeds, "seeds", "", "comma list of seeds for scenario mode (overrides -seed)")
 	flag.IntVar(&f.workers, "workers", runtime.NumCPU(), "concurrent scenario executions")
 	flag.BoolVar(&f.verbose, "v", false, "print per-process decisions / per-scenario reports")
+	flag.StringVar(&f.metricsDump, "metrics-dump", "", "scenario mode: write one Prometheus metric snapshot per cell into this directory")
 	flag.IntVar(&f.n, "n", 4, "number of processes")
 	flag.IntVar(&f.t, "t", 1, "Byzantine fault budget (t < n/3)")
 	flag.IntVar(&f.m, "m", 2, "distinct proposable values (n−t > m·t unless -botmode)")
@@ -127,7 +130,23 @@ func runScenarioMode(f flags) int {
 		}
 	}
 
-	results := minsync.RunScenarioMatrix(specs, seeds, f.workers)
+	run := minsync.RunScenarioMatrix
+	if f.metricsDump != "" {
+		// Telemetry is passive: observed cells produce the same outcomes
+		// and trace digests, plus one metric registry per cell to dump.
+		run = minsync.RunScenarioMatrixObserved
+		if err := os.MkdirAll(f.metricsDump, 0o755); err != nil {
+			log.Print(err)
+			return 2
+		}
+	}
+	results := run(specs, seeds, f.workers)
+	if f.metricsDump != "" {
+		if err := dumpMetrics(f.metricsDump, results); err != nil {
+			log.Print(err)
+			return 2
+		}
+	}
 	fmt.Println(minsync.ScenarioTableHeader)
 	failures := 0
 	for _, r := range results {
@@ -239,6 +258,25 @@ func runLegacyMode(f flags) int {
 		return 1
 	}
 	return 0
+}
+
+// dumpMetrics writes one Prometheus text-exposition file per observed
+// matrix cell: <dir>/<scenario>_seed<seed>.prom.
+func dumpMetrics(dir string, results []minsync.ScenarioMatrixResult) error {
+	for _, r := range results {
+		if r.Metrics == nil {
+			continue // cell errored before running
+		}
+		var buf strings.Builder
+		if err := r.Metrics.WritePrometheus(&buf); err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s_seed%d.prom", r.Spec.Name, r.Seed))
+		if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func indent(s string) string {

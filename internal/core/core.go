@@ -29,6 +29,7 @@ import (
 	"repro/internal/cb"
 	"repro/internal/combin"
 	"repro/internal/ea"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/rb"
 	"repro/internal/trace"
@@ -61,6 +62,11 @@ type Config struct {
 	MaxRounds types.Round
 	// OnDecide, if non-nil, is called exactly once upon decision.
 	OnDecide func(v types.Value)
+	// RBMetrics, if non-nil, instruments the engine's reliable-broadcast
+	// layer (obs.NewRBMetrics). The replicated log copies its core.Config
+	// into every instance, so one bundle aggregates RB volume across all
+	// instances of a replica. Passive; never alters the protocol.
+	RBMetrics *obs.RBMetrics
 }
 
 // Engine is one correct consensus process. It implements proto.Handler; a
@@ -121,6 +127,7 @@ func New(cfg Config) (*Engine, error) {
 		decideSupport: make(map[types.Value]*types.ProcSet),
 	}
 	e.rbl = rb.New(cfg.Env, e.onRBDeliver)
+	e.rbl.SetMetrics(cfg.RBMetrics)
 	e.cb0 = cb.New(cb.Config{
 		Env:       cfg.Env,
 		Tag:       proto.Tag{Mod: proto.ModConsCB0},

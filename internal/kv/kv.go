@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -249,6 +250,12 @@ type Store struct {
 	data     map[string]string
 	sessions map[uint64]session
 
+	// metrics mirrors the replicated counters below into live telemetry.
+	// It is observer state, NOT machine state: never part of the snapshot
+	// encoding, never touched by Restore/Reset, so attaching it cannot
+	// perturb state digests.
+	metrics *obs.KVMetrics
+
 	applies uint64 // commands that mutated or read state
 	dups    uint64 // duplicate (client, last-seq) commands answered from cache
 	stales  uint64 // regressed-seq commands rejected
@@ -270,24 +277,51 @@ func (s *Store) Apply(cmd types.Value) types.Value {
 	c, err := DecodeCommand(cmd)
 	if err != nil {
 		s.badCmds++
+		if m := s.metrics; m != nil {
+			m.BadCommands.Inc()
+		}
 		return Response{Status: StatusErr}.Encode()
 	}
 	if c.Client != 0 {
 		sess, ok := s.sessions[c.Client]
 		if ok && c.Seq == sess.seq {
 			s.dups++
+			if m := s.metrics; m != nil {
+				m.SessionDups.Inc()
+			}
 			return sess.resp
 		}
 		if ok && c.Seq < sess.seq {
 			s.stales++
+			if m := s.metrics; m != nil {
+				m.SessionStales.Inc()
+			}
 			return Response{Status: StatusStale}.Encode()
 		}
 		resp := s.exec(c).Encode()
 		s.sessions[c.Client] = session{seq: c.Seq, resp: resp}
+		s.syncMetrics()
 		return resp
 	}
-	return s.exec(c).Encode()
+	resp := s.exec(c).Encode()
+	s.syncMetrics()
+	return resp
 }
+
+// syncMetrics refreshes the live telemetry after a state-mutating apply.
+func (s *Store) syncMetrics() {
+	if m := s.metrics; m != nil {
+		m.Applies.Inc()
+		m.Keys.Set(int64(len(s.data)))
+		m.Sessions.Set(int64(len(s.sessions)))
+	}
+}
+
+// SetMetrics attaches a live telemetry bundle (obs.NewKVMetrics; nil
+// detaches). The bundle is observer state, independent of the replicated
+// counters: it survives Reset/Restore and is never encoded into
+// snapshots.
+func (s *Store) SetMetrics(m *obs.KVMetrics) { s.metrics = m }
 
 // exec runs the operation against the data map.
 func (s *Store) exec(c Command) Response {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/trace"
 	"repro/internal/types"
@@ -75,6 +76,11 @@ type Config struct {
 	// from this hook; snapshots at instance boundaries are what make log
 	// compaction exact.
 	OnApply func(i types.Instance, newly int)
+	// Metrics, if non-nil, is the engine's telemetry bundle
+	// (obs.NewLogMetrics). Instruments are passive pre-registered atomic
+	// cells: increments never schedule events or alter protocol behavior,
+	// so an observed run stays schedule-identical to an unobserved one.
+	Metrics *obs.LogMetrics
 	// AutoCompactLag, when > 0, compacts instance i as soon as instance
 	// i+AutoCompactLag is applied — the "retire wholesale when an instance
 	// commits" mode for pure log runs that keep no snapshots. 0 disables
@@ -223,6 +229,9 @@ func (l *Engine) OnMessage(from types.ProcID, m proto.Message) {
 	i := m.Instance
 	if i < 0 || i >= l.applied+l.cfg.MaxLead {
 		l.dropsAhead++
+		if m := l.cfg.Metrics; m != nil {
+			m.DroppedAhead.Inc()
+		}
 		if l.cfg.OnDroppedAhead != nil && i > 0 {
 			l.cfg.OnDroppedAhead(i)
 		}
@@ -232,6 +241,9 @@ func (l *Engine) OnMessage(from types.ProcID, m proto.Message) {
 		// The instance was compacted: its state is gone and its outcome is
 		// already reflected in the applied prefix (and any snapshot).
 		l.dropsBelow++
+		if m := l.cfg.Metrics; m != nil {
+			m.DroppedRetired.Inc()
+		}
 		return
 	}
 	inst := l.getInstance(i)
@@ -282,9 +294,22 @@ func (l *Engine) startNext() {
 	for _, c := range batch {
 		l.inFlight[c]++
 	}
+	if m := l.cfg.Metrics; m != nil {
+		m.Proposals.Inc()
+		m.ProposedCommands.Add(uint64(len(batch)))
+		l.syncGauges(m)
+	}
 	if err := inst.eng.Propose(EncodeBatch(batch)); err != nil && l.err == nil {
 		l.err = fmt.Errorf("log: instance %v: %w", i, err)
 	}
+}
+
+// syncGauges refreshes the live-level gauges; callers pass the non-nil
+// bundle they already loaded.
+func (l *Engine) syncGauges(m *obs.LogMetrics) {
+	m.AppliedInstances.Set(int64(l.applied))
+	m.PendingCommands.Set(int64(len(l.pending)))
+	m.PipelineDepth.Set(int64(l.nextStart - l.applied))
 }
 
 // nextBatch selects up to BatchSize pending commands that are not already
@@ -326,6 +351,9 @@ func (l *Engine) tryApply() {
 	for {
 		v, ok := l.decided[l.applied]
 		if !ok {
+			if m := l.cfg.Metrics; m != nil {
+				l.syncGauges(m)
+			}
 			return
 		}
 		delete(l.decided, l.applied)
@@ -343,6 +371,9 @@ func (l *Engine) tryApply() {
 					e := Entry{Index: l.entriesBase + len(l.entries), Instance: i, Cmd: c}
 					l.entries = append(l.entries, e)
 					newly++
+					if m := l.cfg.Metrics; m != nil {
+						m.Committed.Inc()
+					}
 					if l.cfg.OnCommit != nil {
 						l.cfg.OnCommit(e)
 					}
@@ -351,6 +382,9 @@ func (l *Engine) tryApply() {
 		}
 		if newly == 0 {
 			l.noOps++
+			if m := l.cfg.Metrics; m != nil {
+				m.NoOps.Inc()
+			}
 		}
 		if l.cfg.OnApply != nil {
 			// The hook may snapshot and call Compact re-entrantly; Compact
@@ -421,6 +455,10 @@ func (l *Engine) Compact(floor types.Instance) int {
 	}
 	l.floor = floor
 	l.retired += released
+	if m := l.cfg.Metrics; m != nil {
+		m.Compactions.Inc()
+		m.RetiredInstances.Add(uint64(released))
+	}
 	if l.retirer != nil {
 		l.retirer.RetireInstancesBefore(floor)
 	}
@@ -487,6 +525,7 @@ func (l *Engine) InstallSnapshot(boundary types.Instance, index int, retained []
 		}
 		prevInst = e.Instance
 	}
+	retiredBefore := l.retired
 	// Instance-number order, not map order: Halt cancels timers in the
 	// shared scheduler, and determinism requires an iteration order that
 	// is a pure function of the engine state.
@@ -540,6 +579,10 @@ func (l *Engine) InstallSnapshot(boundary types.Instance, index int, retained []
 		l.floor = l.entries[0].Instance
 	}
 	l.installs++
+	if m := l.cfg.Metrics; m != nil {
+		m.SnapshotInstalls.Inc()
+		m.RetiredInstances.Add(uint64(l.retired - retiredBefore))
+	}
 	if l.cfg.Target > 0 && l.Committed() >= l.cfg.Target {
 		// The snapshot alone satisfies the stop rule; don't reopen the
 		// pipeline just to propose into instances nobody else will run.

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -46,6 +47,11 @@ type Config struct {
 	DialTimeout time.Duration
 	// Logf, if non-nil, receives diagnostic lines.
 	Logf func(format string, args ...any)
+	// Metrics, if non-nil, is the wire telemetry bundle
+	// (obs.NewWireMetrics): frames and bytes by direction and message
+	// kind, per-peer frame counts, dials and rejected frames. Passive;
+	// increments happen beside the existing stats counters.
+	Metrics *obs.WireMetrics
 }
 
 // Transport moves protocol messages over TCP.
@@ -184,11 +190,15 @@ func (t *Transport) serveConn(conn net.Conn) {
 			t.mu.Lock()
 			t.stats.rejected++
 			t.mu.Unlock()
+			if wm := t.cfg.Metrics; wm != nil {
+				wm.Rejected.Inc()
+			}
 			continue
 		}
 		t.mu.Lock()
 		t.stats.received++
 		t.mu.Unlock()
+		t.cfg.Metrics.Recv(int(m.Kind), int(peer), len(body))
 		t.cfg.Recv(peer, m)
 	}
 }
@@ -218,6 +228,7 @@ func (t *Transport) Send(to types.ProcID, m proto.Message) error {
 		t.mu.Lock()
 		t.stats.sent++
 		t.mu.Unlock()
+		t.cfg.Metrics.Sent(int(m.Kind), int(to), len(body))
 		return nil
 	}
 	return fmt.Errorf("netx: send to %v failed after retry", to)
@@ -256,6 +267,9 @@ func (t *Transport) conn(to types.ProcID) (net.Conn, error) {
 		return existing, nil
 	}
 	t.out[to] = c
+	if wm := t.cfg.Metrics; wm != nil {
+		wm.Connects.Inc()
+	}
 	return c, nil
 }
 

@@ -1,0 +1,323 @@
+package obs
+
+import "strconv"
+
+// This file defines the per-layer metric bundles: plain structs of
+// pre-registered instruments that the protocol packages hold as nil-able
+// pointers. Each New*Metrics constructor returns nil when the registry is
+// nil, and every instrument method no-ops on nil, so an uninstrumented
+// run costs exactly one nil check per site.
+//
+// The labels argument is a pre-joined label body (usually `proc="3"`,
+// built with Name/JoinLabels) stamped onto every series the bundle
+// registers; pass "" for a single-process registry. Metric names are
+// catalogued in docs/observability.md.
+
+// LogMetrics instruments the replicated-log engine (internal/log).
+type LogMetrics struct {
+	// Proposals counts batch proposals started; ProposedCommands the
+	// commands inside them; Committed the commands applied from decided
+	// instances; NoOps the decided ⊥ instances.
+	Proposals        *Counter
+	ProposedCommands *Counter
+	Committed        *Counter
+	NoOps            *Counter
+	// DroppedAhead / DroppedRetired count messages discarded by the
+	// MaxLead window and the compaction floor.
+	DroppedAhead   *Counter
+	DroppedRetired *Counter
+	// Compactions counts Compact calls that retired at least one
+	// instance; RetiredInstances the instances they released.
+	Compactions      *Counter
+	RetiredInstances *Counter
+	// SnapshotInstalls counts InstallSnapshot adoptions (state transfer).
+	SnapshotInstalls *Counter
+	// AppliedInstances / PendingCommands / PipelineDepth are live levels:
+	// contiguously applied instances, queued-but-unproposed commands, and
+	// open (proposed, undecided) instances.
+	AppliedInstances *Gauge
+	PendingCommands  *Gauge
+	PipelineDepth    *Gauge
+}
+
+// NewLogMetrics registers the log-engine bundle.
+func NewLogMetrics(r *Registry, labels string) *LogMetrics {
+	if r == nil {
+		return nil
+	}
+	return &LogMetrics{
+		Proposals:        r.Counter(WithLabels("minsync_log_proposals_total", labels)),
+		ProposedCommands: r.Counter(WithLabels("minsync_log_proposed_commands_total", labels)),
+		Committed:        r.Counter(WithLabels("minsync_log_committed_total", labels)),
+		NoOps:            r.Counter(WithLabels("minsync_log_noop_instances_total", labels)),
+		DroppedAhead:     r.Counter(WithLabels("minsync_log_dropped_ahead_total", labels)),
+		DroppedRetired:   r.Counter(WithLabels("minsync_log_dropped_retired_total", labels)),
+		Compactions:      r.Counter(WithLabels("minsync_log_compactions_total", labels)),
+		RetiredInstances: r.Counter(WithLabels("minsync_log_instances_retired_total", labels)),
+		SnapshotInstalls: r.Counter(WithLabels("minsync_log_snapshot_installs_total", labels)),
+		AppliedInstances: r.Gauge(WithLabels("minsync_log_applied_instances", labels)),
+		PendingCommands:  r.Gauge(WithLabels("minsync_log_pending_commands", labels)),
+		PipelineDepth:    r.Gauge(WithLabels("minsync_log_pipeline_depth", labels)),
+	}
+}
+
+// SMMetrics instruments the state-machine applier (internal/sm).
+type SMMetrics struct {
+	// Applies counts committed entries fed to the machine; Snapshots the
+	// snapshots taken and SnapshotBytes their encoded sizes; Recoveries
+	// successful crash-recoveries; Installs adopted peer snapshots.
+	Applies       *Counter
+	Snapshots     *Counter
+	SnapshotBytes *Counter
+	Recoveries    *Counter
+	Installs      *Counter
+}
+
+// NewSMMetrics registers the applier bundle.
+func NewSMMetrics(r *Registry, labels string) *SMMetrics {
+	if r == nil {
+		return nil
+	}
+	return &SMMetrics{
+		Applies:       r.Counter(WithLabels("minsync_sm_applies_total", labels)),
+		Snapshots:     r.Counter(WithLabels("minsync_sm_snapshots_total", labels)),
+		SnapshotBytes: r.Counter(WithLabels("minsync_sm_snapshot_bytes_total", labels)),
+		Recoveries:    r.Counter(WithLabels("minsync_sm_recoveries_total", labels)),
+		Installs:      r.Counter(WithLabels("minsync_sm_installs_total", labels)),
+	}
+}
+
+// KVMetrics instruments the KV store's session layer (internal/kv).
+type KVMetrics struct {
+	// Applies counts state-mutating executions; SessionDups retried
+	// commands answered from the session cache; SessionStales rejected
+	// out-of-order session sequence numbers; BadCommands undecodable
+	// commands.
+	Applies       *Counter
+	SessionDups   *Counter
+	SessionStales *Counter
+	BadCommands   *Counter
+	// Keys and Sessions are live table sizes.
+	Keys     *Gauge
+	Sessions *Gauge
+}
+
+// NewKVMetrics registers the KV-store bundle.
+func NewKVMetrics(r *Registry, labels string) *KVMetrics {
+	if r == nil {
+		return nil
+	}
+	return &KVMetrics{
+		Applies:       r.Counter(WithLabels("minsync_kv_applies_total", labels)),
+		SessionDups:   r.Counter(WithLabels("minsync_kv_session_dups_total", labels)),
+		SessionStales: r.Counter(WithLabels("minsync_kv_session_stales_total", labels)),
+		BadCommands:   r.Counter(WithLabels("minsync_kv_bad_commands_total", labels)),
+		Keys:          r.Gauge(WithLabels("minsync_kv_keys", labels)),
+		Sessions:      r.Gauge(WithLabels("minsync_kv_sessions", labels)),
+	}
+}
+
+// TransferMetrics instruments snapshot state transfer (sm.Transfer).
+type TransferMetrics struct {
+	// Requests counts fetches broadcast by this replica; Served snapshots
+	// it answered to laggards; Installs corroborated snapshots it
+	// adopted; Rejected candidate payloads discarded (stale boundary,
+	// malformed, digest mismatch, overflow).
+	Requests *Counter
+	Served   *Counter
+	Installs *Counter
+	Rejected *Counter
+}
+
+// NewTransferMetrics registers the transfer bundle.
+func NewTransferMetrics(r *Registry, labels string) *TransferMetrics {
+	if r == nil {
+		return nil
+	}
+	return &TransferMetrics{
+		Requests: r.Counter(WithLabels("minsync_transfer_requests_total", labels)),
+		Served:   r.Counter(WithLabels("minsync_transfer_served_total", labels)),
+		Installs: r.Counter(WithLabels("minsync_transfer_installs_total", labels)),
+		Rejected: r.Counter(WithLabels("minsync_transfer_rejected_total", labels)),
+	}
+}
+
+// DedupMetrics instruments the per-process message dispatcher
+// (proto.Node): first-message dedup and instance retirement.
+type DedupMetrics struct {
+	// DroppedDuplicates counts messages killed by the first-message rule;
+	// DroppedRetired messages below the compaction floor;
+	// RetiredInstances dedup sub-maps released by retirement.
+	DroppedDuplicates *Counter
+	DroppedRetired    *Counter
+	RetiredInstances  *Counter
+	// LiveInstances is the number of instances currently holding dedup
+	// state.
+	LiveInstances *Gauge
+}
+
+// NewDedupMetrics registers the dispatcher bundle.
+func NewDedupMetrics(r *Registry, labels string) *DedupMetrics {
+	if r == nil {
+		return nil
+	}
+	return &DedupMetrics{
+		DroppedDuplicates: r.Counter(WithLabels("minsync_dedup_dropped_total", labels)),
+		DroppedRetired:    r.Counter(WithLabels("minsync_dedup_dropped_retired_total", labels)),
+		RetiredInstances:  r.Counter(WithLabels("minsync_dedup_retired_instances_total", labels)),
+		LiveInstances:     r.Gauge(WithLabels("minsync_dedup_live_instances", labels)),
+	}
+}
+
+// RBMetrics instruments reliable broadcast (internal/rb) — the Θ(n²)
+// echo/ready amplification volume that dominates wire traffic.
+type RBMetrics struct {
+	// Broadcasts counts RB_Broadcast invocations; Echoes and Readies the
+	// ECHO/READY messages this process originated; Delivers the RB
+	// deliveries handed up the stack.
+	Broadcasts *Counter
+	Echoes     *Counter
+	Readies    *Counter
+	Delivers   *Counter
+}
+
+// NewRBMetrics registers the reliable-broadcast bundle.
+func NewRBMetrics(r *Registry, labels string) *RBMetrics {
+	if r == nil {
+		return nil
+	}
+	return &RBMetrics{
+		Broadcasts: r.Counter(WithLabels("minsync_rb_broadcasts_total", labels)),
+		Echoes:     r.Counter(WithLabels("minsync_rb_echoes_total", labels)),
+		Readies:    r.Counter(WithLabels("minsync_rb_readies_total", labels)),
+		Delivers:   r.Counter(WithLabels("minsync_rb_delivers_total", labels)),
+	}
+}
+
+// NodeMetrics instruments the live runtime loop (internal/rt).
+type NodeMetrics struct {
+	// Posted counts closures enqueued to the event loop (messages, timer
+	// fires, local posts); InboxDepth is the loop backlog after the most
+	// recent enqueue.
+	Posted     *Counter
+	InboxDepth *Gauge
+}
+
+// NewNodeMetrics registers the runtime bundle.
+func NewNodeMetrics(r *Registry, labels string) *NodeMetrics {
+	if r == nil {
+		return nil
+	}
+	return &NodeMetrics{
+		Posted:     r.Counter(WithLabels("minsync_rt_posted_total", labels)),
+		InboxDepth: r.Gauge(WithLabels("minsync_rt_inbox_depth", labels)),
+	}
+}
+
+// maxWireKind bounds the per-kind counter arrays in WireMetrics. Wire
+// kinds are small positive integers (proto.MsgKind starts at 1); frames
+// whose kind falls outside [1, maxWireKind) are counted under the
+// kind="other" slot at index 0.
+const maxWireKind = 16
+
+// WireMetrics instruments a TCP transport (internal/netx): frames and
+// bytes by direction and wire kind, per-peer frame counts, connection
+// churn. Kind lookup is a direct array index so the per-frame cost is
+// one atomic add per series.
+type WireMetrics struct {
+	// FramesSent/BytesSent and FramesRecv/BytesRecv are indexed by wire
+	// kind (index 0 = out-of-range "other").
+	FramesSent [maxWireKind]*Counter
+	BytesSent  [maxWireKind]*Counter
+	FramesRecv [maxWireKind]*Counter
+	BytesRecv  [maxWireKind]*Counter
+	// PeerSent/PeerRecv count frames exchanged with each configured peer.
+	PeerSent map[int]*Counter
+	PeerRecv map[int]*Counter
+	// Connects counts successful dials (first connect and reconnects
+	// alike); Rejected counts inbound frames discarded before dispatch.
+	Connects *Counter
+	Rejected *Counter
+}
+
+// NewWireMetrics registers the transport bundle. kinds is the number of
+// valid wire kinds (kind values 1..kinds get their own series), kindName
+// renders a kind label, and peers lists the remote process IDs.
+func NewWireMetrics(r *Registry, labels string, kinds int, kindName func(int) string, peers []int) *WireMetrics {
+	if r == nil {
+		return nil
+	}
+	if kinds >= maxWireKind {
+		kinds = maxWireKind - 1
+	}
+	m := &WireMetrics{
+		PeerSent: make(map[int]*Counter, len(peers)),
+		PeerRecv: make(map[int]*Counter, len(peers)),
+		Connects: r.Counter(WithLabels("minsync_wire_connects_total", labels)),
+		Rejected: r.Counter(WithLabels("minsync_wire_rejected_frames_total", labels)),
+	}
+	series := func(base, dir, kind string) *Counter {
+		lbl := JoinLabels(labels, `dir="`+dir+`"`, `kind="`+kind+`"`)
+		return r.Counter(WithLabels(base, lbl))
+	}
+	for k := 0; k <= kinds; k++ {
+		kind := "other"
+		if k > 0 {
+			kind = kindName(k)
+		}
+		m.FramesSent[k] = series("minsync_wire_frames_total", "sent", kind)
+		m.BytesSent[k] = series("minsync_wire_bytes_total", "sent", kind)
+		m.FramesRecv[k] = series("minsync_wire_frames_total", "recv", kind)
+		m.BytesRecv[k] = series("minsync_wire_bytes_total", "recv", kind)
+	}
+	for _, p := range peers {
+		peer := strconv.Itoa(p)
+		m.PeerSent[p] = r.Counter(WithLabels("minsync_wire_peer_frames_total",
+			JoinLabels(labels, `dir="sent"`, `peer="`+peer+`"`)))
+		m.PeerRecv[p] = r.Counter(WithLabels("minsync_wire_peer_frames_total",
+			JoinLabels(labels, `dir="recv"`, `peer="`+peer+`"`)))
+	}
+	return m
+}
+
+// kindIndex clamps a wire kind into the counter arrays' index space.
+func kindIndex(kind int) int {
+	if kind <= 0 || kind >= maxWireKind {
+		return 0
+	}
+	return kind
+}
+
+// Sent records one outbound frame of the given wire kind and body size.
+// Safe on a nil receiver.
+func (m *WireMetrics) Sent(kind, peer, bytes int) {
+	if m == nil {
+		return
+	}
+	i := kindIndex(kind)
+	m.FramesSent[i].Inc()
+	m.BytesSent[i].Add(uint64(bytes))
+	m.PeerSent[peer].Inc()
+}
+
+// Recv records one inbound frame. Safe on a nil receiver.
+func (m *WireMetrics) Recv(kind, peer, bytes int) {
+	if m == nil {
+		return
+	}
+	i := kindIndex(kind)
+	m.FramesRecv[i].Inc()
+	m.BytesRecv[i].Add(uint64(bytes))
+	m.PeerRecv[peer].Inc()
+}
+
+// CommitLatencyName is the canonical commit-latency histogram series
+// (nanoseconds, DefaultLatencyBuckets). Runners and live nodes register
+// it so bench tooling can find it by name.
+const CommitLatencyName = "minsync_commit_latency_ns"
+
+// NewCommitLatency registers the end-to-end commit-latency histogram
+// (submission → first local commit, in nanoseconds).
+func NewCommitLatency(r *Registry) *Histogram {
+	return r.Histogram(CommitLatencyName, nil)
+}

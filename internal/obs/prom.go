@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4): series grouped into families by
+// base name, one `# TYPE` line per family, histograms expanded into
+// cumulative `_bucket{le=...}` series plus `_sum` and `_count`. Output
+// order is deterministic (families and series sorted lexically), which
+// the exposition golden test pins. Safe on a nil receiver (writes
+// nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type series struct {
+		name string // full name, labels included
+		kind instrumentKind
+	}
+	all := make([]series, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for n := range r.counters {
+		all = append(all, series{n, kindCounter})
+	}
+	for n := range r.gauges {
+		all = append(all, series{n, kindGauge})
+	}
+	for n := range r.histograms {
+		all = append(all, series{n, kindHistogram})
+	}
+	counters := make(map[string]uint64, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g.Value()
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for n, h := range r.histograms {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+
+	sort.Slice(all, func(i, j int) bool {
+		fi, fj := familyOf(all[i].name), familyOf(all[j].name)
+		if fi != fj {
+			return fi < fj
+		}
+		return all[i].name < all[j].name
+	})
+
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, s := range all {
+		fam := familyOf(s.name)
+		if fam != lastFamily {
+			bw.WriteString("# TYPE ")
+			bw.WriteString(fam)
+			switch s.kind {
+			case kindCounter:
+				bw.WriteString(" counter\n")
+			case kindGauge:
+				bw.WriteString(" gauge\n")
+			case kindHistogram:
+				bw.WriteString(" histogram\n")
+			}
+			lastFamily = fam
+		}
+		switch s.kind {
+		case kindCounter:
+			bw.WriteString(s.name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatUint(counters[s.name], 10))
+			bw.WriteByte('\n')
+		case kindGauge:
+			bw.WriteString(s.name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(gauges[s.name], 10))
+			bw.WriteByte('\n')
+		case kindHistogram:
+			writeHistogram(bw, s.name, hists[s.name])
+		}
+	}
+	return bw.Flush()
+}
+
+// familyOf strips the label body: `x_total{proc="1"}` → `x_total`.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// splitName separates a full series name into base and label body
+// (without braces); no labels yields ("name", "").
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// writeHistogram expands one histogram into its exposition series.
+func writeHistogram(bw *bufio.Writer, name string, h *Histogram) {
+	base, labels := splitName(name)
+	counts := h.BucketCounts()
+	bounds := h.Bounds()
+	var cum uint64
+	for i, b := range bounds {
+		cum += counts[i]
+		writeSeries(bw, base+"_bucket", JoinLabels(labels, `le="`+strconv.FormatInt(b, 10)+`"`), strconv.FormatUint(cum, 10))
+	}
+	cum += counts[len(bounds)]
+	writeSeries(bw, base+"_bucket", JoinLabels(labels, `le="+Inf"`), strconv.FormatUint(cum, 10))
+	writeSeries(bw, base+"_sum", labels, strconv.FormatInt(h.Sum(), 10))
+	writeSeries(bw, base+"_count", labels, strconv.FormatUint(h.Count(), 10))
+}
+
+// writeSeries emits one `name{labels} value` line. The label body is
+// pre-quoted (le labels arrive already wrapped).
+func writeSeries(bw *bufio.Writer, base, labels, value string) {
+	bw.WriteString(WithLabels(base, labels))
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}

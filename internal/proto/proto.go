@@ -10,6 +10,7 @@ package proto
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/types"
 )
@@ -284,12 +285,19 @@ type Node struct {
 	// DroppedRetired counts messages for instances already retired by
 	// RetireInstancesBefore (late traffic after compaction).
 	DroppedRetired uint64
+	// metrics mirrors the drop counters into live telemetry (SetMetrics).
+	metrics *obs.DedupMetrics
 }
 
 // NewNode wraps h with duplicate suppression.
 func NewNode(h Handler) *Node {
 	return &Node{h: h, seen: make(map[types.Instance]map[instKey]struct{}, 8)}
 }
+
+// SetMetrics attaches a live telemetry bundle (obs.NewDedupMetrics; nil
+// detaches). Passive mirrors of the public drop counters plus a live-
+// instance gauge; never alters dispatch behavior.
+func (n *Node) SetMetrics(m *obs.DedupMetrics) { n.metrics = m }
 
 // Dispatch feeds one raw network delivery through deduplication.
 //
@@ -311,6 +319,9 @@ func (n *Node) Dispatch(from types.ProcID, m Message) {
 	}
 	if m.Instance < n.floor {
 		n.DroppedRetired++
+		if mm := n.metrics; mm != nil {
+			mm.DroppedRetired.Inc()
+		}
 		return
 	}
 	sub, ok := n.seen[m.Instance]
@@ -323,10 +334,16 @@ func (n *Node) Dispatch(from types.ProcID, m Message) {
 		// amortized.
 		sub = make(map[instKey]struct{})
 		n.seen[m.Instance] = sub
+		if mm := n.metrics; mm != nil {
+			mm.LiveInstances.Set(int64(len(n.seen)))
+		}
 	}
 	k := instKey{From: from, Kind: m.Kind, Tag: m.Tag, Origin: m.Origin}
 	if _, dup := sub[k]; dup {
 		n.Dropped++
+		if mm := n.metrics; mm != nil {
+			mm.DroppedDuplicates.Inc()
+		}
 		return
 	}
 	sub[k] = struct{}{}
@@ -341,12 +358,18 @@ func (n *Node) RetireInstancesBefore(floor types.Instance) {
 	if floor <= n.floor {
 		return
 	}
+	retired := 0
 	for i := range n.seen {
 		if i < floor {
 			delete(n.seen, i)
+			retired++
 		}
 	}
 	n.floor = floor
+	if mm := n.metrics; mm != nil {
+		mm.RetiredInstances.Add(uint64(retired))
+		mm.LiveInstances.Set(int64(len(n.seen)))
+	}
 }
 
 // LiveInstances returns the number of instance dedup sub-maps currently

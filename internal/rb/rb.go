@@ -21,6 +21,7 @@
 package rb
 
 import (
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/trace"
 	"repro/internal/types"
@@ -35,6 +36,7 @@ type Layer struct {
 	env     proto.Env
 	deliver DeliverFunc
 	insts   map[instKey]*instance
+	metrics *obs.RBMetrics
 }
 
 type instKey struct {
@@ -62,6 +64,12 @@ func New(env proto.Env, deliver DeliverFunc) *Layer {
 	return &Layer{env: env, deliver: deliver, insts: make(map[instKey]*instance)}
 }
 
+// SetMetrics attaches a live telemetry bundle (obs.NewRBMetrics; nil
+// detaches). Counts the echo/ready traffic this process ORIGINATES — the
+// Θ(n²) amplification volume — plus deliveries; passive, never alters
+// the protocol.
+func (l *Layer) SetMetrics(m *obs.RBMetrics) { l.metrics = m }
+
 // Broadcast RB-broadcasts v on the stream (self, tag): it sends
 // INIT(v) to everyone (including self, which triggers the echo phase
 // locally like any other process).
@@ -70,6 +78,9 @@ func (l *Layer) Broadcast(tag proto.Tag, v types.Value) {
 		At: l.env.Now(), Kind: trace.KindRBBroadcast, Proc: l.env.ID(),
 		Round: tag.Round, Value: v, Aux: tag.String(),
 	})
+	if m := l.metrics; m != nil {
+		m.Broadcasts.Inc()
+	}
 	l.env.Broadcast(proto.Message{Kind: proto.MsgRBInit, Tag: tag, Origin: l.env.ID(), Val: v})
 }
 
@@ -100,6 +111,9 @@ func (l *Layer) OnMessage(from types.ProcID, m proto.Message) bool {
 	case proto.MsgRBInit:
 		if !inst.sentEcho {
 			inst.sentEcho = true
+			if mm := l.metrics; mm != nil {
+				mm.Echoes.Inc()
+			}
 			l.env.Broadcast(proto.Message{Kind: proto.MsgRBEcho, Tag: m.Tag, Origin: m.Origin, Val: m.Val})
 		}
 	case proto.MsgRBEcho:
@@ -112,6 +126,9 @@ func (l *Layer) OnMessage(from types.ProcID, m proto.Message) bool {
 		set.Add(from)
 		if set.Len() >= p.EchoQuorum() && !inst.sentReady {
 			inst.sentReady = true
+			if mm := l.metrics; mm != nil {
+				mm.Readies.Inc()
+			}
 			l.env.Broadcast(proto.Message{Kind: proto.MsgRBReady, Tag: m.Tag, Origin: m.Origin, Val: m.Val})
 		}
 	case proto.MsgRBReady:
@@ -124,10 +141,16 @@ func (l *Layer) OnMessage(from types.ProcID, m proto.Message) bool {
 		set.Add(from)
 		if set.Len() >= p.ReadyAmplify() && !inst.sentReady {
 			inst.sentReady = true
+			if mm := l.metrics; mm != nil {
+				mm.Readies.Inc()
+			}
 			l.env.Broadcast(proto.Message{Kind: proto.MsgRBReady, Tag: m.Tag, Origin: m.Origin, Val: m.Val})
 		}
 		if set.Len() >= p.ReadyDeliver() && !inst.delivered {
 			inst.delivered = true
+			if mm := l.metrics; mm != nil {
+				mm.Delivers.Inc()
+			}
 			l.env.Trace().Emit(trace.Event{
 				At: l.env.Now(), Kind: trace.KindRBDeliver, Proc: l.env.ID(),
 				Peer: m.Origin, Round: m.Tag.Round, Value: m.Val, Aux: m.Tag.String(),

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/trace"
 	"repro/internal/types"
@@ -40,6 +41,9 @@ type Node struct {
 	wg    sync.WaitGroup
 	once  sync.Once
 
+	trace   trace.Sink
+	metrics *obs.NodeMetrics
+
 	dispatcher *proto.Node
 }
 
@@ -53,6 +57,14 @@ type NodeConfig struct {
 	// InboxDepth bounds the event queue (default 4096). A full inbox
 	// applies backpressure to transport readers, never drops.
 	InboxDepth int
+	// Trace, if non-nil, receives the protocol stack's trace events (a
+	// bounded *trace.Ring lets /statusz?trace=N answer with recent
+	// history). Nil keeps the historical behavior: events are discarded,
+	// and trace.Recording short-circuits their construction entirely.
+	Trace trace.Sink
+	// Metrics, if non-nil, is the event-loop telemetry bundle
+	// (obs.NewNodeMetrics).
+	Metrics *obs.NodeMetrics
 }
 
 // NewNode creates a node; Start must be called before use.
@@ -67,12 +79,18 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if depth <= 0 {
 		depth = 4096
 	}
+	sink := cfg.Trace
+	if sink == nil {
+		sink = trace.Discard{}
+	}
 	return &Node{
 		id:        cfg.ID,
 		params:    cfg.Params,
 		transport: cfg.Transport,
 		inbox:     make(chan func(), depth),
 		stop:      make(chan struct{}),
+		trace:     sink,
+		metrics:   cfg.Metrics,
 	}, nil
 }
 
@@ -116,6 +134,10 @@ func (n *Node) Post(fn func()) bool {
 	}
 	select {
 	case n.inbox <- fn:
+		if m := n.metrics; m != nil {
+			m.Posted.Inc()
+			m.InboxDepth.Set(int64(len(n.inbox)))
+		}
 		return true
 	case <-n.stop:
 		return false
@@ -190,7 +212,7 @@ func (e *env) SetTimer(d types.Duration, fn func()) (cancel func()) {
 	}
 }
 
-func (e *env) Trace() trace.Sink { return trace.Discard{} }
+func (e *env) Trace() trace.Sink { return e.node.trace }
 
 // --- In-memory transport ----------------------------------------------------
 

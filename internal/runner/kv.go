@@ -7,6 +7,7 @@ import (
 	"repro/internal/kv"
 	"repro/internal/log"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sm"
 	"repro/internal/trace"
@@ -81,6 +82,16 @@ type KVSpec struct {
 	// duplicate can legitimately commit twice, and raw entry counts would
 	// let engines close before every distinct command is ordered.
 	Target int
+	// SnapshotRefresh forwards to sm.Config.RefreshEvery: re-stamp the
+	// snapshot every SnapshotRefresh applied instances even when no new
+	// entries landed since the last one, so long-idle clusters keep a
+	// fresh transfer boundary for rejoining replicas (0 = off).
+	SnapshotRefresh types.Instance
+	// Obs, if non-nil, attaches live telemetry to every correct replica:
+	// log/sm/kv/transfer/RB/dedup bundles labeled proc="<id>" plus one
+	// shared commit-latency histogram (submission → first local commit).
+	// Passive: an observed run is trace-identical to an unobserved one.
+	Obs *obs.Registry
 	// Deadline bounds virtual time (0 = run to drain).
 	Deadline types.Time
 	// MaxEvents bounds the number of simulation events (0 = unlimited).
@@ -272,6 +283,16 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 		Covered:        make(map[types.ProcID]int),
 		Distinct:       len(distinct),
 	}
+	var submitAt map[types.Value]types.Time
+	if spec.Obs != nil {
+		res.CommitLatency = obs.NewCommitLatency(spec.Obs)
+		submitAt = make(map[types.Value]types.Time, len(distinct))
+		for k, c := range encoded {
+			if _, dup := submitAt[c]; !dup { // retries keep the first submit time
+				submitAt[c] = types.Time(types.Duration(k) * spec.SubmitEvery)
+			}
+		}
+	}
 	trs := make(map[types.ProcID]*sm.Transfer)
 	for _, id := range p.AllProcs() {
 		id := id
@@ -285,10 +306,17 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 		var engErr error
 		err := w.SetBehavior(id, func(env proto.Env) proto.Handler {
 			store := kv.NewStore()
+			var labels string
+			if spec.Obs != nil {
+				labels = procLabel(id)
+				store.SetMetrics(obs.NewKVMetrics(spec.Obs, labels))
+			}
 			var eng *log.Engine
 			app, err := sm.New(sm.Config{
 				Machine:       store,
 				SnapshotEvery: spec.SnapshotEvery,
+				RefreshEvery:  spec.SnapshotRefresh,
+				Metrics:       obs.NewSMMetrics(spec.Obs, labels),
 				// The retained-suffix capture rides every snapshot so this
 				// replica can serve complete transfer payloads (snapshot +
 				// dedup window); cheap (CompactKeep-sized) when compaction
@@ -318,6 +346,10 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 			cfg := spec.Log
 			cfg.Env = env
 			cfg.Target = spec.Target
+			if spec.Obs != nil {
+				cfg.Metrics = obs.NewLogMetrics(spec.Obs, labels)
+				cfg.Engine.RBMetrics = obs.NewRBMetrics(spec.Obs, labels)
+			}
 			seen := make(map[types.Value]struct{}, len(distinct))
 			cfg.OnCommit = func(e log.Entry) {
 				res.Logs[id] = append(res.Logs[id], e)
@@ -336,6 +368,9 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 				}
 				seen[e.Cmd] = struct{}{}
 				res.Covered[id] = len(seen)
+				if res.CommitLatency != nil {
+					res.CommitLatency.Observe(int64(env.Now() - submitAt[e.Cmd]))
+				}
 				if spec.Target <= 0 && len(seen) >= len(distinct) && eng != nil {
 					eng.Close()
 				}
@@ -364,6 +399,7 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 					Next:       eng,
 					RetryEvery: spec.TransferRetry,
 					StallProbe: spec.TransferProbe,
+					Metrics:    obs.NewTransferMetrics(spec.Obs, labels),
 				})
 				if err != nil {
 					engErr = err
@@ -405,6 +441,7 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 			return nil, fmt.Errorf("runner: kv replica %v: %w", id, engErr)
 		}
 		wireRetirer(w, id, res.Engines[id])
+		wireObs(w, id, spec.Obs)
 	}
 
 	res.Stop = w.Run(spec.Deadline, spec.MaxEvents)

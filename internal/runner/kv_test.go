@@ -9,6 +9,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/kv"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -315,5 +316,65 @@ func TestKVTransferRequiresSnapshots(t *testing.T) {
 	spec.Transfer = true
 	if _, err := RunKV(spec); err == nil {
 		t.Fatal("Transfer without SnapshotEvery accepted")
+	}
+}
+
+// TestKVObserved: attaching a telemetry registry is passive — the run
+// produces identical state and logs — while populating per-replica
+// metric series and the shared commit-latency histogram.
+func TestKVObserved(t *testing.T) {
+	base := func() KVSpec {
+		spec := kvSpec(4, 30, 7)
+		spec.SubmitEvery = types.Duration(time.Millisecond)
+		spec.SnapshotEvery = 8
+		spec.Compact = true
+		return spec
+	}
+	plain, err := RunKV(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	spec := base()
+	spec.Obs = reg
+	res, err := RunKV(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CoveredAll() {
+		t.Fatalf("coverage incomplete: %v", res.Covered)
+	}
+	// Passive: byte-identical outcome with and without the registry.
+	for _, id := range res.Correct {
+		if res.StateDigests[id] != plain.StateDigests[id] {
+			t.Fatalf("replica %v state diverged under observation", id)
+		}
+		if len(res.Logs[id]) != len(plain.Logs[id]) {
+			t.Fatalf("replica %v log length diverged under observation", id)
+		}
+	}
+	// Latency: every correct replica observes each distinct command once.
+	want := uint64(res.Distinct * len(res.Correct))
+	if got := res.CommitLatency.Count(); got != want {
+		t.Fatalf("latency observations = %d, want %d", got, want)
+	}
+	if res.CommitLatency.Quantile(0.5) <= 0 {
+		t.Fatal("p50 commit latency is zero")
+	}
+	// Series: each layer's bundle registered and counted per replica.
+	counters := reg.Snapshot().Counters
+	for _, id := range res.Correct {
+		label := fmt.Sprintf("proc=%q", fmt.Sprint(id))
+		for _, base := range []string{
+			"minsync_log_committed_total",
+			"minsync_sm_applies_total",
+			"minsync_kv_applies_total",
+			"minsync_rb_delivers_total",
+		} {
+			name := base + "{" + label + "}"
+			if counters[name] == 0 {
+				t.Errorf("series %s missing or zero", name)
+			}
+		}
 	}
 }

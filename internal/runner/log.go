@@ -6,6 +6,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/log"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -48,6 +49,13 @@ type LogSpec struct {
 	// Log carries the engine knobs (Engine, BatchSize, Pipeline,
 	// MaxLead). Env, Target and OnCommit are set by the runner.
 	Log log.Config
+	// Obs, if non-nil, attaches live telemetry: per-replica log, RB and
+	// dedup bundles (labeled proc="<id>") plus one shared end-to-end
+	// commit-latency histogram (obs.CommitLatencyName; submission →
+	// first local commit, virtual-time nanoseconds). Observation is
+	// passive — an observed run produces a byte-identical trace to an
+	// unobserved one (the scenario determinism test pins this).
+	Obs *obs.Registry
 	// Target is the commit count at which engines stop opening new
 	// instances (default len(Commands)).
 	Target int
@@ -77,6 +85,9 @@ type LogResult struct {
 	Compactions uint64
 	// Log is the trace (nil unless Spec.Record).
 	Log *trace.Log
+	// CommitLatency is the shared commit-latency histogram (nil unless
+	// Spec.Obs).
+	CommitLatency *obs.Histogram
 	// Engines gives access to per-process log engines (introspection).
 	Engines map[types.ProcID]*log.Engine
 }
@@ -153,6 +164,23 @@ func wireRetirer(w *harness.World, id types.ProcID, eng *log.Engine) {
 	}
 }
 
+// procLabel renders the per-replica label body shared by every runner
+// bundle, e.g. `proc="2"`.
+func procLabel(id types.ProcID) string {
+	return fmt.Sprintf("proc=%q", fmt.Sprint(id))
+}
+
+// wireObs attaches the dedup dispatcher's telemetry bundle. Like
+// wireRetirer it must run after SetBehavior.
+func wireObs(w *harness.World, id types.ProcID, reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	if n := w.Node(id); n != nil {
+		n.SetMetrics(obs.NewDedupMetrics(reg, procLabel(id)))
+	}
+}
+
 // RunLog executes the spec.
 func RunLog(spec LogSpec) (*LogResult, error) {
 	p := spec.Params
@@ -193,6 +221,14 @@ func RunLog(spec LogSpec) (*LogResult, error) {
 		Logs:    make(map[types.ProcID][]log.Entry),
 		Engines: make(map[types.ProcID]*log.Engine),
 	}
+	var submitAt map[types.Value]types.Time
+	if spec.Obs != nil {
+		res.CommitLatency = obs.NewCommitLatency(spec.Obs)
+		submitAt = make(map[types.Value]types.Time, len(spec.Commands))
+		for k, c := range spec.Commands {
+			submitAt[c] = types.Time(types.Duration(k) * spec.SubmitEvery)
+		}
+	}
 	for _, id := range p.AllProcs() {
 		id := id
 		if b, ok := spec.Byzantine[id]; ok {
@@ -207,8 +243,26 @@ func RunLog(spec LogSpec) (*LogResult, error) {
 			cfg := spec.Log
 			cfg.Env = env
 			cfg.Target = spec.Target
+			var latSeen map[types.Value]struct{}
+			if spec.Obs != nil {
+				labels := procLabel(id)
+				cfg.Metrics = obs.NewLogMetrics(spec.Obs, labels)
+				cfg.Engine.RBMetrics = obs.NewRBMetrics(spec.Obs, labels)
+				latSeen = make(map[types.Value]struct{}, len(spec.Commands))
+			}
 			cfg.OnCommit = func(e log.Entry) {
 				res.Logs[id] = append(res.Logs[id], e)
+				if res.CommitLatency != nil {
+					// This replica's FIRST commit of each workload command
+					// only: compaction can let a forgotten duplicate commit
+					// again much later, which isn't a client-visible latency.
+					if at, ok := submitAt[e.Cmd]; ok {
+						if _, dup := latSeen[e.Cmd]; !dup {
+							latSeen[e.Cmd] = struct{}{}
+							res.CommitLatency.Observe(int64(env.Now() - at))
+						}
+					}
+				}
 			}
 			eng, err := log.New(cfg)
 			if err != nil {
@@ -234,6 +288,7 @@ func RunLog(spec LogSpec) (*LogResult, error) {
 			return nil, fmt.Errorf("runner: log engine %v: %w", id, engErr)
 		}
 		wireRetirer(w, id, res.Engines[id])
+		wireObs(w, id, spec.Obs)
 	}
 
 	res.Stop = w.Run(spec.Deadline, spec.MaxEvents)

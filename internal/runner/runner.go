@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -49,6 +50,10 @@ type Spec struct {
 	MaxEvents uint64
 	// ProposeAt schedules process i's Propose at ProposeAt[i] (default 0).
 	ProposeAt map[types.ProcID]types.Duration
+	// Obs, if non-nil, attaches live telemetry: per-process RB and dedup
+	// bundles labeled proc="<id>". Passive — observed runs are
+	// trace-identical to unobserved ones.
+	Obs *obs.Registry
 }
 
 // Result is the outcome of one execution.
@@ -179,6 +184,9 @@ func Run(spec Spec) (*Result, error) {
 		err := w.SetBehavior(id, func(env proto.Env) proto.Handler {
 			cfg := spec.Engine
 			cfg.Env = env
+			if spec.Obs != nil {
+				cfg.RBMetrics = obs.NewRBMetrics(spec.Obs, procLabel(id))
+			}
 			cfg.OnDecide = func(dv types.Value) {
 				res.Decisions[id] = dv
 				res.DecideTime[id] = env.Now()
@@ -204,6 +212,7 @@ func Run(spec Spec) (*Result, error) {
 		if engErr != nil {
 			return nil, fmt.Errorf("runner: engine %v: %w", id, engErr)
 		}
+		wireObs(w, id, spec.Obs)
 	}
 
 	res.Stop = w.Run(spec.Deadline, spec.MaxEvents)

@@ -14,6 +14,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/kv"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/timeliness"
 	"repro/internal/trace"
@@ -97,13 +98,22 @@ func Prepare(s Spec) (*Prepared, error) {
 
 // Run executes the prepared scenario under the given seed.
 func (p *Prepared) Run(seed int64) (*Outcome, error) {
+	return p.RunObserved(seed, nil)
+}
+
+// RunObserved executes the prepared scenario under the given seed with a
+// telemetry registry attached to every correct process (runner Obs
+// wiring; nil = unobserved). Observation is passive: the Outcome — digest
+// included — is byte-identical to an unobserved run's, which
+// TestObservedDigestsUnchanged pins across the golden matrix.
+func (p *Prepared) RunObserved(seed int64, reg *obs.Registry) (*Outcome, error) {
 	switch p.Spec.Work.Kind {
 	case WorkLog:
-		return runLog(p, seed)
+		return runLog(p, seed, reg)
 	case WorkKV:
-		return runKV(p, seed)
+		return runKV(p, seed, reg)
 	default:
-		return runConsensus(p, seed)
+		return runConsensus(p, seed, reg)
 	}
 }
 
@@ -297,7 +307,7 @@ func (s Spec) deadline() types.Time {
 	return 0
 }
 
-func runConsensus(p *Prepared, seed int64) (*Outcome, error) {
+func runConsensus(p *Prepared, seed int64, reg *obs.Registry) (*Outcome, error) {
 	s := p.Spec
 	ecfg := s.engineConfig()
 	byz, err := s.byzantine(ecfg, seed)
@@ -322,6 +332,7 @@ func runConsensus(p *Prepared, seed int64) (*Outcome, error) {
 		Byzantine: byz,
 		Engine:    ecfg,
 		Deadline:  s.deadline(),
+		Obs:       reg,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
@@ -356,7 +367,7 @@ func runConsensus(p *Prepared, seed int64) (*Outcome, error) {
 	return o, nil
 }
 
-func runLog(p *Prepared, seed int64) (*Outcome, error) {
+func runLog(p *Prepared, seed int64, reg *obs.Registry) (*Outcome, error) {
 	s := p.Spec
 	w := s.Work
 	if w.BatchSize <= 0 {
@@ -383,6 +394,7 @@ func runLog(p *Prepared, seed int64) (*Outcome, error) {
 		SubmitEvery: w.SubmitEvery,
 		Byzantine:   byz,
 		Deadline:    s.deadline(),
+		Obs:         reg,
 	}
 	spec.Log.Engine = ecfg
 	spec.Log.BatchSize = w.BatchSize
@@ -489,13 +501,14 @@ func (p *Prepared) kvRunnerSpec(seed int64) (runner.KVSpec, error) {
 	return spec, nil
 }
 
-func runKV(p *Prepared, seed int64) (*Outcome, error) {
+func runKV(p *Prepared, seed int64, reg *obs.Registry) (*Outcome, error) {
 	s := p.Spec
 	w := s.Work
 	spec, err := p.kvRunnerSpec(seed)
 	if err != nil {
 		return nil, err
 	}
+	spec.Obs = reg
 	res, err := runner.RunKV(spec)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
@@ -677,6 +690,10 @@ type MatrixResult struct {
 	Seed    int64
 	Outcome *Outcome
 	Err     error
+	// Metrics is the cell's private telemetry registry, populated only by
+	// RunMatrixObserved (nil from RunMatrix). Telemetry is passive, so the
+	// outcome — digest included — is identical either way.
+	Metrics *obs.Registry
 }
 
 // RunMatrix executes every (spec, seed) cell concurrently on up to
@@ -686,6 +703,17 @@ type MatrixResult struct {
 // while every cell still builds an independent mutable world, so cells
 // share no mutable state.
 func RunMatrix(specs []Spec, seeds []int64, workers int) []MatrixResult {
+	return runMatrix(specs, seeds, workers, false)
+}
+
+// RunMatrixObserved is RunMatrix with a fresh telemetry registry attached
+// to every cell, returned in MatrixResult.Metrics — the matrix-dump
+// surface for `minsync-sim -metrics-dump`.
+func RunMatrixObserved(specs []Spec, seeds []int64, workers int) []MatrixResult {
+	return runMatrix(specs, seeds, workers, true)
+}
+
+func runMatrix(specs []Spec, seeds []int64, workers int, observe bool) []MatrixResult {
 	if workers <= 0 {
 		workers = 4
 	}
@@ -709,7 +737,10 @@ func RunMatrix(specs []Spec, seeds []int64, workers int) []MatrixResult {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			c.Outcome, c.Err = p.Run(c.Seed)
+			if observe {
+				c.Metrics = obs.NewRegistry()
+			}
+			c.Outcome, c.Err = p.RunObserved(c.Seed, c.Metrics)
 		}(&cells[i], prepared[i/len(seeds)])
 	}
 	wg.Wait()

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"repro/internal/log"
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -105,12 +106,33 @@ type Config struct {
 	// applied since the previous one, at the next instance boundary
 	// (0 = snapshots disabled).
 	SnapshotEvery int
+	// RefreshEvery, when > 0, re-stamps the snapshot every RefreshEvery
+	// applied INSTANCES even if no new entries arrived — the idle-rejoin
+	// fix. A long-idle cluster churns ⊥ instances without entries, so an
+	// entry-cadence snapshot boundary goes stale; a replica restarting
+	// into that cluster installs the stale boundary, ends up more than
+	// MaxLead instances behind, and its transfer requests are declined
+	// ("snapshot not past the requester's boundary") forever. Refreshing
+	// at no-op boundaries keeps a fresh boundary on offer. Determinism is
+	// preserved because the refresh instant is a pure function of the
+	// applied instance sequence and the refreshed state is a pure function
+	// of the applied prefix — every correct replica re-stamps byte-
+	// identical snapshots at identical boundaries, so the transfer layer's
+	// t+1 corroboration still succeeds. 0 disables refresh — the default,
+	// and what digest-pinned simulation schedules rely on: a refresh DOES
+	// fire the OnSnapshot hook (and any compaction the host runs there),
+	// so turning it on changes the event schedule.
+	RefreshEvery types.Instance
 	// OnSnapshot fires after each snapshot. The hosting runtime hooks
 	// compaction here (log.Engine.Compact with its chosen lag).
 	OnSnapshot func(s Snapshot)
 	// OnResponse fires with the machine's response to every applied entry
 	// (client reply path; nil = discard).
 	OnResponse func(e log.Entry, resp types.Value)
+	// Metrics, if non-nil, is the applier's telemetry bundle
+	// (obs.NewSMMetrics). Passive pre-registered atomic cells; increments
+	// never alter apply or snapshot behavior.
+	Metrics *obs.SMMetrics
 	// RetainedEntries, if non-nil, returns the log engine's retained
 	// committed-entry suffix (log.Engine.Entries). The applier copies it
 	// right after each snapshot's OnSnapshot hook returns — i.e. after
@@ -153,6 +175,9 @@ func New(cfg Config) (*Applier, error) {
 	if cfg.SnapshotEvery < 0 {
 		return nil, fmt.Errorf("sm: negative SnapshotEvery %d", cfg.SnapshotEvery)
 	}
+	if cfg.RefreshEvery < 0 {
+		return nil, fmt.Errorf("sm: negative RefreshEvery %d", cfg.RefreshEvery)
+	}
 	return &Applier{cfg: cfg}, nil
 }
 
@@ -174,6 +199,9 @@ func (a *Applier) OnCommit(e log.Entry) {
 	resp := a.cfg.Machine.Apply(e.Cmd)
 	a.applied++
 	a.sinceSnap++
+	if m := a.cfg.Metrics; m != nil {
+		m.Applies.Inc()
+	}
 	if a.cfg.OnResponse != nil {
 		a.cfg.OnResponse(e, resp)
 	}
@@ -182,12 +210,22 @@ func (a *Applier) OnCommit(e log.Entry) {
 // OnApply marks instance i fully applied; all its entries have passed
 // through OnCommit. Snapshots happen here — at instance boundaries — so a
 // snapshot never splits an instance's batch and its covered-instance
-// watermark is exact.
+// watermark is exact. With RefreshEvery set, a snapshot is also
+// re-stamped after RefreshEvery instances without an entry-cadence
+// snapshot, keeping the boundary fresh across idle (⊥-churning)
+// stretches; see Config.RefreshEvery.
 func (a *Applier) OnApply(i types.Instance, newly int) {
-	if a.cfg.SnapshotEvery <= 0 || a.sinceSnap < a.cfg.SnapshotEvery {
+	if a.cfg.SnapshotEvery > 0 && a.sinceSnap >= a.cfg.SnapshotEvery {
+		a.takeSnapshot(i + 1)
 		return
 	}
-	a.takeSnapshot(i + 1)
+	r := a.cfg.RefreshEvery
+	if r <= 0 {
+		return
+	}
+	if (a.hasSnap && i+1 >= a.snap.Instance+r) || (!a.hasSnap && i+1 >= r) {
+		a.takeSnapshot(i + 1)
+	}
 }
 
 // takeSnapshot captures the state covering instances [0, instance).
@@ -202,6 +240,10 @@ func (a *Applier) takeSnapshot(instance types.Instance) {
 	a.hasSnap = true
 	a.taken++
 	a.sinceSnap = 0
+	if m := a.cfg.Metrics; m != nil {
+		m.Snapshots.Inc()
+		m.SnapshotBytes.Add(uint64(len(data)))
+	}
 	if a.cfg.OnSnapshot != nil {
 		a.cfg.OnSnapshot(a.snap)
 	}
@@ -337,8 +379,13 @@ func (a *Applier) Install(s Snapshot, retained []log.Entry) error {
 	if sha256.Sum256(s.Data) != s.Digest {
 		return fmt.Errorf("sm: snapshot data does not hash to its stamped digest")
 	}
-	if index <= a.applied {
-		return fmt.Errorf("sm: snapshot covers %d entries, already applied %d", index, a.applied)
+	// Strictly more entries always advances. Equal entries is the idle-
+	// refresh shape (Config.RefreshEvery): same applied prefix, later
+	// instance boundary — identical state, but adopting the stamp is what
+	// lets a rejoiner realign its log with an idle cluster's frontier.
+	if index < a.applied || (index == a.applied && a.hasSnap && instance <= a.snap.Instance) {
+		return fmt.Errorf("sm: snapshot (%d entries, boundary %v) is not ahead of (%d, %v)",
+			index, instance, a.applied, a.snap.Instance)
 	}
 	if err := a.cfg.Machine.Restore(machine); err != nil {
 		return fmt.Errorf("sm: install restore: %w", err)
@@ -353,6 +400,9 @@ func (a *Applier) Install(s Snapshot, retained []log.Entry) error {
 	a.snapRetained = retained
 	a.hasSnap = true
 	a.installs++
+	if m := a.cfg.Metrics; m != nil {
+		m.Installs.Inc()
+	}
 	return nil
 }
 
@@ -391,5 +441,8 @@ func (a *Applier) replay(retained []log.Entry, target int) error {
 		return a.poison(fmt.Errorf("sm: replay stopped at %d of %d entries", a.applied, target))
 	}
 	a.recoveries++
+	if m := a.cfg.Metrics; m != nil {
+		m.Recoveries.Inc()
+	}
 	return nil
 }

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/log"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/trace"
 	"repro/internal/types"
@@ -210,6 +211,9 @@ type TransferConfig struct {
 	ServeEvery types.Duration
 	// OnInstall, if non-nil, fires after each successful install.
 	OnInstall func(s Snapshot)
+	// Metrics, if non-nil, is the transfer telemetry bundle
+	// (obs.NewTransferMetrics). Passive; never alters protocol behavior.
+	Metrics *obs.TransferMetrics
 }
 
 // Transfer implements peer-to-peer snapshot state transfer for one
@@ -306,6 +310,9 @@ func (t *Transfer) startFetch() {
 // request broadcasts one SNAP_REQ carrying our applied boundary.
 func (t *Transfer) request() {
 	t.requests++
+	if m := t.cfg.Metrics; m != nil {
+		m.Requests.Inc()
+	}
 	env := t.cfg.Env
 	if trace.Recording(env.Trace()) {
 		env.Trace().Emit(trace.Event{
@@ -358,6 +365,17 @@ func (t *Transfer) probe() {
 // serve answers one SNAP_REQ: send our latest snapshot (with its
 // retained suffix) iff it is ahead of the requester's boundary, at most
 // once per ServeEvery per requester.
+//
+// A long-idle cluster is the degenerate case here: ⊥ instances carry no
+// entries, so the entry-cadence snapshot boundary freezes while applied
+// instances run ahead, and a rejoining replica that already holds that
+// stale boundary would be declined by everyone forever. The fix lives at
+// snapshot-TAKING time, not here: sm.Config.RefreshEvery re-stamps the
+// snapshot at deterministic instance boundaries, so serve always has a
+// fresh boundary to offer while remaining byte-identical across correct
+// replicas (serving a locally re-stamped snapshot from THIS point would
+// break the t+1 corroboration — peers at different positions would offer
+// different bytes).
 func (t *Transfer) serve(from types.ProcID, reqBoundary types.Instance) {
 	snap, retained, ok := t.cfg.Applier.LatestTransfer()
 	if !ok || snap.Instance <= reqBoundary {
@@ -370,6 +388,9 @@ func (t *Transfer) serve(from types.ProcID, reqBoundary types.Instance) {
 	}
 	t.lastServed[from] = now
 	t.served++
+	if m := t.cfg.Metrics; m != nil {
+		m.Served.Inc()
+	}
 	if trace.Recording(env.Trace()) {
 		env.Trace().Emit(trace.Event{
 			At: now, Kind: trace.KindSnapServe, Proc: env.ID(), Peer: from,
@@ -389,17 +410,23 @@ func (t *Transfer) serve(from types.ProcID, reqBoundary types.Instance) {
 func (t *Transfer) consider(from types.ProcID, m proto.Message) {
 	s, retained, payload, err := DecodeTransfer(m.Val)
 	if err != nil || s.Instance != m.Instance {
-		t.rejected++
+		t.reject()
 		return
 	}
-	if s.Instance <= t.cfg.Log.Applied() || s.Index <= t.cfg.Applier.Applied() {
+	// Stale iff it advances neither position. An equal entry index with a
+	// later boundary is NOT stale: that is an idle cluster's refreshed
+	// snapshot (sm.Config.RefreshEvery), and adopting it is exactly how a
+	// rejoiner escapes the idle-rejoin gap. s.Instance > Log.Applied()
+	// implies it is also past our own snapshot boundary (a boundary never
+	// exceeds the applied frontier), so Install's equality guard holds.
+	if s.Instance <= t.cfg.Log.Applied() || s.Index < t.cfg.Applier.Applied() {
 		return // stale by the time it arrived; not an offense
 	}
 	c := t.candidates[payload]
 	if c == nil {
 		if len(t.candidates) >= maxCandidates {
 			t.candidates = make(map[[32]byte]*candidate)
-			t.rejected++
+			t.reject()
 		}
 		c = &candidate{snap: s, retained: retained, senders: make(map[types.ProcID]struct{})}
 		t.candidates[payload] = c
@@ -419,18 +446,21 @@ func (t *Transfer) consider(from types.ProcID, m proto.Message) {
 // surfaces it; the fetch stops either way.
 func (t *Transfer) install(s Snapshot, retained []log.Entry) {
 	if err := t.cfg.Applier.Install(s, retained); err != nil {
-		t.rejected++
+		t.reject()
 		t.stopFetch()
 		return
 	}
 	if err := t.cfg.Log.InstallSnapshot(s.Instance, s.Index, retained); err != nil {
 		// Unreachable when Applier and Log were aligned (consider checked
 		// both positions); count it rather than hide it.
-		t.rejected++
+		t.reject()
 		t.stopFetch()
 		return
 	}
 	t.installs++
+	if m := t.cfg.Metrics; m != nil {
+		m.Installs.Inc()
+	}
 	env := t.cfg.Env
 	if trace.Recording(env.Trace()) {
 		env.Trace().Emit(trace.Event{
@@ -445,6 +475,14 @@ func (t *Transfer) install(s Snapshot, retained []log.Entry) {
 	t.stopFetch()
 	if t.cfg.OnInstall != nil {
 		t.cfg.OnInstall(s)
+	}
+}
+
+// reject counts one discarded candidate payload.
+func (t *Transfer) reject() {
+	t.rejected++
+	if m := t.cfg.Metrics; m != nil {
+		m.Rejected.Inc()
 	}
 }
 

@@ -330,3 +330,85 @@ func TestTransferPressureTriggersFetch(t *testing.T) {
 		t.Fatalf("duplicate fetch round: requests=%d", tr.Requests())
 	}
 }
+
+// TestTransferIdleRejoinGap pins the idle-rejoin gap and its fix. A
+// long-idle cluster churns ⊥ instances without entries, so the entry-
+// cadence snapshot boundary freezes while the instance frontier runs
+// ahead. A replica rejoining at that stale boundary is declined by
+// serve() ("nothing the requester doesn't already have") forever — the
+// gap. sm.Config.RefreshEvery closes it by re-stamping snapshots at
+// no-op boundaries, and because refreshed payloads are byte-identical
+// across correct replicas, t+1 corroboration still installs.
+func TestTransferIdleRejoinGap(t *testing.T) {
+	// build one cluster replica: 8 entries (snapshot at instance 4),
+	// then an idle stretch of 16 entry-less instance boundaries.
+	build := func(refresh types.Instance) *Applier {
+		a, err := New(Config{Machine: kv.NewStore(), SnapshotEvery: 8, RefreshEvery: refresh})
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := feed(t, a, 0, 8, 2, 0)
+		for i := next; i < 20; i++ {
+			a.OnApply(i, 0)
+		}
+		return a
+	}
+
+	// rejoiner: restarted into the idle cluster holding the pre-idle
+	// boundary (instance 4) it transferred or recovered long ago.
+	stalePeer := build(0)
+	stale, ok := stalePeer.Latest()
+	if !ok || stale.Instance != 4 {
+		t.Fatalf("stale boundary = %+v, want instance 4", stale)
+	}
+
+	// The gap: every peer declines a requester already at the frozen
+	// boundary, even though the frontier (instance 20) is far ahead.
+	peerTr, peerEnv, _ := newTestTransfer(t, stalePeer, &fakeLog{applied: 20, committed: 8})
+	peerTr.OnMessage(3, proto.Message{Kind: proto.MsgSnapRequest, Tag: proto.Tag{Mod: proto.ModSnap}, Instance: stale.Instance})
+	if peerTr.Served() != 0 || len(peerEnv.sent) != 0 {
+		t.Fatalf("stale-boundary peer served anyway: served=%d", peerTr.Served())
+	}
+
+	// The fix: with RefreshEvery the boundary was re-stamped during the
+	// idle stretch (instance 19 > 4), so the same request is served...
+	fresh1, fresh2 := build(5), build(5)
+	s1, _ := fresh1.Latest()
+	if s1.Instance != 19 {
+		t.Fatalf("refreshed boundary = %v, want 19", s1.Instance)
+	}
+	srvTr, srvEnv, _ := newTestTransfer(t, fresh1, &fakeLog{applied: 20, committed: 8})
+	srvTr.OnMessage(3, proto.Message{Kind: proto.MsgSnapRequest, Tag: proto.Tag{Mod: proto.ModSnap}, Instance: stale.Instance})
+	if srvTr.Served() != 1 || len(srvEnv.sent) != 1 {
+		t.Fatalf("refreshed peer declined: served=%d", srvTr.Served())
+	}
+
+	// ...and two independent replicas' refreshed payloads are byte-
+	// identical, so the rejoiner's t+1 corroboration installs the fresh
+	// boundary and it is caught up to the frontier's neighborhood.
+	rejoinApp, err := New(Config{Machine: kv.NewStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rejoinApp.Install(stale, nil); err != nil {
+		t.Fatal(err)
+	}
+	lg := &fakeLog{applied: stale.Instance, committed: stale.Index}
+	rejoinTr, _, _ := newTestTransfer(t, rejoinApp, lg)
+	for i, peer := range []*Applier{fresh1, fresh2} {
+		s, retained, ok := peer.LatestTransfer()
+		if !ok {
+			t.Fatal("refreshed peer has no snapshot")
+		}
+		rejoinTr.OnMessage(types.ProcID(2+i), proto.Message{
+			Kind: proto.MsgSnapResponse, Tag: proto.Tag{Mod: proto.ModSnap},
+			Instance: s.Instance, Val: EncodeTransfer(s, retained),
+		})
+	}
+	if rejoinTr.Installs() != 1 {
+		t.Fatalf("refreshed snapshot not corroborated: installs=%d rejected=%d", rejoinTr.Installs(), rejoinTr.Rejected())
+	}
+	if lg.applied != 19 || rejoinApp.Applied() != 8 {
+		t.Fatalf("rejoiner at (inst=%v, applied=%d), want (19, 8)", lg.applied, rejoinApp.Applied())
+	}
+}

@@ -1,0 +1,82 @@
+package trace
+
+import "sync"
+
+// Ring is a bounded, concurrency-safe Sink holding the last N events.
+// Live nodes (internal/rt) attach one so /statusz?trace=N can answer
+// with recent protocol history without the unbounded growth of a Log.
+//
+// Unlike Log, Ring takes a mutex per Emit: HTTP handlers read it from
+// other goroutines, and the live node's event volume (network-bound)
+// is nowhere near the simulator's, so the lock is cheap relative to a
+// TCP round trip. Simulation hot paths should keep using *Log or nil.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int    // index of the next write slot
+	n     int    // live events in buf (≤ len(buf))
+	total uint64 // all-time emitted count
+}
+
+var _ Sink = (*Ring)(nil)
+
+// NewRing returns a ring holding the most recent capacity events
+// (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit implements Sink, overwriting the oldest event when full. Safe on
+// a nil receiver (drops the event).
+func (r *Ring) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Last returns up to n of the most recent events, oldest first. n <= 0
+// or a nil receiver returns nil.
+func (r *Ring) Last(n int) []Event {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > r.n {
+		n = r.n
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Event, n)
+	start := r.next - n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Total returns the all-time emitted count (0 for nil), so readers can
+// tell how much history scrolled past the window.
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingWrapAndLast(t *testing.T) {
+	r := NewRing(3)
+	if got := r.Last(5); got != nil {
+		t.Fatalf("empty ring Last = %v", got)
+	}
+	for i := 1; i <= 5; i++ {
+		r.Emit(Event{Round: 1, Aux: string(rune('a' + i - 1))})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	got := r.Last(10)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	// Last three emitted were c, d, e — oldest first.
+	for i, want := range []string{"c", "d", "e"} {
+		if got[i].Aux != want {
+			t.Fatalf("Last[%d].Aux = %q, want %q", i, got[i].Aux, want)
+		}
+	}
+	if two := r.Last(2); len(two) != 2 || two[0].Aux != "d" || two[1].Aux != "e" {
+		t.Fatalf("Last(2) = %v", two)
+	}
+	if !Recording(r) {
+		t.Fatal("a live Ring must report Recording")
+	}
+	var nilRing *Ring
+	nilRing.Emit(Event{})
+	if nilRing.Last(1) != nil || nilRing.Total() != 0 {
+		t.Fatal("nil ring not inert")
+	}
+	if Recording(nilRing) {
+		t.Fatal("nil *Ring must not report Recording")
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Emit(Event{Kind: KindSend})
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		_ = r.Last(64)
+		_ = r.Total()
+	}
+	wg.Wait()
+	if r.Total() != 2000 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	if got := r.Last(64); len(got) != 64 {
+		t.Fatalf("Last(64) len = %d", len(got))
+	}
+}

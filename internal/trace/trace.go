@@ -322,6 +322,8 @@ func Recording(s Sink) bool {
 		return false
 	case *Log:
 		return v != nil
+	case *Ring:
+		return v != nil
 	case Discard:
 		return false
 	default:

@@ -3,6 +3,7 @@ package minsync
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -64,4 +65,17 @@ func RunScenarioSpec(s Scenario, seed int64) (*ScenarioOutcome, error) {
 // parallelizes without perturbing per-cell determinism.
 func RunScenarioMatrix(specs []Scenario, seeds []int64, workers int) []ScenarioMatrixResult {
 	return scenario.RunMatrix(specs, seeds, workers)
+}
+
+// TelemetryRegistry is the live metric registry from the obs layer
+// (counters, gauges, histograms; WritePrometheus renders the text
+// exposition). See docs/observability.md for the metric catalogue.
+type TelemetryRegistry = obs.Registry
+
+// RunScenarioMatrixObserved is RunScenarioMatrix with a fresh telemetry
+// registry attached per cell (returned in each result's Metrics field).
+// Telemetry is passive — outcomes and trace digests are identical to the
+// unobserved run.
+func RunScenarioMatrixObserved(specs []Scenario, seeds []int64, workers int) []ScenarioMatrixResult {
+	return scenario.RunMatrixObserved(specs, seeds, workers)
 }
