@@ -10,6 +10,11 @@
 //	minsync-bench [-label ci] [-out dir] [-seeds 5]
 //	minsync-bench -digests        # dump the scenario digest table instead
 //	minsync-bench -trend [-out dir] [-format md|tsv]
+//	minsync-bench -load http://h1:8081,http://h2:8082 [-clients 64] [-ops 32]
+//
+// The -load mode drives a LIVE cluster's HTTP/JSON edge instead of the
+// simulator (see load.go) and reports sustained commands/sec plus
+// wall-clock latency quantiles into the same BENCH_*.json schema.
 //
 // The -digests mode prints "name<TAB>seed<TAB>sha256" for every curated
 // scenario at seeds 1 and 7 — the source of truth for the golden-digest
@@ -59,9 +64,15 @@ type result struct {
 	// Commit-latency quantiles in virtual nanoseconds (submission → first
 	// local commit, from the obs commit-latency histogram across all seeds
 	// of the workload). Zero/absent for workloads without a commit path.
+	// The -load workload reuses these fields for WALL-CLOCK request
+	// latency (accepted → answered, as the HTTP client sees it).
 	CommitP50NS  float64 `json:"commit_p50_ns,omitempty"`
 	CommitP99NS  float64 `json:"commit_p99_ns,omitempty"`
 	CommitP999NS float64 `json:"commit_p999_ns,omitempty"`
+	// CommandsPerSec is the sustained service-level throughput of the
+	// -load workload (ok-answered commands / wall). Zero/absent for
+	// simulator workloads.
+	CommandsPerSec float64 `json:"commands_per_sec,omitempty"`
 }
 
 // report is the whole BENCH_*.json document.
@@ -82,6 +93,10 @@ func main() {
 	digests := flag.Bool("digests", false, "print the scenario digest table and exit")
 	trend := flag.Bool("trend", false, "render the BENCH_*.json trajectory table and exit")
 	format := flag.String("format", "md", "trend output format: md or tsv")
+	load := flag.String("load", "", "sustained-load mode: comma list of live replica HTTP base URLs")
+	clients := flag.Int("clients", 64, "load mode: concurrent client sessions")
+	ops := flag.Int("ops", 32, "load mode: commands per client session")
+	reqTimeout := flag.Duration("req-timeout", 10*time.Second, "load mode: per-command commit timeout")
 	flag.Parse()
 
 	if *digests {
@@ -93,6 +108,16 @@ func main() {
 	}
 	if *trend {
 		if err := renderTrend(*out, *format, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "minsync-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *load != "" {
+		if *label == "local" {
+			*label = "load" // the conventional artifact name: BENCH_load.json
+		}
+		if err := runLoadMode(*load, *clients, *ops, *reqTimeout, *label, *out); err != nil {
 			fmt.Fprintln(os.Stderr, "minsync-bench:", err)
 			os.Exit(1)
 		}
@@ -369,6 +394,12 @@ func renderTrend(dir, format string, w io.Writer) error {
 			return fmt.Sprintf("%.1f", float64(r.WallNS)/float64(max(r.Ops, 1))/1e6)
 		}},
 		{"allocs/op (k)", func(r result) string { return fmt.Sprintf("%.0f", r.AllocsPerOp/1e3) }},
+		{"commands/sec", func(r result) string {
+			if r.CommandsPerSec == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.0f", r.CommandsPerSec)
+		}},
 		{"commit p50 ms", func(r result) string { return lat(r.CommitP50NS) }},
 		{"commit p99 ms", func(r result) string { return lat(r.CommitP99NS) }},
 		{"commit p999 ms", func(r result) string { return lat(r.CommitP999NS) }},

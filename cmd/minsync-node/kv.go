@@ -1,28 +1,39 @@
 // KV service mode: the replica runs the full state-machine stack — log
-// engine, sm applier, kv store with client sessions — and serves client
-// gets/puts over a separate TCP listener. Client frames are wire-codec v3
-// bodies (MsgKVRequest / MsgKVResponse) behind a 4-byte little-endian
-// length prefix.
+// engine, sm applier, kv store with client sessions — and serves clients
+// through two edges that share one admission-controlled command pool
+// (internal/txpool):
+//
+//   - a raw TCP listener (-kv-listen) speaking wire-codec v3 bodies
+//     (MsgKVRequest / MsgKVResponse) behind a 4-byte little-endian length
+//     prefix, and
+//   - an HTTP/JSON API (-http) from internal/httpapi: POST /v1/tx,
+//     GET /v1/kv/{key}, GET /v1/status (see docs/api.md).
 //
 // Every operation, reads included, is ordered through the replicated log
-// before it is answered, so answers are linearizable. A command submitted
-// to one replica rides that replica's batches; clients that need
-// submission-path fault tolerance send the same (client, seq) command to
-// several replicas — the session table makes the duplicates harmless.
+// before it is answered, so answers are linearizable (the HTTP edge's
+// GET /v1/kv/{key} is the documented exception: a locally-applied read).
+// A command submitted to one replica rides that replica's batches;
+// clients that need submission-path fault tolerance send the same
+// (client, seq) command to several replicas — the session table makes the
+// duplicates harmless, and each replica's pool dedups concurrent retries
+// before they cost a proposal.
 package main
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	stdlog "log"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/httpapi"
 	"repro/internal/kv"
 	"repro/internal/log"
 	"repro/internal/netx"
@@ -30,6 +41,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/rt"
 	"repro/internal/sm"
+	"repro/internal/txpool"
 	"repro/internal/types"
 	"repro/internal/wire"
 )
@@ -67,41 +79,164 @@ func readKVFrame(r io.Reader) (proto.Message, error) {
 	return wire.Decode(body)
 }
 
-// waiterKey identifies one outstanding client request.
-type waiterKey struct {
-	client, seq uint64
-}
-
 // kvForwardFunc consumes a replica-to-replica MsgKVRequest frame:
 // forwarded client commands must bypass the first-message-only rule (they
 // all share one dedup identity) and go straight to Submit, which is
 // idempotent by content. The Recv hook in main routes ALL MsgKVRequest
 // frames here (or drops them when no forwarder is installed) — they are
 // client vocabulary and must never reach the consensus dispatcher.
+//
+// Peer forwards deliberately bypass the admission pool: the pool bounds
+// CLIENT admissions on the serving replica; a forwarded command was
+// already admitted somewhere, and dropping it here would break the
+// client-broadcast model the forwarding recreates.
 type kvForwardFunc func(from types.ProcID, m proto.Message)
 
 // kvForward is set once by runKVServe and read by transport reader
 // goroutines, hence the atomic box.
 var kvForward atomic.Pointer[kvForwardFunc]
 
-// runKVServe runs the replica in serving mode: consensus with the peers,
-// a client listener answering gets/puts.
-//
-// A client may submit a command to a single replica, but a batch only
-// commits when its instance decides it — and instances routinely decide
-// some other replica's (possibly empty) batch. The stack's client model
-// is therefore PBFT-style "clients broadcast to every replica"; the
-// server recreates it by forwarding each accepted client command to all
-// peers as a MsgKVRequest frame, so every correct replica proposes it
-// and any decided non-⊥ batch makes progress.
-func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.ProcID,
-	clientAddr string, batch, pipeline, snapEvery, snapRefresh int, compact bool,
-	unit, wait, startIn time.Duration, target int) {
+// kvOptions carries the serving-mode knobs from flag parsing.
+type kvOptions struct {
+	// ClientAddr is the raw TCP client listener; HTTPAddr the HTTP/JSON
+	// API listener ("" = HTTP edge off).
+	ClientAddr, HTTPAddr string
+	// Batch/Pipeline/SnapEvery/SnapRefresh/Target mirror the engine and
+	// applier flags; PoolCap bounds the admission pool.
+	Batch, Pipeline, SnapEvery, SnapRefresh, PoolCap, Target int
+	Compact                                                  bool
+	Unit, Wait, StartIn                                      time.Duration
+}
 
+// kvEdge is the serving side shared by both client edges: the admission
+// pool plus the propose/read/status callbacks that cross onto the node
+// loop. One instance per serving replica.
+type kvEdge struct {
+	node   *rt.Node
+	tr     *netx.Transport
+	tel    *telemetry
+	pool   *txpool.Pool
+	store  *kv.Store
+	engine **log.Engine // filled in on the loop after Start
+	peers  []types.ProcID
+	wait   time.Duration
+}
+
+// propose hands a newly-admitted command to the ordering layer: on the
+// node loop, answer from the session cache if the command already
+// applied, otherwise submit it locally and forward it to every peer
+// (recreating the PBFT-style client-broadcast model — a batch only makes
+// progress if every correct replica eventually proposes the command).
+func (e *kvEdge) propose(c kv.Command, enc types.Value) error {
+	k := txpool.Key{Client: c.Client, Seq: c.Seq}
+	posted := e.node.Post(func() {
+		// A retry of an already-applied request must be answered from the
+		// session cache here: the log's content dedup absorbs the
+		// re-submission, so no new apply — and hence no OnResponse — will
+		// ever fire for it.
+		if seq, cached, ok := e.store.CachedResponse(c.Client); ok && c.Seq <= seq {
+			if c.Seq == seq {
+				e.pool.Resolve(k, cached)
+			} else {
+				e.pool.Resolve(k, kv.Response{Status: kv.StatusStale}.Encode())
+			}
+			return
+		}
+		if err := (*e.engine).Submit(enc); err != nil {
+			stdlog.Printf("submit: %v", err)
+		}
+		if os.Getenv("MINSYNC_KV_DEBUG") != "" {
+			stdlog.Printf("debug: submitted client=%d seq=%d pending=%d", c.Client, c.Seq, (*e.engine).Pending())
+		}
+		fwd := proto.Message{Kind: proto.MsgKVRequest, Tag: proto.Tag{Mod: proto.ModKV}, Val: enc}
+		for _, peer := range e.peers {
+			if err := e.tr.Send(peer, fwd); err != nil {
+				stdlog.Printf("forward to %v: %v", peer, err)
+			}
+		}
+	})
+	if !posted {
+		return errors.New("node stopped")
+	}
+	return nil
+}
+
+// read probes the applied store on the node loop (one bounded Post round
+// trip): the HTTP edge's locally-applied GET /v1/kv/{key} path.
+func (e *kvEdge) read(key string) (string, bool, error) {
+	type res struct {
+		v  string
+		ok bool
+	}
+	ch := make(chan res, 1)
+	if !e.node.Post(func() {
+		v, ok := e.store.Get(key)
+		ch <- res{v, ok}
+	}) {
+		return "", false, errors.New("node stopped")
+	}
+	select {
+	case r := <-ch:
+		return r.v, r.ok, nil
+	case <-time.After(statusTimeout):
+		return "", false, errors.New("read probe timed out (node loop busy)")
+	}
+}
+
+// execute runs one sessioned client command through the pool for the raw
+// TCP edge: admit (shed = StatusBusy), propose if first, wait for the
+// committed response bounded by the serve timeout.
+func (e *kvEdge) execute(c kv.Command, enc types.Value) types.Value {
+	k := txpool.Key{Client: c.Client, Seq: c.Seq}
+	ch, proposed, err := e.pool.Admit(k)
+	if err != nil {
+		return kv.Response{Status: kv.StatusBusy}.Encode()
+	}
+	accepted := time.Now()
+	if proposed {
+		if err := e.propose(c, enc); err != nil {
+			e.pool.Resolve(k, kv.Response{Status: kv.StatusErr}.Encode())
+			return kv.Response{Status: kv.StatusErr}.Encode()
+		}
+	}
+	timer := time.NewTimer(e.wait)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		// Client-visible commit latency: request accepted → response
+		// resolved (wall clock; cache hits count, they ARE the fast path
+		// a retrying client sees).
+		e.tel.observeLatency(time.Since(accepted))
+		return resp
+	case <-timer.C:
+		e.pool.Forget(k, ch)
+		return kv.Response{Status: kv.StatusErr}.Encode()
+	}
+}
+
+// runKVServe runs the replica in serving mode: consensus with the peers,
+// client edges answering gets/puts through the admission pool.
+func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.ProcID, opts kvOptions) {
 	store := kv.NewStore()
 	store.SetMetrics(obs.NewKVMetrics(tel.registry(), ""))
 	var engine *log.Engine
 	var engErr error
+
+	edge := &kvEdge{
+		node: node,
+		tr:   tr,
+		tel:  tel,
+		pool: txpool.New(txpool.Config{
+			Capacity: opts.PoolCap,
+			// An entry whose commit path died must not pin capacity much
+			// longer than any client would wait for it.
+			TTL:     opts.Wait,
+			Metrics: obs.NewPoolMetrics(tel.registry(), ""),
+		}),
+		store:  store,
+		engine: &engine,
+		wait:   opts.Wait,
+	}
 
 	// Install the forward interceptor before the node loop starts: a
 	// faster peer can forward client commands during our startup sleep.
@@ -120,22 +255,14 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 	})
 	kvForward.Store(&fwd)
 
-	// Waiters are registered from connection goroutines and resolved on
-	// the node loop; the map itself is only touched on the loop (via
-	// Post), so no lock is needed — the channel hand-off is the sync.
-	// Each key holds a LIST: a client may retry the same (client, seq)
-	// on a second connection before the first resolves, and both must be
-	// answered.
-	waiters := make(map[waiterKey][]chan types.Value)
-
 	applier, err := sm.New(sm.Config{
 		Machine:       store,
-		SnapshotEvery: snapEvery,
+		SnapshotEvery: opts.SnapEvery,
 		// The idle-rejoin fix: with -snapshot-refresh, the boundary is
 		// re-stamped on an instance cadence even when no entries land, so
 		// a replica restarting into a long-idle cluster always finds a
 		// corroborable snapshot past its own position.
-		RefreshEvery: types.Instance(snapRefresh),
+		RefreshEvery: types.Instance(opts.SnapRefresh),
 		Metrics:      obs.NewSMMetrics(tel.registry(), ""),
 		// Every snapshot captures the engine's retained suffix too, so
 		// this replica can serve complete transfer payloads (snapshot +
@@ -148,25 +275,21 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 		},
 		OnSnapshot: func(s sm.Snapshot) {
 			stdlog.Printf("snapshot: %d entries through instance %v, digest %x…", s.Index, s.Instance, s.Digest[:8])
-			if compact && engine != nil {
+			if opts.Compact && engine != nil {
 				if released := engine.Compact(s.Instance - 4); released > 0 {
 					stdlog.Printf("compacted: released %d instances, floor now %v", released, engine.Floor())
 				}
 			}
 		},
+		// Committed-response forwarding: every replica resolves its OWN
+		// pool as it applies, so whichever replica a client retried
+		// against answers as soon as the command commits there.
 		OnResponse: func(e log.Entry, resp types.Value) {
 			c, err := kv.DecodeCommand(e.Cmd)
 			if err != nil || c.Client == 0 {
 				return
 			}
-			k := waiterKey{c.Client, c.Seq}
-			for _, ch := range waiters[k] {
-				select {
-				case ch <- resp:
-				default:
-				}
-			}
-			delete(waiters, k)
+			edge.pool.Resolve(txpool.Key{Client: c.Client, Seq: c.Seq}, resp)
 		},
 	})
 	if err != nil {
@@ -181,14 +304,19 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 	node.Start(func(env proto.Env) proto.Handler {
 		cfg := log.Config{
 			Env:       env,
-			BatchSize: batch,
-			Pipeline:  pipeline,
-			Target:    target,
-			Metrics:   obs.NewLogMetrics(tel.registry(), ""),
+			BatchSize: opts.Batch,
+			Pipeline:  opts.Pipeline,
+			Target:    opts.Target,
+			// Over TCP, forwarded commands reach each replica in a
+			// different order; batch proposals must be a function of the
+			// pending SET or concurrent submissions livelock on split
+			// (⊥) decisions. See log.Config.CanonicalBatches.
+			CanonicalBatches: true,
+			Metrics:          obs.NewLogMetrics(tel.registry(), ""),
 			OnCommit: func(e log.Entry) {
 				applier.OnCommit(e)
 				appliedCount.Store(int64(applier.Applied()))
-				if target > 0 && applier.Applied() >= target {
+				if opts.Target > 0 && applier.Applied() >= opts.Target {
 					once.Do(func() { close(done) })
 				}
 			},
@@ -199,7 +327,7 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 				applier.OnApply(i, newly)
 			},
 		}
-		cfg.Engine.TimeUnit = types.Duration(unit)
+		cfg.Engine.TimeUnit = types.Duration(opts.Unit)
 		cfg.Engine.RBMetrics = obs.NewRBMetrics(tel.registry(), "")
 		// Named transfer, not tr: the enclosing function's tr is the
 		// netx.Transport, and shadowing it here is a trap.
@@ -234,7 +362,7 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 					s.Index, s.Instance, s.Digest[:8])
 				// An install can satisfy the -kv-target stop rule without
 				// a single local commit (the snapshot IS the prefix).
-				if target > 0 && applier.Applied() >= target {
+				if opts.Target > 0 && applier.Applied() >= opts.Target {
 					once.Do(func() { close(done) })
 				}
 			},
@@ -249,8 +377,11 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 		stdlog.Fatal(engErr)
 	}
 	wireNodeObs(node, tel)
-	tel.setStatus(func() map[string]any {
-		return probeStatus(node.Post, func() map[string]any {
+	// One status document serves both /statusz (the telemetry listener)
+	// and the HTTP edge's /v1/status: operators see consensus position,
+	// snapshot boundary AND admission pressure in one place.
+	statusFn := func() map[string]any {
+		doc := probeStatus(node.Post, func() map[string]any {
 			st := map[string]any{
 				"mode":              "kv",
 				"applied_entries":   applier.Applied(),
@@ -267,8 +398,19 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 			}
 			return st
 		})
-	})
-	time.Sleep(startIn) // let peers come up before opening the pipeline
+		// Pool state is edge-side (its own mutex, never the node loop),
+		// so it is reported even when the loop probe degrades.
+		ps := edge.pool.Stats()
+		doc["pool_pending"] = ps.Pending
+		doc["pool_capacity"] = edge.pool.Capacity()
+		doc["pool_admitted"] = ps.Admitted
+		doc["pool_deduped"] = ps.Deduped
+		doc["pool_shed"] = ps.Shed
+		doc["pool_expired"] = ps.Expired
+		return doc
+	}
+	tel.setStatus(statusFn)
+	time.Sleep(opts.StartIn) // let peers come up before opening the pipeline
 	node.Post(func() {
 		engine.SetRetirer(node.Dispatcher())
 		if err := engine.Start(); err != nil {
@@ -276,31 +418,54 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 		}
 	})
 
-	ln, err := net.Listen("tcp", clientAddr)
+	ln, err := net.Listen("tcp", opts.ClientAddr)
 	if err != nil {
 		stdlog.Fatal(err)
 	}
 	defer ln.Close()
-	stdlog.Printf("process %v: consensus on %s, serving KV clients on %s (batch %d, pipeline %d, snapshots every %d, compact %v)",
-		self, tr.Addr(), ln.Addr(), batch, pipeline, snapEvery, compact)
 
-	var peers []types.ProcID
 	for _, p := range node.Params().AllProcs() {
 		if p != self {
-			peers = append(peers, p)
+			edge.peers = append(edge.peers, p)
 		}
 	}
+
+	if opts.HTTPAddr != "" {
+		api, err := httpapi.New(httpapi.Config{
+			Pool:           edge.pool,
+			Propose:        edge.propose,
+			Read:           edge.read,
+			Status:         statusFn,
+			DefaultTimeout: min(10*time.Second, opts.Wait),
+			MaxTimeout:     opts.Wait,
+			ObserveLatency: tel.observeLatency,
+		})
+		if err != nil {
+			stdlog.Fatal(err)
+		}
+		hln, err := net.Listen("tcp", opts.HTTPAddr)
+		if err != nil {
+			stdlog.Fatal(err)
+		}
+		defer hln.Close()
+		go (&http.Server{Handler: api}).Serve(hln)
+		stdlog.Printf("HTTP API on http://%s (/v1/tx, /v1/kv/{key}, /v1/status)", hln.Addr())
+	}
+
+	stdlog.Printf("process %v: consensus on %s, serving KV clients on %s (batch %d, pipeline %d, snapshots every %d, compact %v, pool %d)",
+		self, tr.Addr(), ln.Addr(), opts.Batch, opts.Pipeline, opts.SnapEvery, opts.Compact, edge.pool.Capacity())
+
 	go func() {
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
 				return
 			}
-			go serveKVConn(conn, node, tr, tel, peers, &engine, store, waiters, wait)
+			go edge.serveConn(conn)
 		}
 	}()
 
-	if target > 0 {
+	if opts.Target > 0 {
 		select {
 		case <-done:
 			node.Post(func() {
@@ -308,8 +473,8 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 				fmt.Printf("process %v applied %d commands, state digest %x (keys %d, sessions %d, dups %d, retired %d instances)\n",
 					self, applier.Applied(), d[:12], store.Len(), store.Sessions(), store.Duplicates(), engine.Retired())
 			})
-		case <-time.After(wait):
-			stdlog.Printf("applied only %d/%d within %v", appliedCount.Load(), target, wait)
+		case <-time.After(opts.Wait):
+			stdlog.Printf("applied only %d/%d within %v", appliedCount.Load(), opts.Target, opts.Wait)
 			os.Exit(1)
 		}
 		// Linger so lagging peers can still finish their own runs.
@@ -319,10 +484,9 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 	select {} // serve until killed
 }
 
-// serveKVConn handles one client connection: request frames in, response
-// frames out, one at a time.
-func serveKVConn(conn net.Conn, node *rt.Node, tr *netx.Transport, tel *telemetry, peers []types.ProcID,
-	engine **log.Engine, store *kv.Store, waiters map[waiterKey][]chan types.Value, wait time.Duration) {
+// serveConn handles one raw TCP client connection: request frames in,
+// response frames out, one at a time, all through the admission pool.
+func (e *kvEdge) serveConn(conn net.Conn) {
 	defer conn.Close()
 	for {
 		m, err := readKVFrame(conn)
@@ -333,70 +497,13 @@ func serveKVConn(conn net.Conn, node *rt.Node, tr *netx.Transport, tel *telemetr
 			return
 		}
 		c, err := kv.DecodeCommand(m.Val)
-		if err != nil || c.Client == 0 {
-			// Sessionless commands have no response identity to wait on.
-			writeKVFrame(conn, proto.Message{
-				Kind: proto.MsgKVResponse, Tag: proto.Tag{Mod: proto.ModKV},
-				Val: kv.Response{Status: kv.StatusErr}.Encode(),
-			})
-			continue
-		}
-		ch := make(chan types.Value, 1)
-		cmd := m.Val
-		accepted := time.Now()
-		node.Post(func() {
-			// A retry of an already-applied request must be answered from
-			// the session cache here: the log's content dedup absorbs the
-			// re-submission, so no new apply — and hence no OnResponse —
-			// will ever fire for it.
-			if seq, cached, ok := store.CachedResponse(c.Client); ok && c.Seq <= seq {
-				if c.Seq == seq {
-					ch <- cached
-				} else {
-					ch <- kv.Response{Status: kv.StatusStale}.Encode()
-				}
-				return
-			}
-			k := waiterKey{c.Client, c.Seq}
-			waiters[k] = append(waiters[k], ch)
-			if err := (*engine).Submit(cmd); err != nil {
-				stdlog.Printf("submit: %v", err)
-			}
-			// Recreate the client-broadcast model: hand the command to
-			// every peer so each replica's batches carry it (see the
-			// runKVServe doc). Same-goroutine transport sends are the
-			// established pattern (rt env.Send does the same).
-			fwd := proto.Message{Kind: proto.MsgKVRequest, Tag: proto.Tag{Mod: proto.ModKV}, Val: cmd}
-			for _, peer := range peers {
-				if err := tr.Send(peer, fwd); err != nil {
-					stdlog.Printf("forward to %v: %v", peer, err)
-				}
-			}
-		})
 		var resp types.Value
-		select {
-		case resp = <-ch:
-			// Client-visible commit latency: request accepted → response
-			// resolved (wall clock; cache hits count, they ARE the fast
-			// path a retrying client sees).
-			tel.observeLatency(time.Since(accepted))
-		case <-time.After(wait):
+		if err != nil || c.Client == 0 || c.Validate() != nil {
+			// Sessionless or malformed commands have no response identity
+			// to wait on; reject them at the edge.
 			resp = kv.Response{Status: kv.StatusErr}.Encode()
-			node.Post(func() {
-				// Only clean up OUR registration: other connections may
-				// still be waiting on the same (client, seq).
-				k := waiterKey{c.Client, c.Seq}
-				list := waiters[k]
-				for i, w := range list {
-					if w == ch {
-						waiters[k] = append(list[:i], list[i+1:]...)
-						break
-					}
-				}
-				if len(waiters[k]) == 0 {
-					delete(waiters, k)
-				}
-			})
+		} else {
+			resp = e.execute(c, m.Val)
 		}
 		if err := writeKVFrame(conn, proto.Message{
 			Kind: proto.MsgKVResponse, Tag: proto.Tag{Mod: proto.ModKV}, Val: resp,

@@ -78,6 +78,8 @@ func main() {
 
 		kvMode    = flag.Bool("kv", false, "replicated-KV mode: serve gets/puts over TCP")
 		kvListen  = flag.String("kv-listen", "127.0.0.1:0", "kv mode: client listener address")
+		httpF     = flag.String("http", "", "kv mode: serve the HTTP/JSON API (/v1/tx, /v1/kv/{key}, /v1/status) on this address (empty = off)")
+		poolCap   = flag.Int("pool", 1024, "kv mode: admission pool capacity (pending commands before load shedding)")
 		kvTarget  = flag.Int("kv-target", 0, "kv mode: exit after applying this many commands (0 = serve until killed)")
 		snapEvery = flag.Int("snapshot-every", 16, "kv mode: snapshot cadence in applied entries (0 = off)")
 		compact   = flag.Bool("compact", true, "kv mode: retire pre-snapshot state after each snapshot")
@@ -153,7 +155,13 @@ func main() {
 	defer node.Stop()
 
 	if *kvMode {
-		runKVServe(node, tr, tel, self, *kvListen, *batch, *pipeline, *snapEvery, *snapRefresh, *compact, *unit, *wait, *startIn, *kvTarget)
+		runKVServe(node, tr, tel, self, kvOptions{
+			ClientAddr: *kvListen, HTTPAddr: *httpF,
+			Batch: *batch, Pipeline: *pipeline,
+			SnapEvery: *snapEvery, SnapRefresh: *snapRefresh,
+			PoolCap: *poolCap, Target: *kvTarget, Compact: *compact,
+			Unit: *unit, Wait: *wait, StartIn: *startIn,
+		})
 		return
 	}
 	if *logN > 0 {

@@ -1,0 +1,384 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/kv"
+	"repro/internal/txpool"
+	"repro/internal/types"
+)
+
+// fakeReplica mimics the node-loop side of the edge: Propose "orders" the
+// command instantly, runs the session filter like kv.Store.Apply would,
+// and resolves the pool — so handler tests exercise the full
+// admit → propose → resolve → answer path without a cluster.
+type fakeReplica struct {
+	mu       sync.Mutex
+	pool     *txpool.Pool
+	data     map[string]string
+	sessions map[uint64]struct {
+		seq  uint64
+		resp types.Value
+	}
+	executed int // commands that actually applied (not cache hits)
+	hang     bool
+	failWith error
+}
+
+func newFakeReplica(pool *txpool.Pool) *fakeReplica {
+	return &fakeReplica{
+		pool: pool,
+		data: map[string]string{},
+		sessions: map[uint64]struct {
+			seq  uint64
+			resp types.Value
+		}{},
+	}
+}
+
+func (f *fakeReplica) propose(c kv.Command, enc types.Value) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failWith != nil {
+		return f.failWith
+	}
+	if f.hang {
+		return nil // admitted, never resolves — commit path stalled
+	}
+	k := txpool.Key{Client: c.Client, Seq: c.Seq}
+	if sess, ok := f.sessions[c.Client]; ok {
+		if c.Seq == sess.seq {
+			f.pool.Resolve(k, sess.resp)
+			return nil
+		}
+		if c.Seq < sess.seq {
+			f.pool.Resolve(k, kv.Response{Status: kv.StatusStale}.Encode())
+			return nil
+		}
+	}
+	f.executed++
+	var resp kv.Response
+	switch c.Op {
+	case kv.OpPut:
+		f.data[c.Key] = c.Val
+		resp = kv.Response{Status: kv.StatusOK}
+	case kv.OpGet:
+		if v, ok := f.data[c.Key]; ok {
+			resp = kv.Response{Status: kv.StatusOK, Val: v}
+		} else {
+			resp = kv.Response{Status: kv.StatusNotFound}
+		}
+	case kv.OpDel:
+		if _, ok := f.data[c.Key]; ok {
+			delete(f.data, c.Key)
+			resp = kv.Response{Status: kv.StatusOK}
+		} else {
+			resp = kv.Response{Status: kv.StatusNotFound}
+		}
+	}
+	e := resp.Encode()
+	f.sessions[c.Client] = struct {
+		seq  uint64
+		resp types.Value
+	}{c.Seq, e}
+	f.pool.Resolve(k, e)
+	return nil
+}
+
+func (f *fakeReplica) read(key string) (string, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v, ok := f.data[key]
+	return v, ok, nil
+}
+
+// newTestServer builds a Server over a fresh fake replica.
+func newTestServer(t *testing.T, capacity int) (*Server, *fakeReplica) {
+	t.Helper()
+	pool := txpool.New(txpool.Config{Capacity: capacity})
+	f := newFakeReplica(pool)
+	s, err := New(Config{
+		Pool:    pool,
+		Propose: f.propose,
+		Read:    f.read,
+		Status:  func() map[string]any { return map[string]any{"mode": "test"} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, f
+}
+
+func do(s *Server, method, path, body string) *httptest.ResponseRecorder {
+	var r *http.Request
+	if body == "" {
+		r = httptest.NewRequest(method, path, nil)
+	} else {
+		r = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	return w
+}
+
+func errCode(t *testing.T, w *httptest.ResponseRecorder) string {
+	t.Helper()
+	var e ErrorBody
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatalf("error body not JSON: %v\n%s", err, w.Body.String())
+	}
+	return e.Error.Code
+}
+
+func TestTxValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		code string // expected error code
+	}{
+		{"malformed-json", `{`, CodeInvalidArgument},
+		{"unknown-field", `{"client":1,"seq":1,"op":"put","key":"k","frob":1}`, CodeInvalidArgument},
+		{"zero-client", `{"client":0,"seq":1,"op":"put","key":"k","value":"v"}`, CodeInvalidArgument},
+		{"zero-seq", `{"client":1,"seq":0,"op":"put","key":"k","value":"v"}`, CodeInvalidArgument},
+		{"bad-op", `{"client":1,"seq":1,"op":"frob","key":"k"}`, CodeInvalidArgument},
+		{"empty-key", `{"client":1,"seq":1,"op":"put","value":"v"}`, CodeInvalidArgument},
+		{"value-on-del", `{"client":1,"seq":1,"op":"del","key":"k","value":"v"}`, CodeInvalidArgument},
+		{"value-on-get", `{"client":1,"seq":1,"op":"get","key":"k","value":"v"}`, CodeInvalidArgument},
+		{"negative-timeout", `{"client":1,"seq":1,"op":"put","key":"k","value":"v","timeout_ms":-5}`, CodeInvalidArgument},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, f := newTestServer(t, 8)
+			w := do(s, http.MethodPost, "/v1/tx", tc.body)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400\n%s", w.Code, w.Body.String())
+			}
+			if got := errCode(t, w); got != tc.code {
+				t.Fatalf("code %q, want %q", got, tc.code)
+			}
+			if f.executed != 0 {
+				t.Fatalf("invalid request reached the ordering layer (%d executed)", f.executed)
+			}
+			if d := s.cfg.Pool.Depth(); d != 0 {
+				t.Fatalf("invalid request occupies pool capacity (depth %d)", d)
+			}
+		})
+	}
+}
+
+func TestTxAppliesAndReads(t *testing.T) {
+	s, f := newTestServer(t, 8)
+	w := do(s, http.MethodPost, "/v1/tx", `{"client":7,"seq":1,"op":"put","key":"user","value":"ada"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("put: status %d\n%s", w.Code, w.Body.String())
+	}
+	var tx TxResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &tx); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Status != "ok" || tx.Client != 7 || tx.Seq != 1 {
+		t.Fatalf("put response %+v", tx)
+	}
+
+	// Linearizable read through the ordering path.
+	w = do(s, http.MethodPost, "/v1/tx", `{"client":7,"seq":2,"op":"get","key":"user"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("tx get: status %d\n%s", w.Code, w.Body.String())
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &tx); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Status != "ok" || tx.Value != "ada" {
+		t.Fatalf("tx get response %+v", tx)
+	}
+
+	// Local read path.
+	w = do(s, http.MethodGet, "/v1/kv/user", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("read: status %d\n%s", w.Code, w.Body.String())
+	}
+	var rd ReadResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &rd); err != nil {
+		t.Fatal(err)
+	}
+	if rd.Key != "user" || rd.Value != "ada" {
+		t.Fatalf("read response %+v", rd)
+	}
+
+	w = do(s, http.MethodGet, "/v1/kv/ghost", "")
+	if w.Code != http.StatusNotFound || errCode(t, w) != CodeNotFound {
+		t.Fatalf("missing key: status %d code %s", w.Code, errCode(t, w))
+	}
+	if f.executed != 2 {
+		t.Fatalf("executed %d, want 2 (local reads must not order commands)", f.executed)
+	}
+}
+
+// TestTxDuplicateAnsweredFromCache: a retry of an applied (client, seq)
+// must be answered from the session cache, byte-for-byte, without a
+// second apply — from any edge goroutine, any number of times.
+func TestTxDuplicateAnsweredFromCache(t *testing.T) {
+	s, f := newTestServer(t, 8)
+	const body = `{"client":5,"seq":1,"op":"put","key":"k","value":"v1"}`
+	first := do(s, http.MethodPost, "/v1/tx", body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first: status %d\n%s", first.Code, first.Body.String())
+	}
+	for i := 0; i < 3; i++ {
+		retry := do(s, http.MethodPost, "/v1/tx", body)
+		if retry.Code != http.StatusOK {
+			t.Fatalf("retry %d: status %d\n%s", i, retry.Code, retry.Body.String())
+		}
+		if retry.Body.String() != first.Body.String() {
+			t.Fatalf("retry %d answered differently:\nfirst: %s\nretry: %s",
+				i, first.Body.String(), retry.Body.String())
+		}
+	}
+	if f.executed != 1 {
+		t.Fatalf("executed %d, want exactly 1 (duplicates re-applied)", f.executed)
+	}
+
+	// A regressed seq is rejected stale, still without applying.
+	w := do(s, http.MethodPost, "/v1/tx", `{"client":5,"seq":2,"op":"put","key":"k","value":"v2"}`)
+	if w.Code != http.StatusOK {
+		t.Fatal(w.Body.String())
+	}
+	w = do(s, http.MethodPost, "/v1/tx", `{"client":5,"seq":1,"op":"put","key":"k","value":"v1"}`)
+	var tx TxResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &tx); err != nil {
+		t.Fatal(err)
+	}
+	if w.Code != http.StatusOK || tx.Status != "stale" {
+		t.Fatalf("regressed seq: status %d, body %+v", w.Code, tx)
+	}
+	if f.executed != 2 {
+		t.Fatalf("executed %d, want 2", f.executed)
+	}
+}
+
+// TestTxTimeoutExpiry: when the commit path stalls, the request fails
+// with 504 TIMEOUT after its own timeout_ms — and the pending entry keeps
+// occupying the pool (that occupancy is the backpressure signal).
+func TestTxTimeoutExpiry(t *testing.T) {
+	s, f := newTestServer(t, 8)
+	f.hang = true
+	start := time.Now()
+	w := do(s, http.MethodPost, "/v1/tx",
+		`{"client":3,"seq":1,"op":"put","key":"k","value":"v","timeout_ms":40}`)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504\n%s", w.Code, w.Body.String())
+	}
+	if got := errCode(t, w); got != CodeTimeout {
+		t.Fatalf("code %q, want %q", got, CodeTimeout)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v — per-request timeout not honored", elapsed)
+	}
+	if d := s.cfg.Pool.Depth(); d != 1 {
+		t.Fatalf("pool depth %d after timeout, want 1 (command still in flight)", d)
+	}
+}
+
+// TestTxShedsWith429: a full pool sheds new commands with 429, a
+// Retry-After header and a POOL_FULL error code; duplicates of pending
+// commands are still accepted.
+func TestTxShedsWith429(t *testing.T) {
+	s, f := newTestServer(t, 1)
+	f.hang = true
+	// Fill the single slot (times out client-side, entry stays pending).
+	w := do(s, http.MethodPost, "/v1/tx",
+		`{"client":1,"seq":1,"op":"put","key":"a","value":"1","timeout_ms":20}`)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("fill: status %d\n%s", w.Code, w.Body.String())
+	}
+
+	w = do(s, http.MethodPost, "/v1/tx",
+		`{"client":2,"seq":1,"op":"put","key":"b","value":"2","timeout_ms":20}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow: status %d, want 429\n%s", w.Code, w.Body.String())
+	}
+	if got := errCode(t, w); got != CodePoolFull {
+		t.Fatalf("code %q, want %q", got, CodePoolFull)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	var e ErrorBody
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error.RetryAfterMS <= 0 {
+		t.Fatalf("429 without retry_after_ms: %+v", e)
+	}
+
+	// A duplicate of the PENDING command joins its entry instead of
+	// shedding (it is not new load).
+	w = do(s, http.MethodPost, "/v1/tx",
+		`{"client":1,"seq":1,"op":"put","key":"a","value":"1","timeout_ms":20}`)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("pending duplicate: status %d, want 504 (joined, then timed out)\n%s",
+			w.Code, w.Body.String())
+	}
+
+	st := s.cfg.Pool.Stats()
+	if st.Shed != 1 || st.Admitted != 1 || st.Deduped != 1 {
+		t.Fatalf("pool stats %+v", st)
+	}
+}
+
+func TestStatusIncludesPool(t *testing.T) {
+	s, f := newTestServer(t, 4)
+	f.hang = true
+	do(s, http.MethodPost, "/v1/tx", `{"client":1,"seq":1,"op":"put","key":"a","value":"1","timeout_ms":10}`)
+	w := do(s, http.MethodGet, "/v1/status", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["mode"] != "test" {
+		t.Fatalf("host status fields missing: %v", doc)
+	}
+	if doc["pool_pending"] != float64(1) || doc["pool_capacity"] != float64(4) {
+		t.Fatalf("pool fields wrong: %v", doc)
+	}
+	for _, k := range []string{"pool_admitted", "pool_deduped", "pool_shed", "pool_resolved", "pool_expired"} {
+		if _, ok := doc[k]; !ok {
+			t.Fatalf("status missing %q: %v", k, doc)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s, _ := newTestServer(t, 4)
+	w := do(s, http.MethodGet, "/v1/tx", "")
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/tx: status %d, want 405", w.Code)
+	}
+	w = do(s, http.MethodPost, "/v1/kv/somekey", "")
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/kv/{key}: status %d, want 405", w.Code)
+	}
+}
+
+func TestProposeFailureIsUnavailable(t *testing.T) {
+	s, f := newTestServer(t, 4)
+	f.failWith = errors.New("node stopped")
+	w := do(s, http.MethodPost, "/v1/tx", `{"client":1,"seq":1,"op":"put","key":"a","value":"1"}`)
+	if w.Code != http.StatusServiceUnavailable || errCode(t, w) != CodeUnavailable {
+		t.Fatalf("status %d code %s\n%s", w.Code, errCode(t, w), w.Body.String())
+	}
+	// The dead entry was retired, not leaked.
+	if d := s.cfg.Pool.Depth(); d != 0 {
+		t.Fatalf("pool depth %d after failed propose, want 0", d)
+	}
+}

@@ -93,6 +93,12 @@ const (
 	StatusStale Status = 'S'
 	// StatusErr: the command bytes did not decode.
 	StatusErr Status = 'E'
+	// StatusBusy: the serving replica's admission pool shed the command
+	// before it reached the ordering layer (backpressure). Nothing was
+	// applied; the client should retry later, ideally against another
+	// replica. This status is produced by the serving edge, never by the
+	// replicated machine itself, so it is never session-cached.
+	StatusBusy Status = 'B'
 )
 
 // String implements fmt.Stringer.
@@ -106,6 +112,8 @@ func (s Status) String() string {
 		return "stale"
 	case StatusErr:
 		return "error"
+	case StatusBusy:
+		return "busy"
 	default:
 		return fmt.Sprintf("Status(%d)", byte(s))
 	}
@@ -221,7 +229,7 @@ func DecodeResponse(v types.Value) (Response, error) {
 	}
 	r.Status = Status(b[1])
 	switch r.Status {
-	case StatusOK, StatusNotFound, StatusStale, StatusErr:
+	case StatusOK, StatusNotFound, StatusStale, StatusErr, StatusBusy:
 	default:
 		return r, fmt.Errorf("kv: unknown status %d", b[1])
 	}
@@ -234,6 +242,33 @@ func DecodeResponse(v types.Value) (Response, error) {
 		return r, fmt.Errorf("kv: %d trailing bytes after response", len(b))
 	}
 	return r, nil
+}
+
+// Validate checks that a command is well-formed before it is handed to
+// the ordering layer: known op, key and value within MaxStringLen, a key
+// present for every op, and a value only on puts. Serving edges call it
+// at admission so malformed client input is rejected with a structured
+// error instead of committing garbage (committed garbage is harmless —
+// Apply answers StatusErr — but it still costs an ordering slot).
+func (c Command) Validate() error {
+	switch c.Op {
+	case OpGet, OpPut, OpDel:
+	default:
+		return fmt.Errorf("kv: unknown op %q", byte(c.Op))
+	}
+	if c.Key == "" {
+		return fmt.Errorf("kv: empty key")
+	}
+	if len(c.Key) > MaxStringLen {
+		return fmt.Errorf("kv: key of %d bytes exceeds limit %d", len(c.Key), MaxStringLen)
+	}
+	if len(c.Val) > MaxStringLen {
+		return fmt.Errorf("kv: value of %d bytes exceeds limit %d", len(c.Val), MaxStringLen)
+	}
+	if c.Op != OpPut && c.Val != "" {
+		return fmt.Errorf("kv: value supplied for %v", c.Op)
+	}
+	return nil
 }
 
 // session is one client's exactly-once state: the highest applied sequence

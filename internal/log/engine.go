@@ -2,6 +2,7 @@ package log
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -81,6 +82,23 @@ type Config struct {
 	// cells: increments never schedule events or alter protocol behavior,
 	// so an observed run stays schedule-identical to an unobserved one.
 	Metrics *obs.LogMetrics
+	// CanonicalBatches, when set, makes batch selection a deterministic
+	// function of the pending command SET instead of its arrival order:
+	// nextBatch sorts the pending queue by content before taking up to
+	// BatchSize commands. Live clusters need this for liveness — the
+	// client-broadcast model only makes progress when correct replicas
+	// propose identical batch ENCODINGS, and over real transports the
+	// same forwarded commands arrive at each replica in a different
+	// order, so FIFO batches never converge and every instance decides ⊥
+	// while the commands recycle forever. Sorting restores convergence:
+	// once the forwards propagate, identical pending sets produce
+	// identical batches. Canonical mode also drops the in-flight
+	// exclusion, so pipelined instances propose overlapping batches (see
+	// nextBatch); apply-time content dedup keeps the committed sequence
+	// exactly-once. Off by default: simulation runs submit
+	// symmetrically (identical FIFO everywhere), and the digest-pinned
+	// scenario fixtures depend on submission-order batches.
+	CanonicalBatches bool
 	// AutoCompactLag, when > 0, compacts instance i as soon as instance
 	// i+AutoCompactLag is applied — the "retire wholesale when an instance
 	// commits" mode for pure log runs that keep no snapshots. 0 disables
@@ -312,12 +330,26 @@ func (l *Engine) syncGauges(m *obs.LogMetrics) {
 	m.PipelineDepth.Set(int64(l.nextStart - l.applied))
 }
 
-// nextBatch selects up to BatchSize pending commands that are not already
-// riding in one of this process's undecided batches.
+// nextBatch selects up to BatchSize pending commands. In FIFO mode it
+// skips commands already riding in one of this process's undecided
+// batches, partitioning the queue across the pipeline. With
+// CanonicalBatches the selection (and the batch's internal order) is
+// taken over the sorted pending set and the in-flight exclusion is
+// dropped: the exclusion would make the batch a function of local
+// decide timing (which instance got which partition), so replicas
+// drift out of phase and propose mismatched batches forever. Instead
+// every undecided instance carries the same canonical head-of-queue
+// batch; once one of them commits it, apply-time content dedup drops
+// the copies riding in the others.
 func (l *Engine) nextBatch() []types.Value {
+	queue := l.pending
+	if l.cfg.CanonicalBatches && len(queue) > 1 {
+		queue = append([]types.Value(nil), l.pending...)
+		sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+	}
 	var batch []types.Value
-	for _, c := range l.pending {
-		if l.inFlight[c] > 0 {
+	for _, c := range queue {
+		if !l.cfg.CanonicalBatches && l.inFlight[c] > 0 {
 			continue
 		}
 		batch = append(batch, c)

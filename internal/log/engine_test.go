@@ -588,3 +588,60 @@ func TestOnDroppedAheadHook(t *testing.T) {
 		t.Fatalf("droppedAhead=%d", eng.DroppedAhead())
 	}
 }
+
+// TestCanonicalBatches: with CanonicalBatches set, batch selection is a
+// function of the pending SET — engines that received the same commands
+// in different arrival orders propose identical batches (the liveness
+// requirement of live clusters, where forwarded commands arrive at each
+// replica in transport order).
+func TestCanonicalBatches(t *testing.T) {
+	a, _ := newTestEngine(t, Config{CanonicalBatches: true, BatchSize: 2})
+	b, _ := newTestEngine(t, Config{CanonicalBatches: true, BatchSize: 2})
+	for _, c := range []types.Value{"cmd-c", "cmd-a", "cmd-b"} {
+		if err := a.Submit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range []types.Value{"cmd-b", "cmd-c", "cmd-a"} {
+		if err := b.Submit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ba, bb := a.nextBatch(), b.nextBatch()
+	want := []types.Value{"cmd-a", "cmd-b"} // sorted, capped at BatchSize
+	for i, batch := range [][]types.Value{ba, bb} {
+		if len(batch) != len(want) || batch[0] != want[0] || batch[1] != want[1] {
+			t.Fatalf("engine %d proposed %v, want %v", i, batch, want)
+		}
+	}
+
+	// Canonical selection ignores the in-flight partition: a second
+	// undecided instance re-proposes the same head-of-queue batch
+	// (apply-time content dedup keeps commits exactly-once). Excluding
+	// in-flight commands would make the batch depend on local decide
+	// timing, which diverges across replicas.
+	for _, c := range ba {
+		a.inFlight[c]++
+	}
+	if again := a.nextBatch(); len(again) != 2 || again[0] != want[0] || again[1] != want[1] {
+		t.Fatalf("canonical re-proposal = %v, want %v", again, want)
+	}
+
+	// Default (FIFO) selection keeps arrival order and partitions the
+	// queue across in-flight batches: digest-pinned simulation runs
+	// must not change shape.
+	f, _ := newTestEngine(t, Config{BatchSize: 2})
+	for _, c := range []types.Value{"cmd-c", "cmd-a", "cmd-b"} {
+		if err := f.Submit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if batch := f.nextBatch(); batch[0] != "cmd-c" || batch[1] != "cmd-a" {
+		t.Fatalf("FIFO selection changed: %v", batch)
+	}
+	f.inFlight["cmd-c"]++
+	f.inFlight["cmd-a"]++
+	if batch := f.nextBatch(); len(batch) != 1 || batch[0] != "cmd-b" {
+		t.Fatalf("FIFO partition = %v, want [cmd-b]", batch)
+	}
+}

@@ -142,6 +142,40 @@ func NewTransferMetrics(r *Registry, labels string) *TransferMetrics {
 	}
 }
 
+// PoolMetrics instruments the admission-controlled command pool
+// (internal/txpool) that fronts the log engine on a serving replica.
+type PoolMetrics struct {
+	// Admitted counts commands that entered the pool as fresh work;
+	// Deduped arrivals that joined an already-pending (client, seq) entry
+	// instead of proposing again; Shed arrivals rejected because the pool
+	// was at capacity; Resolved pending entries answered by a committed
+	// response; Expired pending entries dropped by the TTL sweep without
+	// ever resolving.
+	Admitted *Counter
+	Deduped  *Counter
+	Shed     *Counter
+	Resolved *Counter
+	Expired  *Counter
+	// Pending is the live pool depth (entries admitted but not yet
+	// resolved or expired).
+	Pending *Gauge
+}
+
+// NewPoolMetrics registers the admission-pool bundle.
+func NewPoolMetrics(r *Registry, labels string) *PoolMetrics {
+	if r == nil {
+		return nil
+	}
+	return &PoolMetrics{
+		Admitted: r.Counter(WithLabels("minsync_pool_admitted_total", labels)),
+		Deduped:  r.Counter(WithLabels("minsync_pool_deduped_total", labels)),
+		Shed:     r.Counter(WithLabels("minsync_pool_shed_total", labels)),
+		Resolved: r.Counter(WithLabels("minsync_pool_resolved_total", labels)),
+		Expired:  r.Counter(WithLabels("minsync_pool_expired_total", labels)),
+		Pending:  r.Gauge(WithLabels("minsync_pool_pending", labels)),
+	}
+}
+
 // DedupMetrics instruments the per-process message dispatcher
 // (proto.Node): first-message dedup and instance retirement.
 type DedupMetrics struct {

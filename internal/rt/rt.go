@@ -37,6 +37,15 @@ type Node struct {
 	start     time.Time
 
 	inbox chan func()
+	// selfQ is the unbounded self-delivery queue. The protocol stack runs
+	// on the loop goroutine and Sends to itself while handling a message
+	// (every Broadcast includes the sender); routing those through the
+	// bounded inbox would let the loop block on its own full queue — a
+	// self-deadlock, since the loop is also the only drainer. Loop-owned:
+	// only the loop goroutine appends (env.Send) and drains (run loop),
+	// so no lock. The queue is bounded in practice by the reentrancy
+	// depth of one handler's sends, not by inbox depth.
+	selfQ []func()
 	stop  chan struct{}
 	wg    sync.WaitGroup
 	once  sync.Once
@@ -55,7 +64,9 @@ type NodeConfig struct {
 	// Transport carries outbound messages (required).
 	Transport Transport
 	// InboxDepth bounds the event queue (default 4096). A full inbox
-	// applies backpressure to transport readers, never drops.
+	// applies backpressure to transport readers, never drops. The loop's
+	// own self-sends bypass the bound (see Node.selfQ): backpressure is
+	// for other goroutines, never the drainer itself.
 	InboxDepth int
 	// Trace, if non-nil, receives the protocol stack's trace events (a
 	// bounded *trace.Ring lets /statusz?trace=N answer with recent
@@ -105,12 +116,26 @@ func (n *Node) Start(build func(env proto.Env) proto.Handler) {
 		n.dispatcher = proto.NewNode(build(&env{node: n}))
 		close(ready)
 		for {
+			// Self-deliveries first: they model the always-timely self
+			// channel (paper §4) and must never wait behind a full inbox.
+			if len(n.selfQ) > 0 {
+				fn := n.selfQ[0]
+				n.selfQ = n.selfQ[1:]
+				fn()
+				continue
+			}
 			select {
 			case fn := <-n.inbox:
 				fn()
 			case <-n.stop:
 				// Drain whatever is already queued, then exit.
 				for {
+					if len(n.selfQ) > 0 {
+						fn := n.selfQ[0]
+						n.selfQ = n.selfQ[1:]
+						fn()
+						continue
+					}
 					select {
 					case fn := <-n.inbox:
 						fn()
@@ -181,8 +206,13 @@ func (e *env) Now() types.Time {
 
 func (e *env) Send(to types.ProcID, m proto.Message) {
 	if to == e.node.id {
-		// Self-channel: always timely (paper §4); loop back directly.
-		e.node.Deliver(e.node.id, m)
+		// Self-channel: always timely (paper §4). Sends originate on the
+		// loop goroutine (the stack is single-threaded), so append to the
+		// loop-owned unbounded self queue — going through the bounded
+		// inbox would deadlock the loop against itself when the inbox is
+		// full (the loop is the drainer).
+		n := e.node
+		n.selfQ = append(n.selfQ, func() { n.dispatcher.Dispatch(n.id, m) })
 		return
 	}
 	// Errors are deliberately swallowed: the model's channels are

@@ -1,0 +1,218 @@
+package txpool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/types"
+)
+
+func TestAdmitDedupResolve(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(Config{Capacity: 8, Metrics: obs.NewPoolMetrics(reg, "")})
+	k := Key{Client: 7, Seq: 1}
+
+	ch1, proposed, err := p.Admit(k)
+	if err != nil || !proposed {
+		t.Fatalf("first admit: proposed=%v err=%v", proposed, err)
+	}
+	ch2, proposed, err := p.Admit(k)
+	if err != nil || proposed {
+		t.Fatalf("second admit must dedup: proposed=%v err=%v", proposed, err)
+	}
+	if d := p.Depth(); d != 1 {
+		t.Fatalf("depth %d, want 1 (dedup must not grow the pool)", d)
+	}
+
+	resp := types.Value("answer")
+	if !p.Resolve(k, resp) {
+		t.Fatal("resolve reported no entry")
+	}
+	for i, ch := range []<-chan types.Value{ch1, ch2} {
+		select {
+		case got := <-ch:
+			if got != resp {
+				t.Fatalf("waiter %d got %q, want %q", i, got, resp)
+			}
+		default:
+			t.Fatalf("waiter %d not answered", i)
+		}
+	}
+	if d := p.Depth(); d != 0 {
+		t.Fatalf("depth %d after resolve, want 0", d)
+	}
+	s := p.Stats()
+	if s.Admitted != 1 || s.Deduped != 1 || s.Resolved != 1 || s.Shed != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	// The obs mirror matches the internal counters.
+	snap := reg.Snapshot()
+	if got := snap.Counters["minsync_pool_admitted_total"]; got != 1 {
+		t.Fatalf("obs admitted %d, want 1", got)
+	}
+	if got := snap.Counters["minsync_pool_deduped_total"]; got != 1 {
+		t.Fatalf("obs deduped %d, want 1", got)
+	}
+	if got := snap.Gauges["minsync_pool_pending"]; got != 0 {
+		t.Fatalf("obs pending %d, want 0", got)
+	}
+}
+
+func TestShedAtCapacity(t *testing.T) {
+	p := New(Config{Capacity: 2})
+	if _, _, err := p.Admit(Key{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Admit(Key{2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Admit(Key{3, 1}); !errors.Is(err, ErrFull) {
+		t.Fatalf("admit past capacity: err=%v, want ErrFull", err)
+	}
+	// Joining an already-pending key is NOT new load; it must still work
+	// at capacity.
+	if _, proposed, err := p.Admit(Key{1, 1}); err != nil || proposed {
+		t.Fatalf("dedup at capacity: proposed=%v err=%v", proposed, err)
+	}
+	s := p.Stats()
+	if s.Shed != 1 || s.Admitted != 2 || s.Deduped != 1 || s.Pending != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestForgetKeepsEntryPending(t *testing.T) {
+	p := New(Config{Capacity: 2})
+	k := Key{Client: 9, Seq: 3}
+	ch, _, err := p.Admit(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Forget(k, ch)
+	// The command is still in the ordering pipeline: it must keep
+	// occupying capacity until Resolve (that occupancy IS backpressure).
+	if d := p.Depth(); d != 1 {
+		t.Fatalf("depth %d after forget, want 1", d)
+	}
+	if !p.Resolve(k, types.Value("late")) {
+		t.Fatal("resolve reported no entry after forget")
+	}
+	select {
+	case v := <-ch:
+		t.Fatalf("forgotten waiter received %q", v)
+	default:
+	}
+	// Forget of an unknown key or channel is a no-op.
+	p.Forget(Key{1, 1}, ch)
+	p.Forget(k, ch)
+}
+
+func TestTTLSweepFreesCapacity(t *testing.T) {
+	p := New(Config{Capacity: 2, TTL: 10 * time.Millisecond})
+	if _, _, err := p.Admit(Key{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Admit(Key{2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	// The sweep runs lazily on the at-capacity path: the dead entries are
+	// expired and the new command is admitted.
+	if _, proposed, err := p.Admit(Key{3, 1}); err != nil || !proposed {
+		t.Fatalf("admit after TTL: proposed=%v err=%v", proposed, err)
+	}
+	s := p.Stats()
+	if s.Expired != 2 || s.Pending != 1 {
+		t.Fatalf("stats %+v, want 2 expired and 1 pending", s)
+	}
+}
+
+func TestResolveUnknownIsNoop(t *testing.T) {
+	p := New(Config{})
+	if p.Resolve(Key{42, 1}, types.Value("x")) {
+		t.Fatal("resolve of unknown key reported an entry")
+	}
+	if s := p.Stats(); s.Resolved != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestConcurrentAdmitResolve hammers the pool from many goroutines (the
+// -race test): concurrent admissions across a shared key space, one
+// resolver answering every proposed key, every waiter answered exactly
+// once with the right response, counters adding up, depth draining to 0.
+func TestConcurrentAdmitResolve(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(Config{Capacity: 1 << 16, Metrics: obs.NewPoolMetrics(reg, "")})
+
+	const goroutines = 16
+	const opsPer = 300
+	const keySpace = 64 // shared: forces admit/dedup races on hot keys
+
+	toResolve := make(chan Key, goroutines*opsPer)
+	var resolverWG sync.WaitGroup
+	resolverWG.Add(1)
+	go func() {
+		defer resolverWG.Done()
+		for k := range toResolve {
+			resp := types.Value(fmt.Sprintf("resp-%d-%d", k.Client, k.Seq))
+			if !p.Resolve(k, resp) {
+				panic("resolver: entry vanished before resolve")
+			}
+		}
+	}()
+
+	var answered, mismatched atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				k := Key{Client: uint64(i % keySpace), Seq: uint64(g%4 + 1)}
+				ch, proposed, err := p.Admit(k)
+				if err != nil {
+					panic(err) // capacity is ample; shed would be a bug here
+				}
+				if proposed {
+					toResolve <- k
+				}
+				select {
+				case got := <-ch:
+					answered.Add(1)
+					want := types.Value(fmt.Sprintf("resp-%d-%d", k.Client, k.Seq))
+					if got != want {
+						mismatched.Add(1)
+					}
+				case <-time.After(5 * time.Second):
+					panic("waiter starved")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(toResolve)
+	resolverWG.Wait()
+
+	if got := answered.Load(); got != goroutines*opsPer {
+		t.Fatalf("answered %d waiters, want %d", got, goroutines*opsPer)
+	}
+	if m := mismatched.Load(); m != 0 {
+		t.Fatalf("%d waiters got a response for the wrong key", m)
+	}
+	if d := p.Depth(); d != 0 {
+		t.Fatalf("depth %d after drain, want 0", d)
+	}
+	s := p.Stats()
+	if s.Admitted != s.Resolved {
+		t.Fatalf("admitted %d != resolved %d", s.Admitted, s.Resolved)
+	}
+	if s.Admitted+s.Deduped != goroutines*opsPer {
+		t.Fatalf("admitted %d + deduped %d != %d total admissions",
+			s.Admitted, s.Deduped, goroutines*opsPer)
+	}
+}

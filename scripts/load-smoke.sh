@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# load-smoke.sh boots a real 4-replica minsync cluster on TCP loopback
+# with the HTTP/JSON edge enabled, waits until every replica's
+# /v1/status answers, then drives a bounded sustained load through
+# cmd/minsync-bench -load. The bench exits non-zero if any command
+# failed or any read returned a value inconsistent with the session's
+# own writes, so this script is a pass/fail gate over the whole
+# production client path: HTTP edge -> admission pool -> engine ->
+# consensus -> state machine -> committed-response forwarding.
+#
+# Tunables (env): CLIENTS (default 16), OPS per client (default 8),
+# OUT directory for BENCH_load.json (default .). Run from the repo
+# root; see docs/api.md for the endpoints exercised.
+set -euo pipefail
+
+CLIENTS="${CLIENTS:-16}"
+OPS="${OPS:-8}"
+OUT="${OUT:-.}"
+
+workdir=$(mktemp -d)
+cleanup() {
+  [ -f "$workdir/pids" ] && kill $(cat "$workdir/pids") 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/minsync-node" ./cmd/minsync-node
+go build -o "$workdir/minsync-bench" ./cmd/minsync-bench
+
+# Consensus 7601-7604, KV 7611-7614, HTTP 7621-7624.
+PEERS="127.0.0.1:7601,127.0.0.1:7602,127.0.0.1:7603,127.0.0.1:7604"
+for i in 1 2 3 4; do
+  "$workdir/minsync-node" -id "$i" -peers "$PEERS" -t 1 -kv \
+    -kv-listen "127.0.0.1:76$((10 + i))" -http "127.0.0.1:76$((20 + i))" \
+    -unit 50ms -start-in 2s -wait 60s >"$workdir/node$i.log" 2>&1 &
+  echo $! >>"$workdir/pids"
+done
+
+urls=""
+for i in 1 2 3 4; do
+  url="http://127.0.0.1:76$((20 + i))"
+  up=0
+  for _ in $(seq 1 100); do
+    if curl -sf --max-time 2 "$url/v1/status" >/dev/null 2>&1; then
+      up=1
+      break
+    fi
+    sleep 0.2
+  done
+  if [ "$up" != 1 ]; then
+    echo "load-smoke: replica $i HTTP edge never answered /v1/status" >&2
+    cat "$workdir/node$i.log" >&2
+    exit 1
+  fi
+  urls="$urls,$url"
+done
+
+"$workdir/minsync-bench" -load "${urls#,}" \
+  -clients "$CLIENTS" -ops "$OPS" -req-timeout 15s -out "$OUT"
+echo "load-smoke: pass ($CLIENTS clients x $OPS ops; see $OUT/BENCH_load.json)"

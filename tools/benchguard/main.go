@@ -1,0 +1,186 @@
+// Command benchguard is the hard performance gate for deterministic
+// benchmarks: it parses two `go test -bench` output files (a committed
+// baseline and a fresh run), takes the per-benchmark median of one
+// metric, and exits 1 if any benchmark present in both files regressed
+// by more than the allowed percentage.
+//
+// Unlike the warn-only benchstat comparisons, this gate is meant for
+// metrics that do not depend on the host: the simulation benchmarks
+// report virtual-time figures (cmds_per_sec_v, msgs_per_cmd/op, ...)
+// that are a deterministic function of the code, so a >threshold delta
+// on a CI runner is a real regression, not scheduler noise. Pointing it
+// at wall-clock ns/op across different machines would gate on hardware;
+// don't.
+//
+// Benchmark names are matched after stripping the -GOMAXPROCS suffix,
+// so baselines recorded with a different core count still line up.
+// Benchmarks present in only one file are reported but never fail the
+// gate (new benchmarks must be able to land before the baseline is
+// refreshed).
+//
+// Usage:
+//
+//	benchguard [-bench regexp] [-metric name] [-higher-better]
+//	           [-max-regress pct] baseline.txt new.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	benchRE := flag.String("bench", ".", "regexp selecting benchmark names to gate")
+	metric := flag.String("metric", "ns/op", "benchmark metric to compare")
+	higher := flag.Bool("higher-better", false, "treat larger metric values as better (throughput-style)")
+	maxRegress := flag.Float64("max-regress", 10, "maximum allowed regression, percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchguard [flags] baseline.txt new.txt")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*benchRE)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: -bench: %v\n", err)
+		os.Exit(2)
+	}
+	base, err := loadMedians(flag.Arg(0), re, *metric)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := loadMedians(flag.Arg(1), re, *metric)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	if len(base) == 0 || len(fresh) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: no benchmarks matching %q with metric %q in %s\n",
+			*benchRE, *metric, map[bool]string{true: flag.Arg(0), false: flag.Arg(1)}[len(base) == 0])
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := 0
+	fmt.Printf("benchguard: metric=%s max-regress=%.1f%% (%s)\n",
+		*metric, *maxRegress, map[bool]string{true: "higher is better", false: "lower is better"}[*higher])
+	for _, name := range names {
+		old := base[name]
+		new, ok := fresh[name]
+		if !ok {
+			fmt.Printf("  %-60s baseline-only (skipped)\n", name)
+			continue
+		}
+		// Regression percent, positive = worse.
+		var regress float64
+		if *higher {
+			regress = (old - new) / old * 100
+		} else {
+			regress = (new - old) / old * 100
+		}
+		verdict := "ok"
+		if regress > *maxRegress {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("  %-60s %12.2f -> %12.2f  %+6.1f%%  %s\n", name, old, new, -regress, verdict)
+	}
+	for name := range fresh {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("  %-60s new-only (skipped; refresh bench/baseline.txt)\n", name)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("benchguard: %d benchmark(s) regressed more than %.1f%%\n", failed, *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: pass")
+}
+
+// loadMedians parses a `go test -bench` output file and returns the
+// median value of the requested metric per benchmark name (suffix-
+// stripped), for names matching re.
+func loadMedians(path string, re *regexp.Regexp, metric string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, val, ok := parseLine(sc.Text(), metric)
+		if !ok || !re.MatchString(name) {
+			continue
+		}
+		samples[name] = append(samples[name], val)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	medians := make(map[string]float64, len(samples))
+	for name, vals := range samples {
+		medians[name] = median(vals)
+	}
+	return medians, nil
+}
+
+// parseLine extracts (benchmark name, metric value) from one benchmark
+// result line: `BenchmarkX/sub-8  5  123 ns/op  9.5 cmds_per_sec_v`.
+// Lines that are not benchmark results, or lack the metric, return
+// ok=false.
+func parseLine(line, metric string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	name := stripProcs(fields[0])
+	// fields[1] is the iteration count; value/unit pairs follow.
+	for i := 2; i+1 < len(fields); i += 2 {
+		if fields[i+1] != metric {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", 0, false
+		}
+		return name, v, true
+	}
+	return "", 0, false
+}
+
+// stripProcs removes the trailing -GOMAXPROCS from a benchmark name so
+// runs recorded on machines with different core counts compare equal.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// median returns the middle value of vals (mean of the middle two for
+// even counts). vals is sorted in place.
+func median(vals []float64) float64 {
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		line, metric string
+		name         string
+		val          float64
+		ok           bool
+	}{
+		{"BenchmarkLogThroughput/batch=8/pipeline=1-8 5 1234 ns/op 950.5 cmds_per_sec_v", "cmds_per_sec_v",
+			"BenchmarkLogThroughput/batch=8/pipeline=1", 950.5, true},
+		{"BenchmarkLogThroughput/batch=8/pipeline=1-8 5 1234 ns/op 950.5 cmds_per_sec_v", "ns/op",
+			"BenchmarkLogThroughput/batch=8/pipeline=1", 1234, true},
+		{"BenchmarkScheduler 	89880435	        25.79 ns/op	       0 B/op", "ns/op",
+			"BenchmarkScheduler", 25.79, true},
+		{"goos: linux", "ns/op", "", 0, false},
+		{"PASS", "ns/op", "", 0, false},
+		{"BenchmarkX-4 3 10 ns/op", "missing/op", "", 0, false},
+	}
+	for _, c := range cases {
+		name, val, ok := parseLine(c.line, c.metric)
+		if ok != c.ok || name != c.name || val != c.val {
+			t.Errorf("parseLine(%q, %q) = (%q, %v, %v), want (%q, %v, %v)",
+				c.line, c.metric, name, val, ok, c.name, c.val, c.ok)
+		}
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-8":              "BenchmarkX",
+		"BenchmarkX":                "BenchmarkX",
+		"BenchmarkX/batch=8":        "BenchmarkX/batch=8",
+		"BenchmarkX/batch=8-16":     "BenchmarkX/batch=8",
+		"BenchmarkX/pipeline=1-8-4": "BenchmarkX/pipeline=1-8",
+	} {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v, want 2", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even median = %v, want 2.5", got)
+	}
+}
+
+func TestLoadMedians(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.txt")
+	content := `goos: linux
+BenchmarkA-8 5 100 ns/op 10.0 cmds_per_sec_v
+BenchmarkA-8 5 300 ns/op 30.0 cmds_per_sec_v
+BenchmarkA-8 5 200 ns/op 20.0 cmds_per_sec_v
+BenchmarkB-8 5 50 ns/op
+PASS
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadMedians(path, regexp.MustCompile("."), "cmds_per_sec_v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["BenchmarkA"] != 20 {
+		t.Errorf("medians = %v, want map[BenchmarkA:20]", got)
+	}
+	all, err := loadMedians(path, regexp.MustCompile("."), "ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || all["BenchmarkA"] != 200 || all["BenchmarkB"] != 50 {
+		t.Errorf("ns/op medians = %v", all)
+	}
+}
