@@ -467,6 +467,41 @@ func BenchmarkLogScaleN(b *testing.B) {
 	}
 }
 
+// BenchmarkLogScaleNCoalesce: the large BenchmarkLogScaleN cells with the
+// reliable-broadcast coalescing relay ON (log.Config.Coalesce) — the
+// message-complexity fast path that batches cross-instance ECHO/READY
+// traffic into vector frames and references values by hash. Compare
+// msgs_per_cmd/op and deliveries/op against the same-n cells of
+// BenchmarkLogScaleN for the coalescing factor. The n=31 cell runs in CI;
+// n=100 is nightly territory (-short skips it).
+func BenchmarkLogScaleNCoalesce(b *testing.B) {
+	for _, c := range []struct{ n, workload int }{
+		{31, 64}, {100, 16},
+	} {
+		n, workload := c.n, c.workload
+		if testing.Short() && n > 31 {
+			continue
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var last *runner.LogResult
+			for i := 0; i < b.N; i++ {
+				res, err := runner.RunLog(exp.CoalescedLogWorkloadSpec(n, 16, 4, workload, int64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.AllCommitted(workload) {
+					b.Fatalf("only %d/%d committed", res.MinCommitted(), workload)
+				}
+				last = res
+			}
+			vsec := time.Duration(last.End).Seconds()
+			b.ReportMetric(float64(workload)/vsec, "cmds_per_sec_v")
+			b.ReportMetric(float64(last.Messages)/float64(workload), "msgs_per_cmd/op")
+			b.ReportMetric(float64(last.Deliveries())/float64(workload), "deliveries_per_cmd/op")
+		})
+	}
+}
+
 // --- substrate micro-benchmarks ---------------------------------------------
 
 // BenchmarkWireEncode / BenchmarkWireDecode: the codec hot path.

@@ -73,6 +73,14 @@ type result struct {
 	// -load workload (ok-answered commands / wall). Zero/absent for
 	// simulator workloads.
 	CommandsPerSec float64 `json:"commands_per_sec,omitempty"`
+	// Message-volume figures for the replicated-log workloads: network
+	// deliveries and sent messages per committed command, averaged over
+	// every seed. Both are deterministic functions of the code (virtual
+	// clock, fixed seeds), so tools/benchguard -json gates them hard —
+	// they are the trend line the coalescing relay exists to bend.
+	// Zero/absent for workloads without a commit path.
+	DeliveriesPerCmd float64 `json:"deliveries_per_cmd,omitempty"`
+	MsgsPerCommit    float64 `json:"msgs_per_commit,omitempty"`
 }
 
 // report is the whole BENCH_*.json document.
@@ -134,20 +142,22 @@ func main() {
 	}
 	for _, w := range suite(*seeds) {
 		fmt.Fprintf(os.Stderr, "running %s...\n", w.name)
-		perf, lat, err := w.run()
+		perf, lat, stats, err := w.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "minsync-bench: %s: %v\n", w.name, err)
 			os.Exit(1)
 		}
 		r := result{
-			Name:         w.name,
-			Ops:          perf.Ops,
-			WallNS:       perf.Wall.Nanoseconds(),
-			Events:       perf.Events,
-			Messages:     perf.Messages,
-			EventsPerSec: perf.EventsPerSec(),
-			AllocsPerOp:  perf.AllocsPerOp(),
-			BytesPerOp:   perf.BytesPerOp(),
+			Name:             w.name,
+			Ops:              perf.Ops,
+			WallNS:           perf.Wall.Nanoseconds(),
+			Events:           perf.Events,
+			Messages:         perf.Messages,
+			EventsPerSec:     perf.EventsPerSec(),
+			AllocsPerOp:      perf.AllocsPerOp(),
+			BytesPerOp:       perf.BytesPerOp(),
+			DeliveriesPerCmd: stats.DeliveriesPerCmd,
+			MsgsPerCommit:    stats.MsgsPerCommit,
 		}
 		if lat.Count() > 0 {
 			r.CommitP50NS = lat.Quantile(0.5)
@@ -180,31 +190,44 @@ func main() {
 	}
 }
 
+// logStats carries the per-command message-volume figures of the
+// replicated-log workloads into BENCH_*.json (zero for workloads
+// without a commit path — the fields are omitempty there).
+type logStats struct {
+	DeliveriesPerCmd float64
+	MsgsPerCommit    float64
+}
+
 // workload is one named suite entry. run returns the perf span and, for
 // workloads with a commit path, the commit-latency histogram accumulated
-// across every seed (nil otherwise — a nil *obs.Histogram reads as empty).
+// across every seed (nil otherwise — a nil *obs.Histogram reads as empty)
+// plus the per-command message-volume stats.
 type workload struct {
 	name string
-	run  func() (metrics.Perf, *obs.Histogram, error)
+	run  func() (metrics.Perf, *obs.Histogram, logStats, error)
 }
 
 // suite builds the fixed workload list. Every workload runs `seeds` times
-// with seeds 1..seeds so the numbers smooth over schedule variation.
+// with seeds 1..seeds so the numbers smooth over schedule variation. The
+// -coal row is the same log workload with the RB coalescing relay ON, so
+// the deliveries_per_cmd / msgs_per_commit columns show the coalescing
+// factor directly against the row above it.
 func suite(seeds int) []workload {
 	return []workload{
-		{"scheduler-raw", func() (metrics.Perf, *obs.Histogram, error) { return schedulerRaw(seeds) }},
-		{"consensus-n7", func() (metrics.Perf, *obs.Histogram, error) { return consensus(7, seeds) }},
-		{"consensus-n13", func() (metrics.Perf, *obs.Histogram, error) { return consensus(13, seeds) }},
-		{"matrix-smoke", func() (metrics.Perf, *obs.Histogram, error) { return matrixSmoke(seeds) }},
-		{"log-n4-b32p4", func() (metrics.Perf, *obs.Histogram, error) { return logRun(4, 32, 4, seeds) }},
-		{"log-n7-b16p4", func() (metrics.Perf, *obs.Histogram, error) { return logRun(7, 16, 4, seeds) }},
-		{"kv-n4-compact", func() (metrics.Perf, *obs.Histogram, error) { return kvRun(4, seeds) }},
+		{"scheduler-raw", func() (metrics.Perf, *obs.Histogram, logStats, error) { return schedulerRaw(seeds) }},
+		{"consensus-n7", func() (metrics.Perf, *obs.Histogram, logStats, error) { return consensus(7, seeds) }},
+		{"consensus-n13", func() (metrics.Perf, *obs.Histogram, logStats, error) { return consensus(13, seeds) }},
+		{"matrix-smoke", func() (metrics.Perf, *obs.Histogram, logStats, error) { return matrixSmoke(seeds) }},
+		{"log-n4-b32p4", func() (metrics.Perf, *obs.Histogram, logStats, error) { return logRun(4, 32, 4, seeds, false) }},
+		{"log-n7-b16p4", func() (metrics.Perf, *obs.Histogram, logStats, error) { return logRun(7, 16, 4, seeds, false) }},
+		{"log-n7-b16p4-coal", func() (metrics.Perf, *obs.Histogram, logStats, error) { return logRun(7, 16, 4, seeds, true) }},
+		{"kv-n4-compact", func() (metrics.Perf, *obs.Histogram, logStats, error) { return kvRun(4, seeds) }},
 	}
 }
 
 // schedulerRaw measures the bare kernel: a self-spawning event chain of
 // one million events per op, no network, no protocol.
-func schedulerRaw(ops int) (metrics.Perf, *obs.Histogram, error) {
+func schedulerRaw(ops int) (metrics.Perf, *obs.Histogram, logStats, error) {
 	const chain = 1_000_000
 	span := metrics.StartSpan()
 	var events uint64
@@ -222,12 +245,12 @@ func schedulerRaw(ops int) (metrics.Perf, *obs.Histogram, error) {
 		s.Run(0, 0)
 		events += s.Executed
 	}
-	return span.End(ops, events, 0), nil, nil
+	return span.End(ops, events, 0), nil, logStats{}, nil
 }
 
 // consensus runs the E5-style workload: full synchrony, mixed proposals,
 // equivocating Byzantine processes at the top IDs.
-func consensus(n, ops int) (metrics.Perf, *obs.Histogram, error) {
+func consensus(n, ops int) (metrics.Perf, *obs.Histogram, logStats, error) {
 	tf := (n - 1) / 3
 	span := metrics.StartSpan()
 	var events, msgs uint64
@@ -255,15 +278,15 @@ func consensus(n, ops int) (metrics.Perf, *obs.Histogram, error) {
 			Engine:    core.Config{TimeUnit: exp.Unit},
 		})
 		if err != nil {
-			return metrics.Perf{}, nil, err
+			return metrics.Perf{}, nil, logStats{}, err
 		}
 		if !res.AllDecided() {
-			return metrics.Perf{}, nil, fmt.Errorf("seed %d: no decision", op+1)
+			return metrics.Perf{}, nil, logStats{}, fmt.Errorf("seed %d: no decision", op+1)
 		}
 		events += res.Events
 		msgs += res.Messages
 	}
-	return span.End(ops, events, msgs), nil, nil
+	return span.End(ops, events, msgs), nil, logStats{}, nil
 }
 
 // matrixNames is the representative scenario slice also used by
@@ -275,16 +298,16 @@ var matrixNames = []string{
 
 // matrixSmoke runs the representative matrix slice; one op = one full
 // sweep of the slice at one seed.
-func matrixSmoke(ops int) (metrics.Perf, *obs.Histogram, error) {
+func matrixSmoke(ops int) (metrics.Perf, *obs.Histogram, logStats, error) {
 	prepared := make([]*scenario.Prepared, 0, len(matrixNames))
 	for _, name := range matrixNames {
 		s, ok := scenario.Get(name)
 		if !ok {
-			return metrics.Perf{}, nil, fmt.Errorf("scenario %q not registered", name)
+			return metrics.Perf{}, nil, logStats{}, fmt.Errorf("scenario %q not registered", name)
 		}
 		p, err := scenario.Prepare(s)
 		if err != nil {
-			return metrics.Perf{}, nil, err
+			return metrics.Perf{}, nil, logStats{}, err
 		}
 		prepared = append(prepared, p)
 	}
@@ -294,42 +317,51 @@ func matrixSmoke(ops int) (metrics.Perf, *obs.Histogram, error) {
 		for _, p := range prepared {
 			o, err := p.Run(int64(op + 1))
 			if err != nil {
-				return metrics.Perf{}, nil, err
+				return metrics.Perf{}, nil, logStats{}, err
 			}
 			if !o.Pass {
-				return metrics.Perf{}, nil, fmt.Errorf("%s seed %d failed:\n%s", p.Spec.Name, op+1, o.Report)
+				return metrics.Perf{}, nil, logStats{}, fmt.Errorf("%s seed %d failed:\n%s", p.Spec.Name, op+1, o.Report)
 			}
 			events += o.Events
 			msgs += o.Messages
 		}
 	}
-	return span.End(ops, events, msgs), nil, nil
+	return span.End(ops, events, msgs), nil, logStats{}, nil
 }
 
 // logRun commits a 200-command replicated-log workload per op (the
 // canonical exp.LogWorkloadSpec workload, identical to the in-repo
-// benchmarks so BENCH_*.json trends stay comparable).
-func logRun(n, batch, pipeline, ops int) (metrics.Perf, *obs.Histogram, error) {
+// benchmarks so BENCH_*.json trends stay comparable). With coalesce set
+// the same workload runs over the RB coalescing relay
+// (log.Config.Coalesce, as in exp.CoalescedLogWorkloadSpec).
+func logRun(n, batch, pipeline, ops int, coalesce bool) (metrics.Perf, *obs.Histogram, logStats, error) {
 	const workload = 200
 	// One registry across all seeds: the commit-latency histogram
 	// accumulates every (replica, command) observation of the workload.
 	reg := obs.NewRegistry()
 	span := metrics.StartSpan()
-	var events, msgs uint64
+	var events, msgs, deliveries, committed uint64
 	for op := 0; op < ops; op++ {
 		spec := exp.LogWorkloadSpec(n, batch, pipeline, workload, int64(op+1))
+		spec.Log.Coalesce = coalesce
 		spec.Obs = reg
 		res, err := runner.RunLog(spec)
 		if err != nil {
-			return metrics.Perf{}, nil, err
+			return metrics.Perf{}, nil, logStats{}, err
 		}
 		if !res.AllCommitted(workload) {
-			return metrics.Perf{}, nil, fmt.Errorf("seed %d: only %d/%d committed", op+1, res.MinCommitted(), workload)
+			return metrics.Perf{}, nil, logStats{}, fmt.Errorf("seed %d: only %d/%d committed", op+1, res.MinCommitted(), workload)
 		}
 		events += res.Events
 		msgs += res.Messages
+		deliveries += res.Deliveries()
+		committed += uint64(workload)
 	}
-	return span.End(ops, events, msgs), obs.NewCommitLatency(reg), nil
+	stats := logStats{
+		DeliveriesPerCmd: float64(deliveries) / float64(committed),
+		MsgsPerCommit:    float64(msgs) / float64(committed),
+	}
+	return span.End(ops, events, msgs), obs.NewCommitLatency(reg), stats, nil
 }
 
 // renderTrend reads every BENCH_*.json in dir, orders the snapshots by
@@ -400,6 +432,21 @@ func renderTrend(dir, format string, w io.Writer) error {
 			}
 			return fmt.Sprintf("%.0f", r.CommandsPerSec)
 		}},
+		// Message-volume trajectory of the log workloads: deliveries and
+		// sent messages per committed command (virtual-time deterministic;
+		// "-" for workloads or old snapshots without the fields).
+		{"deliveries/cmd", func(r result) string {
+			if r.DeliveriesPerCmd == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f", r.DeliveriesPerCmd)
+		}},
+		{"msgs/commit", func(r result) string {
+			if r.MsgsPerCommit == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f", r.MsgsPerCommit)
+		}},
 		{"commit p50 ms", func(r result) string { return lat(r.CommitP50NS) }},
 		{"commit p99 ms", func(r result) string { return lat(r.CommitP99NS) }},
 		{"commit p999 ms", func(r result) string { return lat(r.CommitP999NS) }},
@@ -441,7 +488,7 @@ func renderTrend(dir, format string, w io.Writer) error {
 // (the canonical exp.KVWorkloadSpec workload, identical to the in-repo
 // BenchmarkKVService/compact=true so BENCH_*.json trends stay
 // comparable).
-func kvRun(n, ops int) (metrics.Perf, *obs.Histogram, error) {
+func kvRun(n, ops int) (metrics.Perf, *obs.Histogram, logStats, error) {
 	const workload = 240
 	reg := obs.NewRegistry()
 	span := metrics.StartSpan()
@@ -451,15 +498,15 @@ func kvRun(n, ops int) (metrics.Perf, *obs.Histogram, error) {
 		spec.Obs = reg
 		res, err := runner.RunKV(spec)
 		if err != nil {
-			return metrics.Perf{}, nil, err
+			return metrics.Perf{}, nil, logStats{}, err
 		}
 		if !res.StatesAgree() {
-			return metrics.Perf{}, nil, fmt.Errorf("seed %d: state digests disagree", op+1)
+			return metrics.Perf{}, nil, logStats{}, fmt.Errorf("seed %d: state digests disagree", op+1)
 		}
 		events += res.Events
 		msgs += res.Messages
 	}
-	return span.End(ops, events, msgs), obs.NewCommitLatency(reg), nil
+	return span.End(ops, events, msgs), obs.NewCommitLatency(reg), logStats{}, nil
 }
 
 // dumpDigests prints the digest table for every curated scenario.

@@ -12,6 +12,8 @@
 package adversary
 
 import (
+	"crypto/sha256"
+	"fmt"
 	"math/rand"
 
 	"repro/internal/core"
@@ -235,6 +237,79 @@ func FakeDecide(w types.Value) harness.Behavior {
 			layer.Broadcast(proto.Tag{Mod: proto.ModDecide}, w)
 		})
 		return proto.HandlerFunc(func(from types.ProcID, m proto.Message) {
+			layer.OnMessage(from, m)
+		})
+	}
+}
+
+// HashEquivocation attacks the coalesced-relay path (rb.Relay): on a
+// timer loop it sends each receiver a forged MsgRBVector frame whose
+// entries (a) equivocate value hashes — the same entry identity names a
+// DIFFERENT unresolvable hash per destination, (b) duplicate one another
+// inside the frame, (c) name stale instances below any compaction floor,
+// and (d) carry an inline READY for a value nobody proposed; every third
+// round it sends undecodable vector bytes instead. It never answers the
+// pulls its hashes provoke (hash-without-value starvation). A correct
+// cluster must absorb all of it: parked entries never move thresholds,
+// in-frame duplicates die on the entry dedup rule, a lone forged READY
+// stays below t+1, and the parking cap bounds memory.
+func HashEquivocation(w types.Value, every types.Duration, frames int) harness.Behavior {
+	return func(env proto.Env) proto.Handler {
+		// Participate correctly in RB relaying so the attack rides inside
+		// otherwise protocol-shaped traffic.
+		layer := rb.New(env, func(types.ProcID, proto.Tag, types.Value) {})
+		round := 0
+		var fire func()
+		fire = func() {
+			round++
+			if round > frames {
+				return
+			}
+			note(env, "hash-equivocate", w)
+			for _, to := range env.Params().AllProcs() {
+				if to == env.ID() {
+					continue
+				}
+				if round%3 == 0 {
+					env.Send(to, proto.Message{
+						Kind: proto.MsgRBVector, Tag: proto.Tag{Mod: proto.ModRBRelay},
+						Origin: env.ID(), Val: "not-a-vector",
+					})
+					continue
+				}
+				// A per-receiver hash: no value with this digest exists, and
+				// every destination sees a different one for the SAME entry
+				// identity — the coalesced analogue of value equivocation.
+				sum := sha256.Sum256([]byte(fmt.Sprintf("equivocate-%v-%d-%v-%s", env.ID(), round, to, w)))
+				h := types.Value(sum[:rb.HashLen])
+				forged := rb.Entry{
+					Kind: proto.MsgRBEcho, Tag: proto.Tag{Mod: proto.ModConsCB0},
+					Origin: env.ID(), Instance: types.Instance(round - 1),
+					Hashed: true, Val: h,
+				}
+				stale := forged
+				stale.Instance = 0
+				enc, err := rb.EncodeEntries([]rb.Entry{
+					forged,
+					forged, // in-frame duplicate
+					stale,  // below any later compaction floor
+					{Kind: proto.MsgRBReady, Tag: proto.Tag{Mod: proto.ModDecide},
+						Origin: env.ID(), Instance: types.Instance(round - 1), Val: w},
+				})
+				if err != nil {
+					continue
+				}
+				env.Send(to, proto.Message{
+					Kind: proto.MsgRBVector, Tag: proto.Tag{Mod: proto.ModRBRelay},
+					Origin: env.ID(), Val: types.Value(enc),
+				})
+			}
+			env.SetTimer(every, fire)
+		}
+		env.SetTimer(every, fire)
+		return proto.HandlerFunc(func(from types.ProcID, m proto.Message) {
+			// Pulls (and everything else non-RB) fall into the void: the
+			// forged hashes stay unresolvable forever.
 			layer.OnMessage(from, m)
 		})
 	}

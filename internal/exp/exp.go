@@ -573,6 +573,15 @@ func LogWorkloadSpec(n, batch, pipeline, workload int, seed int64) runner.LogSpe
 	return spec
 }
 
+// CoalescedLogWorkloadSpec is LogWorkloadSpec with the reliable-broadcast
+// coalescing relay enabled (log.Config.Coalesce) — the workload the
+// large-n bench cells and the rb-coalesce scenarios measure.
+func CoalescedLogWorkloadSpec(n, batch, pipeline, workload int, seed int64) runner.LogSpec {
+	spec := LogWorkloadSpec(n, batch, pipeline, workload, seed)
+	spec.Log.Coalesce = true
+	return spec
+}
+
 // KVWorkloadSpec builds the canonical replicated-KV benchmark workload
 // (the one both the in-repo benchmarks and cmd/minsync-bench measure, so
 // BENCH_*.json trends stay comparable): `workload` session-carrying

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/proto"
+	"repro/internal/rb"
 	"repro/internal/trace"
 	"repro/internal/types"
 )
@@ -99,6 +100,19 @@ type Config struct {
 	// symmetrically (identical FIFO everywhere), and the digest-pinned
 	// scenario fixtures depend on submission-order batches.
 	CanonicalBatches bool
+	// Coalesce enables the reliable-broadcast coalescing relay
+	// (rb.Relay): every ECHO/READY the replica originates within one
+	// flush quantum — across all pipelined instances — rides a single
+	// MsgRBVector frame per link, with large values referenced by content
+	// hash after the INIT carried them (see docs/rb-coalescing.md). This
+	// is the message-complexity fast path for large n. Off by default:
+	// coalescing reschedules the echo/ready traffic, so the digest-pinned
+	// legacy fixtures must run without it; live clusters and the
+	// rb-coalesce-* scenarios turn it on.
+	Coalesce bool
+	// CoalesceQuantum overrides the relay flush period
+	// (default rb.DefaultQuantum). Only meaningful with Coalesce.
+	CoalesceQuantum types.Duration
 	// AutoCompactLag, when > 0, compacts instance i as soon as instance
 	// i+AutoCompactLag is applied — the "retire wholesale when an instance
 	// commits" mode for pure log runs that keep no snapshots. 0 disables
@@ -152,6 +166,8 @@ type Engine struct {
 	running    bool
 	closed     bool
 	err        error // first per-instance construction error, if any
+
+	relay *rb.Relay // coalescing relay (nil unless cfg.Coalesce)
 }
 
 var _ proto.Handler = (*Engine)(nil)
@@ -190,14 +206,23 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.MaxLead < types.Instance(cfg.Pipeline)+1 {
 		cfg.MaxLead = types.Instance(cfg.Pipeline) + 1
 	}
-	return &Engine{
+	l := &Engine{
 		cfg:        cfg,
 		insts:      make(map[types.Instance]*instance),
 		decided:    make(map[types.Instance]types.Value),
 		pendingSet: make(map[types.Value]struct{}),
 		inFlight:   make(map[types.Value]int),
 		committed:  make(map[types.Value]struct{}),
-	}, nil
+	}
+	if cfg.Coalesce {
+		l.relay = rb.NewRelay(rb.RelayConfig{
+			Env:     cfg.Env,
+			Sink:    l.dispatch,
+			Quantum: cfg.CoalesceQuantum,
+			Metrics: cfg.Engine.RBMetrics,
+		})
+	}
+	return l, nil
 }
 
 // Start opens the pipeline: the engine proposes in instances
@@ -243,7 +268,20 @@ func (l *Engine) Close() { l.closed = true }
 func (l *Engine) SetRetirer(r Retirer) { l.retirer = r }
 
 // OnMessage implements proto.Handler: demultiplex to the instance engine.
+// With coalescing on, the relay fronts the dispatch — it consumes its
+// carrier frames (unpacking each vector entry back into the loose
+// message it replaces and feeding it to dispatch, where the MaxLead and
+// floor guards apply per entry exactly as they would per loose message)
+// and passively learns INIT values for the echo-by-hash cache.
 func (l *Engine) OnMessage(from types.ProcID, m proto.Message) {
+	if l.relay != nil && l.relay.Inbound(from, m) {
+		return
+	}
+	l.dispatch(from, m)
+}
+
+// dispatch routes one (possibly relay-unpacked) message by instance.
+func (l *Engine) dispatch(from types.ProcID, m proto.Message) {
 	i := m.Instance
 	if i < 0 || i >= l.applied+l.cfg.MaxLead {
 		l.dropsAhead++
@@ -280,7 +318,15 @@ func (l *Engine) getInstance(i types.Instance) *instance {
 		return inst
 	}
 	ecfg := l.cfg.Engine
-	ecfg.Env = &instEnv{base: l.cfg.Env, id: i}
+	base := l.cfg.Env
+	if l.relay != nil {
+		// The relay sits between the instance envs and the real
+		// environment, so every instance's ECHO/READY broadcasts land in
+		// the shared coalescing buffer (that sharing IS the
+		// cross-instance batching).
+		base = l.relay
+	}
+	ecfg.Env = &instEnv{base: base, id: i}
 	ecfg.BotMode = true
 	ecfg.OnDecide = func(v types.Value) { l.onInstanceDecided(i, v) }
 	eng, err := core.New(ecfg)
@@ -494,6 +540,9 @@ func (l *Engine) Compact(floor types.Instance) int {
 	if l.retirer != nil {
 		l.retirer.RetireInstancesBefore(floor)
 	}
+	if l.relay != nil {
+		l.relay.RetireInstancesBefore(floor)
+	}
 	return released
 }
 
@@ -623,6 +672,9 @@ func (l *Engine) InstallSnapshot(boundary types.Instance, index int, retained []
 	if l.retirer != nil {
 		l.retirer.RetireInstancesBefore(l.floor)
 	}
+	if l.relay != nil {
+		l.relay.RetireInstancesBefore(l.floor)
+	}
 	if l.nextStart < boundary {
 		l.nextStart = boundary
 	}
@@ -706,6 +758,10 @@ func (l *Engine) Instance(i types.Instance) *core.Engine {
 
 // Instances returns the number of instantiated consensus engines.
 func (l *Engine) Instances() int { return len(l.insts) }
+
+// Relay exposes the coalescing relay for introspection (nil unless
+// Config.Coalesce was set).
+func (l *Engine) Relay() *rb.Relay { return l.relay }
 
 // instEnv wraps the process environment for one instance: outgoing
 // messages are stamped with the instance number; everything else

@@ -213,7 +213,22 @@ type RBMetrics struct {
 	Echoes     *Counter
 	Readies    *Counter
 	Delivers   *Counter
+	// The coalescing-relay instruments (rb.Relay). FramesCoalesced counts
+	// vector frames this process flushed; FrameEntries is the
+	// entries-per-frame distribution (the coalescing factor); Pulls counts
+	// hash-before-value resolution requests sent; ParkDrops counts entries
+	// discarded because the parking lot was full (pressure from
+	// hash-without-value starvation attacks).
+	FramesCoalesced *Counter
+	FrameEntries    *Histogram
+	Pulls           *Counter
+	ParkDrops       *Counter
 }
+
+// FrameEntriesBuckets are the entries-per-frame histogram bounds: the
+// interesting range spans "no coalescing happened" (1) through the
+// pipeline-wide batches of a loaded large-n run.
+var FrameEntriesBuckets = []int64{1, 2, 5, 10, 20, 50, 100, 200, 500}
 
 // NewRBMetrics registers the reliable-broadcast bundle.
 func NewRBMetrics(r *Registry, labels string) *RBMetrics {
@@ -221,10 +236,14 @@ func NewRBMetrics(r *Registry, labels string) *RBMetrics {
 		return nil
 	}
 	return &RBMetrics{
-		Broadcasts: r.Counter(WithLabels("minsync_rb_broadcasts_total", labels)),
-		Echoes:     r.Counter(WithLabels("minsync_rb_echoes_total", labels)),
-		Readies:    r.Counter(WithLabels("minsync_rb_readies_total", labels)),
-		Delivers:   r.Counter(WithLabels("minsync_rb_delivers_total", labels)),
+		Broadcasts:      r.Counter(WithLabels("minsync_rb_broadcasts_total", labels)),
+		Echoes:          r.Counter(WithLabels("minsync_rb_echoes_total", labels)),
+		Readies:         r.Counter(WithLabels("minsync_rb_readies_total", labels)),
+		Delivers:        r.Counter(WithLabels("minsync_rb_delivers_total", labels)),
+		FramesCoalesced: r.Counter(WithLabels("minsync_rb_frames_coalesced_total", labels)),
+		FrameEntries:    r.Histogram(WithLabels("minsync_rb_frame_entries", labels), FrameEntriesBuckets),
+		Pulls:           r.Counter(WithLabels("minsync_rb_pulls_total", labels)),
+		ParkDrops:       r.Counter(WithLabels("minsync_rb_park_drops_total", labels)),
 	}
 }
 

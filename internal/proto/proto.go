@@ -42,6 +42,19 @@ const (
 	// first-message-only rule (see Node.Dispatch).
 	MsgSnapRequest  // SNAP_REQ(Instance = requester's applied boundary)
 	MsgSnapResponse // SNAP_RESP(digest ‖ snapshot bytes; Instance = snapshot boundary)
+	// The coalesced-relay kinds (wire codec v4, module ModRBRelay) carry
+	// the message-batching fast path of the reliable-broadcast layer
+	// (rb.Relay): a vector frame packs every ECHO/READY a process
+	// originated in one flush window into a single frame per link, and
+	// the pull pair resolves hash-referenced values that arrived before
+	// their INIT. Like the snapshot kinds they are exempt from the
+	// first-message-only rule (see Node.Dispatch): the rule applies to
+	// the ENTRIES a vector carries (the relay enforces it per entry),
+	// not to the carrier frames, and pulls are idempotent retries whose
+	// responses self-validate by hash.
+	MsgRBVector   // RB_VECTOR(encoded entry vector; see rb.EncodeEntries)
+	MsgRBPull     // RB_PULL(Val = value hash being resolved)
+	MsgRBPullResp // RB_PULLR(Val = the full value; receiver re-hashes to match)
 )
 
 // String implements fmt.Stringer. A switch, not a map: tracing and error
@@ -69,6 +82,12 @@ func (k MsgKind) String() string {
 		return "SNAP_REQ"
 	case MsgSnapResponse:
 		return "SNAP_RESP"
+	case MsgRBVector:
+		return "RB_VECTOR"
+	case MsgRBPull:
+		return "RB_PULL"
+	case MsgRBPullResp:
+		return "RB_PULLR"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", int(k))
 	}
@@ -101,6 +120,10 @@ const (
 	// ModSnap tags the replica-to-replica snapshot-transfer messages
 	// (MsgSnapRequest/MsgSnapResponse); Round is always 0.
 	ModSnap
+	// ModRBRelay tags the coalesced-relay carrier messages
+	// (MsgRBVector/MsgRBPull/MsgRBPullResp); Round is always 0 — the
+	// entries inside a vector carry their own tags and instances.
+	ModRBRelay
 )
 
 // String implements fmt.Stringer (a switch for the same reason as
@@ -123,6 +146,8 @@ func (m Module) String() string {
 		return "kv"
 	case ModSnap:
 		return "snap"
+	case ModRBRelay:
+		return "rb-relay"
 	default:
 		return fmt.Sprintf("Module(%d)", int(m))
 	}
@@ -312,8 +337,18 @@ func (n *Node) SetMetrics(m *obs.DedupMetrics) { n.metrics = m }
 // (digest check plus t+1 corroboration at the requester, rate limiting
 // at the server — see sm.Transfer), and never feed the consensus layers
 // the rule protects.
+//
+// The coalesced-relay carrier kinds (MsgRBVector/MsgRBPull/MsgRBPullResp)
+// bypass for the same structural reason: a process legitimately sends many
+// vector frames per peer (one per flush window) and many pulls, all
+// sharing the (From, Kind, Tag, Origin) identity the rule would consume
+// after the first. The first-message rule still applies — to the ECHO and
+// READY entries a vector carries, enforced per entry by rb.Relay with the
+// identical (sender, kind, tag, origin)-per-instance key, so the protocol
+// layers see exactly the stream they would without coalescing.
 func (n *Node) Dispatch(from types.ProcID, m Message) {
-	if m.Kind == MsgSnapRequest || m.Kind == MsgSnapResponse {
+	switch m.Kind {
+	case MsgSnapRequest, MsgSnapResponse, MsgRBVector, MsgRBPull, MsgRBPullResp:
 		n.h.OnMessage(from, m)
 		return
 	}

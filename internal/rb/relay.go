@@ -1,0 +1,723 @@
+// relay.go is the message-coalescing fast path of the reliable-broadcast
+// layer: rb.Relay batches every ECHO/READY a process originates within
+// one flush quantum — across ALL pipelined log instances — into a single
+// MsgRBVector frame per link, and shrinks the dominant phases further by
+// referencing values by content hash once the INIT has carried them in
+// full (echo-by-hash, with a pull path for the rare hash-before-value
+// arrival). See docs/rb-coalescing.md for the frame layout and the full
+// correctness argument.
+//
+// Correctness in one paragraph: coalescing changes FRAMING and VALUE
+// INDIRECTION only, never the counting logic. On the receive side every
+// vector entry is deduplicated with exactly the (sender, kind, tag,
+// origin)-per-instance key proto.Node applies to loose messages, then
+// resolved to a full value and handed to the same per-instance dispatch
+// path a loose ECHO/READY would take — so the rb.Layer instances observe
+// a stream indistinguishable from the uncoalesced run (up to timing) and
+// every RB-* property (Validity, Unicity, Termination-1, Termination-2)
+// holds by the unmodified proofs. Hash entries whose value is unknown are
+// PARKED, not counted: a Byzantine vector naming an unresolvable hash can
+// occupy bounded parking-lot memory but can never move an echo or ready
+// counter. Liveness of resolution follows from the thresholds themselves:
+// a correct process only lacks a value if the INIT did not reach it, and
+// any quorum that makes a hash entry matter (≥ t+1 readies, or an echo
+// quorum) contains a correct process that HAS the value and answers the
+// pull, because correct relays cache every value they echo or ready.
+package rb
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/proto"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// HashLen is the truncated content-hash length of echo-by-hash entries
+// (16 bytes of SHA-256 — 128-bit collision resistance against adversaries
+// that choose values, far beyond the forgery budget of a t<n/3 system).
+const HashLen = 16
+
+// InlineMax is the largest value carried inline in a vector entry;
+// longer values ride as a HashLen-byte reference. Inlining anything a
+// hash would not shrink keeps small-value workloads entirely off the
+// pull path.
+const InlineMax = 24
+
+// DefaultQuantum is the default relay flush period. Flushes are aligned
+// to the absolute time grid (multiples of the quantum since time zero),
+// so under simulated time all processes flush at identical instants and
+// a step's cross-instance traffic coalesces maximally.
+const DefaultQuantum = 2 * time.Millisecond
+
+// Vector frame hard bounds — defensive limits against forged frames.
+const (
+	maxVectorEntries = 1 << 16
+	maxEntryValueLen = 1 << 20
+	defaultMaxBuffer = 2048
+	defaultMaxParked = 4096
+	entryHeaderLen   = 3 + 8 + 4 + 8 + 4 // kind, mod, flags, round, origin, instance, payload len
+	entryFlagHashed  = 1 << 0
+)
+
+// Entry is one coalesced ECHO or READY inside a MsgRBVector frame: the
+// full identity of the loose message it replaces (kind, tag, origin,
+// instance) plus its value, inline or as a HashLen-byte content hash.
+type Entry struct {
+	Kind     proto.MsgKind // MsgRBEcho or MsgRBReady
+	Tag      proto.Tag
+	Origin   types.ProcID
+	Instance types.Instance
+	// Hashed marks Val as a HashLen-byte content hash of the value
+	// (echo-by-hash) rather than the value itself.
+	Hashed bool
+	Val    types.Value
+}
+
+// EncodeEntries serializes a vector of coalesced entries into the
+// payload bytes of a MsgRBVector frame. Layout: a uint32 entry count,
+// then per entry a fixed little-endian header (kind, module, flags,
+// round int64, origin int32, instance int64, payload length uint32)
+// followed by the payload (the value, or its hash when flag bit 0 is
+// set). It refuses entries the vocabulary cannot express, mirroring the
+// wire encoders.
+func EncodeEntries(entries []Entry) ([]byte, error) {
+	if len(entries) > maxVectorEntries {
+		return nil, fmt.Errorf("rb: %d entries exceed the vector limit", len(entries))
+	}
+	size := 4
+	for _, e := range entries {
+		size += entryHeaderLen + len(e.Val)
+	}
+	buf := make([]byte, 4, size)
+	binary.LittleEndian.PutUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		if e.Kind != proto.MsgRBEcho && e.Kind != proto.MsgRBReady {
+			return nil, fmt.Errorf("rb: vector entry cannot carry %v", e.Kind)
+		}
+		if e.Tag.Mod < proto.ModConsCB0 || e.Tag.Mod > proto.ModDecide {
+			return nil, fmt.Errorf("rb: vector entry cannot carry module %v", e.Tag.Mod)
+		}
+		if e.Tag.Round < 0 || e.Origin < 0 || e.Instance < 0 {
+			return nil, fmt.Errorf("rb: negative field in vector entry")
+		}
+		if e.Hashed && len(e.Val) != HashLen {
+			return nil, fmt.Errorf("rb: hashed entry with %d-byte reference", len(e.Val))
+		}
+		if len(e.Val) > maxEntryValueLen {
+			return nil, fmt.Errorf("rb: entry value of %d bytes exceeds limit", len(e.Val))
+		}
+		var hdr [entryHeaderLen]byte
+		hdr[0] = byte(e.Kind)
+		hdr[1] = byte(e.Tag.Mod)
+		if e.Hashed {
+			hdr[2] = entryFlagHashed
+		}
+		binary.LittleEndian.PutUint64(hdr[3:], uint64(e.Tag.Round))
+		binary.LittleEndian.PutUint32(hdr[11:], uint32(int32(e.Origin)))
+		binary.LittleEndian.PutUint64(hdr[15:], uint64(e.Instance))
+		binary.LittleEndian.PutUint32(hdr[23:], uint32(len(e.Val)))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, e.Val...)
+	}
+	return buf, nil
+}
+
+// leU32/leU64 read little-endian integers straight out of a string-backed
+// value. Decoding operates on types.Value (not []byte) so the receive path
+// is ZERO-COPY: a vector frame is parsed in place and every inline entry
+// value is a substring sharing the frame's backing array — no per-receiver
+// frame copy and no per-entry allocation, which at large n is the
+// difference between the relay paying for itself and drowning the win in
+// garbage-collector work.
+func leU32(s types.Value, off int) uint32 {
+	return uint32(s[off]) | uint32(s[off+1])<<8 | uint32(s[off+2])<<16 | uint32(s[off+3])<<24
+}
+
+func leU64(s types.Value, off int) uint64 {
+	return uint64(leU32(s, off)) | uint64(leU32(s, off+4))<<32
+}
+
+// DecodeEntries parses a MsgRBVector payload. It validates defensively —
+// the bytes may come from a Byzantine aggregator — enforcing the entry
+// vocabulary, field ranges, the hashed-reference length, and exact frame
+// length; any violation rejects the whole frame.
+func DecodeEntries(v types.Value) ([]Entry, error) {
+	return decodeEntriesInto(nil, v)
+}
+
+// decodeEntriesInto is DecodeEntries appending into a caller-owned scratch
+// slice, letting the relay reuse one buffer across frames.
+func decodeEntriesInto(dst []Entry, v types.Value) ([]Entry, error) {
+	if len(v) < 4 {
+		return nil, fmt.Errorf("rb: short vector (%d bytes)", len(v))
+	}
+	count := leU32(v, 0)
+	if count > maxVectorEntries {
+		return nil, fmt.Errorf("rb: vector count %d exceeds limit", count)
+	}
+	if int(count)*entryHeaderLen > len(v)-4 {
+		return nil, fmt.Errorf("rb: vector count %d exceeds frame size", count)
+	}
+	if cap(dst) < int(count) {
+		dst = make([]Entry, 0, count)
+	}
+	entries := dst[:0]
+	off := 4
+	for k := uint32(0); k < count; k++ {
+		if len(v)-off < entryHeaderLen {
+			return nil, fmt.Errorf("rb: truncated entry %d", k)
+		}
+		kind := proto.MsgKind(v[off])
+		if kind != proto.MsgRBEcho && kind != proto.MsgRBReady {
+			return nil, fmt.Errorf("rb: invalid entry kind %d", v[off])
+		}
+		mod := proto.Module(v[off+1])
+		if mod < proto.ModConsCB0 || mod > proto.ModDecide {
+			return nil, fmt.Errorf("rb: invalid entry module %d", v[off+1])
+		}
+		if v[off+2]&^byte(entryFlagHashed) != 0 {
+			return nil, fmt.Errorf("rb: unknown entry flags %#x", v[off+2])
+		}
+		hashed := v[off+2]&entryFlagHashed != 0
+		round := int64(leU64(v, off+3))
+		origin := int32(leU32(v, off+11))
+		instance := int64(leU64(v, off+15))
+		if round < 0 || origin < 0 || instance < 0 {
+			return nil, fmt.Errorf("rb: negative field in entry %d", k)
+		}
+		plen := leU32(v, off+23)
+		if plen > maxEntryValueLen {
+			return nil, fmt.Errorf("rb: entry value length %d exceeds limit", plen)
+		}
+		if hashed && plen != HashLen {
+			return nil, fmt.Errorf("rb: hashed entry with %d-byte reference", plen)
+		}
+		off += entryHeaderLen
+		if len(v)-off < int(plen) {
+			return nil, fmt.Errorf("rb: truncated entry %d payload", k)
+		}
+		entries = append(entries, Entry{
+			Kind:     kind,
+			Tag:      proto.Tag{Mod: mod, Round: types.Round(round)},
+			Origin:   types.ProcID(origin),
+			Instance: types.Instance(instance),
+			Hashed:   hashed,
+			Val:      v[off : off+int(plen)],
+		})
+		off += int(plen)
+	}
+	if off != len(v) {
+		return nil, fmt.Errorf("rb: %d trailing bytes after vector", len(v)-off)
+	}
+	return entries, nil
+}
+
+// hashKey is a truncated content hash used as a map key.
+type hashKey [HashLen]byte
+
+func hashValue(v types.Value) hashKey {
+	sum := sha256.Sum256([]byte(v))
+	var h hashKey
+	copy(h[:], sum[:HashLen])
+	return h
+}
+
+// RelayConfig assembles a Relay.
+type RelayConfig struct {
+	// Env is the real process environment the relay wraps (vector frames,
+	// pulls and pass-through traffic all leave through it).
+	Env proto.Env
+	// Sink receives each resolved entry as the loose message it replaces,
+	// exactly as a deduplicating dispatcher would deliver it. The hosting
+	// engine passes its per-instance dispatch here.
+	Sink func(from types.ProcID, m proto.Message)
+	// Quantum is the flush period (default DefaultQuantum). Flushes align
+	// to the absolute grid: the timer fires at the next multiple of the
+	// quantum, so co-scheduled processes flush at identical virtual-time
+	// instants.
+	Quantum types.Duration
+	// MaxBuffer flushes the outbound buffer early when it holds this many
+	// entries (default 2048) — a latency/memory bound for live mode.
+	MaxBuffer int
+	// MaxParked caps the total hash-before-value entries parked awaiting
+	// resolution (default 4096); beyond it entries are dropped and
+	// counted, bounding memory under starvation attacks.
+	MaxParked int
+	// Metrics, if non-nil, receives the coalescing instruments
+	// (FramesCoalesced, FrameEntries, Pulls, ParkDrops). Passive.
+	Metrics *obs.RBMetrics
+}
+
+// Relay is the per-process coalescing layer. It wraps the process
+// environment on the OUTBOUND side (intercepting ECHO/READY broadcasts
+// into a buffered vector) and fronts the engine's dispatch on the
+// INBOUND side (Inbound consumes carrier frames and feeds resolved
+// entries to the sink). Like every layer in the stack it is
+// single-threaded: all calls must come from the hosting runtime's event
+// loop.
+type Relay struct {
+	env     proto.Env
+	sink    func(from types.ProcID, m proto.Message)
+	quantum types.Duration
+	maxBuf  int
+	maxPark int
+	metrics *obs.RBMetrics
+
+	buf         []Entry
+	cancelFlush func()
+	scratch     []Entry // decode buffer reused across inbound frames
+
+	// seenBits mirrors proto.Node's first-message-only rule per entry —
+	// one (sender, kind, tag, origin) per instance, retired with the same
+	// floor the dedup layer uses — but stores it as one bitmap per
+	// (instance, tag) scope indexed by (sender, origin, kind). The
+	// (sender, origin) plane is dense (both are process indices below n),
+	// so a bit test replaces the growing hashed-key set that dominated
+	// the profile: no rehashing, no 40-byte key hashing, one small map
+	// lookup per entry.
+	n        int // Params().N, fixes the bitmap geometry
+	seenBits map[dedupScope][]uint64
+	floor    types.Instance
+
+	// cache binds content hashes to values learned from INITs (inbound
+	// and outbound) and from validated pull responses. maxInst tracks the
+	// highest instance referencing the value, for retirement.
+	cache map[hashKey]*cacheVal
+
+	parked    map[hashKey][]parkedRef
+	parkedLen int
+	pulled    map[hashKey]map[types.ProcID]struct{}
+
+	framesOut  uint64
+	entriesOut uint64
+	pulls      uint64
+	parkDrops  uint64
+	dupEntries uint64
+	badFrames  uint64
+	scopeDrops uint64
+}
+
+// dedupScope identifies one dedup bitmap: a log instance and the tag of
+// the rb sub-instance inside it. Everything else in the entry identity —
+// sender, origin, kind — indexes into the bitmap.
+type dedupScope struct {
+	inst  types.Instance
+	mod   proto.Module
+	round types.Round
+}
+
+// maxDedupScopes caps the live bitmaps. Each costs n²/32 bytes, so a
+// Byzantine vector naming fresh (instance, tag) pairs allocates more per
+// entry than the map-per-instance design it replaced; the cap bounds that
+// amplification while sitting far above what live instances of a correct
+// run ever reach (a few hundred). Overflow entries are dropped and
+// counted, never delivered undeduplicated.
+const maxDedupScopes = 1 << 14
+
+type cacheVal struct {
+	val     types.Value
+	maxInst types.Instance
+}
+
+type parkedRef struct {
+	from     types.ProcID
+	kind     proto.MsgKind
+	tag      proto.Tag
+	origin   types.ProcID
+	instance types.Instance
+}
+
+var _ proto.Env = (*Relay)(nil)
+
+// NewRelay builds the coalescing relay. cfg.Env and cfg.Sink are
+// required.
+func NewRelay(cfg RelayConfig) *Relay {
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = DefaultQuantum
+	}
+	if cfg.MaxBuffer <= 0 {
+		cfg.MaxBuffer = defaultMaxBuffer
+	}
+	if cfg.MaxParked <= 0 {
+		cfg.MaxParked = defaultMaxParked
+	}
+	return &Relay{
+		env:      cfg.Env,
+		sink:     cfg.Sink,
+		quantum:  cfg.Quantum,
+		maxBuf:   cfg.MaxBuffer,
+		maxPark:  cfg.MaxParked,
+		metrics:  cfg.Metrics,
+		n:        cfg.Env.Params().N,
+		seenBits: make(map[dedupScope][]uint64),
+		cache:    make(map[hashKey]*cacheVal),
+		parked:   make(map[hashKey][]parkedRef),
+		pulled:   make(map[hashKey]map[types.ProcID]struct{}),
+	}
+}
+
+// proto.Env pass-throughs: the relay is transparent for everything but
+// ECHO/READY broadcasts.
+
+// ID returns the wrapped environment's process ID.
+func (r *Relay) ID() types.ProcID { return r.env.ID() }
+
+// Params returns the wrapped environment's resilience parameters.
+func (r *Relay) Params() types.Params { return r.env.Params() }
+
+// Now returns the wrapped environment's clock reading.
+func (r *Relay) Now() types.Time { return r.env.Now() }
+
+// Trace returns the wrapped environment's trace sink.
+func (r *Relay) Trace() trace.Sink { return r.env.Trace() }
+
+// SetTimer passes through to the wrapped environment's timer.
+func (r *Relay) SetTimer(d types.Duration, fn func()) (cancel func()) {
+	return r.env.SetTimer(d, fn)
+}
+
+// Send passes point-to-point messages through unchanged: only the
+// broadcast fan-out of ECHO/READY is worth coalescing.
+func (r *Relay) Send(to types.ProcID, m proto.Message) {
+	r.env.Send(to, m)
+}
+
+// Broadcast intercepts the coalescable kinds. INIT passes through with
+// the full value (and seeds the hash cache, so this process can answer
+// pulls for values it originated); ECHO/READY are buffered for the next
+// flush; everything else is transparent.
+func (r *Relay) Broadcast(m proto.Message) {
+	switch m.Kind {
+	case proto.MsgRBInit:
+		r.learn(m.Val, m.Instance)
+	case proto.MsgRBEcho, proto.MsgRBReady:
+		r.buffer(m)
+		return
+	}
+	r.env.Broadcast(m)
+}
+
+// buffer queues one ECHO/READY, hashing large values, and arranges the
+// flush: at the next quantum-grid instant, or immediately at MaxBuffer.
+func (r *Relay) buffer(m proto.Message) {
+	e := Entry{Kind: m.Kind, Tag: m.Tag, Origin: m.Origin, Instance: m.Instance, Val: m.Val}
+	if len(m.Val) > InlineMax {
+		// Cache before hashing: a correct relay can answer pulls for
+		// every value it ever referenced by hash.
+		r.learn(m.Val, m.Instance)
+		h := hashValue(m.Val)
+		e.Hashed = true
+		e.Val = types.Value(h[:])
+	}
+	r.buf = append(r.buf, e)
+	if len(r.buf) >= r.maxBuf {
+		r.Flush()
+		return
+	}
+	if r.cancelFlush == nil {
+		d := r.quantum - types.Duration(int64(r.env.Now())%int64(r.quantum))
+		if d <= 0 {
+			d = r.quantum
+		}
+		r.cancelFlush = r.env.SetTimer(d, r.onFlushTimer)
+	}
+}
+
+func (r *Relay) onFlushTimer() {
+	r.cancelFlush = nil
+	r.Flush()
+}
+
+// Flush drains the outbound buffer into one MsgRBVector broadcast.
+// ECHO/READY are broadcasts, so the entry vector is identical for every
+// destination and is encoded exactly once per flush.
+func (r *Relay) Flush() {
+	if r.cancelFlush != nil {
+		r.cancelFlush()
+		r.cancelFlush = nil
+	}
+	if len(r.buf) == 0 {
+		return
+	}
+	enc, err := EncodeEntries(r.buf)
+	n := len(r.buf)
+	r.buf = r.buf[:0]
+	if err != nil {
+		// Unreachable for entries the relay itself built; drop rather
+		// than send a frame peers would reject.
+		return
+	}
+	r.framesOut++
+	r.entriesOut += uint64(n)
+	if mm := r.metrics; mm != nil {
+		mm.FramesCoalesced.Inc()
+		mm.FrameEntries.Observe(int64(n))
+	}
+	r.env.Broadcast(proto.Message{
+		Kind: proto.MsgRBVector, Tag: proto.Tag{Mod: proto.ModRBRelay},
+		Origin: r.env.ID(), Val: types.Value(enc),
+	})
+}
+
+// Buffered returns the number of entries awaiting the next flush.
+func (r *Relay) Buffered() int { return len(r.buf) }
+
+// Inbound fronts the engine's dispatch: it consumes the relay carrier
+// kinds (reporting true) and passively sniffs INIT values into the hash
+// cache (reporting false so the INIT proceeds down the normal path).
+// The caller must invoke it before any instance routing.
+func (r *Relay) Inbound(from types.ProcID, m proto.Message) bool {
+	switch m.Kind {
+	case proto.MsgRBInit:
+		r.learn(m.Val, m.Instance)
+		return false
+	case proto.MsgRBVector:
+		r.onVector(from, m)
+		return true
+	case proto.MsgRBPull:
+		r.onPull(from, m)
+		return true
+	case proto.MsgRBPullResp:
+		r.onPullResp(m)
+		return true
+	}
+	return false
+}
+
+// onVector unpacks a vector frame: per entry, first-message dedup (the
+// rule proto.Node applies to loose messages, with the same key), then
+// value resolution — inline delivers immediately, known hashes deliver
+// from cache, unknown hashes park and pull. Parked entries are NOT
+// counted anywhere until resolved, so forged hashes cannot move
+// thresholds.
+func (r *Relay) onVector(from types.ProcID, m proto.Message) {
+	entries, err := decodeEntriesInto(r.scratch, m.Val)
+	if err != nil {
+		r.badFrames++
+		return
+	}
+	r.scratch = entries[:0]
+	for _, e := range entries {
+		if e.Instance < r.floor {
+			continue
+		}
+		// An origin outside the 1-based process range [1, n] names no
+		// process: no rb instance about it can ever reach a threshold, so
+		// the entry is spam by construction and is dropped before it can
+		// allocate dedup state. (The sender index is link-authenticated
+		// and always in range.)
+		if e.Origin < 1 || int(e.Origin) > r.n {
+			r.scopeDrops++
+			continue
+		}
+		scope := dedupScope{inst: e.Instance, mod: e.Tag.Mod, round: e.Tag.Round}
+		bits := r.seenBits[scope]
+		if bits == nil {
+			if len(r.seenBits) >= maxDedupScopes {
+				r.scopeDrops++
+				continue
+			}
+			bits = make([]uint64, (2*r.n*r.n+63)/64)
+			r.seenBits[scope] = bits
+		}
+		idx := ((int(from)-1)*r.n + int(e.Origin) - 1) * 2
+		if e.Kind == proto.MsgRBReady {
+			idx++
+		}
+		mask := uint64(1) << (idx & 63)
+		if bits[idx>>6]&mask != 0 {
+			r.dupEntries++
+			continue
+		}
+		bits[idx>>6] |= mask
+		if !e.Hashed {
+			r.deliver(from, e, e.Val)
+			continue
+		}
+		var h hashKey
+		copy(h[:], e.Val)
+		if cv, ok := r.cache[h]; ok {
+			if e.Instance > cv.maxInst {
+				cv.maxInst = e.Instance
+			}
+			r.deliver(from, e, cv.val)
+			continue
+		}
+		r.park(from, e, h)
+	}
+}
+
+// deliver hands one resolved entry to the sink as the loose message it
+// replaces.
+func (r *Relay) deliver(from types.ProcID, e Entry, v types.Value) {
+	r.sink(from, proto.Message{
+		Kind: e.Kind, Tag: e.Tag, Origin: e.Origin, Instance: e.Instance, Val: v,
+	})
+}
+
+// park shelves a hash-before-value entry and pulls the value from the
+// frame's sender — who, being the one that referenced the hash, must
+// hold the value if correct. One pull per (hash, sender): later vectors
+// from OTHER senders naming the same hash trigger their own pulls, which
+// is what makes resolution live once any correct process references the
+// value.
+func (r *Relay) park(from types.ProcID, e Entry, h hashKey) {
+	if r.parkedLen >= r.maxPark {
+		r.parkDrops++
+		if mm := r.metrics; mm != nil {
+			mm.ParkDrops.Inc()
+		}
+		return
+	}
+	r.parked[h] = append(r.parked[h], parkedRef{
+		from: from, kind: e.Kind, tag: e.Tag, origin: e.Origin, instance: e.Instance,
+	})
+	r.parkedLen++
+	pulls := r.pulled[h]
+	if pulls == nil {
+		pulls = make(map[types.ProcID]struct{})
+		r.pulled[h] = pulls
+	}
+	if _, done := pulls[from]; done {
+		return
+	}
+	pulls[from] = struct{}{}
+	r.pulls++
+	if mm := r.metrics; mm != nil {
+		mm.Pulls.Inc()
+	}
+	r.env.Send(from, proto.Message{
+		Kind: proto.MsgRBPull, Tag: proto.Tag{Mod: proto.ModRBRelay},
+		Origin: r.env.ID(), Val: types.Value(h[:]),
+	})
+}
+
+// onPull answers a resolution request from the cache; unknown hashes are
+// ignored (the puller retries against other referencing senders).
+func (r *Relay) onPull(from types.ProcID, m proto.Message) {
+	if len(m.Val) != HashLen {
+		r.badFrames++
+		return
+	}
+	var h hashKey
+	copy(h[:], m.Val)
+	cv, ok := r.cache[h]
+	if !ok {
+		return
+	}
+	r.env.Send(from, proto.Message{
+		Kind: proto.MsgRBPullResp, Tag: proto.Tag{Mod: proto.ModRBRelay},
+		Origin: r.env.ID(), Val: cv.val,
+	})
+}
+
+// onPullResp resolves parked entries. The response is self-validating:
+// the receiver re-hashes the carried value and only entries parked under
+// that exact hash resolve, so a Byzantine responder cannot substitute a
+// different value — a wrong value simply resolves nothing.
+func (r *Relay) onPullResp(m proto.Message) {
+	h := hashValue(m.Val)
+	refs, ok := r.parked[h]
+	if !ok {
+		// Unsolicited (or already resolved): ignore rather than cache,
+		// so responders cannot stuff the cache with junk bindings.
+		return
+	}
+	delete(r.parked, h)
+	delete(r.pulled, h)
+	r.parkedLen -= len(refs)
+	maxInst := types.Instance(0)
+	for _, ref := range refs {
+		if ref.instance > maxInst {
+			maxInst = ref.instance
+		}
+	}
+	r.learn(m.Val, maxInst)
+	for _, ref := range refs {
+		r.sink(ref.from, proto.Message{
+			Kind: ref.kind, Tag: ref.tag, Origin: ref.origin, Instance: ref.instance, Val: m.Val,
+		})
+	}
+}
+
+// learn binds v's content hash to v, tracking the highest referencing
+// instance for retirement.
+func (r *Relay) learn(v types.Value, inst types.Instance) {
+	h := hashValue(v)
+	if cv, ok := r.cache[h]; ok {
+		if inst > cv.maxInst {
+			cv.maxInst = inst
+		}
+		return
+	}
+	r.cache[h] = &cacheVal{val: v, maxInst: inst}
+}
+
+// RetireInstancesBefore releases relay state below floor in the same
+// stroke as the engine's compaction: per-instance entry dedup, cached
+// values whose highest referencing instance is compacted, and parked
+// entries of retired instances. Mirrors proto.Node.RetireInstancesBefore.
+func (r *Relay) RetireInstancesBefore(floor types.Instance) {
+	if floor <= r.floor {
+		return
+	}
+	r.floor = floor
+	for s := range r.seenBits {
+		if s.inst < floor {
+			delete(r.seenBits, s)
+		}
+	}
+	for h, cv := range r.cache {
+		if cv.maxInst < floor {
+			delete(r.cache, h)
+		}
+	}
+	for h, refs := range r.parked {
+		kept := refs[:0]
+		for _, ref := range refs {
+			if ref.instance >= floor {
+				kept = append(kept, ref)
+			}
+		}
+		r.parkedLen -= len(refs) - len(kept)
+		if len(kept) == 0 {
+			delete(r.parked, h)
+			delete(r.pulled, h)
+		} else {
+			r.parked[h] = kept
+		}
+	}
+}
+
+// Introspection for tests and result accounting.
+
+// FramesOut returns the number of vector frames flushed.
+func (r *Relay) FramesOut() uint64 { return r.framesOut }
+
+// EntriesOut returns the total entries carried by flushed frames.
+func (r *Relay) EntriesOut() uint64 { return r.entriesOut }
+
+// Pulls returns the number of hash-resolution requests sent.
+func (r *Relay) Pulls() uint64 { return r.pulls }
+
+// ParkDrops returns the number of entries dropped at the parking cap.
+func (r *Relay) ParkDrops() uint64 { return r.parkDrops }
+
+// DupEntries returns the number of vector entries dropped as duplicates
+// by the first-message rule.
+func (r *Relay) DupEntries() uint64 { return r.dupEntries }
+
+// BadFrames returns the number of malformed carrier frames rejected.
+func (r *Relay) BadFrames() uint64 { return r.badFrames }
+
+// ScopeDrops returns the number of entries dropped defensively before
+// dedup: non-process origins, and entries past the dedup-scope cap.
+func (r *Relay) ScopeDrops() uint64 { return r.scopeDrops }
+
+// Parked returns the number of entries awaiting hash resolution.
+func (r *Relay) Parked() int { return r.parkedLen }

@@ -1,0 +1,521 @@
+package rb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/proto"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// relayEnv is a manual-clock environment: sends and broadcasts are
+// recorded, timers are collected and fired by hand.
+type relayEnv struct {
+	id     types.ProcID
+	params types.Params
+	now    types.Time
+	sent   []struct {
+		to types.ProcID
+		m  proto.Message
+	}
+	bcast  []proto.Message
+	timers []struct {
+		at types.Time
+		fn func()
+	}
+}
+
+var _ proto.Env = (*relayEnv)(nil)
+
+func newRelayEnv() *relayEnv {
+	return &relayEnv{id: 1, params: types.Params{N: 7, T: 2}}
+}
+
+func (e *relayEnv) ID() types.ProcID     { return e.id }
+func (e *relayEnv) Params() types.Params { return e.params }
+func (e *relayEnv) Now() types.Time      { return e.now }
+func (e *relayEnv) Trace() trace.Sink    { return trace.Discard{} }
+func (e *relayEnv) Send(to types.ProcID, m proto.Message) {
+	e.sent = append(e.sent, struct {
+		to types.ProcID
+		m  proto.Message
+	}{to, m})
+}
+func (e *relayEnv) Broadcast(m proto.Message) { e.bcast = append(e.bcast, m) }
+func (e *relayEnv) SetTimer(d types.Duration, fn func()) (cancel func()) {
+	e.timers = append(e.timers, struct {
+		at types.Time
+		fn func()
+	}{e.now + types.Time(d), fn})
+	idx := len(e.timers) - 1
+	return func() { e.timers[idx].fn = nil }
+}
+
+// fireTimers advances the clock to each due timer and fires it.
+func (e *relayEnv) fireTimers() {
+	for i := 0; i < len(e.timers); i++ {
+		t := e.timers[i]
+		if t.fn == nil {
+			continue
+		}
+		e.timers[i].fn = nil
+		if t.at > e.now {
+			e.now = t.at
+		}
+		t.fn()
+	}
+}
+
+type sinkRec struct {
+	from types.ProcID
+	m    proto.Message
+}
+
+func newTestRelay(env *relayEnv) (*Relay, *[]sinkRec) {
+	var got []sinkRec
+	r := NewRelay(RelayConfig{
+		Env:  env,
+		Sink: func(from types.ProcID, m proto.Message) { got = append(got, sinkRec{from, m}) },
+	})
+	return r, &got
+}
+
+var relayTag = proto.Tag{Mod: proto.ModACEst, Round: 3}
+
+func echoMsg(origin types.ProcID, inst types.Instance, v types.Value) proto.Message {
+	return proto.Message{Kind: proto.MsgRBEcho, Tag: relayTag, Origin: origin, Instance: inst, Val: v}
+}
+
+// --- entry codec -------------------------------------------------------------
+
+func TestEntriesRoundTrip(t *testing.T) {
+	big := types.Value(strings.Repeat("v", 100))
+	hash := hashValue(big)
+	entries := []Entry{
+		{Kind: proto.MsgRBEcho, Tag: proto.Tag{Mod: proto.ModConsCB0}, Origin: 1, Instance: 0, Val: "small"},
+		{Kind: proto.MsgRBReady, Tag: proto.Tag{Mod: proto.ModDecide, Round: 9}, Origin: 7, Instance: 41, Val: ""},
+		{Kind: proto.MsgRBEcho, Tag: proto.Tag{Mod: proto.ModEACB, Round: 1 << 30}, Origin: 3, Instance: 1 << 40, Hashed: true, Val: types.Value(hash[:])},
+	}
+	enc, err := EncodeEntries(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEntries(types.Value(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Errorf("entry %d: got %+v want %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestEncodeEntriesRejectsBadVocabulary(t *testing.T) {
+	for _, e := range []Entry{
+		{Kind: proto.MsgRBInit, Tag: relayTag, Origin: 1, Val: "x"},                      // INIT never coalesces
+		{Kind: proto.MsgRBVector, Tag: relayTag, Origin: 1, Val: "x"},                    // no nesting
+		{Kind: proto.MsgRBEcho, Tag: proto.Tag{Mod: proto.ModKV}, Origin: 1, Val: "x"},   // module out of range
+		{Kind: proto.MsgRBEcho, Tag: proto.Tag{Mod: relayTag.Mod, Round: -1}, Origin: 1}, // negative round
+		{Kind: proto.MsgRBEcho, Tag: relayTag, Origin: 1, Instance: -4},                  // negative instance
+		{Kind: proto.MsgRBEcho, Tag: relayTag, Origin: 1, Hashed: true, Val: "short"},    // bad hash length
+	} {
+		if _, err := EncodeEntries([]Entry{e}); err == nil {
+			t.Errorf("EncodeEntries accepted %+v", e)
+		}
+	}
+}
+
+func TestDecodeEntriesRejectsMalformed(t *testing.T) {
+	valid, err := EncodeEntries([]Entry{
+		{Kind: proto.MsgRBEcho, Tag: relayTag, Origin: 2, Instance: 5, Val: "value"},
+		{Kind: proto.MsgRBReady, Tag: relayTag, Origin: 2, Instance: 5, Val: "value"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(b []byte) []byte
+		substr string
+	}{
+		{"empty", func(b []byte) []byte { return nil }, "short"},
+		{"short", func(b []byte) []byte { return b[:3] }, "short"},
+		{"count overruns frame", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b, 1<<15)
+			return b
+		}, "count"},
+		{"count over limit", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b, maxVectorEntries+1)
+			return b
+		}, "limit"},
+		{"bad kind", func(b []byte) []byte { b[4] = byte(proto.MsgRBInit); return b }, "kind"},
+		{"bad module", func(b []byte) []byte { b[5] = 99; return b }, "module"},
+		{"unknown flags", func(b []byte) []byte { b[6] = 0x80; return b }, "flags"},
+		{"negative round", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[7:], 1<<63)
+			return b
+		}, "negative"},
+		{"hashed wrong length", func(b []byte) []byte {
+			b[6] = entryFlagHashed // payload is 5 bytes, not HashLen
+			return b
+		}, "hashed"},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-2] }, "truncated"},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xAB) }, "trailing"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := tt.mutate(bytes.Clone(valid))
+			if _, err := DecodeEntries(types.Value(b)); err == nil {
+				t.Fatal("malformed vector accepted")
+			} else if !strings.Contains(err.Error(), tt.substr) {
+				t.Errorf("error %q does not mention %q", err, tt.substr)
+			}
+		})
+	}
+}
+
+func FuzzDecodeEntries(f *testing.F) {
+	seed, _ := EncodeEntries([]Entry{
+		{Kind: proto.MsgRBEcho, Tag: relayTag, Origin: 2, Instance: 5, Val: "value"},
+	})
+	hash := hashValue("big-value")
+	hashed, _ := EncodeEntries([]Entry{
+		{Kind: proto.MsgRBReady, Tag: relayTag, Origin: 2, Instance: 5, Hashed: true, Val: types.Value(hash[:])},
+	})
+	f.Add(seed)
+	f.Add(hashed)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeEntries(types.Value(data))
+		if err != nil {
+			return
+		}
+		// Valid decodes must re-encode canonically.
+		b, err2 := EncodeEntries(entries)
+		if err2 != nil {
+			t.Fatalf("decoded entries fail to encode: %v", err2)
+		}
+		if !bytes.Equal(b, data) {
+			t.Fatalf("decode/encode not canonical: %x vs %x", data, b)
+		}
+	})
+}
+
+// --- outbound coalescing -----------------------------------------------------
+
+func TestRelayBuffersAndFlushesOnQuantum(t *testing.T) {
+	env := newRelayEnv()
+	r, _ := newTestRelay(env)
+	env.now = types.Time(DefaultQuantum) / 2 // off-grid start
+
+	// Three echo/ready broadcasts across two instances, one small INIT.
+	r.Broadcast(proto.Message{Kind: proto.MsgRBInit, Tag: relayTag, Origin: 1, Instance: 0, Val: "v0"})
+	r.Broadcast(echoMsg(1, 0, "v0"))
+	r.Broadcast(echoMsg(2, 1, "v1"))
+	r.Broadcast(proto.Message{Kind: proto.MsgRBReady, Tag: relayTag, Origin: 1, Instance: 0, Val: "v0"})
+
+	if len(env.bcast) != 1 {
+		t.Fatalf("%d broadcasts before flush, want 1 (the INIT)", len(env.bcast))
+	}
+	if r.Buffered() != 3 {
+		t.Fatalf("buffered %d entries, want 3", r.Buffered())
+	}
+	if len(env.timers) != 1 {
+		t.Fatalf("%d flush timers, want 1", len(env.timers))
+	}
+	// Grid alignment: the timer lands exactly on the next quantum multiple.
+	if at := env.timers[0].at; at != types.Time(DefaultQuantum) {
+		t.Fatalf("flush at %v, want %v", at, types.Time(DefaultQuantum))
+	}
+	env.fireTimers()
+	if len(env.bcast) != 2 {
+		t.Fatalf("%d broadcasts after flush, want 2", len(env.bcast))
+	}
+	frame := env.bcast[1]
+	if frame.Kind != proto.MsgRBVector || frame.Tag.Mod != proto.ModRBRelay || frame.Origin != 1 {
+		t.Fatalf("flush frame %+v", frame)
+	}
+	entries, err := DecodeEntries(frame.Val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("frame carries %d entries, want 3", len(entries))
+	}
+	if r.FramesOut() != 1 || r.EntriesOut() != 3 || r.Buffered() != 0 {
+		t.Fatalf("frames=%d entries=%d buffered=%d", r.FramesOut(), r.EntriesOut(), r.Buffered())
+	}
+}
+
+func TestRelayHashesLargeValues(t *testing.T) {
+	env := newRelayEnv()
+	r, _ := newTestRelay(env)
+	small := types.Value(strings.Repeat("s", InlineMax))
+	big := types.Value(strings.Repeat("b", InlineMax+1))
+	r.Broadcast(echoMsg(1, 0, small))
+	r.Broadcast(echoMsg(2, 0, big))
+	r.Flush()
+	entries, err := DecodeEntries(env.bcast[0].Val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries[0].Hashed || entries[0].Val != small {
+		t.Fatalf("small value not inline: %+v", entries[0])
+	}
+	h := hashValue(big)
+	if !entries[1].Hashed || entries[1].Val != types.Value(h[:]) {
+		t.Fatalf("large value not hashed: %+v", entries[1])
+	}
+	// The relay must be able to answer pulls for values it hashed.
+	r.Inbound(5, proto.Message{Kind: proto.MsgRBPull, Tag: proto.Tag{Mod: proto.ModRBRelay}, Origin: 5, Val: types.Value(h[:])})
+	if len(env.sent) != 1 || env.sent[0].m.Kind != proto.MsgRBPullResp || env.sent[0].m.Val != big {
+		t.Fatalf("pull not answered: %+v", env.sent)
+	}
+}
+
+func TestRelayFlushesAtMaxBuffer(t *testing.T) {
+	env := newRelayEnv()
+	var got []sinkRec
+	r := NewRelay(RelayConfig{
+		Env:       env,
+		Sink:      func(from types.ProcID, m proto.Message) { got = append(got, sinkRec{from, m}) },
+		MaxBuffer: 4,
+	})
+	for i := 0; i < 4; i++ {
+		r.Broadcast(echoMsg(types.ProcID(i+1), types.Instance(i), "v"))
+	}
+	if len(env.bcast) != 1 {
+		t.Fatalf("MaxBuffer did not force a flush: %d broadcasts", len(env.bcast))
+	}
+	if r.Buffered() != 0 {
+		t.Fatalf("buffer not drained: %d", r.Buffered())
+	}
+}
+
+// --- inbound unpacking -------------------------------------------------------
+
+func inboundVector(t *testing.T, r *Relay, from types.ProcID, entries []Entry) {
+	t.Helper()
+	enc, err := EncodeEntries(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Inbound(from, proto.Message{
+		Kind: proto.MsgRBVector, Tag: proto.Tag{Mod: proto.ModRBRelay},
+		Origin: from, Val: types.Value(enc),
+	}) {
+		t.Fatal("vector frame not consumed")
+	}
+}
+
+func TestInboundVectorDeliversInline(t *testing.T) {
+	env := newRelayEnv()
+	r, got := newTestRelay(env)
+	inboundVector(t, r, 4, []Entry{
+		{Kind: proto.MsgRBEcho, Tag: relayTag, Origin: 2, Instance: 7, Val: "v"},
+		{Kind: proto.MsgRBReady, Tag: relayTag, Origin: 2, Instance: 8, Val: "v"},
+	})
+	if len(*got) != 2 {
+		t.Fatalf("sink got %d messages, want 2", len(*got))
+	}
+	want := proto.Message{Kind: proto.MsgRBEcho, Tag: relayTag, Origin: 2, Instance: 7, Val: "v"}
+	if (*got)[0].from != 4 || (*got)[0].m != want {
+		t.Fatalf("sink[0] = %+v, want from=4 %+v", (*got)[0], want)
+	}
+}
+
+func TestInboundEntryDedupMirrorsFirstMessageRule(t *testing.T) {
+	env := newRelayEnv()
+	r, got := newTestRelay(env)
+	e := Entry{Kind: proto.MsgRBEcho, Tag: relayTag, Origin: 2, Instance: 7, Val: "v"}
+	// In-frame duplicate and a cross-frame duplicate from the same sender:
+	// one delivery. An entry differing only in VALUE is also a duplicate —
+	// identity is (sender, kind, tag, origin) per instance, exactly
+	// proto.Node's rule, so an equivocating aggregator cannot get two
+	// values of the same identity counted.
+	equiv := e
+	equiv.Val = "other"
+	inboundVector(t, r, 4, []Entry{e, e})
+	inboundVector(t, r, 4, []Entry{e, equiv})
+	if len(*got) != 1 {
+		t.Fatalf("sink got %d messages, want 1", len(*got))
+	}
+	if r.DupEntries() != 3 {
+		t.Fatalf("DupEntries=%d, want 3", r.DupEntries())
+	}
+	// The same entry from a DIFFERENT sender is fresh (it is that
+	// sender's echo).
+	inboundVector(t, r, 5, []Entry{e})
+	if len(*got) != 2 {
+		t.Fatalf("sink got %d messages, want 2", len(*got))
+	}
+}
+
+func TestInboundHashResolvesFromInitSniff(t *testing.T) {
+	env := newRelayEnv()
+	r, got := newTestRelay(env)
+	big := types.Value(strings.Repeat("x", 64))
+	h := hashValue(big)
+	// The INIT passes through Inbound (not consumed) and seeds the cache.
+	if r.Inbound(2, proto.Message{Kind: proto.MsgRBInit, Tag: relayTag, Origin: 2, Instance: 7, Val: big}) {
+		t.Fatal("INIT consumed by relay")
+	}
+	inboundVector(t, r, 4, []Entry{
+		{Kind: proto.MsgRBEcho, Tag: relayTag, Origin: 2, Instance: 7, Hashed: true, Val: types.Value(h[:])},
+	})
+	if len(*got) != 1 || (*got)[0].m.Val != big {
+		t.Fatalf("hashed entry not resolved: %+v", got)
+	}
+	if len(env.sent) != 0 {
+		t.Fatalf("pull sent despite cached value: %+v", env.sent)
+	}
+}
+
+func TestInboundHashParksAndPulls(t *testing.T) {
+	env := newRelayEnv()
+	r, got := newTestRelay(env)
+	big := types.Value(strings.Repeat("y", 64))
+	h := hashValue(big)
+	he := Entry{Kind: proto.MsgRBEcho, Tag: relayTag, Origin: 2, Instance: 7, Hashed: true, Val: types.Value(h[:])}
+	inboundVector(t, r, 4, []Entry{he})
+	if len(*got) != 0 {
+		t.Fatal("unresolved hash entry delivered")
+	}
+	if r.Parked() != 1 {
+		t.Fatalf("Parked=%d, want 1", r.Parked())
+	}
+	// One pull, to the frame's sender, carrying the hash.
+	if len(env.sent) != 1 || env.sent[0].to != 4 || env.sent[0].m.Kind != proto.MsgRBPull || env.sent[0].m.Val != types.Value(h[:]) {
+		t.Fatalf("pull wrong: %+v", env.sent)
+	}
+	// A second sender naming the same hash parks its own entry and pulls
+	// from that sender too (resolution liveness does not hinge on one
+	// peer), but repeated frames from the first sender do not re-pull.
+	he2 := he
+	he2.Kind = proto.MsgRBReady
+	inboundVector(t, r, 5, []Entry{he})
+	inboundVector(t, r, 4, []Entry{he2})
+	if len(env.sent) != 2 || env.sent[1].to != 5 {
+		t.Fatalf("pull fan-out wrong: %+v", env.sent)
+	}
+	if r.Parked() != 3 {
+		t.Fatalf("Parked=%d, want 3", r.Parked())
+	}
+	// A mismatched response resolves nothing (self-validation by re-hash).
+	r.Inbound(9, proto.Message{Kind: proto.MsgRBPullResp, Tag: proto.Tag{Mod: proto.ModRBRelay}, Origin: 9, Val: "wrong-value"})
+	if len(*got) != 0 || r.Parked() != 3 {
+		t.Fatalf("forged pull response accepted: sink=%d parked=%d", len(*got), r.Parked())
+	}
+	// The genuine response resolves every parked entry, attributed to the
+	// senders that named the hash.
+	r.Inbound(5, proto.Message{Kind: proto.MsgRBPullResp, Tag: proto.Tag{Mod: proto.ModRBRelay}, Origin: 5, Val: big})
+	if len(*got) != 3 || r.Parked() != 0 {
+		t.Fatalf("pull response did not resolve: sink=%d parked=%d", len(*got), r.Parked())
+	}
+	for _, rec := range *got {
+		if rec.m.Val != big {
+			t.Fatalf("resolved entry carries %q", rec.m.Val)
+		}
+	}
+	if (*got)[0].from != 4 || (*got)[1].from != 5 || (*got)[2].from != 4 {
+		t.Fatalf("resolution attribution wrong: %+v", *got)
+	}
+}
+
+func TestParkingCapBoundsStarvation(t *testing.T) {
+	env := newRelayEnv()
+	var got []sinkRec
+	r := NewRelay(RelayConfig{
+		Env:       env,
+		Sink:      func(from types.ProcID, m proto.Message) { got = append(got, sinkRec{from, m}) },
+		MaxParked: 2,
+	})
+	for i := 0; i < 5; i++ {
+		h := hashValue(types.Value(strings.Repeat("z", 64) + string(rune('a'+i))))
+		inboundVector(t, r, 4, []Entry{
+			{Kind: proto.MsgRBEcho, Tag: relayTag, Origin: 2, Instance: types.Instance(i), Hashed: true, Val: types.Value(h[:])},
+		})
+	}
+	if r.Parked() != 2 {
+		t.Fatalf("Parked=%d, want cap 2", r.Parked())
+	}
+	if r.ParkDrops() != 3 {
+		t.Fatalf("ParkDrops=%d, want 3", r.ParkDrops())
+	}
+	if len(got) != 0 {
+		t.Fatal("starved entries delivered")
+	}
+}
+
+func TestInboundDropsNonProcessOrigins(t *testing.T) {
+	env := newRelayEnv() // n = 7
+	r, got := newTestRelay(env)
+	inboundVector(t, r, 4, []Entry{
+		{Kind: proto.MsgRBEcho, Tag: relayTag, Origin: 0, Instance: 0, Val: "v"},
+		{Kind: proto.MsgRBEcho, Tag: relayTag, Origin: 8, Instance: 0, Val: "v"},
+	})
+	if len(*got) != 0 {
+		t.Fatalf("non-process origin delivered: %+v", *got)
+	}
+	if r.ScopeDrops() != 2 {
+		t.Fatalf("ScopeDrops=%d, want 2", r.ScopeDrops())
+	}
+}
+
+func TestRelayRejectsMalformedCarriers(t *testing.T) {
+	env := newRelayEnv()
+	r, got := newTestRelay(env)
+	r.Inbound(4, proto.Message{Kind: proto.MsgRBVector, Tag: proto.Tag{Mod: proto.ModRBRelay}, Origin: 4, Val: "junk"})
+	r.Inbound(4, proto.Message{Kind: proto.MsgRBPull, Tag: proto.Tag{Mod: proto.ModRBRelay}, Origin: 4, Val: "not-a-hash"})
+	if r.BadFrames() != 2 {
+		t.Fatalf("BadFrames=%d, want 2", r.BadFrames())
+	}
+	if len(*got) != 0 || len(env.sent) != 0 {
+		t.Fatal("malformed carrier produced traffic")
+	}
+}
+
+func TestRetireInstancesBeforeDropsStaleState(t *testing.T) {
+	env := newRelayEnv()
+	r, got := newTestRelay(env)
+	big := types.Value(strings.Repeat("w", 64))
+	r.Inbound(2, proto.Message{Kind: proto.MsgRBInit, Tag: relayTag, Origin: 2, Instance: 3, Val: big})
+	inboundVector(t, r, 4, []Entry{
+		{Kind: proto.MsgRBEcho, Tag: relayTag, Origin: 2, Instance: 3, Val: "v"},
+	})
+	unresolved := hashValue("never-resolved-value")
+	inboundVector(t, r, 4, []Entry{
+		{Kind: proto.MsgRBEcho, Tag: relayTag, Origin: 6, Instance: 2, Hashed: true, Val: types.Value(unresolved[:])},
+	})
+	if r.Parked() != 1 {
+		t.Fatalf("Parked=%d, want 1", r.Parked())
+	}
+	r.RetireInstancesBefore(5)
+	// Parked entries of retired instances are gone; the value cache
+	// dropped the binding whose last referencing instance is below floor;
+	// stale vector entries are ignored outright.
+	if r.Parked() != 0 {
+		t.Fatalf("Parked=%d after retirement, want 0", r.Parked())
+	}
+	if len(r.cache) != 0 {
+		t.Fatalf("cache holds %d values after retirement", len(r.cache))
+	}
+	before := len(*got)
+	inboundVector(t, r, 5, []Entry{
+		{Kind: proto.MsgRBEcho, Tag: relayTag, Origin: 2, Instance: 4, Val: "v"},
+	})
+	if len(*got) != before {
+		t.Fatal("stale-instance entry delivered after retirement")
+	}
+	if len(r.seenBits) != 0 {
+		t.Fatalf("seen holds %d dedup scopes after retirement", len(r.seenBits))
+	}
+}

@@ -73,6 +73,10 @@ type LogResult struct {
 	Correct []types.ProcID
 	// Messages is the total point-to-point message count.
 	Messages uint64
+	// Dropped is the number of sent messages the network dropped
+	// (partitions, adversary drops); Messages − Dropped is the delivery
+	// count.
+	Dropped uint64
 	// Duplicates counts messages dropped by the first-message rule.
 	Duplicates uint64
 	// End is the virtual time when the run stopped; Stop says why.
@@ -134,6 +138,22 @@ func (r *LogResult) Consistent() bool {
 		}
 	}
 	return len(r.Correct) > 0
+}
+
+// Deliveries returns the number of messages the network actually
+// delivered (sent minus dropped) — the per-run message-volume figure the
+// coalescing work targets.
+func (r *LogResult) Deliveries() uint64 { return r.Messages - r.Dropped }
+
+// MsgsPerCommit returns the message volume per committed command (using
+// the slowest correct replica's commit count) — the trajectory metric
+// the -trend tables track alongside latency. 0 when nothing committed.
+func (r *LogResult) MsgsPerCommit() float64 {
+	n := r.MinCommitted()
+	if n == 0 {
+		return 0
+	}
+	return float64(r.Messages) / float64(n)
 }
 
 // MinCommitted returns the smallest committed count among correct
@@ -296,6 +316,7 @@ func RunLog(spec LogSpec) (*LogResult, error) {
 	res.Events = w.Sched.Executed
 	res.Compactions = w.Sched.Compactions
 	res.Messages = w.Net.Sent()
+	res.Dropped = w.Net.Dropped()
 	res.Duplicates = w.DroppedDuplicates()
 	res.Log = w.Log
 	for _, id := range res.Correct {

@@ -34,6 +34,7 @@ func Random(seed int64) Spec {
 			Commands:  8 + rng.Intn(17), // 8..24
 			BatchSize: []int{4, 8, 16}[rng.Intn(3)],
 			Pipeline:  []int{1, 2, 4}[rng.Intn(3)],
+			Coalesce:  rng.Intn(2) == 0,
 		}
 		s.M = 1
 	case 2:
@@ -51,6 +52,7 @@ func Random(seed int64) Spec {
 			s.Work.Compact = rng.Intn(2) == 0
 			s.Work.CompactKeep = 2
 		}
+		s.Work.Coalesce = rng.Intn(2) == 0
 		s.M = 1
 	default:
 		s.Work = Work{Kind: WorkConsensus, BotMode: rng.Intn(3) == 0}
@@ -81,10 +83,16 @@ func Random(seed int64) Spec {
 	}
 
 	// Fault assignment: 0..t faults drawn from the full preset library.
+	// The vector-forging attack targets the log relay path, so it only
+	// enters the pool for log-backed workloads (Validate rejects it for
+	// single-shot consensus).
 	kinds := []FaultKind{
 		FaultSilent, FaultRelayOnly, FaultCrashAt, FaultEquivocate,
 		FaultMuteCoordinator, FaultPoison, FaultRandom, FaultSpam,
 		FaultFakeDecide,
+	}
+	if s.Work.Kind != WorkConsensus {
+		kinds = append(kinds, FaultHashEquivocate)
 	}
 	for i, nf := 0, rng.Intn(s.T+1); i < nf; i++ {
 		f := Fault{Kind: kinds[rng.Intn(len(kinds))]}

@@ -232,6 +232,41 @@ var registry = []Spec{
 		ExpectTermination: true,
 	},
 
+	// --- Coalesced-relay log workloads (rb.Relay fast path) -------------
+	// The same total-order properties as the log-* family, with the
+	// message-coalescing relay ON — pinning that vector framing,
+	// echo-by-hash and the pull path reproduce byte-identical commits
+	// under hostile schedules and a vector-forging adversary.
+	{
+		Name: "rb-coalesce-async", Desc: "n=4 coalesced log, fully asynchronous (safety only)",
+		N: 4, T: 1, M: 1,
+		Net:  Net{Kind: NetAsync},
+		Work: Work{Kind: WorkLog, Commands: 16, Coalesce: true},
+	},
+	{
+		Name: "rb-coalesce-bisource", Desc: "n=4 coalesced log, minimal bisource, one silent replica",
+		N: 4, T: 1, M: 1,
+		Faults:            []Fault{{Kind: FaultSilent}},
+		Net:               Net{Kind: NetBisource},
+		Work:              Work{Kind: WorkLog, Commands: 16, Coalesce: true},
+		ExpectTermination: true,
+	},
+	{
+		Name: "rb-coalesce-partition", Desc: "n=4 coalesced log across a healing partition",
+		N: 4, T: 1, M: 1,
+		Net:               Net{Kind: NetEventual, GST: 100 * time.Millisecond, PartitionCut: 2},
+		Work:              Work{Kind: WorkLog, Commands: 16, Coalesce: true},
+		ExpectTermination: true,
+	},
+	{
+		Name: "rb-coalesce-hashspam", Desc: "n=4 coalesced log vs forged-vector hash equivocation",
+		N: 4, T: 1, M: 1,
+		Faults:            []Fault{{Kind: FaultHashEquivocate}},
+		Net:               Net{Kind: NetFull},
+		Work:              Work{Kind: WorkLog, Commands: 24, Coalesce: true},
+		ExpectTermination: true,
+	},
+
 	// --- Replicated KV service (log → applier → store) ------------------
 	{
 		Name: "kv-mixed", Desc: "n=4 KV service, mixed read/write, snapshots + compaction",

@@ -275,6 +275,11 @@ func buildBehavior(f Fault, ecfg core.Config, vals []types.Value, seed int64) (h
 			v = "forged!"
 		}
 		return adversary.FakeDecide(v), nil
+	case FaultHashEquivocate:
+		if f.Value == "" {
+			v = "hash-equivocation-payload-long-enough-to-force-hashing"
+		}
+		return adversary.HashEquivocation(v, after/8+time.Millisecond, 64), nil
 	default:
 		return nil, fmt.Errorf("scenario: unknown fault kind %v", f.Kind)
 	}
@@ -399,6 +404,7 @@ func runLog(p *Prepared, seed int64, reg *obs.Registry) (*Outcome, error) {
 	spec.Log.Engine = ecfg
 	spec.Log.BatchSize = w.BatchSize
 	spec.Log.Pipeline = w.Pipeline
+	spec.Log.Coalesce = w.Coalesce
 	res, err := runner.RunLog(spec)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
@@ -478,6 +484,7 @@ func (p *Prepared) kvRunnerSpec(seed int64) (runner.KVSpec, error) {
 	spec.Log.Engine = ecfg
 	spec.Log.BatchSize = w.BatchSize
 	spec.Log.Pipeline = w.Pipeline
+	spec.Log.Coalesce = w.Coalesce
 	spec.Log.MaxLead = types.Instance(w.MaxLead)
 	if w.Transfer {
 		// Entry-count stop rule: the default distinct-coverage rule could
@@ -658,13 +665,42 @@ func runKV(p *Prepared, seed int64, reg *obs.Registry) (*Outcome, error) {
 	return o, nil
 }
 
-// digestTrace feeds every trace event into the hash in emission order,
-// reusing one render buffer across the whole log.
+// digestTrace feeds every trace event into the hash in emission order as
+// a fixed binary tuple (little-endian fields, length-prefixed strings)
+// rather than rendered text. The encoding is injective per event — every
+// field is either fixed-width or length-prefixed, so distinct traces
+// cannot collide by concatenation — and hashing it is several times
+// cheaper than rendering: the digest pass was a measurable slice of every
+// scenario run, paid once per matrix cell. Changing the encoding changed
+// every golden digest once; bench/golden_digests.tsv and the golden_test
+// rows were re-recorded together in the same change.
 func digestTrace(w io.Writer, log *trace.Log) {
 	var buf []byte
+	le32 := func(v uint32) {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	le64 := func(v uint64) {
+		le32(uint32(v))
+		le32(uint32(v >> 32))
+	}
 	log.ForEach(func(e trace.Event) {
-		buf = e.AppendTo(buf[:0])
-		buf = append(buf, '\n')
+		buf = buf[:0]
+		le64(uint64(e.At))
+		buf = append(buf, byte(e.Kind))
+		le32(uint32(int32(e.Proc)))
+		le32(uint32(int32(e.Peer)))
+		le64(uint64(e.Round))
+		le32(uint32(len(e.Value)))
+		buf = append(buf, e.Value...)
+		if e.Opt.Valid {
+			buf = append(buf, 1)
+			le32(uint32(len(e.Opt.V)))
+			buf = append(buf, e.Opt.V...)
+		} else {
+			buf = append(buf, 0)
+		}
+		le32(uint32(len(e.Aux)))
+		buf = append(buf, e.Aux...)
 		w.Write(buf)
 	})
 }

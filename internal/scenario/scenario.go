@@ -51,13 +51,19 @@ const (
 	FaultSpam
 	// FaultFakeDecide RB-broadcasts a forged DECIDE.
 	FaultFakeDecide
+	// FaultHashEquivocate attacks the coalesced relay path: it sends
+	// per-receiver forged MsgRBVector frames carrying equivocating value
+	// hashes, duplicate entries, stale-instance entries and junk frames
+	// (adversary.HashEquivocation), while running a correct rb layer
+	// underneath so it can still answer protocol traffic.
+	FaultHashEquivocate
 )
 
 var faultNames = map[FaultKind]string{
 	FaultSilent: "silent", FaultRelayOnly: "relay-only", FaultCrashAt: "crash",
 	FaultEquivocate: "equivocate", FaultMuteCoordinator: "mute-coord",
 	FaultPoison: "poison", FaultRandom: "random", FaultSpam: "spam",
-	FaultFakeDecide: "fake-decide",
+	FaultFakeDecide: "fake-decide", FaultHashEquivocate: "hash-equivocate",
 }
 
 // String implements fmt.Stringer.
@@ -215,6 +221,12 @@ type Work struct {
 	BatchSize, Pipeline int
 	// SubmitEvery staggers the WorkLog/WorkKV command submissions.
 	SubmitEvery time.Duration
+	// Coalesce turns on the reliable-broadcast message-coalescing relay
+	// (rb.Relay via log.Config.Coalesce) on every correct replica. Off by
+	// default so legacy scenarios keep their pinned golden digests; the
+	// rb-coalesce-* family and scenario.Random opt in. WorkLog/WorkKV
+	// only — single-shot consensus runs no log engine.
+	Coalesce bool
 
 	// --- WorkKV workload shape --------------------------------------
 
@@ -331,6 +343,14 @@ func (s Spec) Validate() error {
 	}
 	if s.Work.Kind != WorkConsensus && s.Work.Kind != WorkLog && s.Work.Kind != WorkKV {
 		return fmt.Errorf("scenario %s: unknown workload kind %v", s.Name, s.Work.Kind)
+	}
+	if s.Work.Coalesce && s.Work.Kind == WorkConsensus {
+		return fmt.Errorf("scenario %s: Coalesce requires a log-backed workload", s.Name)
+	}
+	for _, f := range s.Faults {
+		if f.Kind == FaultHashEquivocate && s.Work.Kind == WorkConsensus {
+			return fmt.Errorf("scenario %s: hash-equivocate targets the log relay path, not single-shot consensus", s.Name)
+		}
 	}
 	if s.Work.Compact && s.Work.SnapshotEvery <= 0 {
 		return fmt.Errorf("scenario %s: Compact requires SnapshotEvery > 0", s.Name)

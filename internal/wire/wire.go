@@ -4,7 +4,7 @@
 // value bytes:
 //
 //	offset  size  field
-//	0       1     version (2)
+//	0       1     version (4)
 //	1       1     kind     (proto.MsgKind)
 //	2       1     module   (proto.Module)
 //	3       1     flags    (bit 0: relay value present, i.e. not ⊥)
@@ -14,11 +14,16 @@
 //	24      4     value length L (uint32, ≤ MaxValueLen)
 //	28      L     value bytes
 //
-// Version 3 extends version 2's vocabulary, not its layout: the header is
-// byte-identical, but the kind range grows to cover the client-facing KV
-// service messages (proto.MsgKVRequest / proto.MsgKVResponse, module
-// proto.ModKV) and the replica-to-replica snapshot-transfer messages
-// (proto.MsgSnapRequest / proto.MsgSnapResponse, module proto.ModSnap).
+// Version 4 extends version 3's vocabulary, not its layout: the header is
+// byte-identical, but the kind range grows to cover the coalesced-relay
+// carrier messages of the reliable-broadcast layer (proto.MsgRBVector /
+// proto.MsgRBPull / proto.MsgRBPullResp, module proto.ModRBRelay — see
+// rb.Relay and docs/rb-coalescing.md). A vector frame's entry list rides
+// in the value bytes (rb.EncodeEntries), so the codec layout is
+// untouched. Version 3 added the client-facing KV service messages
+// (proto.MsgKVRequest / proto.MsgKVResponse, module proto.ModKV) and the
+// replica-to-replica snapshot-transfer messages (proto.MsgSnapRequest /
+// proto.MsgSnapResponse, module proto.ModSnap) on the same layout.
 // A snapshot travels as ONE frame — digest plus boundary in the value
 // bytes (see sm.EncodeTransfer) — so the whole transfer fits the codec's
 // MaxValueLen bound with no chunking protocol; machines whose state can
@@ -26,14 +31,15 @@
 // does not attempt. Version 2 is the replica-to-replica log format; version 1
 // (the single-shot format of the pre-log releases) additionally has no
 // instance field — its value length sits at offset 16 and the header is
-// 20 bytes. Compatibility is decode-only: Decode accepts all three
+// 20 bytes. Compatibility is decode-only: Decode accepts all four
 // versions, enforcing each version's own vocabulary (a v2 frame naming a
-// KV kind is rejected) and mapping v1 frames to instance 0. A new binary
-// therefore understands any old peer — but it always sends version 3,
-// which an old binary rejects, so a mixed-version cluster needs the old
-// side upgraded (or a future per-peer version negotiation). EncodeV1 and
-// EncodeV2 produce the older frames for tests and tooling that exercise
-// those decode paths.
+// KV kind is rejected, a v3 frame naming a relay kind likewise) and
+// mapping v1 frames to instance 0. A new binary therefore understands any
+// old peer — but it always sends version 4, which an old binary rejects,
+// so a mixed-version cluster needs the old side upgraded (or a future
+// per-peer version negotiation). EncodeV1, EncodeV2 and EncodeV3 produce
+// the older frames for tests and tooling that exercise those decode
+// paths.
 //
 // Frames on the wire are length-prefixed by the transport; this package
 // only encodes message bodies.
@@ -47,9 +53,14 @@ import (
 	"repro/internal/types"
 )
 
-// Version is the current codec version byte (adds the KV client and
-// snapshot-transfer vocabularies on top of the v2 log layout).
-const Version = 3
+// Version is the current codec version byte (adds the coalesced-relay
+// vocabulary on top of the v3 KV/snapshot vocabulary; layout unchanged
+// since v2).
+const Version = 4
+
+// VersionKV is the KV-client + snapshot-transfer codec version, still
+// accepted by Decode.
+const VersionKV = 3
 
 // VersionLog is the replica-only log codec version, still accepted by
 // Decode.
@@ -62,7 +73,8 @@ const VersionLegacy = 1
 // able to force unbounded allocations.
 const MaxValueLen = 1 << 20
 
-// Header lengths of the two supported versions.
+// Header lengths of the two supported layouts (versions 2–4 share the
+// 28-byte header; version 1 lacks the instance field).
 const (
 	headerLenV1 = 20
 	headerLenV2 = 28
@@ -86,9 +98,20 @@ func payload(m proto.Message) ([]byte, error) {
 	return val, nil
 }
 
-// Encode serializes m in the current (version 3) format.
+// Encode serializes m in the current (version 4) format.
 func Encode(m proto.Message) ([]byte, error) {
 	return encode28(m, Version)
+}
+
+// EncodeV3 serializes m in the version-3 KV/snapshot format. It refuses
+// the coalesced-relay kinds that vocabulary cannot express; like EncodeV1
+// and EncodeV2 it exists so tests and tooling can exercise the
+// back-compat decode path.
+func EncodeV3(m proto.Message) ([]byte, error) {
+	if m.Kind > proto.MsgSnapResponse || m.Tag.Mod > proto.ModSnap {
+		return nil, fmt.Errorf("wire: version 3 cannot carry %v[%v]", m.Kind, m.Tag.Mod)
+	}
+	return encode28(m, VersionKV)
 }
 
 // EncodeV2 serializes m in the version-2 log format. It refuses the KV
@@ -102,7 +125,7 @@ func EncodeV2(m proto.Message) ([]byte, error) {
 	return encode28(m, VersionLog)
 }
 
-// encode28 writes the shared 28-byte-header layout of versions 2 and 3.
+// encode28 writes the shared 28-byte-header layout of versions 2–4.
 func encode28(m proto.Message, version byte) ([]byte, error) {
 	val, err := payload(m)
 	if err != nil {
@@ -166,9 +189,11 @@ func Decode(b []byte) (proto.Message, error) {
 	headerLen := headerLenV2
 	// Each version enforces its own vocabulary: frames claiming an old
 	// version must not smuggle in kinds that version never defined.
-	maxKind, maxMod := proto.MsgSnapResponse, proto.ModSnap
+	maxKind, maxMod := proto.MsgRBPullResp, proto.ModRBRelay
 	switch b[0] {
 	case Version:
+	case VersionKV:
+		maxKind, maxMod = proto.MsgSnapResponse, proto.ModSnap
 	case VersionLog:
 		maxKind, maxMod = proto.MsgEARelay, proto.ModDecide
 	case VersionLegacy:

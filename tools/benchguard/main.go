@@ -18,14 +18,24 @@
 // gate (new benchmarks must be able to land before the baseline is
 // refreshed).
 //
+// With -json the two inputs are BENCH_*.json snapshots from
+// cmd/minsync-bench instead of `go test -bench` output: -metric names a
+// numeric field of the per-workload result object (deliveries_per_cmd,
+// msgs_per_commit, events_per_sec, ...) and -bench selects workload
+// names. The message-volume fields are virtual-time deterministic, so
+// they gate as hard as cmds_per_sec_v does in text mode.
+//
 // Usage:
 //
 //	benchguard [-bench regexp] [-metric name] [-higher-better]
 //	           [-max-regress pct] baseline.txt new.txt
+//	benchguard -json -metric deliveries_per_cmd [-max-regress pct]
+//	           bench/BENCH_baseline.json BENCH_ci.json
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +50,7 @@ func main() {
 	metric := flag.String("metric", "ns/op", "benchmark metric to compare")
 	higher := flag.Bool("higher-better", false, "treat larger metric values as better (throughput-style)")
 	maxRegress := flag.Float64("max-regress", 10, "maximum allowed regression, percent")
+	jsonMode := flag.Bool("json", false, "inputs are BENCH_*.json snapshots; -metric names a result field")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchguard [flags] baseline.txt new.txt")
@@ -50,12 +61,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchguard: -bench: %v\n", err)
 		os.Exit(2)
 	}
-	base, err := loadMedians(flag.Arg(0), re, *metric)
+	load := loadMedians
+	if *jsonMode {
+		load = loadJSONField
+	}
+	base, err := load(flag.Arg(0), re, *metric)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 		os.Exit(2)
 	}
-	fresh, err := loadMedians(flag.Arg(1), re, *metric)
+	fresh, err := load(flag.Arg(1), re, *metric)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 		os.Exit(2)
@@ -159,6 +174,37 @@ func parseLine(line, metric string) (string, float64, bool) {
 		return name, v, true
 	}
 	return "", 0, false
+}
+
+// loadJSONField reads a BENCH_*.json snapshot and returns the value of
+// the named numeric field per workload result, for workload names
+// matching re. Workloads where the field is absent or zero are skipped
+// (omitempty fields read as zero; a zero message-volume figure means
+// the workload has no commit path, not a perfect score).
+func loadJSONField(path string, re *regexp.Regexp, field string) (map[string]float64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep struct {
+		Results []map[string]any `json:"results"`
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64)
+	for _, r := range rep.Results {
+		name, _ := r["name"].(string)
+		if name == "" || !re.MatchString(name) {
+			continue
+		}
+		v, ok := r[field].(float64)
+		if !ok || v == 0 {
+			continue
+		}
+		out[name] = v
+	}
+	return out, nil
 }
 
 // stripProcs removes the trailing -GOMAXPROCS from a benchmark name so
