@@ -105,7 +105,10 @@ type kvOptions struct {
 	// applier flags; PoolCap bounds the admission pool.
 	Batch, Pipeline, SnapEvery, SnapRefresh, PoolCap, Target int
 	Compact                                                  bool
-	Unit, Wait, StartIn                                      time.Duration
+	// Coalesce batches RB echo/ready traffic into vector frames
+	// (log.Config.Coalesce); on by default for live clusters.
+	Coalesce            bool
+	Unit, Wait, StartIn time.Duration
 }
 
 // kvEdge is the serving side shared by both client edges: the admission
@@ -312,6 +315,7 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 			// pending SET or concurrent submissions livelock on split
 			// (⊥) decisions. See log.Config.CanonicalBatches.
 			CanonicalBatches: true,
+			Coalesce:         opts.Coalesce,
 			Metrics:          obs.NewLogMetrics(tel.registry(), ""),
 			OnCommit: func(e log.Entry) {
 				applier.OnCommit(e)

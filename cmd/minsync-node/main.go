@@ -70,6 +70,7 @@ func main() {
 		batch    = flag.Int("batch", 16, "log/kv mode: max commands per batch")
 		pipeline = flag.Int("pipeline", 4, "log/kv mode: consensus instances in flight")
 		unit     = flag.Duration("unit", 50*time.Millisecond, "EA round timer unit")
+		coalesce = flag.Bool("coalesce", true, "log/kv mode: batch RB echo/ready traffic into coalesced vector frames (rb.Relay)")
 		wait     = flag.Duration("wait", 2*time.Minute, "give up after this long")
 		startIn  = flag.Duration("start-in", 2*time.Second, "delay before proposing (lets peers come up)")
 
@@ -160,12 +161,13 @@ func main() {
 			Batch: *batch, Pipeline: *pipeline,
 			SnapEvery: *snapEvery, SnapRefresh: *snapRefresh,
 			PoolCap: *poolCap, Target: *kvTarget, Compact: *compact,
-			Unit: *unit, Wait: *wait, StartIn: *startIn,
+			Coalesce: *coalesce,
+			Unit:     *unit, Wait: *wait, StartIn: *startIn,
 		})
 		return
 	}
 	if *logN > 0 {
-		runLogMode(node, tr, tel, self, *logN, *batch, *pipeline, *unit, *wait, *startIn)
+		runLogMode(node, tr, tel, self, *logN, *batch, *pipeline, *coalesce, *unit, *wait, *startIn)
 		return
 	}
 	runSingleShot(node, tr, tel, self, *propose, *unit, *wait, *startIn)
@@ -226,7 +228,7 @@ func runSingleShot(node *rt.Node, tr *netx.Transport, tel *telemetry, self types
 // runLogMode orders `target` commands through the replicated-log engine.
 // Every process derives the same workload (clients broadcasting to all
 // replicas), so identical digests across processes certify the order.
-func runLogMode(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.ProcID, target, batch, pipeline int, unit, wait, startIn time.Duration) {
+func runLogMode(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.ProcID, target, batch, pipeline int, coalesce bool, unit, wait, startIn time.Duration) {
 	cmds := make([]types.Value, target)
 	for i := range cmds {
 		cmds[i] = types.Value(fmt.Sprintf("cmd-%05d", i))
@@ -244,7 +246,12 @@ func runLogMode(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 			BatchSize: batch,
 			Pipeline:  pipeline,
 			Target:    target,
-			Metrics:   obs.NewLogMetrics(tel.registry(), ""),
+			// Live clusters run the message-complexity fast path: RB
+			// echo/ready traffic rides coalesced vector frames (see
+			// docs/rb-coalescing.md). -coalesce=false restores loose
+			// messages for A/B comparison.
+			Coalesce: coalesce,
+			Metrics:  obs.NewLogMetrics(tel.registry(), ""),
 			OnCommit: func(e log.Entry) {
 				// Runs on the node's event loop; the counter is atomic
 				// only because the timeout path below reads it from the

@@ -220,6 +220,15 @@ func New(cfg Config) (*Engine, error) {
 			Sink:    l.dispatch,
 			Quantum: cfg.CoalesceQuantum,
 			Metrics: cfg.Engine.RBMetrics,
+			// The dispatch guards, as a predicate: the relay allocates
+			// state (value cache, dedup bitmaps, parking lot) only for
+			// traffic dispatch would accept, so instances a Byzantine
+			// peer fabricates far ahead of the pipeline cannot grow
+			// relay memory — they are dropped (and counted against the
+			// lag signal) exactly like loose messages.
+			Window: func(i types.Instance) bool {
+				return i >= l.floor && i < l.applied+l.cfg.MaxLead
+			},
 		})
 	}
 	return l, nil
@@ -274,8 +283,20 @@ func (l *Engine) SetRetirer(r Retirer) { l.retirer = r }
 // floor guards apply per entry exactly as they would per loose message)
 // and passively learns INIT values for the echo-by-hash cache.
 func (l *Engine) OnMessage(from types.ProcID, m proto.Message) {
-	if l.relay != nil && l.relay.Inbound(from, m) {
-		return
+	if l.relay != nil {
+		if l.relay.Inbound(from, m) {
+			return
+		}
+	} else {
+		switch m.Kind {
+		case proto.MsgRBVector, proto.MsgRBPull, proto.MsgRBPullResp:
+			// Coalescing off: the carrier kinds have no consumer here.
+			// They bypass proto.Node's first-message rule and carry
+			// Instance 0, so falling through would route them —
+			// undeduplicated — into a live core.Engine instance; drop
+			// them instead (mixed clusters, Byzantine senders).
+			return
+		}
 	}
 	l.dispatch(from, m)
 }

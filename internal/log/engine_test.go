@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/proto"
+	"repro/internal/rb"
 	"repro/internal/trace"
 	"repro/internal/types"
 )
@@ -164,6 +165,55 @@ func TestMaxLeadGuard(t *testing.T) {
 	eng.OnMessage(2, m)
 	if eng.Instances() != 2 {
 		t.Fatal("in-window instance not instantiated")
+	}
+}
+
+func TestUncoalescedEngineDropsCarrierKinds(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{Pipeline: 1}) // Coalesce off
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Instances()
+	// The carrier kinds bypass proto.Node dedup and carry Instance 0; an
+	// uncoalesced engine must drop them, not route them into instance 0.
+	for _, k := range []proto.MsgKind{proto.MsgRBVector, proto.MsgRBPull, proto.MsgRBPullResp} {
+		eng.OnMessage(2, proto.Message{Kind: k, Tag: proto.Tag{Mod: proto.ModRBRelay}, Origin: 2, Val: "junk"})
+	}
+	if eng.Instances() != before || eng.DroppedAhead() != 0 || eng.DroppedRetired() != 0 {
+		t.Fatalf("carrier kinds routed: insts=%d ahead=%d retired=%d",
+			eng.Instances(), eng.DroppedAhead(), eng.DroppedRetired())
+	}
+}
+
+func TestCoalescedEngineWindowGuardsRelayState(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{Pipeline: 1, MaxLead: 8, Coalesce: true})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// A vector naming a far-future instance: the relay must forward it
+	// into the MaxLead accounting (lag signal) without allocating state,
+	// and an out-of-window INIT must not seed the value cache.
+	enc, err := rb.EncodeEntries([]rb.Entry{{
+		Kind: proto.MsgRBEcho, Tag: proto.Tag{Mod: proto.ModConsCB0},
+		Origin: 2, Instance: 1 << 30, Val: "spam",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.OnMessage(2, proto.Message{Kind: proto.MsgRBVector, Tag: proto.Tag{Mod: proto.ModRBRelay}, Origin: 2, Val: types.Value(enc)})
+	if eng.DroppedAhead() != 1 {
+		t.Fatalf("out-of-window entry missing from lag accounting (drops=%d)", eng.DroppedAhead())
+	}
+	if eng.Relay().WindowDrops() != 1 || eng.Relay().Parked() != 0 {
+		t.Fatalf("relay state: windowDrops=%d parked=%d", eng.Relay().WindowDrops(), eng.Relay().Parked())
+	}
+	cacheBefore := eng.Relay().CacheBytes()
+	eng.OnMessage(2, proto.Message{
+		Kind: proto.MsgRBInit, Tag: proto.Tag{Mod: proto.ModConsCB0},
+		Origin: 2, Instance: 1 << 30, Val: types.Value(make([]byte, 64)),
+	})
+	if got := eng.Relay().CacheBytes(); got != cacheBefore {
+		t.Fatalf("out-of-window INIT cached (%d bytes, was %d)", got, cacheBefore)
 	}
 }
 

@@ -23,6 +23,16 @@
 // any quorum that makes a hash entry matter (≥ t+1 readies, or an echo
 // quorum) contains a correct process that HAS the value and answers the
 // pull, because correct relays cache every value they echo or ready.
+//
+// Every inbound path is bounded BEFORE it allocates: the hosting engine's
+// live-window predicate (RelayConfig.Window) rejects entries and INIT
+// learns outside floor..applied+MaxLead, so forged far-future instances
+// cannot grow the cache, the dedup bitmaps, or the parking lot — and
+// since window entries are exactly the ones the engine would accept, the
+// guard costs no honest traffic. Values learned from REMOTE traffic are
+// additionally held to a byte budget (MaxCacheBytes); a process's own
+// values bypass it, so the pull-answering obligation of a correct relay
+// is never shed under attack.
 package rb
 
 import (
@@ -62,6 +72,13 @@ const (
 	defaultMaxParked = 4096
 	entryHeaderLen   = 3 + 8 + 4 + 8 + 4 // kind, mod, flags, round, origin, instance, payload len
 	entryFlagHashed  = 1 << 0
+
+	// defaultMaxCacheBytes budgets values learned from remote traffic
+	// (inbound INITs, pull responses); cacheEntryOverhead is the charged
+	// per-entry bookkeeping cost, so floods of tiny values are bounded by
+	// count as well as bytes.
+	defaultMaxCacheBytes = 64 << 20
+	cacheEntryOverhead   = 128
 )
 
 // Entry is one coalesced ECHO or READY inside a MsgRBVector frame: the
@@ -246,8 +263,28 @@ type RelayConfig struct {
 	MaxBuffer int
 	// MaxParked caps the total hash-before-value entries parked awaiting
 	// resolution (default 4096); beyond it entries are dropped and
-	// counted, bounding memory under starvation attacks.
+	// counted, bounding memory under starvation attacks. A drop does NOT
+	// consume the entry's dedup identity: a later retransmission can
+	// still park once capacity frees up, so the cap bounds memory without
+	// permanently poisoning the echo-recovery path.
 	MaxParked int
+	// MaxCacheBytes budgets the hash-value cache entries learned from
+	// REMOTE traffic — inbound INITs and pull responses (default 64 MiB,
+	// charging len(value)+cacheEntryOverhead each). At the budget remote
+	// learns are dropped and counted; values this process itself
+	// broadcast or echoed always cache regardless, so a correct relay
+	// never sheds its pull-answering obligation.
+	MaxCacheBytes int
+	// Window, if non-nil, reports whether an instance is inside the
+	// hosting engine's live delivery window (floor ≤ i < applied+MaxLead).
+	// The relay applies it BEFORE allocating any inbound state: vector
+	// entries outside the window are forwarded to the sink unresolved (so
+	// the engine's own MaxLead/floor accounting — the lag signal that
+	// drives snapshot transfer — fires exactly as for a loose message)
+	// but never touch the dedup bitmaps or the parking lot, and INIT
+	// values outside it are not learned. The predicate must accept every
+	// instance the sink would accept, or honest traffic is lost.
+	Window func(i types.Instance) bool
 	// Metrics, if non-nil, receives the coalescing instruments
 	// (FramesCoalesced, FrameEntries, Pulls, ParkDrops). Passive.
 	Metrics *obs.RBMetrics
@@ -261,12 +298,14 @@ type RelayConfig struct {
 // single-threaded: all calls must come from the hosting runtime's event
 // loop.
 type Relay struct {
-	env     proto.Env
-	sink    func(from types.ProcID, m proto.Message)
-	quantum types.Duration
-	maxBuf  int
-	maxPark int
-	metrics *obs.RBMetrics
+	env      proto.Env
+	sink     func(from types.ProcID, m proto.Message)
+	quantum  types.Duration
+	maxBuf   int
+	maxPark  int
+	maxCache int
+	window   func(i types.Instance) bool
+	metrics  *obs.RBMetrics
 
 	buf         []Entry
 	cancelFlush func()
@@ -286,20 +325,25 @@ type Relay struct {
 
 	// cache binds content hashes to values learned from INITs (inbound
 	// and outbound) and from validated pull responses. maxInst tracks the
-	// highest instance referencing the value, for retirement.
-	cache map[hashKey]*cacheVal
+	// highest instance referencing the value, for retirement. cacheBytes
+	// is the charged size of the cache, held to maxCache for values of
+	// remote provenance.
+	cache      map[hashKey]*cacheVal
+	cacheBytes int
 
 	parked    map[hashKey][]parkedRef
 	parkedLen int
 	pulled    map[hashKey]map[types.ProcID]struct{}
 
-	framesOut  uint64
-	entriesOut uint64
-	pulls      uint64
-	parkDrops  uint64
-	dupEntries uint64
-	badFrames  uint64
-	scopeDrops uint64
+	framesOut   uint64
+	entriesOut  uint64
+	pulls       uint64
+	parkDrops   uint64
+	dupEntries  uint64
+	badFrames   uint64
+	scopeDrops  uint64
+	windowDrops uint64
+	cacheDrops  uint64
 }
 
 // dedupScope identifies one dedup bitmap: a log instance and the tag of
@@ -346,12 +390,17 @@ func NewRelay(cfg RelayConfig) *Relay {
 	if cfg.MaxParked <= 0 {
 		cfg.MaxParked = defaultMaxParked
 	}
+	if cfg.MaxCacheBytes <= 0 {
+		cfg.MaxCacheBytes = defaultMaxCacheBytes
+	}
 	return &Relay{
 		env:      cfg.Env,
 		sink:     cfg.Sink,
 		quantum:  cfg.Quantum,
 		maxBuf:   cfg.MaxBuffer,
 		maxPark:  cfg.MaxParked,
+		maxCache: cfg.MaxCacheBytes,
+		window:   cfg.Window,
 		metrics:  cfg.Metrics,
 		n:        cfg.Env.Params().N,
 		seenBits: make(map[dedupScope][]uint64),
@@ -394,7 +443,7 @@ func (r *Relay) Send(to types.ProcID, m proto.Message) {
 func (r *Relay) Broadcast(m proto.Message) {
 	switch m.Kind {
 	case proto.MsgRBInit:
-		r.learn(m.Val, m.Instance)
+		r.learn(m.Val, m.Instance, true)
 	case proto.MsgRBEcho, proto.MsgRBReady:
 		r.buffer(m)
 		return
@@ -409,7 +458,7 @@ func (r *Relay) buffer(m proto.Message) {
 	if len(m.Val) > InlineMax {
 		// Cache before hashing: a correct relay can answer pulls for
 		// every value it ever referenced by hash.
-		r.learn(m.Val, m.Instance)
+		r.learn(m.Val, m.Instance, true)
 		h := hashValue(m.Val)
 		e.Hashed = true
 		e.Val = types.Value(h[:])
@@ -474,7 +523,14 @@ func (r *Relay) Buffered() int { return len(r.buf) }
 func (r *Relay) Inbound(from types.ProcID, m proto.Message) bool {
 	switch m.Kind {
 	case proto.MsgRBInit:
-		r.learn(m.Val, m.Instance)
+		// Learn only what the protocol itself would accept: a forged INIT
+		// (sender impersonating another origin) is discarded by rb.Layer,
+		// and an instance outside the live window is dropped by the
+		// engine's MaxLead/floor guards — neither may stuff the cache.
+		// The INIT always proceeds down the normal path regardless.
+		if from == m.Origin && (r.window == nil || r.window(m.Instance)) {
+			r.learn(m.Val, m.Instance, false)
+		}
 		return false
 	case proto.MsgRBVector:
 		r.onVector(from, m)
@@ -506,6 +562,20 @@ func (r *Relay) onVector(from types.ProcID, m proto.Message) {
 		if e.Instance < r.floor {
 			continue
 		}
+		// Entries outside the engine's live window allocate NO relay
+		// state — no dedup bitmap, no parking slot, no pull: a Byzantine
+		// vector naming far-future instances would otherwise grow all
+		// three without bound (nothing below applied+MaxLead ever retires
+		// them). The entry is still forwarded raw, so the sink's own
+		// MaxLead/floor guards count it and fire the lag signal exactly
+		// as for a loose message; the window predicate rejects only
+		// instances the sink rejects too, so the forward never reaches a
+		// protocol instance.
+		if r.window != nil && !r.window(e.Instance) {
+			r.windowDrops++
+			r.deliver(from, e, e.Val)
+			continue
+		}
 		// An origin outside the 1-based process range [1, n] names no
 		// process: no rb instance about it can ever reach a threshold, so
 		// the entry is spam by construction and is dropped before it can
@@ -534,8 +604,8 @@ func (r *Relay) onVector(from types.ProcID, m proto.Message) {
 			r.dupEntries++
 			continue
 		}
-		bits[idx>>6] |= mask
 		if !e.Hashed {
+			bits[idx>>6] |= mask
 			r.deliver(from, e, e.Val)
 			continue
 		}
@@ -545,10 +615,17 @@ func (r *Relay) onVector(from types.ProcID, m proto.Message) {
 			if e.Instance > cv.maxInst {
 				cv.maxInst = e.Instance
 			}
+			bits[idx>>6] |= mask
 			r.deliver(from, e, cv.val)
 			continue
 		}
-		r.park(from, e, h)
+		// The dedup identity is consumed only if the entry actually
+		// parks: an entry dropped at the parking cap must stay
+		// re-deliverable, or a transient full lot would permanently
+		// swallow the echoes a lagging process needs (RB Termination-2).
+		if r.park(from, e, h) {
+			bits[idx>>6] |= mask
+		}
 	}
 }
 
@@ -565,14 +642,15 @@ func (r *Relay) deliver(from types.ProcID, e Entry, v types.Value) {
 // hold the value if correct. One pull per (hash, sender): later vectors
 // from OTHER senders naming the same hash trigger their own pulls, which
 // is what makes resolution live once any correct process references the
-// value.
-func (r *Relay) park(from types.ProcID, e Entry, h hashKey) {
+// value. Reports whether the entry was parked; a drop at the cap must
+// not consume the entry's dedup identity (see onVector).
+func (r *Relay) park(from types.ProcID, e Entry, h hashKey) bool {
 	if r.parkedLen >= r.maxPark {
 		r.parkDrops++
 		if mm := r.metrics; mm != nil {
 			mm.ParkDrops.Inc()
 		}
-		return
+		return false
 	}
 	r.parked[h] = append(r.parked[h], parkedRef{
 		from: from, kind: e.Kind, tag: e.Tag, origin: e.Origin, instance: e.Instance,
@@ -584,7 +662,7 @@ func (r *Relay) park(from types.ProcID, e Entry, h hashKey) {
 		r.pulled[h] = pulls
 	}
 	if _, done := pulls[from]; done {
-		return
+		return true
 	}
 	pulls[from] = struct{}{}
 	r.pulls++
@@ -595,6 +673,7 @@ func (r *Relay) park(from types.ProcID, e Entry, h hashKey) {
 		Kind: proto.MsgRBPull, Tag: proto.Tag{Mod: proto.ModRBRelay},
 		Origin: r.env.ID(), Val: types.Value(h[:]),
 	})
+	return true
 }
 
 // onPull answers a resolution request from the cache; unknown hashes are
@@ -621,41 +700,56 @@ func (r *Relay) onPull(from types.ProcID, m proto.Message) {
 // that exact hash resolve, so a Byzantine responder cannot substitute a
 // different value — a wrong value simply resolves nothing.
 func (r *Relay) onPullResp(m proto.Message) {
-	h := hashValue(m.Val)
-	refs, ok := r.parked[h]
-	if !ok {
+	if _, ok := r.parked[hashValue(m.Val)]; !ok {
 		// Unsolicited (or already resolved): ignore rather than cache,
 		// so responders cannot stuff the cache with junk bindings.
 		return
 	}
-	delete(r.parked, h)
-	delete(r.pulled, h)
-	r.parkedLen -= len(refs)
-	maxInst := types.Instance(0)
-	for _, ref := range refs {
-		if ref.instance > maxInst {
-			maxInst = ref.instance
-		}
-	}
-	r.learn(m.Val, maxInst)
-	for _, ref := range refs {
-		r.sink(ref.from, proto.Message{
-			Kind: ref.kind, Tag: ref.tag, Origin: ref.origin, Instance: ref.instance, Val: m.Val,
-		})
-	}
+	r.learn(m.Val, 0, false)
 }
 
 // learn binds v's content hash to v, tracking the highest referencing
-// instance for retirement.
-func (r *Relay) learn(v types.Value, inst types.Instance) {
+// instance for retirement, and resolves any entries parked under that
+// hash — the value may arrive via the INIT after its hash entries did,
+// and the original vector sender (the only peer pulled so far) may be
+// Byzantine and never answer. own marks values this process broadcast or
+// echoed itself: those always cache (a correct relay must answer pulls
+// for every value it referenced by hash), while remote learns are held
+// to the cache byte budget.
+func (r *Relay) learn(v types.Value, inst types.Instance, own bool) {
 	h := hashValue(v)
 	if cv, ok := r.cache[h]; ok {
+		// Cached implies nothing parked: parking happens only on cache
+		// miss and every insert below drains the hash's parked refs.
 		if inst > cv.maxInst {
 			cv.maxInst = inst
 		}
 		return
 	}
-	r.cache[h] = &cacheVal{val: v, maxInst: inst}
+	refs := r.parked[h]
+	if len(refs) > 0 {
+		delete(r.parked, h)
+		delete(r.pulled, h)
+		r.parkedLen -= len(refs)
+		for _, ref := range refs {
+			if ref.instance > inst {
+				inst = ref.instance
+			}
+		}
+	}
+	if cost := len(v) + cacheEntryOverhead; own || r.cacheBytes+cost <= r.maxCache {
+		r.cache[h] = &cacheVal{val: v, maxInst: inst}
+		r.cacheBytes += cost
+	} else {
+		r.cacheDrops++
+	}
+	// Deliver after the cache insert so re-entrant pulls triggered by the
+	// deliveries can already be answered.
+	for _, ref := range refs {
+		r.sink(ref.from, proto.Message{
+			Kind: ref.kind, Tag: ref.tag, Origin: ref.origin, Instance: ref.instance, Val: v,
+		})
+	}
 }
 
 // RetireInstancesBefore releases relay state below floor in the same
@@ -675,6 +769,7 @@ func (r *Relay) RetireInstancesBefore(floor types.Instance) {
 	for h, cv := range r.cache {
 		if cv.maxInst < floor {
 			delete(r.cache, h)
+			r.cacheBytes -= len(cv.val) + cacheEntryOverhead
 		}
 	}
 	for h, refs := range r.parked {
@@ -718,6 +813,17 @@ func (r *Relay) BadFrames() uint64 { return r.badFrames }
 // ScopeDrops returns the number of entries dropped defensively before
 // dedup: non-process origins, and entries past the dedup-scope cap.
 func (r *Relay) ScopeDrops() uint64 { return r.scopeDrops }
+
+// WindowDrops returns the number of vector entries outside the engine's
+// live window, forwarded unresolved without allocating relay state.
+func (r *Relay) WindowDrops() uint64 { return r.windowDrops }
+
+// CacheDrops returns the number of remote value learns dropped at the
+// cache byte budget.
+func (r *Relay) CacheDrops() uint64 { return r.cacheDrops }
+
+// CacheBytes returns the charged size of the hash-value cache.
+func (r *Relay) CacheBytes() int { return r.cacheBytes }
 
 // Parked returns the number of entries awaiting hash resolution.
 func (r *Relay) Parked() int { return r.parkedLen }

@@ -455,6 +455,150 @@ func TestParkingCapBoundsStarvation(t *testing.T) {
 	}
 }
 
+func TestInboundInitLearnsOnlyUnforgedInWindow(t *testing.T) {
+	env := newRelayEnv()
+	var got []sinkRec
+	r := NewRelay(RelayConfig{
+		Env:    env,
+		Sink:   func(from types.ProcID, m proto.Message) { got = append(got, sinkRec{from, m}) },
+		Window: func(i types.Instance) bool { return i < 10 },
+	})
+	big := types.Value(strings.Repeat("x", 64))
+	// Forged INIT (sender impersonating origin 2) and far-future INIT:
+	// both pass through unconsumed, neither may seed the cache.
+	if r.Inbound(3, proto.Message{Kind: proto.MsgRBInit, Tag: relayTag, Origin: 2, Instance: 7, Val: big}) {
+		t.Fatal("INIT consumed by relay")
+	}
+	r.Inbound(2, proto.Message{Kind: proto.MsgRBInit, Tag: relayTag, Origin: 2, Instance: 1 << 40, Val: big})
+	if len(r.cache) != 0 {
+		t.Fatalf("cache learned %d values from forged/out-of-window INITs", len(r.cache))
+	}
+	// The genuine in-window INIT still learns.
+	r.Inbound(2, proto.Message{Kind: proto.MsgRBInit, Tag: relayTag, Origin: 2, Instance: 7, Val: big})
+	if len(r.cache) != 1 {
+		t.Fatalf("cache holds %d values after genuine INIT, want 1", len(r.cache))
+	}
+}
+
+func TestWindowGuardForwardsWithoutAllocating(t *testing.T) {
+	env := newRelayEnv()
+	var got []sinkRec
+	r := NewRelay(RelayConfig{
+		Env:    env,
+		Sink:   func(from types.ProcID, m proto.Message) { got = append(got, sinkRec{from, m}) },
+		Window: func(i types.Instance) bool { return i < 10 },
+	})
+	h := hashValue(types.Value(strings.Repeat("q", 64)))
+	inboundVector(t, r, 4, []Entry{
+		{Kind: proto.MsgRBEcho, Tag: relayTag, Origin: 2, Instance: 1 << 40, Val: "v"},
+		{Kind: proto.MsgRBReady, Tag: relayTag, Origin: 2, Instance: 1 << 41, Hashed: true, Val: types.Value(h[:])},
+	})
+	// Out-of-window entries reach the sink raw — the engine's own guards
+	// must account for them (lag signal) — but allocate nothing: no dedup
+	// scope, no parked entry, no pull.
+	if len(got) != 2 {
+		t.Fatalf("sink got %d messages, want 2 forwarded", len(got))
+	}
+	if r.WindowDrops() != 2 {
+		t.Fatalf("WindowDrops=%d, want 2", r.WindowDrops())
+	}
+	if len(r.seenBits) != 0 || r.Parked() != 0 || len(env.sent) != 0 || len(r.cache) != 0 {
+		t.Fatalf("out-of-window entries allocated state: scopes=%d parked=%d pulls=%d cache=%d",
+			len(r.seenBits), r.Parked(), len(env.sent), len(r.cache))
+	}
+}
+
+func TestParkDropDoesNotConsumeDedupBit(t *testing.T) {
+	env := newRelayEnv()
+	var got []sinkRec
+	r := NewRelay(RelayConfig{
+		Env:       env,
+		Sink:      func(from types.ProcID, m proto.Message) { got = append(got, sinkRec{from, m}) },
+		MaxParked: 1,
+	})
+	va := types.Value(strings.Repeat("a", 64))
+	vb := types.Value(strings.Repeat("b", 64))
+	ha, hb := hashValue(va), hashValue(vb)
+	ea := Entry{Kind: proto.MsgRBEcho, Tag: relayTag, Origin: 2, Instance: 0, Hashed: true, Val: types.Value(ha[:])}
+	eb := Entry{Kind: proto.MsgRBEcho, Tag: relayTag, Origin: 3, Instance: 0, Hashed: true, Val: types.Value(hb[:])}
+	inboundVector(t, r, 4, []Entry{ea}) // parks, fills the lot
+	inboundVector(t, r, 4, []Entry{eb}) // dropped at the cap
+	if r.Parked() != 1 || r.ParkDrops() != 1 {
+		t.Fatalf("parked=%d drops=%d, want 1/1", r.Parked(), r.ParkDrops())
+	}
+	// Resolve A, freeing the lot; the dropped entry must still be
+	// deliverable when retransmitted — its dedup identity was not burned.
+	r.Inbound(5, proto.Message{Kind: proto.MsgRBPullResp, Tag: proto.Tag{Mod: proto.ModRBRelay}, Origin: 5, Val: va})
+	if len(got) != 1 {
+		t.Fatalf("sink got %d after resolving A, want 1", len(got))
+	}
+	inboundVector(t, r, 4, []Entry{eb})
+	if r.Parked() != 1 || r.DupEntries() != 0 {
+		t.Fatalf("retransmitted entry not re-parked: parked=%d dups=%d", r.Parked(), r.DupEntries())
+	}
+	r.Inbound(5, proto.Message{Kind: proto.MsgRBPullResp, Tag: proto.Tag{Mod: proto.ModRBRelay}, Origin: 5, Val: vb})
+	if len(got) != 2 || got[1].m.Val != vb {
+		t.Fatalf("dropped-then-retransmitted entry never delivered: %+v", got)
+	}
+}
+
+func TestLearnResolvesParkedEntries(t *testing.T) {
+	env := newRelayEnv()
+	r, got := newTestRelay(env)
+	big := types.Value(strings.Repeat("r", 64))
+	h := hashValue(big)
+	// Hash entry arrives before the value; the pulled peer (4) never
+	// answers. The INIT carrying the value must unpark it regardless.
+	inboundVector(t, r, 4, []Entry{
+		{Kind: proto.MsgRBEcho, Tag: relayTag, Origin: 2, Instance: 7, Hashed: true, Val: types.Value(h[:])},
+	})
+	if len(*got) != 0 || r.Parked() != 1 {
+		t.Fatalf("precondition: sink=%d parked=%d", len(*got), r.Parked())
+	}
+	r.Inbound(2, proto.Message{Kind: proto.MsgRBInit, Tag: relayTag, Origin: 2, Instance: 7, Val: big})
+	if len(*got) != 1 || (*got)[0].m.Val != big || (*got)[0].from != 4 {
+		t.Fatalf("INIT did not resolve parked entry: %+v", *got)
+	}
+	if r.Parked() != 0 {
+		t.Fatalf("Parked=%d after INIT, want 0", r.Parked())
+	}
+}
+
+func TestCacheByteBudgetBoundsRemoteLearns(t *testing.T) {
+	env := newRelayEnv()
+	var got []sinkRec
+	r := NewRelay(RelayConfig{
+		Env:           env,
+		Sink:          func(from types.ProcID, m proto.Message) { got = append(got, sinkRec{from, m}) },
+		MaxCacheBytes: 64 + cacheEntryOverhead + 8, // room for exactly one 64-byte remote value
+	})
+	v1 := types.Value(strings.Repeat("1", 64))
+	v2 := types.Value(strings.Repeat("2", 64))
+	r.Inbound(2, proto.Message{Kind: proto.MsgRBInit, Tag: relayTag, Origin: 2, Instance: 0, Val: v1})
+	r.Inbound(3, proto.Message{Kind: proto.MsgRBInit, Tag: relayTag, Origin: 3, Instance: 1, Val: v2})
+	if len(r.cache) != 1 || r.CacheDrops() != 1 {
+		t.Fatalf("cache=%d drops=%d, want 1/1", len(r.cache), r.CacheDrops())
+	}
+	// Own values bypass the budget: the relay must be able to answer
+	// pulls for everything it referenced by hash.
+	own := types.Value(strings.Repeat("3", 64))
+	r.Broadcast(echoMsg(1, 2, own))
+	ho := hashValue(own)
+	r.Inbound(5, proto.Message{Kind: proto.MsgRBPull, Tag: proto.Tag{Mod: proto.ModRBRelay}, Origin: 5, Val: types.Value(ho[:])})
+	if len(env.sent) == 0 || env.sent[len(env.sent)-1].m.Val != own {
+		t.Fatalf("own value not cached past the budget: %+v", env.sent)
+	}
+	// Retirement refunds the budget, so later remote values cache again.
+	r.RetireInstancesBefore(4)
+	if r.CacheBytes() != 0 {
+		t.Fatalf("CacheBytes=%d after retirement, want 0", r.CacheBytes())
+	}
+	r.Inbound(3, proto.Message{Kind: proto.MsgRBInit, Tag: relayTag, Origin: 3, Instance: 5, Val: v2})
+	if len(r.cache) != 1 {
+		t.Fatalf("cache=%d after refund, want 1", len(r.cache))
+	}
+}
+
 func TestInboundDropsNonProcessOrigins(t *testing.T) {
 	env := newRelayEnv() // n = 7
 	r, got := newTestRelay(env)
