@@ -434,6 +434,42 @@ func BenchmarkLogThroughputObs(b *testing.B) {
 	}
 }
 
+// BenchmarkLogThroughputTraced is BenchmarkLogThroughput with causal
+// command tracing attached (internal/xtrace: per-command spans, flight
+// recorder, stage histograms) on top of a live obs registry — identical
+// sub-benchmark names so benchstat can diff against the baseline after
+// `sed s/LogThroughputTraced/LogThroughput/`. CI's tracing-overhead
+// guard runs exactly that comparison, warn-only at ~3%.
+func BenchmarkLogThroughputTraced(b *testing.B) {
+	for _, batch := range []int{8, 32} {
+		for _, pipeline := range []int{1, 4} {
+			batch, pipeline := batch, pipeline
+			b.Run(fmt.Sprintf("batch=%d/pipeline=%d", batch, pipeline), func(b *testing.B) {
+				reg := obs.NewRegistry()
+				spans := 0
+				for i := 0; i < b.N; i++ {
+					spec := logThroughputSpec(4, batch, pipeline, 200, int64(i))
+					spec.Obs = reg
+					spec.Trace = &runner.TraceSpec{}
+					res, err := runner.RunLog(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.AllCommitted(200) {
+						b.Fatalf("only %d/200 commands committed", res.MinCommitted())
+					}
+					for _, d := range res.TraceDumps("bench") {
+						spans += int(d.Total)
+					}
+				}
+				if spans == 0 {
+					b.Fatal("tracing attached but no spans recorded")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkLogScaleN: log throughput as the system grows, up to n=100
 // (t=33). Message complexity grows ~n³ per instance, so the command
 // workload shrinks with n to keep single ops in benchmark territory —

@@ -81,6 +81,13 @@ type result struct {
 	// Zero/absent for workloads without a commit path.
 	DeliveriesPerCmd float64 `json:"deliveries_per_cmd,omitempty"`
 	MsgsPerCommit    float64 `json:"msgs_per_commit,omitempty"`
+	// Stage-latency breakdown (virtual nanoseconds) from the causal
+	// tracer's stage histograms (internal/xtrace → obs.StageMetrics),
+	// keyed by stage name: batch_wait, consensus, apply (admit_wait and
+	// respond exist only on live edges). Absent for workloads without a
+	// command path or for snapshots predating causal tracing.
+	StageP50NS map[string]float64 `json:"stage_p50_ns,omitempty"`
+	StageP99NS map[string]float64 `json:"stage_p99_ns,omitempty"`
 }
 
 // report is the whole BENCH_*.json document.
@@ -158,6 +165,8 @@ func main() {
 			BytesPerOp:       perf.BytesPerOp(),
 			DeliveriesPerCmd: stats.DeliveriesPerCmd,
 			MsgsPerCommit:    stats.MsgsPerCommit,
+			StageP50NS:       stats.StageP50NS,
+			StageP99NS:       stats.StageP99NS,
 		}
 		if lat.Count() > 0 {
 			r.CommitP50NS = lat.Quantile(0.5)
@@ -196,6 +205,27 @@ func main() {
 type logStats struct {
 	DeliveriesPerCmd float64
 	MsgsPerCommit    float64
+	// Stage-latency quantiles keyed by obs.StageNames entries (nil when
+	// the workload ran untraced).
+	StageP50NS map[string]float64
+	StageP99NS map[string]float64
+}
+
+// stageQuantiles reads the stage-latency histograms the traced workload
+// accumulated in reg, returning nil maps when nothing was observed.
+func stageQuantiles(reg *obs.Registry) (p50, p99 map[string]float64) {
+	for _, stage := range obs.StageNames {
+		h := reg.Histogram(obs.WithLabels(obs.StageLatencyName, `stage="`+stage+`"`), nil)
+		if h.Count() == 0 {
+			continue
+		}
+		if p50 == nil {
+			p50, p99 = map[string]float64{}, map[string]float64{}
+		}
+		p50[stage] = h.Quantile(0.5)
+		p99[stage] = h.Quantile(0.99)
+	}
+	return p50, p99
 }
 
 // workload is one named suite entry. run returns the perf span and, for
@@ -345,6 +375,10 @@ func logRun(n, batch, pipeline, ops int, coalesce bool) (metrics.Perf, *obs.Hist
 		spec := exp.LogWorkloadSpec(n, batch, pipeline, workload, int64(op+1))
 		spec.Log.Coalesce = coalesce
 		spec.Obs = reg
+		// Causal tracing rides along so the suite reports the stage
+		// breakdown (batch_wait/consensus/apply); it is schedule-passive,
+		// and its CPU cost lands on every seed identically.
+		spec.Trace = &runner.TraceSpec{}
 		res, err := runner.RunLog(spec)
 		if err != nil {
 			return metrics.Perf{}, nil, logStats{}, err
@@ -361,6 +395,7 @@ func logRun(n, batch, pipeline, ops int, coalesce bool) (metrics.Perf, *obs.Hist
 		DeliveriesPerCmd: float64(deliveries) / float64(committed),
 		MsgsPerCommit:    float64(msgs) / float64(committed),
 	}
+	stats.StageP50NS, stats.StageP99NS = stageQuantiles(reg)
 	return span.End(ops, events, msgs), obs.NewCommitLatency(reg), stats, nil
 }
 
@@ -376,6 +411,12 @@ func renderTrend(dir, format string, w io.Writer) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("no BENCH_*.json files in %s", dir)
 	}
+	// Snapshots from older PRs miss newer fields (commit latency,
+	// deliveries_per_cmd/msgs_per_commit, stage quantiles) — those
+	// unmarshal to zero values and render "-" below. Only a snapshot
+	// that is not valid JSON at all (or carries no results) is skipped,
+	// with a warning, instead of failing the whole trend: one corrupt
+	// artifact must not hide the rest of the trajectory.
 	reps := make([]report, 0, len(paths))
 	for _, p := range paths {
 		buf, err := os.ReadFile(p)
@@ -384,9 +425,17 @@ func renderTrend(dir, format string, w io.Writer) error {
 		}
 		var rep report
 		if err := json.Unmarshal(buf, &rep); err != nil {
-			return fmt.Errorf("%s: %w", p, err)
+			fmt.Fprintf(os.Stderr, "minsync-bench: skipping unreadable snapshot %s: %v\n", p, err)
+			continue
+		}
+		if len(rep.Results) == 0 {
+			fmt.Fprintf(os.Stderr, "minsync-bench: skipping empty snapshot %s\n", p)
+			continue
 		}
 		reps = append(reps, rep)
+	}
+	if len(reps) == 0 {
+		return fmt.Errorf("no readable BENCH_*.json snapshots in %s", dir)
 	}
 	sort.SliceStable(reps, func(i, j int) bool { return reps[i].CreatedUnix < reps[j].CreatedUnix })
 
@@ -417,10 +466,11 @@ func renderTrend(dir, format string, w io.Writer) error {
 		}
 		return fmt.Sprintf("%.2f", ns/1e6)
 	}
-	metrics := []struct {
+	type trendMetric struct {
 		title string
 		fn    func(result) string
-	}{
+	}
+	metrics := []trendMetric{
 		{"events/sec (M)", func(r result) string { return fmt.Sprintf("%.2f", r.EventsPerSec/1e6) }},
 		{"wall ms/op", func(r result) string {
 			return fmt.Sprintf("%.1f", float64(r.WallNS)/float64(max(r.Ops, 1))/1e6)
@@ -450,6 +500,34 @@ func renderTrend(dir, format string, w io.Writer) error {
 		{"commit p50 ms", func(r result) string { return lat(r.CommitP50NS) }},
 		{"commit p99 ms", func(r result) string { return lat(r.CommitP99NS) }},
 		{"commit p999 ms", func(r result) string { return lat(r.CommitP999NS) }},
+	}
+	// One p50/p99 table per pipeline stage (xtrace breakdown); snapshots
+	// or workloads without the stage render "-", and a stage no snapshot
+	// observed at all (admit_wait/respond exist only on live edges) gets
+	// no table.
+	stagePresent := map[string]bool{}
+	for _, rep := range reps {
+		for _, r := range rep.Results {
+			for s := range r.StageP50NS {
+				stagePresent[s] = true
+			}
+		}
+	}
+	for _, stage := range obs.StageNames {
+		if !stagePresent[stage] {
+			continue
+		}
+		stage := stage
+		metrics = append(metrics, trendMetric{
+			title: "stage " + stage + " p50/p99 ms",
+			fn: func(r result) string {
+				p50, ok := r.StageP50NS[stage]
+				if !ok {
+					return "-"
+				}
+				return fmt.Sprintf("%.2f/%.2f", p50/1e6, r.StageP99NS[stage]/1e6)
+			},
+		})
 	}
 	sep, open, mid := "\t", "", ""
 	if format == "md" {
@@ -496,6 +574,7 @@ func kvRun(n, ops int) (metrics.Perf, *obs.Histogram, logStats, error) {
 	for op := 0; op < ops; op++ {
 		spec := exp.KVWorkloadSpec(n, workload, int64(op+1))
 		spec.Obs = reg
+		spec.Trace = &runner.TraceSpec{}
 		res, err := runner.RunKV(spec)
 		if err != nil {
 			return metrics.Perf{}, nil, logStats{}, err
@@ -506,7 +585,9 @@ func kvRun(n, ops int) (metrics.Perf, *obs.Histogram, logStats, error) {
 		events += res.Events
 		msgs += res.Messages
 	}
-	return span.End(ops, events, msgs), obs.NewCommitLatency(reg), logStats{}, nil
+	var stats logStats
+	stats.StageP50NS, stats.StageP99NS = stageQuantiles(reg)
+	return span.End(ops, events, msgs), obs.NewCommitLatency(reg), stats, nil
 }
 
 // dumpDigests prints the digest table for every curated scenario.

@@ -44,6 +44,7 @@ import (
 	"repro/internal/txpool"
 	"repro/internal/types"
 	"repro/internal/wire"
+	"repro/internal/xtrace"
 )
 
 // kvFrameMax bounds client frames (defense against rogue clients).
@@ -107,7 +108,11 @@ type kvOptions struct {
 	Compact                                                  bool
 	// Coalesce batches RB echo/ready traffic into vector frames
 	// (log.Config.Coalesce); on by default for live clusters.
-	Coalesce            bool
+	Coalesce bool
+	// TraceDir enables causal command tracing (internal/xtrace) and
+	// names the directory where the flight recorder dumps its span ring
+	// on a stall or lag signal ("" = tracing off).
+	TraceDir            string
 	Unit, Wait, StartIn time.Duration
 }
 
@@ -123,6 +128,7 @@ type kvEdge struct {
 	engine **log.Engine // filled in on the loop after Start
 	peers  []types.ProcID
 	wait   time.Duration
+	tracer *xtrace.Tracer // nil = tracing off
 }
 
 // propose hands a newly-admitted command to the ordering layer: on the
@@ -191,7 +197,7 @@ func (e *kvEdge) read(key string) (string, bool, error) {
 // committed response bounded by the serve timeout.
 func (e *kvEdge) execute(c kv.Command, enc types.Value) types.Value {
 	k := txpool.Key{Client: c.Client, Seq: c.Seq}
-	ch, proposed, err := e.pool.Admit(k)
+	ch, proposed, err := e.pool.Admit(k, enc)
 	if err != nil {
 		return kv.Response{Status: kv.StatusBusy}.Encode()
 	}
@@ -206,10 +212,12 @@ func (e *kvEdge) execute(c kv.Command, enc types.Value) types.Value {
 	defer timer.Stop()
 	select {
 	case resp := <-ch:
+		resolvedAt := e.tracer.Clock()
 		// Client-visible commit latency: request accepted → response
 		// resolved (wall clock; cache hits count, they ARE the fast path
 		// a retrying client sees).
 		e.tel.observeLatency(time.Since(accepted))
+		e.tracer.Respond(enc, resolvedAt)
 		return resp
 	case <-timer.C:
 		e.pool.Forget(k, ch)
@@ -225,6 +233,20 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 	var engine *log.Engine
 	var engErr error
 
+	// Causal tracing is opt-in (-trace-dir) and passive: the tracer
+	// records into its own bounded ring — the flight recorder — dumped
+	// only on a stall or lag signal. Stage latencies flow into the
+	// telemetry registry (nil-safe when -metrics is off).
+	var tracer *xtrace.Tracer
+	if opts.TraceDir != "" {
+		tracer = xtrace.New(xtrace.Config{
+			Proc:     self,
+			Now:      func() types.Time { return types.Time(time.Now().UnixNano()) },
+			Recorder: xtrace.NewRecorder(traceRingCap),
+			Stages:   obs.NewStageMetrics(tel.registry(), ""),
+		})
+	}
+
 	edge := &kvEdge{
 		node: node,
 		tr:   tr,
@@ -235,10 +257,12 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 			// longer than any client would wait for it.
 			TTL:     opts.Wait,
 			Metrics: obs.NewPoolMetrics(tel.registry(), ""),
+			Tracer:  tracer,
 		}),
 		store:  store,
 		engine: &engine,
 		wait:   opts.Wait,
+		tracer: tracer,
 	}
 
 	// Install the forward interceptor before the node loop starts: a
@@ -267,6 +291,7 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 		// corroborable snapshot past its own position.
 		RefreshEvery: types.Instance(opts.SnapRefresh),
 		Metrics:      obs.NewSMMetrics(tel.registry(), ""),
+		Tracer:       tracer,
 		// Every snapshot captures the engine's retained suffix too, so
 		// this replica can serve complete transfer payloads (snapshot +
 		// content-dedup window) to lagging or restarted peers.
@@ -317,6 +342,7 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 			CanonicalBatches: true,
 			Coalesce:         opts.Coalesce,
 			Metrics:          obs.NewLogMetrics(tel.registry(), ""),
+			Tracer:           tracer,
 			OnCommit: func(e log.Entry) {
 				applier.OnCommit(e)
 				appliedCount.Store(int64(applier.Applied()))
@@ -336,9 +362,25 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 		// Named transfer, not tr: the enclosing function's tr is the
 		// netx.Transport, and shadowing it here is a trap.
 		var transfer *sm.Transfer
+		var lagDump sync.Once
 		cfg.OnDroppedAhead = func(i types.Instance) {
 			if transfer != nil {
 				transfer.OnDroppedAhead(i)
+			}
+			// Lag signal: peers are deciding instances we dropped, i.e. we
+			// fell behind the pipeline window. Dump the flight recorder
+			// once so the forensic window isn't overwritten by catch-up
+			// traffic.
+			if tracer != nil {
+				lagDump.Do(func() {
+					d := tracer.Dump(fmt.Sprintf("lag: dropped frame ahead of window at instance %v", i))
+					paths, err := xtrace.WriteDumps(opts.TraceDir, "lag", []*xtrace.Dump{d})
+					if err != nil {
+						stdlog.Printf("flight recorder: %v", err)
+						return
+					}
+					stdlog.Printf("flight recorder: lag signal at instance %v, dumped %v", i, paths)
+				})
 			}
 		}
 		eng, err := log.New(cfg)
@@ -443,6 +485,7 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 			DefaultTimeout: min(10*time.Second, opts.Wait),
 			MaxTimeout:     opts.Wait,
 			ObserveLatency: tel.observeLatency,
+			Tracer:         tracer,
 		})
 		if err != nil {
 			stdlog.Fatal(err)
@@ -479,6 +522,18 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 			})
 		case <-time.After(opts.Wait):
 			stdlog.Printf("applied only %d/%d within %v", appliedCount.Load(), opts.Target, opts.Wait)
+			// Stall signal: the cluster never reached its target. Dump the
+			// flight recorder so the operator can see exactly which stage
+			// every in-flight command is stuck in (merge the per-replica
+			// dumps with minsync-trace).
+			if tracer != nil {
+				d := tracer.Dump(fmt.Sprintf("stall: applied %d/%d within %v", appliedCount.Load(), opts.Target, opts.Wait))
+				if paths, err := xtrace.WriteDumps(opts.TraceDir, "stall", []*xtrace.Dump{d}); err != nil {
+					stdlog.Printf("flight recorder: %v", err)
+				} else {
+					stdlog.Printf("flight recorder: stall dump %v", paths)
+				}
+			}
 			os.Exit(1)
 		}
 		// Linger so lagging peers can still finish their own runs.

@@ -75,6 +75,7 @@ func main() {
 		startIn  = flag.Duration("start-in", 2*time.Second, "delay before proposing (lets peers come up)")
 
 		metricsF    = flag.String("metrics", "", "serve /metrics, /statusz and /debug/pprof/ on this address (empty = off)")
+		traceDir    = flag.String("trace-dir", "", "kv mode: attach causal command tracing and write flight-recorder dumps into this directory on a stall or lag signal (empty = off; merge dumps with minsync-trace)")
 		snapRefresh = flag.Int("snapshot-refresh", 0, "kv mode: re-stamp the snapshot every N applied instances even when idle, so rejoining replicas always find a fresh transfer boundary (0 = off)")
 
 		kvMode    = flag.Bool("kv", false, "replicated-KV mode: serve gets/puts over TCP")
@@ -161,8 +162,8 @@ func main() {
 			Batch: *batch, Pipeline: *pipeline,
 			SnapEvery: *snapEvery, SnapRefresh: *snapRefresh,
 			PoolCap: *poolCap, Target: *kvTarget, Compact: *compact,
-			Coalesce: *coalesce,
-			Unit:     *unit, Wait: *wait, StartIn: *startIn,
+			Coalesce: *coalesce, TraceDir: *traceDir,
+			Unit: *unit, Wait: *wait, StartIn: *startIn,
 		})
 		return
 	}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// TestStatuszDuringSnapshotInstall pins the telemetry degradation
+// contract: /statusz must answer even while the node loop is busy
+// installing a snapshot (or otherwise wedged), because the status probe
+// crosses onto the loop with a bounded timeout. The edge-side fields —
+// identity, uptime, the ?trace=N ring window — must still be served,
+// with the loop-side portion degraded to an error, and concurrent trace
+// emissions (the loop keeps receiving frames during an install) must
+// not race the readers.
+func TestStatuszDuringSnapshotInstall(t *testing.T) {
+	params := types.Params{N: 4, T: 1, M: 2}
+	tel := newTelemetry("127.0.0.1:0", 2, params)
+
+	// The "node loop": one goroutine that is busy installing a snapshot
+	// until released, so posted closures queue behind it.
+	installDone := make(chan struct{})
+	var loop sync.WaitGroup
+	queue := make(chan func(), 16)
+	loop.Add(1)
+	go func() {
+		defer loop.Done()
+		<-installDone // the install runs first; posts wait
+		for fn := range queue {
+			fn()
+		}
+	}()
+	defer func() {
+		close(installDone)
+		close(queue)
+		loop.Wait()
+	}()
+	post := func(fn func()) bool {
+		select {
+		case queue <- fn:
+			return true
+		default:
+			return false
+		}
+	}
+	tel.setStatus(func() map[string]any {
+		return probeStatus(post, func() map[string]any {
+			return map[string]any{"mode": "kv"}
+		})
+	})
+
+	// Protocol traffic keeps flowing into the ring during the install.
+	stop := make(chan struct{})
+	var emitter sync.WaitGroup
+	emitter.Add(1)
+	go func() {
+		defer emitter.Done()
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				tel.ring.Emit(trace.Event{Kind: trace.KindSend, Round: types.Round(i)})
+			}
+		}
+	}()
+	defer func() { close(stop); emitter.Wait() }()
+
+	client := &http.Client{Timeout: statusTimeout + 5*time.Second}
+	resp, err := client.Get("http://" + tel.ln.Addr().String() + "/statusz?trace=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statusz returned %d mid-install", resp.StatusCode)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["error"] == nil {
+		t.Fatalf("wedged loop must degrade the probe to an error field, got %v", doc)
+	}
+	if doc["id"] == nil || doc["n"] == nil {
+		t.Fatalf("edge-side identity fields missing: %v", doc)
+	}
+	evs, ok := doc["trace"].([]any)
+	if !ok || len(evs) == 0 {
+		t.Fatalf("?trace=8 window missing mid-install: %v", doc["trace"])
+	}
+}

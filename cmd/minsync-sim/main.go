@@ -37,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/xtrace"
 	"repro/minsync"
 )
 
@@ -52,6 +53,7 @@ type flags struct {
 	workers     int
 	verbose     bool
 	metricsDump string
+	traceDump   string
 
 	n, t, m    int
 	synchrony  string
@@ -71,6 +73,7 @@ func run() int {
 	flag.IntVar(&f.workers, "workers", runtime.NumCPU(), "concurrent scenario executions")
 	flag.BoolVar(&f.verbose, "v", false, "print per-process decisions / per-scenario reports")
 	flag.StringVar(&f.metricsDump, "metrics-dump", "", "scenario mode: write one Prometheus metric snapshot per cell into this directory")
+	flag.StringVar(&f.traceDump, "trace-dump", "", "scenario mode: attach causal tracing and write per-replica flight-recorder dumps for FAILING cells into this directory (merge with minsync-trace)")
 	flag.IntVar(&f.n, "n", 4, "number of processes")
 	flag.IntVar(&f.t, "t", 1, "Byzantine fault budget (t < n/3)")
 	flag.IntVar(&f.m, "m", 2, "distinct proposable values (n−t > m·t unless -botmode)")
@@ -140,9 +143,24 @@ func runScenarioMode(f flags) int {
 			return 2
 		}
 	}
+	if f.traceDump != "" {
+		// Causal tracing is passive like telemetry (and implies it): each
+		// cell additionally carries per-replica flight-recorder dumps.
+		run = minsync.RunScenarioMatrixTraced
+		if err := os.MkdirAll(f.traceDump, 0o755); err != nil {
+			log.Print(err)
+			return 2
+		}
+	}
 	results := run(specs, seeds, f.workers)
 	if f.metricsDump != "" {
 		if err := dumpMetrics(f.metricsDump, results); err != nil {
+			log.Print(err)
+			return 2
+		}
+	}
+	if f.traceDump != "" {
+		if err := dumpTraces(f.traceDump, results); err != nil {
 			log.Print(err)
 			return 2
 		}
@@ -275,6 +293,31 @@ func dumpMetrics(dir string, results []minsync.ScenarioMatrixResult) error {
 		if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// dumpTraces writes the flight-recorder dumps of every FAILING traced
+// cell: <dir>/<scenario>_seed<seed>_p<proc>.trace.json. Passing cells
+// are skipped — the recorder is a forensic tool, and a full-matrix dump
+// would bury the interesting cells (consensus-only workloads carry no
+// commands and produce no dumps either way).
+func dumpTraces(dir string, results []minsync.ScenarioMatrixResult) error {
+	wrote := 0
+	for _, r := range results {
+		if r.Err != nil || r.Outcome == nil || r.Outcome.Pass || len(r.Outcome.Trace) == 0 {
+			continue
+		}
+		prefix := fmt.Sprintf("%s_seed%d", r.Spec.Name, r.Seed)
+		paths, err := xtrace.WriteDumps(dir, prefix, r.Outcome.Trace)
+		if err != nil {
+			return err
+		}
+		wrote += len(paths)
+		fmt.Fprintf(os.Stderr, "# flight recorder: %s → %d dump(s) in %s\n", prefix, len(paths), dir)
+	}
+	if wrote == 0 {
+		fmt.Fprintf(os.Stderr, "# flight recorder: no failing traced cells, nothing dumped\n")
 	}
 	return nil
 }

@@ -1,0 +1,174 @@
+// Command minsync-trace merges per-replica flight-recorder dumps into
+// one Chrome trace-event JSON document loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Dumps come from `minsync-sim -scenario ... -trace-dump DIR` (failing
+// cells), from `minsync-node -trace-dir DIR` (live stall/lag
+// forensics), or from any code calling xtrace.WriteDumps. Each replica
+// becomes a process track with one lane per pipeline stage; commands
+// that appear on several replicas get cross-replica flow arrows keyed
+// by their content-derived trace ID. See docs/tracing.md.
+//
+// Usage:
+//
+//	minsync-trace -o merged.json dump_p1.trace.json dump_p2.trace.json ...
+//	minsync-trace -o merged.json dumps/          # all *.trace.json beneath
+//	minsync-trace -validate merged.json          # structural check (CI)
+//	minsync-trace -chain 4f2e... dumps/          # print one command's back-chain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/xtrace"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		out      = flag.String("o", "", "output path for the merged Chrome trace (default stdout)")
+		validate = flag.Bool("validate", false, "treat arguments as merged trace documents and structurally validate them")
+		chain    = flag.String("chain", "", "print the causal back-chain of one trace ID (hex) instead of merging")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Print("need at least one dump file or directory argument")
+		flag.Usage()
+		return 2
+	}
+
+	if *validate {
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				log.Print(err)
+				return 1
+			}
+			n, err := xtrace.ValidateChromeTrace(data)
+			if err != nil {
+				log.Printf("%s: INVALID: %v", path, err)
+				return 1
+			}
+			fmt.Printf("%s: ok (%d events)\n", path, n)
+		}
+		return 0
+	}
+
+	dumps, err := collectDumps(flag.Args())
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if len(dumps) == 0 {
+		log.Print("no *.trace.json dumps found in the given arguments")
+		return 1
+	}
+
+	if *chain != "" {
+		return printChain(dumps, *chain)
+	}
+
+	data, err := xtrace.MergeChromeTrace(dumps)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+		return 0
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Print(err)
+		return 1
+	}
+	spans := 0
+	for _, d := range dumps {
+		spans += len(d.Spans)
+	}
+	fmt.Printf("merged %d dump(s), %d span(s) → %s (load at https://ui.perfetto.dev)\n",
+		len(dumps), spans, *out)
+	return 0
+}
+
+// collectDumps reads every argument: directories are walked for
+// *.trace.json files, plain files are read directly. Deterministic
+// order (sorted paths) so merges are reproducible.
+func collectDumps(args []string) ([]*xtrace.Dump, error) {
+	var paths []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			paths = append(paths, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(p, ".trace.json") {
+				paths = append(paths, p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(paths)
+	dumps := make([]*xtrace.Dump, 0, len(paths))
+	for _, p := range paths {
+		d, err := xtrace.ReadDump(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		dumps = append(dumps, d)
+	}
+	return dumps, nil
+}
+
+// printChain renders the per-replica causal back-chain of one trace ID
+// — the textual counterpart of a Perfetto flow arrow, for terminal
+// forensics.
+func printChain(dumps []*xtrace.Dump, hex string) int {
+	id, err := strconv.ParseUint(strings.TrimPrefix(hex, "0x"), 16, 64)
+	if err != nil {
+		log.Printf("bad trace ID %q: %v", hex, err)
+		return 2
+	}
+	found := false
+	for _, d := range dumps {
+		chain := xtrace.BackChain(d.Spans, xtrace.TraceID(id))
+		if len(chain) == 0 {
+			continue
+		}
+		found = true
+		fmt.Printf("replica %d (%s):\n", d.Proc, d.Label)
+		for _, s := range chain {
+			inst := ""
+			if s.Inst != xtrace.NoInstance {
+				inst = fmt.Sprintf(" inst=%d", s.Inst)
+			}
+			fmt.Printf("  %10d..%-10d %-12s span=%d parent=%d%s\n",
+				s.Start, s.End, s.Stage, s.ID, s.Parent, inst)
+		}
+	}
+	if !found {
+		log.Printf("trace %016x not found in %d dump(s)", id, len(dumps))
+		return 1
+	}
+	return 0
+}

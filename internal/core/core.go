@@ -34,6 +34,7 @@ import (
 	"repro/internal/rb"
 	"repro/internal/trace"
 	"repro/internal/types"
+	"repro/internal/xtrace"
 )
 
 // Config assembles an Engine.
@@ -67,6 +68,13 @@ type Config struct {
 	// into every instance, so one bundle aggregates RB volume across all
 	// instances of a replica. Passive; never alters the protocol.
 	RBMetrics *obs.RBMetrics
+	// Tracer, if non-nil, attaches causal tracing (internal/xtrace) to
+	// the engine's reliable-broadcast layer. TraceInstance is the
+	// numbered log instance the spans belong to — the replicated log
+	// stamps it when cloning this config per instance; standalone
+	// engines should pass xtrace.NoInstance. Passive.
+	Tracer        *xtrace.Tracer
+	TraceInstance types.Instance
 }
 
 // Engine is one correct consensus process. It implements proto.Handler; a
@@ -128,6 +136,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.rbl = rb.New(cfg.Env, e.onRBDeliver)
 	e.rbl.SetMetrics(cfg.RBMetrics)
+	e.rbl.SetTracer(cfg.Tracer, cfg.TraceInstance)
 	e.cb0 = cb.New(cb.Config{
 		Env:       cfg.Env,
 		Tag:       proto.Tag{Mod: proto.ModConsCB0},

@@ -34,6 +34,7 @@ import (
 	"repro/internal/kv"
 	"repro/internal/txpool"
 	"repro/internal/types"
+	"repro/internal/xtrace"
 )
 
 // Error codes carried in the error envelope's "code" field.
@@ -150,6 +151,9 @@ type Config struct {
 	// ObserveLatency, if non-nil, receives the accepted→answered wall
 	// time of every tx that resolved (the client-visible commit latency).
 	ObserveLatency func(time.Duration)
+	// Tracer, if non-nil, records the admit and respond edges of each
+	// tx's causal trace (internal/xtrace). Passive.
+	Tracer *xtrace.Tracer
 }
 
 // Server is the HTTP handler. Build with New; it is safe for concurrent
@@ -264,7 +268,8 @@ func (s *Server) serveTx(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	k := txpool.Key{Client: c.Client, Seq: c.Seq}
-	ch, proposed, err := s.cfg.Pool.Admit(k)
+	encCmd := c.Encode()
+	ch, proposed, err := s.cfg.Pool.Admit(k, encCmd)
 	if err != nil {
 		// ErrFull is the only admission error; anything else would still
 		// be load the replica cannot take right now.
@@ -275,7 +280,7 @@ func (s *Server) serveTx(w http.ResponseWriter, r *http.Request) {
 	}
 	accepted := time.Now()
 	if proposed {
-		if err := s.cfg.Propose(c, c.Encode()); err != nil {
+		if err := s.cfg.Propose(c, encCmd); err != nil {
 			// The command never reached the ordering layer: retire the
 			// entry (answering any concurrent duplicate waiters) and
 			// report unavailability.
@@ -288,6 +293,7 @@ func (s *Server) serveTx(w http.ResponseWriter, r *http.Request) {
 	defer timer.Stop()
 	select {
 	case enc := <-ch:
+		resolvedAt := s.cfg.Tracer.Clock()
 		resp, err := kv.DecodeResponse(enc)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, CodeInternal,
@@ -303,6 +309,7 @@ func (s *Server) serveTx(w http.ResponseWriter, r *http.Request) {
 			Client: c.Client,
 			Seq:    c.Seq,
 		})
+		s.cfg.Tracer.Respond(encCmd, resolvedAt)
 	case <-timer.C:
 		s.cfg.Pool.Forget(k, ch)
 		writeError(w, http.StatusGatewayTimeout, CodeTimeout,

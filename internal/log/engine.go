@@ -11,6 +11,7 @@ import (
 	"repro/internal/rb"
 	"repro/internal/trace"
 	"repro/internal/types"
+	"repro/internal/xtrace"
 )
 
 // Entry is one committed command of the replicated log.
@@ -83,6 +84,13 @@ type Config struct {
 	// cells: increments never schedule events or alter protocol behavior,
 	// so an observed run stays schedule-identical to an unobserved one.
 	Metrics *obs.LogMetrics
+	// Tracer, if non-nil, attaches causal command tracing
+	// (internal/xtrace): span emission at submission, batch formation,
+	// instance proposal, commit and decide, propagated into every
+	// per-instance consensus engine (RB phase spans) and the coalescing
+	// relay (flush spans). Passive like Metrics — a traced run stays
+	// schedule-identical to an untraced one.
+	Tracer *xtrace.Tracer
 	// CanonicalBatches, when set, makes batch selection a deterministic
 	// function of the pending command SET instead of its arrival order:
 	// nextBatch sorts the pending queue by content before taking up to
@@ -220,6 +228,7 @@ func New(cfg Config) (*Engine, error) {
 			Sink:    l.dispatch,
 			Quantum: cfg.CoalesceQuantum,
 			Metrics: cfg.Engine.RBMetrics,
+			Tracer:  cfg.Tracer,
 			// The dispatch guards, as a predicate: the relay allocates
 			// state (value cache, dedup bitmaps, parking lot) only for
 			// traffic dispatch would accept, so instances a Byzantine
@@ -263,6 +272,7 @@ func (l *Engine) Submit(cmd types.Value) error {
 	}
 	l.pending = append(l.pending, cmd)
 	l.pendingSet[cmd] = struct{}{}
+	l.cfg.Tracer.OnSubmit(cmd)
 	return nil
 }
 
@@ -349,6 +359,8 @@ func (l *Engine) getInstance(i types.Instance) *instance {
 	}
 	ecfg.Env = &instEnv{base: base, id: i}
 	ecfg.BotMode = true
+	ecfg.Tracer = l.cfg.Tracer
+	ecfg.TraceInstance = i
 	ecfg.OnDecide = func(v types.Value) { l.onInstanceDecided(i, v) }
 	eng, err := core.New(ecfg)
 	if err != nil {
@@ -378,6 +390,12 @@ func (l *Engine) startNext() {
 	inst.proposed = true
 	for _, c := range batch {
 		l.inFlight[c]++
+	}
+	if tr := l.cfg.Tracer; tr != nil {
+		tr.OnPropose(i)
+		for _, c := range batch {
+			tr.OnBatched(c, i)
+		}
 	}
 	if m := l.cfg.Metrics; m != nil {
 		m.Proposals.Inc()
@@ -430,6 +448,7 @@ func (l *Engine) nextBatch() []types.Value {
 // onInstanceDecided records instance i's decision and applies any newly
 // contiguous prefix.
 func (l *Engine) onInstanceDecided(i types.Instance, v types.Value) {
+	l.cfg.Tracer.OnDecide(i)
 	l.decided[i] = v
 	if inst := l.insts[i]; inst != nil {
 		for _, c := range inst.ownBatch {
@@ -473,6 +492,7 @@ func (l *Engine) tryApply() {
 					if m := l.cfg.Metrics; m != nil {
 						m.Committed.Inc()
 					}
+					l.cfg.Tracer.OnCommitted(c, i)
 					if l.cfg.OnCommit != nil {
 						l.cfg.OnCommit(e)
 					}

@@ -374,3 +374,79 @@ const CommitLatencyName = "minsync_commit_latency_ns"
 func NewCommitLatency(r *Registry) *Histogram {
 	return r.Histogram(CommitLatencyName, nil)
 }
+
+// Stage keys for the per-command stage-latency breakdown (see
+// internal/xtrace). Untyped so both obs and xtrace can share them.
+const (
+	StageAdmitWait = "admit_wait"
+	StageBatchWait = "batch_wait"
+	StageConsensus = "consensus"
+	StageApply     = "apply"
+	StageRespond   = "respond"
+)
+
+// StageNames lists the canonical command stages in pipeline order —
+// the iteration order bench tooling and renderers use.
+var StageNames = []string{StageAdmitWait, StageBatchWait, StageConsensus, StageApply, StageRespond}
+
+// StageLatencyName is the canonical stage-latency histogram series
+// (nanoseconds, DefaultLatencyBuckets, one cell per stage label).
+const StageLatencyName = "minsync_stage_latency_ns"
+
+// StageMetrics bundles the five per-command stage-latency histograms
+// an xtrace.Tracer feeds. Passive; nil-safe like every bundle.
+type StageMetrics struct {
+	AdmitWait *Histogram
+	BatchWait *Histogram
+	Consensus *Histogram
+	Apply     *Histogram
+	Respond   *Histogram
+}
+
+// NewStageMetrics registers the stage-latency histograms under the
+// given extra labels (each cell also carries stage="..."). Returns nil
+// when r is nil so callers stay passive by default.
+func NewStageMetrics(r *Registry, labels string) *StageMetrics {
+	if r == nil {
+		return nil
+	}
+	h := func(stage string) *Histogram {
+		return r.Histogram(WithLabels(StageLatencyName, JoinLabels(labels, `stage="`+stage+`"`)), nil)
+	}
+	return &StageMetrics{
+		AdmitWait: h(StageAdmitWait),
+		BatchWait: h(StageBatchWait),
+		Consensus: h(StageConsensus),
+		Apply:     h(StageApply),
+		Respond:   h(StageRespond),
+	}
+}
+
+// Stage returns the histogram for a stage key (nil for unknown keys or
+// a nil bundle).
+func (m *StageMetrics) Stage(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	switch name {
+	case StageAdmitWait:
+		return m.AdmitWait
+	case StageBatchWait:
+		return m.BatchWait
+	case StageConsensus:
+		return m.Consensus
+	case StageApply:
+		return m.Apply
+	case StageRespond:
+		return m.Respond
+	}
+	return nil
+}
+
+// Observe records one stage latency in nanoseconds. Nil-safe on the
+// bundle and tolerant of unknown stage keys.
+func (m *StageMetrics) Observe(stage string, ns int64) {
+	if h := m.Stage(stage); h != nil {
+		h.Observe(ns)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/trace"
 	"repro/internal/types"
+	"repro/internal/xtrace"
 )
 
 // DeliverFunc is invoked exactly once per delivered (origin, tag) pair.
@@ -37,6 +38,11 @@ type Layer struct {
 	deliver DeliverFunc
 	insts   map[instKey]*instance
 	metrics *obs.RBMetrics
+	tracer  *xtrace.Tracer
+	// traceInst is the hosting consensus instance for xtrace spans
+	// (the layer itself only knows (origin, tag) keys; the hosting
+	// engine knows which numbered instance it serves).
+	traceInst types.Instance
 }
 
 type instKey struct {
@@ -69,6 +75,15 @@ func New(env proto.Env, deliver DeliverFunc) *Layer {
 // Θ(n²) amplification volume — plus deliveries; passive, never alters
 // the protocol.
 func (l *Layer) SetMetrics(m *obs.RBMetrics) { l.metrics = m }
+
+// SetTracer attaches a causal tracer (nil detaches) and the consensus
+// instance this layer's spans belong to. Passive like SetMetrics: the
+// tracer observes the sentEcho/sentReady/delivered transitions, never
+// the protocol itself.
+func (l *Layer) SetTracer(t *xtrace.Tracer, inst types.Instance) {
+	l.tracer = t
+	l.traceInst = inst
+}
 
 // Broadcast RB-broadcasts v on the stream (self, tag): it sends
 // INIT(v) to everyone (including self, which triggers the echo phase
@@ -114,6 +129,7 @@ func (l *Layer) OnMessage(from types.ProcID, m proto.Message) bool {
 			if mm := l.metrics; mm != nil {
 				mm.Echoes.Inc()
 			}
+			l.tracer.RBEvent(xtrace.StageRBEcho, l.traceInst, m.Origin)
 			l.env.Broadcast(proto.Message{Kind: proto.MsgRBEcho, Tag: m.Tag, Origin: m.Origin, Val: m.Val})
 		}
 	case proto.MsgRBEcho:
@@ -129,6 +145,7 @@ func (l *Layer) OnMessage(from types.ProcID, m proto.Message) bool {
 			if mm := l.metrics; mm != nil {
 				mm.Readies.Inc()
 			}
+			l.tracer.RBEvent(xtrace.StageRBReady, l.traceInst, m.Origin)
 			l.env.Broadcast(proto.Message{Kind: proto.MsgRBReady, Tag: m.Tag, Origin: m.Origin, Val: m.Val})
 		}
 	case proto.MsgRBReady:
@@ -144,6 +161,7 @@ func (l *Layer) OnMessage(from types.ProcID, m proto.Message) bool {
 			if mm := l.metrics; mm != nil {
 				mm.Readies.Inc()
 			}
+			l.tracer.RBEvent(xtrace.StageRBReady, l.traceInst, m.Origin)
 			l.env.Broadcast(proto.Message{Kind: proto.MsgRBReady, Tag: m.Tag, Origin: m.Origin, Val: m.Val})
 		}
 		if set.Len() >= p.ReadyDeliver() && !inst.delivered {
@@ -155,6 +173,7 @@ func (l *Layer) OnMessage(from types.ProcID, m proto.Message) bool {
 				At: l.env.Now(), Kind: trace.KindRBDeliver, Proc: l.env.ID(),
 				Peer: m.Origin, Round: m.Tag.Round, Value: m.Val, Aux: m.Tag.String(),
 			})
+			l.tracer.RBEvent(xtrace.StageRBDeliver, l.traceInst, m.Origin)
 			l.deliver(m.Origin, m.Tag, m.Val)
 		}
 	}

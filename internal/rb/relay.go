@@ -45,6 +45,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/trace"
 	"repro/internal/types"
+	"repro/internal/xtrace"
 )
 
 // HashLen is the truncated content-hash length of echo-by-hash entries
@@ -288,6 +289,9 @@ type RelayConfig struct {
 	// Metrics, if non-nil, receives the coalescing instruments
 	// (FramesCoalesced, FrameEntries, Pulls, ParkDrops). Passive.
 	Metrics *obs.RBMetrics
+	// Tracer, if non-nil, records an xtrace rb_relay span per flushed
+	// vector frame (entry count in the note). Passive.
+	Tracer *xtrace.Tracer
 }
 
 // Relay is the per-process coalescing layer. It wraps the process
@@ -306,6 +310,7 @@ type Relay struct {
 	maxCache int
 	window   func(i types.Instance) bool
 	metrics  *obs.RBMetrics
+	tracer   *xtrace.Tracer
 
 	buf         []Entry
 	cancelFlush func()
@@ -402,6 +407,7 @@ func NewRelay(cfg RelayConfig) *Relay {
 		maxCache: cfg.MaxCacheBytes,
 		window:   cfg.Window,
 		metrics:  cfg.Metrics,
+		tracer:   cfg.Tracer,
 		n:        cfg.Env.Params().N,
 		seenBits: make(map[dedupScope][]uint64),
 		cache:    make(map[hashKey]*cacheVal),
@@ -507,6 +513,7 @@ func (r *Relay) Flush() {
 		mm.FramesCoalesced.Inc()
 		mm.FrameEntries.Observe(int64(n))
 	}
+	r.tracer.RBEvent(xtrace.StageRBRelay, xtrace.NoInstance, 0)
 	r.env.Broadcast(proto.Message{
 		Kind: proto.MsgRBVector, Tag: proto.Tag{Mod: proto.ModRBRelay},
 		Origin: r.env.ID(), Val: types.Value(enc),

@@ -12,6 +12,7 @@ import (
 	"repro/internal/sm"
 	"repro/internal/trace"
 	"repro/internal/types"
+	"repro/internal/xtrace"
 )
 
 // KVSpec describes one replicated-KV execution on the simulator: every
@@ -92,6 +93,10 @@ type KVSpec struct {
 	// shared commit-latency histogram (submission → first local commit).
 	// Passive: an observed run is trace-identical to an unobserved one.
 	Obs *obs.Registry
+	// Trace, if non-nil, attaches causal command tracing per correct
+	// replica (see LogSpec.Trace): spans cover submit → batch →
+	// consensus → apply, with RB phase transitions. Passive.
+	Trace *TraceSpec
 	// Deadline bounds virtual time (0 = run to drain).
 	Deadline types.Time
 	// MaxEvents bounds the number of simulation events (0 = unlimited).
@@ -283,6 +288,10 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 		Covered:        make(map[types.ProcID]int),
 		Distinct:       len(distinct),
 	}
+	if spec.Trace != nil {
+		res.Tracers = make(map[types.ProcID]*xtrace.Tracer)
+		res.Stages = obs.NewStageMetrics(spec.Obs, "")
+	}
 	var submitAt map[types.Value]types.Time
 	if spec.Obs != nil {
 		res.CommitLatency = obs.NewCommitLatency(spec.Obs)
@@ -311,12 +320,23 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 				labels = procLabel(id)
 				store.SetMetrics(obs.NewKVMetrics(spec.Obs, labels))
 			}
+			var tracer *xtrace.Tracer
+			if spec.Trace != nil {
+				tracer = xtrace.New(xtrace.Config{
+					Proc:     id,
+					Now:      env.Now,
+					Recorder: xtrace.NewRecorder(spec.Trace.cap()),
+					Stages:   res.Stages,
+				})
+				res.Tracers[id] = tracer
+			}
 			var eng *log.Engine
 			app, err := sm.New(sm.Config{
 				Machine:       store,
 				SnapshotEvery: spec.SnapshotEvery,
 				RefreshEvery:  spec.SnapshotRefresh,
 				Metrics:       obs.NewSMMetrics(spec.Obs, labels),
+				Tracer:        tracer,
 				// The retained-suffix capture rides every snapshot so this
 				// replica can serve complete transfer payloads (snapshot +
 				// dedup window); cheap (CompactKeep-sized) when compaction
@@ -346,6 +366,7 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 			cfg := spec.Log
 			cfg.Env = env
 			cfg.Target = spec.Target
+			cfg.Tracer = tracer
 			if spec.Obs != nil {
 				cfg.Metrics = obs.NewLogMetrics(spec.Obs, labels)
 				cfg.Engine.RBMetrics = obs.NewRBMetrics(spec.Obs, labels)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/types"
+	"repro/internal/xtrace"
 )
 
 // LogSpec describes one replicated-log execution on the simulator: every
@@ -56,6 +57,12 @@ type LogSpec struct {
 	// passive — an observed run produces a byte-identical trace to an
 	// unobserved one (the scenario determinism test pins this).
 	Obs *obs.Registry
+	// Trace, if non-nil, attaches causal command tracing: one
+	// xtrace.Tracer with a bounded flight recorder per correct replica,
+	// plus the shared stage-latency histogram bundle when Obs is also
+	// set. Passive like Obs — a traced run is schedule-identical to an
+	// untraced one (the scenario determinism test pins this).
+	Trace *TraceSpec
 	// Target is the commit count at which engines stop opening new
 	// instances (default len(Commands)).
 	Target int
@@ -94,6 +101,41 @@ type LogResult struct {
 	CommitLatency *obs.Histogram
 	// Engines gives access to per-process log engines (introspection).
 	Engines map[types.ProcID]*log.Engine
+	// Tracers holds each correct replica's causal tracer (nil unless
+	// Spec.Trace); Stages the shared stage-latency bundle (nil unless
+	// Spec.Trace and Spec.Obs).
+	Tracers map[types.ProcID]*xtrace.Tracer
+	Stages  *obs.StageMetrics
+}
+
+// TraceSpec configures causal tracing (see LogSpec.Trace / KVSpec.Trace).
+type TraceSpec struct {
+	// RecorderCap bounds each replica's flight-recorder ring (default
+	// 4096 spans).
+	RecorderCap int
+}
+
+// cap returns the effective recorder capacity.
+func (t *TraceSpec) cap() int {
+	if t == nil || t.RecorderCap <= 0 {
+		return 4096
+	}
+	return t.RecorderCap
+}
+
+// TraceDumps captures every correct replica's flight recorder, in
+// replica order, labeled with the given run name. Nil without tracing.
+func (r *LogResult) TraceDumps(label string) []*xtrace.Dump {
+	if r.Tracers == nil {
+		return nil
+	}
+	var dumps []*xtrace.Dump
+	for _, id := range r.Correct {
+		if t := r.Tracers[id]; t != nil {
+			dumps = append(dumps, t.Dump(label))
+		}
+	}
+	return dumps
 }
 
 // AllCommitted reports whether every correct process committed at least
@@ -241,6 +283,10 @@ func RunLog(spec LogSpec) (*LogResult, error) {
 		Logs:    make(map[types.ProcID][]log.Entry),
 		Engines: make(map[types.ProcID]*log.Engine),
 	}
+	if spec.Trace != nil {
+		res.Tracers = make(map[types.ProcID]*xtrace.Tracer)
+		res.Stages = obs.NewStageMetrics(spec.Obs, "")
+	}
 	var submitAt map[types.Value]types.Time
 	if spec.Obs != nil {
 		res.CommitLatency = obs.NewCommitLatency(spec.Obs)
@@ -263,6 +309,16 @@ func RunLog(spec LogSpec) (*LogResult, error) {
 			cfg := spec.Log
 			cfg.Env = env
 			cfg.Target = spec.Target
+			if spec.Trace != nil {
+				tr := xtrace.New(xtrace.Config{
+					Proc:     id,
+					Now:      env.Now,
+					Recorder: xtrace.NewRecorder(spec.Trace.cap()),
+					Stages:   res.Stages,
+				})
+				res.Tracers[id] = tr
+				cfg.Tracer = tr
+			}
 			var latSeen map[types.Value]struct{}
 			if spec.Obs != nil {
 				labels := procLabel(id)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/timeliness"
 	"repro/internal/trace"
 	"repro/internal/types"
+	"repro/internal/xtrace"
 )
 
 // Outcome reports one scenario execution.
@@ -50,6 +51,10 @@ type Outcome struct {
 	// the promised bisource from the trace alone (informational: false
 	// when nothing was promised or observations were too sparse).
 	BisourceSeen bool
+	// Trace holds each correct replica's flight-recorder dump (populated
+	// only by RunTraced; log/kv workloads). Informational: never part of
+	// the digest.
+	Trace []*xtrace.Dump
 }
 
 // String renders one machine-readable table row (tab-separated):
@@ -107,11 +112,25 @@ func (p *Prepared) Run(seed int64) (*Outcome, error) {
 // included — is byte-identical to an unobserved run's, which
 // TestObservedDigestsUnchanged pins across the golden matrix.
 func (p *Prepared) RunObserved(seed int64, reg *obs.Registry) (*Outcome, error) {
+	return p.run(seed, reg, nil)
+}
+
+// RunTraced is RunObserved with causal tracing (internal/xtrace)
+// attached to every correct replica of a log/kv workload; the
+// per-replica flight-recorder dumps land in Outcome.Trace. Tracing is
+// passive like observation: the Outcome — digest included — stays
+// byte-identical (TestTracedDigestsUnchanged pins this). Consensus
+// workloads have no client commands and run untraced.
+func (p *Prepared) RunTraced(seed int64, reg *obs.Registry) (*Outcome, error) {
+	return p.run(seed, reg, &runner.TraceSpec{})
+}
+
+func (p *Prepared) run(seed int64, reg *obs.Registry, tr *runner.TraceSpec) (*Outcome, error) {
 	switch p.Spec.Work.Kind {
 	case WorkLog:
-		return runLog(p, seed, reg)
+		return runLog(p, seed, reg, tr)
 	case WorkKV:
-		return runKV(p, seed, reg)
+		return runKV(p, seed, reg, tr)
 	default:
 		return runConsensus(p, seed, reg)
 	}
@@ -372,7 +391,7 @@ func runConsensus(p *Prepared, seed int64, reg *obs.Registry) (*Outcome, error) 
 	return o, nil
 }
 
-func runLog(p *Prepared, seed int64, reg *obs.Registry) (*Outcome, error) {
+func runLog(p *Prepared, seed int64, reg *obs.Registry, tr *runner.TraceSpec) (*Outcome, error) {
 	s := p.Spec
 	w := s.Work
 	if w.BatchSize <= 0 {
@@ -400,6 +419,7 @@ func runLog(p *Prepared, seed int64, reg *obs.Registry) (*Outcome, error) {
 		Byzantine:   byz,
 		Deadline:    s.deadline(),
 		Obs:         reg,
+		Trace:       tr,
 	}
 	spec.Log.Engine = ecfg
 	spec.Log.BatchSize = w.BatchSize
@@ -444,7 +464,15 @@ func runLog(p *Prepared, seed int64, reg *obs.Registry) (*Outcome, error) {
 	o.Digest = hex.EncodeToString(h.Sum(nil))
 	o.BisourceSeen = s.bisourceSeen(res.Log)
 	o.Pass = report.OK()
+	if tr != nil {
+		o.Trace = res.TraceDumps(traceLabel(s.Name, seed))
+	}
 	return o, nil
+}
+
+// traceLabel stamps flight-recorder dumps with their matrix cell.
+func traceLabel(name string, seed int64) string {
+	return fmt.Sprintf("%s/seed=%d", name, seed)
 }
 
 // kvRunnerSpec materializes the runner spec of a prepared KV scenario at
@@ -508,7 +536,7 @@ func (p *Prepared) kvRunnerSpec(seed int64) (runner.KVSpec, error) {
 	return spec, nil
 }
 
-func runKV(p *Prepared, seed int64, reg *obs.Registry) (*Outcome, error) {
+func runKV(p *Prepared, seed int64, reg *obs.Registry, tr *runner.TraceSpec) (*Outcome, error) {
 	s := p.Spec
 	w := s.Work
 	spec, err := p.kvRunnerSpec(seed)
@@ -516,6 +544,7 @@ func runKV(p *Prepared, seed int64, reg *obs.Registry) (*Outcome, error) {
 		return nil, err
 	}
 	spec.Obs = reg
+	spec.Trace = tr
 	res, err := runner.RunKV(spec)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
@@ -662,6 +691,9 @@ func runKV(p *Prepared, seed int64, reg *obs.Registry) (*Outcome, error) {
 	o.Digest = hex.EncodeToString(h.Sum(nil))
 	o.BisourceSeen = s.bisourceSeen(res.Log)
 	o.Pass = report.OK()
+	if tr != nil {
+		o.Trace = res.TraceDumps(traceLabel(s.Name, seed))
+	}
 	return o, nil
 }
 
@@ -739,17 +771,25 @@ type MatrixResult struct {
 // while every cell still builds an independent mutable world, so cells
 // share no mutable state.
 func RunMatrix(specs []Spec, seeds []int64, workers int) []MatrixResult {
-	return runMatrix(specs, seeds, workers, false)
+	return runMatrix(specs, seeds, workers, false, false)
 }
 
 // RunMatrixObserved is RunMatrix with a fresh telemetry registry attached
 // to every cell, returned in MatrixResult.Metrics — the matrix-dump
 // surface for `minsync-sim -metrics-dump`.
 func RunMatrixObserved(specs []Spec, seeds []int64, workers int) []MatrixResult {
-	return runMatrix(specs, seeds, workers, true)
+	return runMatrix(specs, seeds, workers, true, false)
 }
 
-func runMatrix(specs []Spec, seeds []int64, workers int, observe bool) []MatrixResult {
+// RunMatrixTraced is RunMatrixObserved with causal tracing attached to
+// every cell (RunTraced semantics): each log/kv outcome carries its
+// per-replica flight-recorder dumps in Outcome.Trace — the surface for
+// `minsync-sim -trace-dump`, which writes the dumps of failing cells.
+func RunMatrixTraced(specs []Spec, seeds []int64, workers int) []MatrixResult {
+	return runMatrix(specs, seeds, workers, true, true)
+}
+
+func runMatrix(specs []Spec, seeds []int64, workers int, observe, traced bool) []MatrixResult {
 	if workers <= 0 {
 		workers = 4
 	}
@@ -776,7 +816,11 @@ func runMatrix(specs []Spec, seeds []int64, workers int, observe bool) []MatrixR
 			if observe {
 				c.Metrics = obs.NewRegistry()
 			}
-			c.Outcome, c.Err = p.RunObserved(c.Seed, c.Metrics)
+			if traced {
+				c.Outcome, c.Err = p.RunTraced(c.Seed, c.Metrics)
+			} else {
+				c.Outcome, c.Err = p.RunObserved(c.Seed, c.Metrics)
+			}
 		}(&cells[i], prepared[i/len(seeds)])
 	}
 	wg.Wait()

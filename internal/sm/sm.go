@@ -28,6 +28,7 @@ import (
 	"repro/internal/log"
 	"repro/internal/obs"
 	"repro/internal/types"
+	"repro/internal/xtrace"
 )
 
 // Resetter is an optional Machine extension: zero the state in place.
@@ -133,6 +134,9 @@ type Config struct {
 	// (obs.NewSMMetrics). Passive pre-registered atomic cells; increments
 	// never alter apply or snapshot behavior.
 	Metrics *obs.SMMetrics
+	// Tracer, if non-nil, records the apply stage of each committed
+	// command (internal/xtrace). Passive.
+	Tracer *xtrace.Tracer
 	// RetainedEntries, if non-nil, returns the log engine's retained
 	// committed-entry suffix (log.Engine.Entries). The applier copies it
 	// right after each snapshot's OnSnapshot hook returns — i.e. after
@@ -197,6 +201,7 @@ func (a *Applier) OnCommit(e log.Entry) {
 		panic(fmt.Sprintf("sm: entry index %d applied at position %d", e.Index, a.applied))
 	}
 	resp := a.cfg.Machine.Apply(e.Cmd)
+	a.cfg.Tracer.OnApplied(e.Cmd, e.Instance)
 	a.applied++
 	a.sinceSnap++
 	if m := a.cfg.Metrics; m != nil {

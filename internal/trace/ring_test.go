@@ -1,8 +1,11 @@
 package trace
 
 import (
+	"fmt"
 	"sync"
 	"testing"
+
+	"repro/internal/types"
 )
 
 func TestRingWrapAndLast(t *testing.T) {
@@ -39,6 +42,61 @@ func TestRingWrapAndLast(t *testing.T) {
 	}
 	if Recording(nilRing) {
 		t.Fatal("nil *Ring must not report Recording")
+	}
+}
+
+// TestRingConcurrentReaders is the /statusz?trace=N contract under the
+// race detector: one writer goroutine (the node loop) emits a strictly
+// increasing sequence while many reader goroutines (HTTP handlers) call
+// Last concurrently. Every window a reader observes must be internally
+// consistent — consecutive, increasing rounds — never a torn mix of old
+// and new slots.
+func TestRingConcurrentReaders(t *testing.T) {
+	r := NewRing(32)
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Emit(Event{Kind: KindSend, Round: types.Round(i)})
+		}
+	}()
+	var readers sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 300; i++ {
+				got := r.Last(16)
+				for j := 1; j < len(got); j++ {
+					if got[j].Round != got[j-1].Round+1 {
+						select {
+						case errs <- fmt.Errorf("torn window: round %d followed by %d", got[j-1].Round, got[j].Round):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if r.Total() == 0 {
+		t.Fatal("writer never emitted")
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/types"
+	"repro/internal/xtrace"
 )
 
 // ErrFull is returned by Admit when the pool is at capacity: the caller
@@ -68,6 +69,9 @@ type Config struct {
 	// Metrics, if non-nil, mirrors the pool counters into live telemetry
 	// (obs.NewPoolMetrics).
 	Metrics *obs.PoolMetrics
+	// Tracer, if non-nil, opens each freshly-admitted command's causal
+	// trace (internal/xtrace admit edge). Passive.
+	Tracer *xtrace.Tracer
 }
 
 // entry is one pending command: the waiters to answer when it commits and
@@ -85,6 +89,7 @@ type Pool struct {
 	pending map[Key]*entry
 	stats   Stats
 	metrics *obs.PoolMetrics
+	tracer  *xtrace.Tracer
 }
 
 // Stats is a point-in-time copy of the pool's lifetime counters. The
@@ -114,6 +119,7 @@ func New(cfg Config) *Pool {
 		ttl:     cfg.TTL,
 		pending: make(map[Key]*entry),
 		metrics: cfg.Metrics,
+		tracer:  cfg.Tracer,
 	}
 }
 
@@ -129,7 +135,10 @@ func New(cfg Config) *Pool {
 // When the pool is at capacity Admit returns ErrFull and the command must
 // be shed. Capacity is checked after a lazy sweep of expired entries, so
 // a burst that died with the quorum cannot wedge admission forever.
-func (p *Pool) Admit(k Key) (ch <-chan types.Value, proposed bool, err error) {
+// cmd is the command's encoded bytes; the pool uses it only to open the
+// command's causal trace on first admission (empty disables that, e.g.
+// in tests).
+func (p *Pool) Admit(k Key, cmd types.Value) (ch <-chan types.Value, proposed bool, err error) {
 	c := make(chan types.Value, 1)
 	p.mu.Lock()
 	if e, ok := p.pending[k]; ok {
@@ -159,6 +168,9 @@ func (p *Pool) Admit(k Key) (ch <-chan types.Value, proposed bool, err error) {
 	if m := p.metrics; m != nil {
 		m.Admitted.Inc()
 		m.Pending.Set(int64(depth))
+	}
+	if cmd != "" {
+		p.tracer.OnAdmit(cmd)
 	}
 	return c, true, nil
 }

@@ -17,11 +17,11 @@ func TestAdmitDedupResolve(t *testing.T) {
 	p := New(Config{Capacity: 8, Metrics: obs.NewPoolMetrics(reg, "")})
 	k := Key{Client: 7, Seq: 1}
 
-	ch1, proposed, err := p.Admit(k)
+	ch1, proposed, err := p.Admit(k, "")
 	if err != nil || !proposed {
 		t.Fatalf("first admit: proposed=%v err=%v", proposed, err)
 	}
-	ch2, proposed, err := p.Admit(k)
+	ch2, proposed, err := p.Admit(k, "")
 	if err != nil || proposed {
 		t.Fatalf("second admit must dedup: proposed=%v err=%v", proposed, err)
 	}
@@ -65,18 +65,18 @@ func TestAdmitDedupResolve(t *testing.T) {
 
 func TestShedAtCapacity(t *testing.T) {
 	p := New(Config{Capacity: 2})
-	if _, _, err := p.Admit(Key{1, 1}); err != nil {
+	if _, _, err := p.Admit(Key{1, 1}, ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := p.Admit(Key{2, 1}); err != nil {
+	if _, _, err := p.Admit(Key{2, 1}, ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := p.Admit(Key{3, 1}); !errors.Is(err, ErrFull) {
+	if _, _, err := p.Admit(Key{3, 1}, ""); !errors.Is(err, ErrFull) {
 		t.Fatalf("admit past capacity: err=%v, want ErrFull", err)
 	}
 	// Joining an already-pending key is NOT new load; it must still work
 	// at capacity.
-	if _, proposed, err := p.Admit(Key{1, 1}); err != nil || proposed {
+	if _, proposed, err := p.Admit(Key{1, 1}, ""); err != nil || proposed {
 		t.Fatalf("dedup at capacity: proposed=%v err=%v", proposed, err)
 	}
 	s := p.Stats()
@@ -88,7 +88,7 @@ func TestShedAtCapacity(t *testing.T) {
 func TestForgetKeepsEntryPending(t *testing.T) {
 	p := New(Config{Capacity: 2})
 	k := Key{Client: 9, Seq: 3}
-	ch, _, err := p.Admit(k)
+	ch, _, err := p.Admit(k, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,16 +113,16 @@ func TestForgetKeepsEntryPending(t *testing.T) {
 
 func TestTTLSweepFreesCapacity(t *testing.T) {
 	p := New(Config{Capacity: 2, TTL: 10 * time.Millisecond})
-	if _, _, err := p.Admit(Key{1, 1}); err != nil {
+	if _, _, err := p.Admit(Key{1, 1}, ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := p.Admit(Key{2, 1}); err != nil {
+	if _, _, err := p.Admit(Key{2, 1}, ""); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(20 * time.Millisecond)
 	// The sweep runs lazily on the at-capacity path: the dead entries are
 	// expired and the new command is admitted.
-	if _, proposed, err := p.Admit(Key{3, 1}); err != nil || !proposed {
+	if _, proposed, err := p.Admit(Key{3, 1}, ""); err != nil || !proposed {
 		t.Fatalf("admit after TTL: proposed=%v err=%v", proposed, err)
 	}
 	s := p.Stats()
@@ -174,7 +174,7 @@ func TestConcurrentAdmitResolve(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < opsPer; i++ {
 				k := Key{Client: uint64(i % keySpace), Seq: uint64(g%4 + 1)}
-				ch, proposed, err := p.Admit(k)
+				ch, proposed, err := p.Admit(k, "")
 				if err != nil {
 					panic(err) // capacity is ample; shed would be a bug here
 				}

@@ -1,0 +1,187 @@
+package xtrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// This file turns per-replica flight-recorder dumps into one Chrome
+// trace-event JSON document (the format Perfetto and chrome://tracing
+// load): each replica becomes a process track, each stage a named
+// thread lane, and every trace ID that appears on more than one
+// replica gets flow arrows connecting its spans across tracks. The
+// merge lives here (not in cmd/minsync-trace) so tests and the CLI
+// share one implementation.
+
+// chromeEvent is one entry of the trace-event array. Only the fields
+// the viewers read are emitted; Dur is meaningful for "X" events only.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the top-level JSON-object form of the format.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// stageLanes fixes the thread-lane order within each replica track so
+// merged traces read top-to-bottom in pipeline order.
+var stageLanes = []Stage{
+	StageAdmitWait, StageBatchWait, StagePropose,
+	StageRBEcho, StageRBReady, StageRBDeliver, StageRBRelay,
+	StageConsensus, StageDecide, StageApply, StageRespond,
+}
+
+const usPerNS = 1.0 / 1000
+
+// MergeChromeTrace joins per-replica dumps into one Chrome trace-event
+// JSON document. Spans keep their replica's clock (virtual time is
+// shared in simulation; live clocks are per-process and the per-track
+// layout keeps that readable). Returns the serialized document.
+func MergeChromeTrace(dumps []*Dump) ([]byte, error) {
+	lane := make(map[Stage]int, len(stageLanes))
+	for i, s := range stageLanes {
+		lane[s] = i + 1
+	}
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+
+	// byTrace collects each trace ID's spans across all dumps for the
+	// cross-replica flow arrows.
+	type located struct {
+		span Span
+		pid  int
+		tid  int
+	}
+	byTrace := make(map[TraceID][]located)
+
+	seenProc := make(map[int]bool)
+	for _, d := range dumps {
+		if d == nil {
+			continue
+		}
+		pid := int(d.Proc)
+		if !seenProc[pid] {
+			seenProc[pid] = true
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", PID: pid,
+				Args: map[string]any{"name": fmt.Sprintf("replica %d", pid)},
+			})
+			for i, s := range stageLanes {
+				doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+					Name: "thread_name", Ph: "M", PID: pid, TID: i + 1,
+					Args: map[string]any{"name": string(s)},
+				})
+			}
+		}
+		for _, s := range d.Spans {
+			tid, ok := lane[s.Stage]
+			if !ok {
+				tid = len(stageLanes) + 1
+			}
+			dur := float64(s.End-s.Start) * usPerNS
+			if dur < 1 {
+				dur = 1 // viewers drop zero-width slices
+			}
+			args := map[string]any{
+				"trace": fmt.Sprintf("%016x", uint64(s.Trace)),
+				"span":  s.ID,
+			}
+			if s.Parent != 0 {
+				args["parent"] = s.Parent
+			}
+			if s.Inst != NoInstance {
+				args["inst"] = int64(s.Inst)
+			}
+			if s.Peer != 0 {
+				args["peer"] = int(s.Peer)
+			}
+			if s.Note != "" {
+				args["note"] = s.Note
+			}
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: string(s.Stage), Ph: "X",
+				TS: float64(s.Start) * usPerNS, Dur: dur,
+				PID: pid, TID: tid, Args: args,
+			})
+			byTrace[s.Trace] = append(byTrace[s.Trace], located{span: s, pid: pid, tid: tid})
+		}
+	}
+
+	// Flow arrows: for every trace seen on 2+ replicas, start a flow at
+	// the globally earliest span and step through each other replica's
+	// earliest span, ordered by time. Deterministic output order.
+	ids := make([]TraceID, 0, len(byTrace))
+	for id := range byTrace {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		spans := byTrace[id]
+		first := make(map[int]located)
+		for _, l := range spans {
+			if f, ok := first[l.pid]; !ok || l.span.Start < f.span.Start {
+				first[l.pid] = l
+			}
+		}
+		if len(first) < 2 {
+			continue
+		}
+		hops := make([]located, 0, len(first))
+		for _, l := range first {
+			hops = append(hops, l)
+		}
+		sort.Slice(hops, func(i, j int) bool {
+			if hops[i].span.Start != hops[j].span.Start {
+				return hops[i].span.Start < hops[j].span.Start
+			}
+			return hops[i].pid < hops[j].pid
+		})
+		flowID := fmt.Sprintf("%016x", uint64(id))
+		for i, l := range hops {
+			ev := chromeEvent{
+				Name: "xtrace", ID: flowID,
+				TS:  float64(l.span.Start) * usPerNS,
+				PID: l.pid, TID: l.tid,
+			}
+			switch i {
+			case 0:
+				ev.Ph = "s"
+			case len(hops) - 1:
+				ev.Ph = "f"
+				ev.BP = "e"
+			default:
+				ev.Ph = "t"
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ev)
+		}
+	}
+	return json.MarshalIndent(doc, "", " ")
+}
+
+// ValidateChromeTrace parses a merged document and returns its event
+// count — the cheap structural check the trace-smoke CI job runs.
+func ValidateChromeTrace(data []byte) (int, error) {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, err
+	}
+	if len(doc.TraceEvents) == 0 {
+		return 0, fmt.Errorf("trace document has no events")
+	}
+	for i, e := range doc.TraceEvents {
+		if e.Ph == "" || e.Name == "" {
+			return 0, fmt.Errorf("event %d missing ph/name", i)
+		}
+	}
+	return len(doc.TraceEvents), nil
+}

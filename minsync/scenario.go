@@ -79,3 +79,12 @@ type TelemetryRegistry = obs.Registry
 func RunScenarioMatrixObserved(specs []Scenario, seeds []int64, workers int) []ScenarioMatrixResult {
 	return scenario.RunMatrixObserved(specs, seeds, workers)
 }
+
+// RunScenarioMatrixTraced is RunScenarioMatrixObserved with causal
+// command tracing attached per cell: each result's Outcome carries the
+// per-replica flight-recorder dumps (Outcome.Trace) alongside the
+// telemetry registry. Tracing is passive — digests match the untraced
+// run (see docs/tracing.md).
+func RunScenarioMatrixTraced(specs []Scenario, seeds []int64, workers int) []ScenarioMatrixResult {
+	return scenario.RunMatrixTraced(specs, seeds, workers)
+}
