@@ -41,6 +41,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/rt"
 	"repro/internal/sm"
+	dstore "repro/internal/store"
 	"repro/internal/txpool"
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -100,8 +101,12 @@ var kvForward atomic.Pointer[kvForwardFunc]
 // kvOptions carries the serving-mode knobs from flag parsing.
 type kvOptions struct {
 	// ClientAddr is the raw TCP client listener; HTTPAddr the HTTP/JSON
-	// API listener ("" = HTTP edge off).
-	ClientAddr, HTTPAddr string
+	// API listener ("" = HTTP edge off). DataDir is the durable storage
+	// directory ("" = volatile): with it set, the replica write-ahead
+	// logs committed entries and stamps snapshots (store.File), and a
+	// restarted process boots from that directory (sm.Boot) — applied
+	// prefix restored from disk, no peer transfer needed.
+	ClientAddr, HTTPAddr, DataDir string
 	// Batch/Pipeline/SnapEvery/SnapRefresh/Target mirror the engine and
 	// applier flags; PoolCap bounds the admission pool.
 	Batch, Pipeline, SnapEvery, SnapRefresh, PoolCap, Target int
@@ -233,6 +238,19 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 	var engine *log.Engine
 	var engErr error
 
+	// Durable storage: open (or create) the data directory before the
+	// stack is assembled, so the applier's write-ahead discipline covers
+	// the very first committed entry.
+	var durable *dstore.File
+	if opts.DataDir != "" {
+		f, err := dstore.OpenFile(opts.DataDir)
+		if err != nil {
+			stdlog.Fatal(err)
+		}
+		durable = f
+		defer durable.Close()
+	}
+
 	// Causal tracing is opt-in (-trace-dir) and passive: the tracer
 	// records into its own bounded ring — the flight recorder — dumped
 	// only on a stall or lag signal. Stage latencies flow into the
@@ -282,7 +300,7 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 	})
 	kvForward.Store(&fwd)
 
-	applier, err := sm.New(sm.Config{
+	smCfg := sm.Config{
 		Machine:       store,
 		SnapshotEvery: opts.SnapEvery,
 		// The idle-rejoin fix: with -snapshot-refresh, the boundary is
@@ -319,7 +337,14 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 			}
 			edge.pool.Resolve(txpool.Key{Client: c.Client, Seq: c.Seq}, resp)
 		},
-	})
+	}
+	if durable != nil {
+		// Conditional assignment, not smCfg.Persist = durable above: a
+		// typed-nil *store.File in the interface field would make every
+		// nil check downstream pass and then panic on use.
+		smCfg.Persist = durable
+	}
+	applier, err := sm.New(smCfg)
 	if err != nil {
 		stdlog.Fatal(err)
 	}
@@ -389,6 +414,23 @@ func runKVServe(node *rt.Node, tr *netx.Transport, tel *telemetry, self types.Pr
 			return proto.HandlerFunc(func(types.ProcID, proto.Message) {})
 		}
 		engine = eng
+		if durable != nil {
+			// Restore from disk exactly as the simulation harness does:
+			// install the stamped snapshot, replay the WAL suffix into the
+			// machine, resume the ordering layer at the durable boundary —
+			// all before Engine.Start, without asking a peer for anything.
+			st, berr := sm.Boot(durable, applier, eng)
+			if berr != nil {
+				engErr = fmt.Errorf("boot from %s: %w", opts.DataDir, berr)
+				return proto.HandlerFunc(func(types.ProcID, proto.Message) {})
+			}
+			if st.HadSnapshot || st.Replayed > 0 || st.Boundary > 0 {
+				stdlog.Printf("booted from %s: snapshot (%d, %v), replayed %d entries, boundary %v, applied %d",
+					opts.DataDir, st.SnapIndex, st.SnapInstance, st.Replayed, st.Boundary, applier.Applied())
+			} else {
+				stdlog.Printf("fresh data dir %s: starting clean", opts.DataDir)
+			}
+		}
 		// Snapshot state transfer makes the crash-recovery story real
 		// over TCP: a restarted replica misses its peers' frames for
 		// good (no transport retransmission), so once the cluster has

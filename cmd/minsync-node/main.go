@@ -80,6 +80,7 @@ func main() {
 
 		kvMode    = flag.Bool("kv", false, "replicated-KV mode: serve gets/puts over TCP")
 		kvListen  = flag.String("kv-listen", "127.0.0.1:0", "kv mode: client listener address")
+		dataDir   = flag.String("data-dir", "", "kv mode: durable storage directory — committed entries are write-ahead logged and snapshots stamped there, and a restart boots from it instead of asking peers (empty = volatile)")
 		httpF     = flag.String("http", "", "kv mode: serve the HTTP/JSON API (/v1/tx, /v1/kv/{key}, /v1/status) on this address (empty = off)")
 		poolCap   = flag.Int("pool", 1024, "kv mode: admission pool capacity (pending commands before load shedding)")
 		kvTarget  = flag.Int("kv-target", 0, "kv mode: exit after applying this many commands (0 = serve until killed)")
@@ -158,7 +159,7 @@ func main() {
 
 	if *kvMode {
 		runKVServe(node, tr, tel, self, kvOptions{
-			ClientAddr: *kvListen, HTTPAddr: *httpF,
+			ClientAddr: *kvListen, HTTPAddr: *httpF, DataDir: *dataDir,
 			Batch: *batch, Pipeline: *pipeline,
 			SnapEvery: *snapEvery, SnapRefresh: *snapRefresh,
 			PoolCap: *poolCap, Target: *kvTarget, Compact: *compact,

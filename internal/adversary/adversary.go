@@ -489,6 +489,59 @@ func (a *DroppingPartition) DropMessage(from, to types.ProcID, at types.Time, _ 
 	return a.Side[from] != a.Side[to] && at < a.HealAt
 }
 
+// ChunkLoss destroys snapshot chunk frames (MsgSnapChunk): of the chunk
+// frames crossing the network before Until, every Every-th one is lost.
+// Everything else — requests, manifests, acks, consensus traffic — flows
+// untouched, so the adversary isolates exactly the loss mode the chunked
+// transfer protocol's range re-request exists for: a downloader must
+// notice the hole in its chunk bitmap and re-ack the missing range, and
+// the transfer must still complete. Every must be ≥ 2 (dropping every
+// chunk is not loss, it is a severed link — use DroppingPartition).
+//
+// The counter is global rather than per-link on purpose: with one
+// laggard downloading from several corroborating servers, a global
+// stride punches holes into whichever stream happens to be active, which
+// is more adversarial than losing a fixed position per link.
+type ChunkLoss struct {
+	// Every is the drop stride: the Every-th, 2·Every-th, … chunk frame
+	// seen before Until is destroyed.
+	Every int
+	// Until ends the loss episode; chunk frames sent from then on are
+	// delivered (0 = the episode never ends).
+	Until types.Time
+	// Dropped counts destroyed frames (tests assert the episode actually
+	// bit).
+	Dropped int
+
+	seen int
+}
+
+var _ network.Adversary = (*ChunkLoss)(nil)
+var _ network.Dropper = (*ChunkLoss)(nil)
+
+// MessageDelay implements network.Adversary (never claims a delay; the
+// drop hook does all the work).
+func (a *ChunkLoss) MessageDelay(types.ProcID, types.ProcID, types.Time, any) (types.Duration, bool) {
+	return 0, false
+}
+
+// DropMessage implements network.Dropper.
+func (a *ChunkLoss) DropMessage(_, _ types.ProcID, at types.Time, payload any) bool {
+	if a.Every < 2 || (a.Until > 0 && at >= a.Until) {
+		return false
+	}
+	m, ok := proto.AsMessage(payload)
+	if !ok || m.Kind != proto.MsgSnapChunk {
+		return false
+	}
+	a.seen++
+	if a.seen%a.Every != 0 {
+		return false
+	}
+	a.Dropped++
+	return true
+}
+
 // Chain composes adversaries: the first one that claims a message (returns
 // ok=true) decides its delay; later ones are not consulted. Nil entries
 // are skipped.

@@ -52,8 +52,9 @@ type World struct {
 
 	nodes map[types.ProcID]*proto.Node
 	envs  map[types.ProcID]*env
-	pool  proto.MsgPool  // outbound message boxes; world is single-threaded
-	procs []types.ProcID // 1..N, cached so Broadcast never re-materializes it
+	gens  map[types.ProcID]uint64 // power-cycle generation, bumped by Kill
+	pool  proto.MsgPool           // outbound message boxes; world is single-threaded
+	procs []types.ProcID          // 1..N, cached so Broadcast never re-materializes it
 }
 
 // New builds the world. Processes are added with SetBehavior before Run.
@@ -72,6 +73,7 @@ func New(cfg Config) (*World, error) {
 		Params: cfg.Params,
 		nodes:  make(map[types.ProcID]*proto.Node, cfg.Params.N),
 		envs:   make(map[types.ProcID]*env, cfg.Params.N),
+		gens:   make(map[types.ProcID]uint64, cfg.Params.N),
 		procs:  cfg.Params.AllProcs(),
 	}
 	if cfg.Record {
@@ -97,13 +99,38 @@ func New(cfg Config) (*World, error) {
 // SetBehavior installs the handler for process id. It must be called for
 // every process before Run; processes without a behavior are silent
 // (modeling a crashed-from-start Byzantine process).
+//
+// Calling it again after Kill models a restart: the behavior factory is
+// handed a FRESH environment bound to the current power generation, and a
+// fresh dedup dispatcher replaces the dead one (a restarted process lost
+// its first-message bookkeeping along with everything else volatile).
 func (w *World) SetBehavior(id types.ProcID, b Behavior) error {
-	e, ok := w.envs[id]
-	if !ok {
+	if _, ok := w.envs[id]; !ok {
 		return fmt.Errorf("harness: no process %v", id)
 	}
+	e := &env{world: w, id: id, gen: w.gens[id]}
+	w.envs[id] = e
 	w.nodes[id] = proto.NewNode(b(e))
 	return nil
+}
+
+// Kill powers process id off mid-run. Its dispatcher is removed, so
+// inbound messages drop silently; its environment generation is bumped,
+// so every send, broadcast and timer callback belonging to the dead
+// incarnation is fenced (armed timers still occupy the schedule but
+// their callbacks no-op — the incarnation's pending work dies with it,
+// exactly like in-flight goroutines at a power cut). Volatile protocol
+// state is unrecoverable afterwards; a subsequent SetBehavior boots a
+// fresh incarnation, typically from a durable store.
+func (w *World) Kill(id types.ProcID) {
+	if _, ok := w.envs[id]; !ok {
+		return
+	}
+	w.gens[id]++
+	delete(w.nodes, id)
+	if w.Log != nil {
+		w.Log.Emit(trace.Event{At: w.Sched.Now(), Kind: trace.KindCrash, Proc: id})
+	}
 }
 
 // Env returns the environment of process id (tests use it to inject
@@ -152,30 +179,51 @@ func (w *World) DroppedDuplicates() uint64 {
 	return total
 }
 
-// env implements proto.Env on top of the world.
+// env implements proto.Env on top of the world. Each SetBehavior call
+// binds a fresh env to the process's CURRENT power generation; Kill bumps
+// the generation, so a dead incarnation's env (captured in its timers and
+// protocol closures) fails the live check forever after.
 type env struct {
 	world *World
 	id    types.ProcID
+	gen   uint64
 }
 
 var _ proto.Env = (*env)(nil)
+
+// live reports whether this env belongs to the process's current
+// incarnation (false after Kill until the env is rebuilt by SetBehavior).
+func (e *env) live() bool { return e.world.gens[e.id] == e.gen }
 
 func (e *env) ID() types.ProcID     { return e.id }
 func (e *env) Params() types.Params { return e.world.Params }
 func (e *env) Now() types.Time      { return e.world.Sched.Now() }
 
 func (e *env) Send(to types.ProcID, m proto.Message) {
+	if !e.live() {
+		return
+	}
 	e.world.Net.Send(e.id, to, e.world.pool.Get(m))
 }
 
 func (e *env) Broadcast(m proto.Message) {
+	if !e.live() {
+		return
+	}
 	for _, p := range e.world.procs {
 		e.world.Net.Send(e.id, p, e.world.pool.Get(m))
 	}
 }
 
 func (e *env) SetTimer(d types.Duration, fn func()) (cancel func()) {
-	return e.world.Sched.After(d, fn).Cancel
+	if !e.live() {
+		return func() {}
+	}
+	return e.world.Sched.After(d, func() {
+		if e.live() {
+			fn()
+		}
+	}).Cancel
 }
 
 func (e *env) Trace() trace.Sink {

@@ -173,6 +173,7 @@ type Engine struct {
 	dropsBelow uint64 // messages dropped for compacted instances
 	running    bool
 	closed     bool
+	resumed    bool  // engine was realigned from durable state (Resume)
 	err        error // first per-instance construction error, if any
 
 	relay *rb.Relay // coalescing relay (nil unless cfg.Coalesce)
@@ -348,6 +349,19 @@ func (l *Engine) getInstance(i types.Instance) *instance {
 	if inst, ok := l.insts[i]; ok {
 		return inst
 	}
+	// Gap backfill after a durable restart (Resume): a peer message for
+	// an instance we already applied but hold no engine for means a
+	// restarted replica is re-running instances it never finished.
+	// Participating reactively is not enough — a consensus instance only
+	// decides with n−t PROPOSING processes — so propose an empty batch
+	// into it. Our own state is untouched (decisions below the applied
+	// boundary are discarded in onInstanceDecided); the proposal exists
+	// purely to give restarted peers their quorum. Gated on resumed:
+	// outside durable restarts this path is unreachable (engines for
+	// applied instances always exist until compacted, and compacted ones
+	// are dropped before dispatch), and the gate keeps the pre-existing
+	// digest-pinned schedules byte-identical.
+	backfill := l.resumed && i < l.applied
 	ecfg := l.cfg.Engine
 	base := l.cfg.Env
 	if l.relay != nil {
@@ -371,6 +385,12 @@ func (l *Engine) getInstance(i types.Instance) *instance {
 	}
 	inst := &instance{eng: eng}
 	l.insts[i] = inst
+	if backfill {
+		inst.proposed = true
+		if err := eng.Propose(EncodeBatch(nil)); err != nil && l.err == nil {
+			l.err = fmt.Errorf("log: backfill instance %v: %w", i, err)
+		}
+	}
 	return inst
 }
 
@@ -449,6 +469,13 @@ func (l *Engine) nextBatch() []types.Value {
 // contiguous prefix.
 func (l *Engine) onInstanceDecided(i types.Instance, v types.Value) {
 	l.cfg.Tracer.OnDecide(i)
+	if i < l.applied {
+		// A backfilled gap instance (see getInstance) re-decided below our
+		// applied boundary: its outcome is already reflected in our state,
+		// and buffering it would only leak. Unreachable outside durable
+		// restarts.
+		return
+	}
 	l.decided[i] = v
 	if inst := l.insts[i]; inst != nil {
 		for _, c := range inst.ownBatch {
@@ -725,6 +752,74 @@ func (l *Engine) InstallSnapshot(boundary types.Instance, index int, retained []
 	l.tryApply()
 	return nil
 }
+
+// Resume realigns a FRESH engine (pre-Start) with durable state
+// recovered from a local store — the crash-restart counterpart of
+// InstallSnapshot. boundary is the highest instance boundary the store
+// marked applied, base the index of the first retained entry, and
+// retained the entry suffix (snapshot dedup window plus WAL suffix, in
+// index order). The state machine must have been restored FIRST
+// (sm.Boot does both); this method only realigns the ordering layer:
+// the pipeline will open at boundary, the committed-entry log and
+// content dedup are seeded from retained, and the compaction floor is
+// set exactly where every peer's floor sits at that boundary.
+//
+// Unlike InstallSnapshot, retained entries MAY carry instances at or
+// past boundary: a crash can land between an entry's append and its
+// boundary mark, leaving a partially persisted batch. Those entries
+// stay committed (applied ⊇ fsync'd) and seed the dedup, so when the
+// cluster re-decides their instance the already-held prefix is skipped
+// and only the remainder commits — the entry streams stay identical to
+// the peers'. Resume also arms gap backfill (see getInstance): peer
+// traffic for instances below boundary that we hold no engine for gets
+// an empty proposal, which is what lets a whole cluster restarted from
+// drifted boundaries converge without a snapshot transfer.
+func (l *Engine) Resume(boundary types.Instance, base int, retained []Entry) error {
+	if l.running {
+		return fmt.Errorf("log: Resume after Start")
+	}
+	if l.applied != 0 || l.Committed() != 0 || l.floor != 0 || l.resumed {
+		return fmt.Errorf("log: Resume on a non-fresh engine")
+	}
+	if boundary < 0 || base < 0 {
+		return fmt.Errorf("log: negative resume position (%v, %d)", boundary, base)
+	}
+	prevInst := types.Instance(-1)
+	for k, e := range retained {
+		if e.Index != base+k {
+			return fmt.Errorf("log: resumed entry %d has index %d, want %d", k, e.Index, base+k)
+		}
+		if e.Instance < prevInst {
+			return fmt.Errorf("log: resumed entry %d instance %v out of order", k, e.Instance)
+		}
+		prevInst = e.Instance
+	}
+	l.entries = append([]Entry(nil), retained...)
+	l.entriesBase = base
+	for _, e := range l.entries {
+		l.committed[e.Cmd] = struct{}{}
+	}
+	l.applied = boundary
+	l.nextStart = boundary
+	l.floor = boundary
+	if len(l.entries) > 0 && l.entries[0].Instance < l.floor {
+		l.floor = l.entries[0].Instance
+	}
+	l.resumed = true
+	if l.cfg.Target > 0 && l.Committed() >= l.cfg.Target {
+		l.closed = true
+	}
+	if l.retirer != nil {
+		l.retirer.RetireInstancesBefore(l.floor)
+	}
+	if l.relay != nil {
+		l.relay.RetireInstancesBefore(l.floor)
+	}
+	return nil
+}
+
+// Resumed reports whether this engine was realigned from durable state.
+func (l *Engine) Resumed() bool { return l.resumed }
 
 // removePending deletes c from the pending queue (linear; batches are
 // small and the queue holds only uncommitted commands).

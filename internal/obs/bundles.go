@@ -127,6 +127,13 @@ type TransferMetrics struct {
 	Served   *Counter
 	Installs *Counter
 	Rejected *Counter
+	// ChunksServed counts chunk frames sent to downloaders;
+	// ChunksReceived chunk frames accepted into a download;
+	// ChunkRejected chunk/ack frames discarded (hash mismatch,
+	// off-manifest range, stale digest).
+	ChunksServed   *Counter
+	ChunksReceived *Counter
+	ChunkRejected  *Counter
 }
 
 // NewTransferMetrics registers the transfer bundle.
@@ -135,10 +142,13 @@ func NewTransferMetrics(r *Registry, labels string) *TransferMetrics {
 		return nil
 	}
 	return &TransferMetrics{
-		Requests: r.Counter(WithLabels("minsync_transfer_requests_total", labels)),
-		Served:   r.Counter(WithLabels("minsync_transfer_served_total", labels)),
-		Installs: r.Counter(WithLabels("minsync_transfer_installs_total", labels)),
-		Rejected: r.Counter(WithLabels("minsync_transfer_rejected_total", labels)),
+		Requests:       r.Counter(WithLabels("minsync_transfer_requests_total", labels)),
+		Served:         r.Counter(WithLabels("minsync_transfer_served_total", labels)),
+		Installs:       r.Counter(WithLabels("minsync_transfer_installs_total", labels)),
+		Rejected:       r.Counter(WithLabels("minsync_transfer_rejected_total", labels)),
+		ChunksServed:   r.Counter(WithLabels("minsync_transfer_chunks_served_total", labels)),
+		ChunksReceived: r.Counter(WithLabels("minsync_transfer_chunks_received_total", labels)),
+		ChunkRejected:  r.Counter(WithLabels("minsync_transfer_chunk_rejected_total", labels)),
 	}
 }
 

@@ -55,6 +55,17 @@ const (
 	MsgRBVector   // RB_VECTOR(encoded entry vector; see rb.EncodeEntries)
 	MsgRBPull     // RB_PULL(Val = value hash being resolved)
 	MsgRBPullResp // RB_PULLR(Val = the full value; receiver re-hashes to match)
+	// The chunked snapshot-transfer kinds (wire codec v5, module ModSnap)
+	// carry transfer payloads too large for one frame: the server answers a
+	// SNAP_REQ with a manifest (still a MsgSnapResponse) listing per-chunk
+	// hashes, the requester acknowledges with the range of chunks it still
+	// needs (MsgSnapAck), and the server streams the chunks point-to-point
+	// (MsgSnapChunk). Like the other transfer kinds they bypass the
+	// first-message-only rule (see Node.Dispatch): a requester legitimately
+	// re-requests lost ranges under the same dedup identity, and every
+	// chunk self-validates against the manifest's hash list.
+	MsgSnapChunk // SNAP_CHUNK(digest ‖ chunk index ‖ bytes; see sm chunk codec)
+	MsgSnapAck   // SNAP_ACK(digest ‖ from ‖ window: the next range wanted)
 )
 
 // String implements fmt.Stringer. A switch, not a map: tracing and error
@@ -88,6 +99,10 @@ func (k MsgKind) String() string {
 		return "RB_PULL"
 	case MsgRBPullResp:
 		return "RB_PULLR"
+	case MsgSnapChunk:
+		return "SNAP_CHUNK"
+	case MsgSnapAck:
+		return "SNAP_ACK"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", int(k))
 	}
@@ -348,7 +363,8 @@ func (n *Node) SetMetrics(m *obs.DedupMetrics) { n.metrics = m }
 // layers see exactly the stream they would without coalescing.
 func (n *Node) Dispatch(from types.ProcID, m Message) {
 	switch m.Kind {
-	case MsgSnapRequest, MsgSnapResponse, MsgRBVector, MsgRBPull, MsgRBPullResp:
+	case MsgSnapRequest, MsgSnapResponse, MsgRBVector, MsgRBPull, MsgRBPullResp,
+		MsgSnapChunk, MsgSnapAck:
 		n.h.OnMessage(from, m)
 		return
 	}

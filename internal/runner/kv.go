@@ -2,6 +2,8 @@ package runner
 
 import (
 	"fmt"
+	"sort"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/kv"
@@ -10,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sm"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/types"
 	"repro/internal/xtrace"
@@ -65,6 +68,28 @@ type KVSpec struct {
 	// the process discards its live state and rebuilds it from its latest
 	// snapshot plus the retained log suffix (sm.Applier.Recover).
 	RecoverAt map[types.ProcID]types.Time
+	// Durable attaches a per-replica durable store (store.Memory) to
+	// every correct replica: committed entries are write-ahead logged,
+	// applied boundaries marked, and snapshots stamped (sm.Config.Persist)
+	// before application proceeds, so a simulated crash-restart can
+	// rebuild the replica from its own "disk" (sm.Boot). Off by default —
+	// with it off the stack runs the exact pre-persistence code path.
+	Durable bool
+	// CrashRestart schedules simulated power failures: at each mapped
+	// virtual time the process is powered off (harness.World.Kill — its
+	// dispatcher drops, outbound sends are fenced, pending timer callbacks
+	// are voided) and RestartDelay later rebuilt as a FRESH incarnation
+	// that boots from its durable store (sm.Boot + log.Engine.Resume),
+	// not from a peer snapshot transfer. Requires Durable. Unlike
+	// RecoverAt, which rebuilds only the applier in place, this loses ALL
+	// volatile state: engine, dedup dispatcher, transfer layer, timers.
+	// The rebooted incarnation re-submits the whole workload (commit
+	// dedup drops what already landed) because the crashed incarnation's
+	// pending commands died with it.
+	CrashRestart map[types.ProcID]types.Time
+	// RestartDelay is the downtime between power-off and reboot
+	// (default 25ms of virtual time).
+	RestartDelay types.Duration
 	// Transfer enables peer-to-peer snapshot state transfer (sm.Transfer)
 	// on every correct replica: a replica that falls more than MaxLead
 	// instances behind fetches a corroborated peer snapshot and resumes
@@ -128,6 +153,15 @@ type KVResult struct {
 	// excluded); Distinct is the workload's distinct-command count.
 	Covered  map[types.ProcID]int
 	Distinct int
+	// Durables maps each correct replica to its durable store (only with
+	// KVSpec.Durable); it survives simulated crashes, so post-run checks
+	// can re-Recover it (DurablePrefix).
+	Durables map[types.ProcID]*store.Memory
+	// Boots records what each crash-restarted replica recovered at reboot
+	// time (keys of KVSpec.CrashRestart); BootErrs records reboots that
+	// failed — the replica stays powered off for the rest of the run.
+	Boots    map[types.ProcID]sm.BootStats
+	BootErrs map[types.ProcID]error
 }
 
 // MinCovered returns the smallest distinct-command coverage among
@@ -225,6 +259,75 @@ func (r *KVResult) ReferenceDivergence() string {
 	return ""
 }
 
+// DurablePrefix checks the persistence invariant after a durable run:
+// "applied ⊇ fsync'd" — a replica's disk never claims more than its
+// machine (and the cluster) actually did. Concretely, for every durable
+// store re-Recovered after the run: the durable applied boundary does
+// not exceed the replica's applied instance frontier, the stamped
+// snapshot decodes (digest round-trip) and sits at or below the
+// replica's applied entry count, and every WAL entry byte-matches the
+// entry the cluster committed at that index. Returns "" when the
+// invariant holds; vacuous without KVSpec.Durable.
+func (r *KVResult) DurablePrefix() string {
+	if len(r.Durables) == 0 {
+		return ""
+	}
+	// Reference: the union of every correct replica's committed log.
+	// Overlaps agree by total order (StatesAgree checks that separately),
+	// so the union is THE committed sequence.
+	ref := make(map[int]log.Entry)
+	for _, id := range r.Correct {
+		for _, e := range r.Logs[id] {
+			ref[e.Index] = e
+		}
+	}
+	for _, id := range r.Correct {
+		p := r.Durables[id]
+		if p == nil {
+			continue
+		}
+		rec, err := p.Recover()
+		if err != nil {
+			return fmt.Sprintf("replica %v: recover: %v", id, err)
+		}
+		if eng := r.Engines[id]; eng != nil && rec.Boundary > eng.Applied() {
+			return fmt.Sprintf("replica %v: durable boundary %v exceeds applied frontier %v",
+				id, rec.Boundary, eng.Applied())
+		}
+		if rec.SnapPayload != nil {
+			s, _, _, derr := sm.DecodeTransfer(types.Value(rec.SnapPayload))
+			if derr != nil {
+				return fmt.Sprintf("replica %v: stamped snapshot: %v", id, derr)
+			}
+			if a := r.Appliers[id]; a != nil && s.Index > a.Applied() {
+				return fmt.Sprintf("replica %v: stamped snapshot index %d exceeds applied count %d",
+					id, s.Index, a.Applied())
+			}
+		}
+		for _, e := range rec.Entries {
+			want, ok := ref[e.Index]
+			if !ok {
+				return fmt.Sprintf("replica %v: durable entry %d absent from every committed log", id, e.Index)
+			}
+			if want.Instance != e.Instance || want.Cmd != e.Cmd {
+				return fmt.Sprintf("replica %v: durable entry %d diverges from the committed log", id, e.Index)
+			}
+		}
+	}
+	return ""
+}
+
+// persistFor adapts the durable-store map to sm.Config.Persist. The
+// indirection matters: a missing entry must yield a nil INTERFACE (the
+// "persistence off" fast path), not a non-nil interface wrapping a nil
+// *store.Memory.
+func persistFor(m map[types.ProcID]*store.Memory, id types.ProcID) store.Persister {
+	if p := m[id]; p != nil {
+		return p
+	}
+	return nil
+}
+
 // RunKV executes the spec.
 func RunKV(spec KVSpec) (*KVResult, error) {
 	p := spec.Params
@@ -252,6 +355,12 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 	}
 	if spec.Transfer && spec.SnapshotEvery <= 0 {
 		return nil, fmt.Errorf("runner: Transfer requires SnapshotEvery > 0 (peers serve snapshots)")
+	}
+	if len(spec.CrashRestart) > 0 && !spec.Durable {
+		return nil, fmt.Errorf("runner: CrashRestart requires Durable (the reboot reads the store)")
+	}
+	if spec.RestartDelay <= 0 {
+		spec.RestartDelay = 25 * time.Millisecond
 	}
 	encoded := make([]types.Value, len(spec.Commands))
 	distinct := make(map[types.Value]struct{}, len(spec.Commands))
@@ -287,6 +396,9 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 		TransferServed: make(map[types.ProcID]int),
 		Covered:        make(map[types.ProcID]int),
 		Distinct:       len(distinct),
+		Durables:       make(map[types.ProcID]*store.Memory),
+		Boots:          make(map[types.ProcID]sm.BootStats),
+		BootErrs:       make(map[types.ProcID]error),
 	}
 	if spec.Trace != nil {
 		res.Tracers = make(map[types.ProcID]*xtrace.Tracer)
@@ -303,39 +415,48 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 		}
 	}
 	trs := make(map[types.ProcID]*sm.Transfer)
-	for _, id := range p.AllProcs() {
-		id := id
-		if b, ok := spec.Byzantine[id]; ok {
-			if err := w.SetBehavior(id, b); err != nil {
-				return nil, fmt.Errorf("runner: %w", err)
+	// Per-replica distinct-coverage sets live OUTSIDE the incarnation
+	// closures: a crash-restarted replica keeps counting from where its
+	// dead incarnation left off (coverage is a property of the process,
+	// not of one boot).
+	seenBy := make(map[types.ProcID]map[types.Value]struct{})
+	// buildReplica assembles one incarnation of a correct replica's full
+	// stack (kv.Store → sm.Applier → log.Engine → optional sm.Transfer).
+	// The initial incarnation (reboot=false) registers telemetry and
+	// tracing; a rebooted one (reboot=true) instead restores its durable
+	// store through sm.Boot before the engine starts, and skips metric
+	// registration (the registry already holds this replica's bundles).
+	// Construction failures go to fail and the incarnation stays silent.
+	buildReplica := func(id types.ProcID, reboot bool, fail func(error)) harness.Behavior {
+		return func(env proto.Env) proto.Handler {
+			silent := proto.HandlerFunc(func(types.ProcID, proto.Message) {})
+			reg, trSpec := spec.Obs, spec.Trace
+			if reboot {
+				reg, trSpec = nil, nil
 			}
-			continue
-		}
-		res.Correct = append(res.Correct, id)
-		var engErr error
-		err := w.SetBehavior(id, func(env proto.Env) proto.Handler {
-			store := kv.NewStore()
+			machine := kv.NewStore()
 			var labels string
-			if spec.Obs != nil {
+			if reg != nil {
 				labels = procLabel(id)
-				store.SetMetrics(obs.NewKVMetrics(spec.Obs, labels))
+				machine.SetMetrics(obs.NewKVMetrics(reg, labels))
 			}
 			var tracer *xtrace.Tracer
-			if spec.Trace != nil {
+			if trSpec != nil {
 				tracer = xtrace.New(xtrace.Config{
 					Proc:     id,
 					Now:      env.Now,
-					Recorder: xtrace.NewRecorder(spec.Trace.cap()),
+					Recorder: xtrace.NewRecorder(trSpec.cap()),
 					Stages:   res.Stages,
 				})
 				res.Tracers[id] = tracer
 			}
 			var eng *log.Engine
 			app, err := sm.New(sm.Config{
-				Machine:       store,
+				Machine:       machine,
 				SnapshotEvery: spec.SnapshotEvery,
 				RefreshEvery:  spec.SnapshotRefresh,
-				Metrics:       obs.NewSMMetrics(spec.Obs, labels),
+				Persist:       persistFor(res.Durables, id),
+				Metrics:       obs.NewSMMetrics(reg, labels),
 				Tracer:        tracer,
 				// The retained-suffix capture rides every snapshot so this
 				// replica can serve complete transfer payloads (snapshot +
@@ -360,18 +481,22 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 				},
 			})
 			if err != nil {
-				engErr = err
-				return proto.HandlerFunc(func(types.ProcID, proto.Message) {})
+				fail(err)
+				return silent
 			}
 			cfg := spec.Log
 			cfg.Env = env
 			cfg.Target = spec.Target
 			cfg.Tracer = tracer
-			if spec.Obs != nil {
-				cfg.Metrics = obs.NewLogMetrics(spec.Obs, labels)
-				cfg.Engine.RBMetrics = obs.NewRBMetrics(spec.Obs, labels)
+			if reg != nil {
+				cfg.Metrics = obs.NewLogMetrics(reg, labels)
+				cfg.Engine.RBMetrics = obs.NewRBMetrics(reg, labels)
 			}
-			seen := make(map[types.Value]struct{}, len(distinct))
+			seen := seenBy[id]
+			if seen == nil {
+				seen = make(map[types.Value]struct{}, len(distinct))
+				seenBy[id] = seen
+			}
 			cfg.OnCommit = func(e log.Entry) {
 				res.Logs[id] = append(res.Logs[id], e)
 				app.OnCommit(e)
@@ -408,8 +533,24 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 			}
 			eng, err = log.New(cfg)
 			if err != nil {
-				engErr = err
-				return proto.HandlerFunc(func(types.ProcID, proto.Message) {})
+				fail(err)
+				return silent
+			}
+			if reboot {
+				// Restore from "disk" exactly as a live node restart would:
+				// install the stamped snapshot, replay the WAL suffix, and
+				// resume the ordering layer at the durable boundary. No peer
+				// is asked for anything.
+				st, berr := sm.Boot(res.Durables[id], app, eng)
+				if berr != nil {
+					fail(berr)
+					return silent
+				}
+				res.Boots[id] = st
+				env.Trace().Emit(trace.Event{
+					At: env.Now(), Kind: trace.KindKVRecover, Proc: id,
+					Aux: fmt.Sprintf("boot replayed-to=%d boundary=%v", app.Applied(), st.Boundary),
+				})
 			}
 			handler := proto.Handler(eng)
 			if spec.Transfer {
@@ -420,23 +561,27 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 					Next:       eng,
 					RetryEvery: spec.TransferRetry,
 					StallProbe: spec.TransferProbe,
-					Metrics:    obs.NewTransferMetrics(spec.Obs, labels),
+					Metrics:    obs.NewTransferMetrics(reg, labels),
 				})
 				if err != nil {
-					engErr = err
-					return proto.HandlerFunc(func(types.ProcID, proto.Message) {})
+					fail(err)
+					return silent
 				}
 				trs[id] = tr
 				handler = tr
 			}
 			res.Engines[id] = eng
-			res.Stores[id] = store
+			res.Stores[id] = machine
 			res.Appliers[id] = app
+			// Submit the workload — on a reboot, re-submit it in full
+			// relative to the restart instant: the crashed incarnation's
+			// submit timers died with it, commit dedup drops what already
+			// landed, and anything that was pending gets a second chance.
 			for k, c := range encoded {
 				c := c
 				env.SetTimer(types.Duration(k)*spec.SubmitEvery, func() { _ = eng.Submit(c) })
 			}
-			if at, ok := spec.RecoverAt[id]; ok {
+			if at, ok := spec.RecoverAt[id]; ok && !reboot {
 				env.SetTimer(types.Duration(at), func() {
 					if err := app.Recover(eng.Entries()); err != nil {
 						res.RecoverErrs[id] = err
@@ -450,11 +595,30 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 			}
 			env.SetTimer(0, func() {
 				if err := eng.Start(); err != nil {
-					engErr = err
+					fail(err)
 				}
 			})
 			return handler
-		})
+		}
+	}
+	for _, id := range p.AllProcs() {
+		id := id
+		if b, ok := spec.Byzantine[id]; ok {
+			if err := w.SetBehavior(id, b); err != nil {
+				return nil, fmt.Errorf("runner: %w", err)
+			}
+			continue
+		}
+		res.Correct = append(res.Correct, id)
+		if spec.Durable {
+			res.Durables[id] = store.NewMemory()
+		}
+		var engErr error
+		err := w.SetBehavior(id, buildReplica(id, false, func(e error) {
+			if engErr == nil {
+				engErr = e
+			}
+		}))
 		if err != nil {
 			return nil, fmt.Errorf("runner: %w", err)
 		}
@@ -463,6 +627,37 @@ func RunKV(spec KVSpec) (*KVResult, error) {
 		}
 		wireRetirer(w, id, res.Engines[id])
 		wireObs(w, id, spec.Obs)
+	}
+	// Crash-restart choreography: power the process off at its mapped
+	// time, reboot it from its durable store RestartDelay later. The
+	// timers are scheduled directly on the scheduler (NOT through the
+	// victim's env — the kill would fence its own restart), in sorted
+	// process order so the event sequence is seed-deterministic.
+	if len(spec.CrashRestart) > 0 {
+		ids := make([]types.ProcID, 0, len(spec.CrashRestart))
+		for id := range spec.CrashRestart {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			id := id
+			if res.Durables[id] == nil {
+				return nil, fmt.Errorf("runner: CrashRestart process %v is not a correct replica", id)
+			}
+			at := types.Duration(spec.CrashRestart[id])
+			w.Sched.After(at, func() { w.Kill(id) })
+			w.Sched.After(at+spec.RestartDelay, func() {
+				err := w.SetBehavior(id, buildReplica(id, true, func(e error) {
+					if res.BootErrs[id] == nil {
+						res.BootErrs[id] = e
+					}
+				}))
+				if err != nil && res.BootErrs[id] == nil {
+					res.BootErrs[id] = err
+				}
+				wireRetirer(w, id, res.Engines[id])
+			})
+		}
 	}
 
 	res.Stop = w.Run(spec.Deadline, spec.MaxEvents)

@@ -310,6 +310,129 @@ func TestKVLagTransfer(t *testing.T) {
 	}
 }
 
+// TestKVDurablePassive: attaching durable stores (without crashing
+// anything) is passive — the run is byte-identical to a non-durable one —
+// while the stores end the run holding a consistent prefix of the
+// committed log (DurablePrefix).
+func TestKVDurablePassive(t *testing.T) {
+	base := func() KVSpec {
+		spec := kvSpec(4, 40, 9)
+		spec.SubmitEvery = types.Duration(time.Millisecond)
+		spec.SnapshotEvery = 10
+		spec.Compact = true
+		return spec
+	}
+	plain, err := RunKV(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := base()
+	spec.Durable = true
+	res, err := RunKV(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range res.Correct {
+		if res.StateDigests[id] != plain.StateDigests[id] {
+			t.Fatalf("replica %v state diverged under persistence", id)
+		}
+		if len(res.Logs[id]) != len(plain.Logs[id]) {
+			t.Fatalf("replica %v log length diverged under persistence", id)
+		}
+	}
+	if d := res.DurablePrefix(); d != "" {
+		t.Fatal(d)
+	}
+	for _, id := range res.Correct {
+		rec, err := res.Durables[id].Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.SnapPayload == nil {
+			t.Fatalf("replica %v stamped no snapshot", id)
+		}
+		if rec.Boundary == 0 {
+			t.Fatalf("replica %v marked no applied boundary", id)
+		}
+	}
+}
+
+// TestKVCrashRestart: a replica is power-cut mid-stream (volatile state
+// gone: engine, applier, dedup dispatcher, timers) and rebooted shortly
+// after from its durable store alone. It must resume at its fsync'd
+// boundary (applied ⊇ fsync'd), catch the instances decided after its
+// reboot through the DECIDE quorum stream, and reconverge to the
+// cluster state with ZERO peer snapshot installs — the transfer layer is
+// armed precisely to prove it stays idle.
+func TestKVCrashRestart(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		spec := kvSpec(4, 80, seed)
+		spec.SubmitEvery = types.Duration(time.Millisecond)
+		spec.SnapshotEvery = 8
+		spec.Durable = true
+		spec.Transfer = true
+		spec.CrashRestart = map[types.ProcID]types.Time{2: types.Time(40 * time.Millisecond)}
+		spec.RestartDelay = types.Duration(4 * time.Millisecond)
+		res, err := RunKV(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.BootErrs[2]; err != nil {
+			t.Fatalf("seed %d: reboot failed: %v", seed, err)
+		}
+		st, ok := res.Boots[2]
+		if !ok {
+			t.Fatalf("seed %d: replica 2 never rebooted", seed)
+		}
+		if st.Boundary == 0 {
+			t.Fatalf("seed %d: reboot recovered nothing (boundary 0) — crash landed before any commit", seed)
+		}
+		if !res.CoveredAll() {
+			t.Fatalf("seed %d: coverage incomplete after restart: %v of %d", seed, res.Covered, res.Distinct)
+		}
+		if !res.Consistent() {
+			t.Fatalf("seed %d: logs inconsistent", seed)
+		}
+		if !res.StatesAgree() {
+			t.Fatalf("seed %d: state digests disagree after restart", seed)
+		}
+		if d := res.DurablePrefix(); d != "" {
+			t.Fatalf("seed %d: %s", seed, d)
+		}
+		if d := res.ReferenceDivergence(); d != "" {
+			t.Fatalf("seed %d: %s", seed, d)
+		}
+		// The whole point: the rebooted replica reconverged from disk and
+		// live traffic, not from a peer snapshot.
+		if res.Transfers[2] != 0 {
+			t.Fatalf("seed %d: rebooted replica installed %d peer snapshots", seed, res.Transfers[2])
+		}
+		for _, id := range res.Correct {
+			if res.TransferServed[id] != 0 {
+				t.Fatalf("seed %d: replica %v served a snapshot to the rebooted one", seed, id)
+			}
+		}
+	}
+}
+
+// TestKVCrashRestartValidation: the reboot reads the durable store, so
+// scheduling one without Durable must be rejected.
+func TestKVCrashRestartValidation(t *testing.T) {
+	spec := kvSpec(4, 10, 1)
+	spec.CrashRestart = map[types.ProcID]types.Time{2: types.Time(10 * time.Millisecond)}
+	if _, err := RunKV(spec); err == nil {
+		t.Fatal("CrashRestart without Durable accepted")
+	}
+	spec = kvSpec(4, 10, 1)
+	spec.Durable = true
+	spec.SnapshotEvery = 10
+	spec.Byzantine = map[types.ProcID]harness.Behavior{4: adversary.Silent()}
+	spec.CrashRestart = map[types.ProcID]types.Time{4: types.Time(10 * time.Millisecond)}
+	if _, err := RunKV(spec); err == nil {
+		t.Fatal("CrashRestart of a Byzantine process accepted")
+	}
+}
+
 // TestKVTransferRequiresSnapshots: serving peers need snapshots to serve.
 func TestKVTransferRequiresSnapshots(t *testing.T) {
 	spec := kvSpec(4, 8, 1)

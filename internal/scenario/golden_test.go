@@ -69,6 +69,18 @@ func TestGoldenDigests(t *testing.T) {
 		{"rb-coalesce-bisource", 7, "755808ca2688552467213d93c496e0c8b8b97eabfa7a79acfcb4c2bed6a12373"},
 		{"rb-coalesce-partition", 1, "61348fd9d5bb5d12bf32fbb6a249ad7bc910b7b9f09b45c37a66be11793cf685"},
 		{"rb-coalesce-hashspam", 1, "fe4a9c2de791b82add0f4f807c3fdef8826d901f1fa49c64de730c12f4890fad"},
+		// Durable-storage rows, recorded when the persistence subsystem
+		// landed. The crash-restart rows pin the full power-cycle
+		// choreography (fsync'd WAL replay, boot from snapshot + suffix,
+		// zero-transfer reconvergence through t+1 DECIDE quorums); the
+		// chunk-loss row pins the chunked transfer protocol end to end —
+		// manifest corroboration, windowed range requests, the stalled-
+		// download abandon path and re-corroboration under frame loss.
+		{"kv-crash-restart", 1, "85ebedb10732bf7add462ebd6edec2cf2eb1765ea3a354a9c9d7dc71fe6b0917"},
+		{"kv-crash-restart", 7, "8fc060e9a893105ef923e4c8092c9d09659bbc7fd8a91ee682f0910ceb5df3fb"},
+		{"kv-crash-restart-n7", 1, "1b1538fed0c4bf68c8e6737a8983ac4feeeeea56b45ca0a629842a31de7ac13d"},
+		{"transfer-chunk-loss", 1, "d1708cb4c77de3747c3991a38de5174280b32b2e121e50facbea3028c55bf453"},
+		{"transfer-chunk-loss", 7, "0971585bcbe60becaa9fe3f239fc8d77338b84610e09c9ca2faba2adc000bdfc"},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -182,3 +182,124 @@ func TestLagTransferDeterministic(t *testing.T) {
 		t.Fatalf("digest not reproducible:\n  %s\n  %s", a.Digest, b.Digest)
 	}
 }
+
+// TestCrashRestartScenariosSweep: across seeds 1..7, the power-cycled
+// replica of the durable crash-restart scenarios reboots from its own
+// disk image (non-trivial boundary, no boot error) and reconverges
+// WITHOUT a single peer snapshot transfer — the t+1 DECIDE quorums of
+// instances decided after the reboot carry it across the blackout, and
+// the armed transfer layer stays idle on both ends.
+func TestCrashRestartScenariosSweep(t *testing.T) {
+	for _, name := range []string{"kv-crash-restart", "kv-crash-restart-n7"} {
+		s, ok := Get(name)
+		if !ok {
+			t.Fatalf("scenario %q not registered", name)
+		}
+		p, err := Prepare(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim := s.CorrectProcs()[0]
+		for seed := int64(1); seed <= 7; seed++ {
+			o, err := p.Run(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !o.Pass {
+				t.Fatalf("%s seed %d failed:\n%v", name, seed, o.Report.Violations)
+			}
+			res := runKVSpec(t, name, seed)
+			if berr := res.BootErrs[victim]; berr != nil {
+				t.Fatalf("%s seed %d: reboot from disk failed: %v", name, seed, berr)
+			}
+			st, ok := res.Boots[victim]
+			if !ok {
+				t.Fatalf("%s seed %d: victim never rebooted", name, seed)
+			}
+			if st.Boundary <= 0 {
+				t.Fatalf("%s seed %d: reboot recovered nothing (boundary %v)", name, seed, st.Boundary)
+			}
+			if !st.HadSnapshot && st.Replayed == 0 {
+				t.Fatalf("%s seed %d: boot restored neither snapshot nor WAL entries", name, seed)
+			}
+			if n := res.Transfers[victim]; n != 0 {
+				t.Fatalf("%s seed %d: victim installed %d peer snapshots — recovery was not disk-local", name, seed, n)
+			}
+			for _, id := range res.Correct {
+				if n := res.TransferServed[id]; n != 0 {
+					t.Fatalf("%s seed %d: %v served %d snapshots to the rebooted replica", name, seed, id, n)
+				}
+			}
+			if d := res.DurablePrefix(); d != "" {
+				t.Fatalf("%s seed %d: durable prefix invariant: %s", name, seed, d)
+			}
+		}
+	}
+}
+
+// TestChunkLossScenarioSweep: across seeds 1..7 of transfer-chunk-loss,
+// the severed replica completes a CHUNKED snapshot download (state past
+// TransferInlineMax — chunk frames are only ever emitted for manifest
+// transfers) while the adversary destroys every 2nd chunk frame, via
+// the retry path's range re-requests. The drop counter proves the loss
+// episode actually bit.
+func TestChunkLossScenarioSweep(t *testing.T) {
+	s, ok := Get("transfer-chunk-loss")
+	if !ok {
+		t.Fatal("scenario transfer-chunk-loss not registered")
+	}
+	p, err := Prepare(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 7; seed++ {
+		o, err := p.Run(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.Pass {
+			t.Fatalf("seed %d failed:\n%v", seed, o.Report.Violations)
+		}
+		spec, err := p.kvRunnerSpec(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runner.RunKV(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Transfers[1] == 0 {
+			t.Fatalf("seed %d: severed replica installed no snapshot", seed)
+		}
+		if res.Engines[1].DroppedAhead() == 0 {
+			t.Fatalf("seed %d: no MaxLead pressure — replay was not impossible", seed)
+		}
+		cl := chunkLossIn(spec.Adv)
+		if cl == nil {
+			t.Fatalf("seed %d: no ChunkLoss adversary materialized", seed)
+		}
+		if cl.Dropped == 0 {
+			t.Fatalf("seed %d: chunk-loss episode never destroyed a frame", seed)
+		}
+	}
+}
+
+// TestDurableScenariosDeterministic: the new durable/chunk scenarios
+// reproduce bit-identical digests for a repeated seed (disk state and
+// chunk retries included).
+func TestDurableScenariosDeterministic(t *testing.T) {
+	for _, name := range []string{"kv-crash-restart", "transfer-chunk-loss"} {
+		s, _ := Get(name)
+		a, err := Run(s, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(s, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Digest != b.Digest {
+			t.Fatalf("%s digest not reproducible:\n  %s\n  %s", name, a.Digest, b.Digest)
+		}
+	}
+}

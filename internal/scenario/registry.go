@@ -358,6 +358,32 @@ var registry = []Spec{
 		},
 		ExpectTermination: true,
 	},
+	// The chunk-loss variant forces the transfer payload past the inline
+	// frame budget (ValueBytes fattens the machine state), so the sync
+	// runs the manifest/chunk protocol — and then destroys every second
+	// chunk frame mid-download (ChunkDropEvery). The laggard must notice
+	// the holes and re-request exactly the missing ranges; KV-ChunkLoss
+	// proves frames really were lost, KV-Transfer that the sync still
+	// converged. Single-frame transfer cannot pass this scenario even in
+	// a lossless run: the payload exceeds sm.TransferInlineMax by design
+	// (the size-cliff regression test pins the arithmetic).
+	{
+		Name: "transfer-chunk-loss", Desc: "n=4 KV: multi-chunk snapshot sync completes despite every 2nd chunk frame lost",
+		N: 4, T: 1, M: 1,
+		Net: Net{
+			Kind:         NetFull,
+			PartitionCut: 1, PartitionDrop: true, HealAt: 250 * time.Millisecond,
+			ChunkDropEvery: 2, ChunkDropUntil: 450 * time.Millisecond,
+		},
+		Work: Work{
+			Kind: WorkKV, Commands: 96, BatchSize: 2, Pipeline: 2,
+			Keys: 10, ValueBytes: 96 << 10,
+			SubmitEvery:   2 * time.Millisecond,
+			SnapshotEvery: 4, Compact: true, CompactKeep: 1,
+			Transfer: true, MaxLead: 4,
+		},
+		ExpectTermination: true,
+	},
 	{
 		Name: "kv-lag-transfer-n7", Desc: "n=7 t=2 KV lag transfer: installs need t+1=3 corroborating peers",
 		N: 7, T: 2, M: 1,
@@ -370,6 +396,43 @@ var registry = []Spec{
 			SubmitEvery:   2 * time.Millisecond,
 			SnapshotEvery: 1, Compact: true, CompactKeep: 1,
 			Transfer: true, MaxLead: 4,
+		},
+		ExpectTermination: true,
+	},
+
+	// --- Durable storage: crash-restart from the replica's own disk ------
+	// A full power cycle mid-stream (harness.World.Kill): volatile state,
+	// timers and dedup bookkeeping die with the incarnation, and the
+	// reboot reads ONLY the replica's durable store (sm.Boot). The 4ms
+	// blackout is shorter than one consensus decision at the 10ms
+	// TimeUnit, so every instance decided while the replica was dark
+	// still reaches it afterwards through the t+1 DECIDE quorum stream
+	// (RB-Termination-2) — the transfer layer is armed precisely to prove
+	// it stays idle. KV-Durable pins "applied ⊇ fsync'd" on top.
+	{
+		Name: "kv-crash-restart", Desc: "n=4 durable KV: replica power-cycled mid-stream reboots from disk, zero peer transfers",
+		N: 4, T: 1, M: 1,
+		Net: Net{Kind: NetFull, Delta: 2 * time.Millisecond},
+		Work: Work{
+			Kind: WorkKV, Commands: 80,
+			SubmitEvery:   time.Millisecond,
+			SnapshotEvery: 8, Compact: true, CompactKeep: 2,
+			Durable: true, CrashRestartAt: 40 * time.Millisecond, RestartDelay: 4 * time.Millisecond,
+			Transfer: true,
+		},
+		ExpectTermination: true,
+	},
+	{
+		Name: "kv-crash-restart-n7", Desc: "n=7 t=2 durable KV crash-restart beside a silent replica",
+		N: 7, T: 2, M: 1,
+		Faults: []Fault{{Kind: FaultSilent}},
+		Net:    Net{Kind: NetFull, Delta: 2 * time.Millisecond},
+		Work: Work{
+			Kind: WorkKV, Commands: 70,
+			SubmitEvery:   time.Millisecond,
+			SnapshotEvery: 8, Compact: true, CompactKeep: 2,
+			Durable: true, CrashRestartAt: 40 * time.Millisecond, RestartDelay: 4 * time.Millisecond,
+			Transfer: true,
 		},
 		ExpectTermination: true,
 	},

@@ -196,7 +196,7 @@ func kvCommands(w Work) []kv.Command {
 			c.Op = kv.OpDel
 		default:
 			c.Op = kv.OpPut
-			c.Val = fmt.Sprintf("val-%04d", i)
+			c.Val = padValue(fmt.Sprintf("val-%04d", i), w.ValueBytes)
 		}
 		out = append(out, c)
 		lastCmd[client] = c
@@ -245,6 +245,20 @@ func kvCommands(w Work) []kv.Command {
 		}
 	}
 	return out
+}
+
+// padValue grows v to size bytes with a deterministic incompressible-ish
+// filler (Work.ValueBytes): the unique prefix keeps every workload value
+// distinct, so the distinct-coverage stop rule is unaffected.
+func padValue(v string, size int) string {
+	if size <= len(v) {
+		return v
+	}
+	pad := make([]byte, size-len(v))
+	for i := range pad {
+		pad[i] = byte('a' + (i+len(v))%26)
+	}
+	return v + string(pad)
 }
 
 // buildBehavior materializes one fault preset. The per-fault seed keeps
@@ -514,7 +528,17 @@ func (p *Prepared) kvRunnerSpec(seed int64) (runner.KVSpec, error) {
 	spec.Log.Pipeline = w.Pipeline
 	spec.Log.Coalesce = w.Coalesce
 	spec.Log.MaxLead = types.Instance(w.MaxLead)
-	if w.Transfer {
+	spec.Durable = w.Durable
+	if w.CrashRestartAt > 0 {
+		// The lowest-ID correct replica takes the power cycle (the same
+		// victim convention as RecoverAt; with faults on the top IDs that
+		// is always process 1).
+		spec.CrashRestart = map[types.ProcID]types.Time{
+			s.CorrectProcs()[0]: types.Time(w.CrashRestartAt),
+		}
+		spec.RestartDelay = types.Duration(w.RestartDelay)
+	}
+	if w.Transfer && w.CrashRestartAt <= 0 {
 		// Entry-count stop rule: the default distinct-coverage rule could
 		// never close a transferred replica (it skips the pre-boundary
 		// prefix and so never "covers" those commands itself). The
@@ -524,6 +548,13 @@ func (p *Prepared) kvRunnerSpec(seed int64) (runner.KVSpec, error) {
 		// count — provided submissions end before the heal (a command
 		// submitted after an install could re-enqueue a skipped-prefix
 		// command; the curated specs keep SubmitEvery·Commands < HealAt).
+		//
+		// NOT under CrashRestartAt: there the transfer layer is armed only
+		// to prove it stays IDLE — the rebooted replica resumes from disk
+		// and keeps committing the suffix itself, so the distinct-coverage
+		// rule works, and an entry count would be wrong anyway (the reboot
+		// re-submits the workload, and a duplicate whose dedup record was
+		// compacted away can legitimately commit twice).
 		spec.Target = len(p.kvCmds)
 	}
 	if w.RecoverAt > 0 {
@@ -606,7 +637,54 @@ func runKV(p *Prepared, seed int64, reg *obs.Registry, tr *runner.TraceSpec) (*O
 			report.Violatef("KV-Compaction: no replica retired any instance state")
 		}
 	}
-	if w.Transfer && s.ExpectTermination {
+	if w.Durable {
+		report.Observe("kv-durable")
+		if d := res.DurablePrefix(); d != "" {
+			report.Violatef("KV-Durable: %s", d)
+		}
+	}
+	if w.CrashRestartAt > 0 {
+		// The crash-restart properties: the victim actually rebooted, its
+		// boot recovered real state from its own durable store, and — with
+		// the transfer layer armed precisely to prove this — reconvergence
+		// used ZERO peer snapshot transfers: everything the replica missed
+		// during the blackout reached it through its t+1 DECIDE quorums.
+		report.Observe("kv-crash-restart")
+		victim := s.CorrectProcs()[0]
+		for id, berr := range res.BootErrs {
+			if berr != nil {
+				report.Violatef("KV-CrashRestart: replica %v failed to reboot from disk: %v", id, berr)
+			}
+		}
+		if st, ok := res.Boots[victim]; !ok {
+			report.Violatef("KV-CrashRestart: replica %v never rebooted", victim)
+		} else if st.Boundary <= 0 {
+			report.Violatef("KV-CrashRestart: reboot recovered nothing from the durable store (boundary %v)", st.Boundary)
+		}
+		if w.Transfer && s.ExpectTermination {
+			if n := res.Transfers[victim]; n != 0 {
+				report.Violatef("KV-CrashRestart: rebooted replica installed %d peer snapshots — reconvergence was not disk-local", n)
+			}
+			for _, id := range res.Correct {
+				if n := res.TransferServed[id]; n != 0 {
+					report.Violatef("KV-CrashRestart: replica %v served %d snapshots — the reboot leaned on a peer", id, n)
+				}
+			}
+		}
+	}
+	if s.Net.ChunkDropEvery > 0 && s.ExpectTermination {
+		// The loss episode must have BITTEN: with zero dropped chunk
+		// frames the run proved nothing about range re-request recovery
+		// (the kv-transfer convergence check below is what proves the sync
+		// still completed).
+		report.Observe("kv-chunk-loss")
+		if cl := chunkLossIn(spec.Adv); cl == nil {
+			report.Violatef("KV-ChunkLoss: no ChunkLoss adversary materialized")
+		} else if cl.Dropped == 0 {
+			report.Violatef("KV-ChunkLoss: no chunk frame was ever dropped — the scenario exercised no loss recovery")
+		}
+	}
+	if w.Transfer && s.ExpectTermination && w.CrashRestartAt <= 0 {
 		// The transfer properties: some replica actually crossed the
 		// replay horizon (DroppedAhead pressure — replay was impossible,
 		// not merely slow), recovered through a peer snapshot install,
@@ -614,6 +692,8 @@ func runKV(p *Prepared, seed int64, reg *obs.Registry, tr *runner.TraceSpec) (*O
 		// with the SAME state digest. The last clause is strictly stronger
 		// than KV-StateAgreement, which compares digests only at equal
 		// counts and so passes vacuously for a replica stuck behind.
+		// Skipped under CrashRestartAt, where the armed transfer layer
+		// must stay idle (see kv-crash-restart above).
 		report.Observe("kv-transfer")
 		installs, pressure := 0, false
 		for _, id := range res.Correct {
@@ -644,12 +724,14 @@ func runKV(p *Prepared, seed int64, reg *obs.Registry, tr *runner.TraceSpec) (*O
 		// Coverage, not raw entry counts: under compaction a forgotten
 		// duplicate can legitimately commit twice, so entry counts can
 		// both overshoot and (by closing engines early) undershoot.
-		if w.Transfer {
+		if w.Transfer && w.CrashRestartAt <= 0 {
 			// A transferred replica adopts the skipped prefix as STATE,
 			// not as commits, so its own coverage undercounts by design.
 			// Termination here means the cluster committed every distinct
 			// command somewhere (the kv-transfer check above pins the
-			// laggard's state to the cluster's).
+			// laggard's state to the cluster's). A crash-restarted replica
+			// keeps its coverage across the power cycle instead, so the
+			// full CoveredAll rule applies to it.
 			maxCovered := 0
 			for _, id := range res.Correct {
 				if res.Covered[id] > maxCovered {
@@ -695,6 +777,23 @@ func runKV(p *Prepared, seed int64, reg *obs.Registry, tr *runner.TraceSpec) (*O
 		o.Trace = res.TraceDumps(traceLabel(s.Name, seed))
 	}
 	return o, nil
+}
+
+// chunkLossIn digs the ChunkLoss adversary out of a run's (possibly
+// chained) network adversary so the kv-chunk-loss check can read its
+// drop counter after the run.
+func chunkLossIn(adv network.Adversary) *adversary.ChunkLoss {
+	switch a := adv.(type) {
+	case *adversary.ChunkLoss:
+		return a
+	case adversary.Chain:
+		for _, link := range a {
+			if cl, ok := link.(*adversary.ChunkLoss); ok {
+				return cl
+			}
+		}
+	}
+	return nil
 }
 
 // digestTrace feeds every trace event into the hash in emission order as

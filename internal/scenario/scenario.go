@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/network"
 	"repro/internal/types"
+	"repro/internal/wire"
 )
 
 // FaultKind enumerates the Byzantine behavior presets of the attack
@@ -162,6 +163,16 @@ type Net struct {
 	// minority-side replica can then only reconverge through snapshot
 	// state transfer, which is what the kv-lag-transfer scenarios pin.
 	PartitionDrop bool
+	// ChunkDropEvery > 0 destroys every ChunkDropEvery-th snapshot chunk
+	// frame (adversary.ChunkLoss) until ChunkDropUntil: the loss mode the
+	// chunked transfer protocol's range re-request exists for. Requires a
+	// Transfer workload (chunk frames exist nowhere else) and a stride of
+	// at least 2 — dropping every chunk is a severed link, which
+	// PartitionDrop already models.
+	ChunkDropEvery int
+	// ChunkDropUntil ends the chunk-loss episode (0 = never: the sync
+	// must complete under persistent periodic loss).
+	ChunkDropUntil time.Duration
 	// Jitter selects the async delay policy.
 	Jitter Jitter
 	// FIFO enforces per-channel ordering (false = reordering allowed).
@@ -259,6 +270,40 @@ type Work struct {
 	// virtual time (snapshot restore + retained-suffix replay).
 	RecoverAt time.Duration
 
+	// ValueBytes > 0 pads every put value to this size. Large values fatten
+	// the machine state past sm.TransferInlineMax, forcing snapshot
+	// transfers through the chunked manifest protocol instead of the
+	// historical single frame; the transfer-chunk-loss scenario pins that
+	// path. Bounded so one command batch still fits a wire frame (see
+	// Validate).
+	ValueBytes int
+
+	// --- WorkKV durable storage / crash-restart ----------------------
+
+	// Durable attaches a durable store (internal/store) to every correct
+	// replica: committed entries are write-ahead logged, applied
+	// boundaries marked, snapshots stamped — before application proceeds
+	// (sm.Config.Persist). Off by default: with it off the stack runs the
+	// exact pre-persistence code path and every legacy golden digest is
+	// untouched. The KV-Durable check ("applied ⊇ fsync'd") activates
+	// with it.
+	Durable bool
+	// CrashRestartAt > 0 powers the lowest-ID correct replica OFF at this
+	// virtual time (harness.World.Kill: volatile state, timers and dedup
+	// bookkeeping die with the incarnation) and reboots it RestartDelay
+	// later from its durable store alone (sm.Boot — no peer help).
+	// Requires Durable. Unlike RecoverAt, which rebuilds only the applier
+	// in place, this is a full power cycle of the whole replica stack.
+	CrashRestartAt time.Duration
+	// RestartDelay is the downtime between power-off and reboot (0 = the
+	// runner default, 25ms). The curated crash-restart scenarios use 4ms:
+	// shorter than one consensus decision at the default TimeUnit, so
+	// every instance decided across the blackout still reaches the
+	// rebooted replica through its t+1 DECIDE quorum and reconvergence
+	// needs zero peer snapshot transfers — which is exactly what the
+	// KV-CrashRestart check asserts.
+	RestartDelay time.Duration
+
 	// --- WorkKV peer snapshot state transfer -------------------------
 
 	// Transfer enables snapshot state transfer (sm.Transfer) on every
@@ -355,8 +400,9 @@ func (s Spec) Validate() error {
 	if s.Work.Compact && s.Work.SnapshotEvery <= 0 {
 		return fmt.Errorf("scenario %s: Compact requires SnapshotEvery > 0", s.Name)
 	}
-	if (s.Work.SnapshotEvery > 0 || s.Work.Compact || s.Work.RecoverAt > 0 || s.Work.Transfer || s.Work.MaxLead > 0) && s.Work.Kind != WorkKV {
-		return fmt.Errorf("scenario %s: snapshot/compaction/recovery/transfer knobs require the kv workload", s.Name)
+	if (s.Work.SnapshotEvery > 0 || s.Work.Compact || s.Work.RecoverAt > 0 || s.Work.Transfer || s.Work.MaxLead > 0 ||
+		s.Work.ValueBytes > 0 || s.Work.Durable || s.Work.CrashRestartAt > 0 || s.Work.RestartDelay > 0) && s.Work.Kind != WorkKV {
+		return fmt.Errorf("scenario %s: snapshot/compaction/recovery/transfer/durability knobs require the kv workload", s.Name)
 	}
 	if s.Work.Transfer {
 		if s.Work.SnapshotEvery <= 0 {
@@ -366,8 +412,42 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario %s: Transfer is incompatible with Retries/OutOfOrder (entry-count stop rule)", s.Name)
 		}
 	}
+	if s.Work.CrashRestartAt > 0 && !s.Work.Durable {
+		return fmt.Errorf("scenario %s: CrashRestartAt requires Durable (the reboot reads the store)", s.Name)
+	}
+	if s.Work.RestartDelay > 0 && s.Work.CrashRestartAt <= 0 {
+		return fmt.Errorf("scenario %s: RestartDelay without CrashRestartAt has nothing to delay", s.Name)
+	}
+	if s.Work.CrashRestartAt > 0 && s.Work.RecoverAt > 0 {
+		return fmt.Errorf("scenario %s: CrashRestartAt and RecoverAt both target the lowest-ID correct replica — pick one recovery mode", s.Name)
+	}
+	if s.Work.ValueBytes > 0 {
+		// A whole command batch travels as ONE consensus value, and a live
+		// deployment frames values through the wire codec: keep the worst
+		// batch inside MaxValueLen with headroom for keys and framing, so
+		// the simulated workload stays wire-legal.
+		batch := s.Work.BatchSize
+		if batch <= 0 {
+			batch = 8
+		}
+		if batch*s.Work.ValueBytes > wire.MaxValueLen/2 {
+			return fmt.Errorf("scenario %s: BatchSize %d × ValueBytes %d exceeds half a wire frame (%d)",
+				s.Name, batch, s.Work.ValueBytes, wire.MaxValueLen/2)
+		}
+	}
 	if s.Net.PartitionDrop && s.Net.PartitionCut <= 0 {
 		return fmt.Errorf("scenario %s: PartitionDrop requires PartitionCut > 0", s.Name)
+	}
+	if s.Net.ChunkDropEvery != 0 {
+		if s.Net.ChunkDropEvery < 2 {
+			return fmt.Errorf("scenario %s: ChunkDropEvery must be ≥ 2 (dropping every chunk is a severed link, not loss)", s.Name)
+		}
+		if !s.Work.Transfer {
+			return fmt.Errorf("scenario %s: ChunkDropEvery requires a Transfer workload (chunk frames exist nowhere else)", s.Name)
+		}
+	}
+	if s.Net.ChunkDropUntil > 0 && s.Net.ChunkDropEvery == 0 {
+		return fmt.Errorf("scenario %s: ChunkDropUntil without ChunkDropEvery bounds nothing", s.Name)
 	}
 	if s.Net.Kind < NetFull || s.Net.Kind > NetBisource {
 		return fmt.Errorf("scenario %s: unknown net kind %v", s.Name, s.Net.Kind)
@@ -543,6 +623,12 @@ func (s Spec) adversaryFor(seed int64) network.Adversary {
 				Stagger: types.Duration((seed%7+7)%7+1) * time.Microsecond,
 			})
 		}
+	}
+	if n.ChunkDropEvery > 0 {
+		chain = append(chain, &adversary.ChunkLoss{
+			Every: n.ChunkDropEvery,
+			Until: types.Time(n.ChunkDropUntil),
+		})
 	}
 	if n.Splitter {
 		target := make(map[types.ProcID]types.ProcID, s.N)

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/log"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/types"
 	"repro/internal/xtrace"
 )
@@ -137,6 +138,18 @@ type Config struct {
 	// Tracer, if non-nil, records the apply stage of each committed
 	// command (internal/xtrace). Passive.
 	Tracer *xtrace.Tracer
+	// Persist, if non-nil, is the durable storage backend
+	// (store.Persister). The applier drives the write-ahead discipline
+	// through it: every committed entry is appended BEFORE it is applied,
+	// each applied instance boundary is marked (the fsync point), and
+	// each snapshot is stamped as its full transfer payload — snapshot
+	// plus retained dedup window (EncodeTransfer bytes) — after which the
+	// store's entry prefix below the snapshot index is truncated. A
+	// persist failure poisons the applier (the replica behaves as
+	// crashed): continuing to apply entries the disk refused would make
+	// the durable state lie about the served state. nil (the default)
+	// keeps the historical fully-in-memory behavior, byte-identical.
+	Persist store.Persister
 	// RetainedEntries, if non-nil, returns the log engine's retained
 	// committed-entry suffix (log.Engine.Entries). The applier copies it
 	// right after each snapshot's OnSnapshot hook returns — i.e. after
@@ -168,6 +181,7 @@ type Applier struct {
 
 	recoveries int
 	installs   int   // peer snapshots installed via Install
+	boots      int   // local durable snapshots restored via Boot
 	poisoned   error // set when a failed Recover/Install left the state undefined
 }
 
@@ -200,6 +214,15 @@ func (a *Applier) OnCommit(e log.Entry) {
 		// silently fork the replica, so refuse loudly.
 		panic(fmt.Sprintf("sm: entry index %d applied at position %d", e.Index, a.applied))
 	}
+	if p := a.cfg.Persist; p != nil {
+		// Write-ahead: the entry reaches the durable log before its effect
+		// reaches the machine, so a crash can lose an unapplied append
+		// (harmless — boot replays it) but never an applied one.
+		if err := p.AppendEntry(e); err != nil {
+			a.poison(fmt.Errorf("sm: persist append: %w", err))
+			return
+		}
+	}
 	resp := a.cfg.Machine.Apply(e.Cmd)
 	a.cfg.Tracer.OnApplied(e.Cmd, e.Instance)
 	a.applied++
@@ -220,6 +243,20 @@ func (a *Applier) OnCommit(e log.Entry) {
 // snapshot, keeping the boundary fresh across idle (⊥-churning)
 // stretches; see Config.RefreshEvery.
 func (a *Applier) OnApply(i types.Instance, newly int) {
+	if a.poisoned != nil {
+		return
+	}
+	if p := a.cfg.Persist; p != nil {
+		// Every applied instance is marked, entries or not: the mark is
+		// where a durable restart resumes, and resuming below the cluster's
+		// ⊥-churned frontier would strand the replica on instances whose
+		// decisions nobody re-sends. MarkApplied is also the fsync point,
+		// sealing the entries this instance appended.
+		if err := p.MarkApplied(i + 1); err != nil {
+			a.poison(fmt.Errorf("sm: persist mark: %w", err))
+			return
+		}
+	}
 	if a.cfg.SnapshotEvery > 0 && a.sinceSnap >= a.cfg.SnapshotEvery {
 		a.takeSnapshot(i + 1)
 		return
@@ -259,6 +296,22 @@ func (a *Applier) takeSnapshot(instance types.Instance) {
 		// holds from this boundary on). Copied — the engine mutates its
 		// slice as the log grows.
 		a.snapRetained = append([]log.Entry(nil), a.cfg.RetainedEntries()...)
+	}
+	if p := a.cfg.Persist; p != nil {
+		// The durable stamp is the full transfer payload — snapshot plus
+		// the retained dedup window just captured — so boot can hand it
+		// straight to DecodeTransfer and Install, the exact code path a
+		// live peer-snapshot installation exercises. With the snapshot
+		// durable, the store's entry prefix below it is dead weight.
+		payload := EncodeTransfer(a.snap, a.snapRetained)
+		if err := p.StampSnapshot(a.snap.Index, a.snap.Instance, []byte(payload)); err != nil {
+			a.poison(fmt.Errorf("sm: persist snapshot: %w", err))
+			return
+		}
+		if err := p.TruncatePrefix(a.snap.Index); err != nil {
+			a.poison(fmt.Errorf("sm: persist truncate: %w", err))
+			return
+		}
 	}
 }
 
@@ -370,6 +423,14 @@ func (a *Applier) Recover(retained []log.Entry) error {
 // (log.Engine.InstallSnapshot with s.Instance, s.Index and the same
 // retained suffix) — sm.Transfer does both.
 func (a *Applier) Install(s Snapshot, retained []log.Entry) error {
+	return a.installSnapshot(s, retained, false)
+}
+
+// installSnapshot is Install's body; boot distinguishes a local durable
+// restore (sm.Boot) from a genuine peer transfer in the counters —
+// "zero peer installs after restart" is the durability layer's whole
+// acceptance test, so a boot must not inflate the transfer tally.
+func (a *Applier) installSnapshot(s Snapshot, retained []log.Entry, boot bool) error {
 	if a.poisoned != nil {
 		return a.poisoned
 	}
@@ -404,15 +465,22 @@ func (a *Applier) Install(s Snapshot, retained []log.Entry) error {
 	a.snap = s
 	a.snapRetained = retained
 	a.hasSnap = true
-	a.installs++
-	if m := a.cfg.Metrics; m != nil {
-		m.Installs.Inc()
+	if boot {
+		a.boots++
+	} else {
+		a.installs++
+		if m := a.cfg.Metrics; m != nil {
+			m.Installs.Inc()
+		}
 	}
 	return nil
 }
 
 // Installs returns how many peer snapshots Install has applied.
 func (a *Applier) Installs() int { return a.installs }
+
+// Boots returns how many local durable snapshots Boot has restored.
+func (a *Applier) Boots() int { return a.boots }
 
 // Err returns the poisoning error of a failed Recover, if any. A
 // poisoned applier ignores further entries (the replica is effectively

@@ -10,25 +10,41 @@
 // away. Transfer closes that gap the way self-stabilizing protocols do —
 // by converging from a peer's CURRENT state instead of its history.
 //
-// The protocol is two messages (wire codec v3, module proto.ModSnap):
+// The protocol is a request, a form-tagged response, and — for payloads
+// too large for one frame — a chunk stream (module proto.ModSnap):
 //
-//	SNAP_REQ  — broadcast by a lagging replica; Instance carries the
-//	            requester's applied boundary so peers with nothing newer
-//	            can decline silently.
-//	SNAP_RESP — one digest-stamped sm.Snapshot in a single frame
-//	            (EncodeTransfer: SHA-256 ‖ snapshot bytes), sent
-//	            point-to-point to the requester.
+//	SNAP_REQ   — broadcast by a lagging replica; Instance carries the
+//	             requester's applied boundary so peers with nothing newer
+//	             can decline silently.
+//	SNAP_RESP  — form 0 (inline): one digest-stamped transfer payload in
+//	             a single frame (EncodeTransfer), sent point-to-point.
+//	             Form 1 (manifest): the payload's position, length and
+//	             per-chunk SHA-256 list (EncodeManifest) — served when
+//	             the payload exceeds TransferInlineMax, which a single
+//	             wire frame could not carry (wire codec v5).
+//	SNAP_ACK   — requester → server: the next chunk range wanted of a
+//	             corroborated manifest's payload. Re-sent (by the retry
+//	             timer) for whatever range is still missing, which is how
+//	             a download survives chunk loss; the server answering is
+//	             rotated across corroborating peers, which is how it
+//	             survives a withholding server.
+//	SNAP_CHUNK — server → requester: one chunk, checked on arrival
+//	             against the manifest's pinned hash.
 //
 // Trust model: a snapshot is installed only when (a) its bytes hash to
 // the stamped digest, (b) t+1 DISTINCT peers served byte-identical
-// snapshots (same digest), and (c) the restored state re-encodes to the
-// digest (Applier.Install). Because at most t peers are Byzantine, t+1
-// matching copies always include one from a correct replica, and correct
-// replicas only serve snapshots their own deterministic apply produced —
-// so an installed snapshot is a genuine cluster state. Responses that
-// fail (a) are dropped; forged snapshots can therefore waste bandwidth
-// but never state. Serving is rate-limited per requester so request spam
-// cannot amplify into snapshot-sized reply floods.
+// copies — of the payload itself on the inline path, of the MANIFEST on
+// the chunked path (the manifest is a pure function of the payload, so
+// t+1 matching manifests pin every chunk hash before a single chunk is
+// fetched) — and (c) the restored state re-encodes to the digest
+// (Applier.Install). Because at most t peers are Byzantine, t+1 matching
+// copies always include one from a correct replica, and correct replicas
+// only serve what their own deterministic apply produced — so an
+// installed snapshot is a genuine cluster state. Responses and chunks
+// that fail validation are dropped; forgeries can therefore waste
+// bandwidth but never state. Serving is rate-limited per requester, and
+// one 40-byte ack yields at most TransferChunkWindow chunk frames, so
+// neither request nor ack spam amplifies unboundedly.
 package sm
 
 import (
@@ -227,25 +243,84 @@ type Transfer struct {
 	fetching    bool
 	fetchFrom   types.Instance // applied position when the fetch started
 	cancelRetry func()
-	// candidates accumulates responses of the current and past fetch
-	// rounds keyed by digest; senders is the corroboration set. Entries
-	// for boundaries we have meanwhile passed are filtered at install
-	// time, not eagerly.
+	// candidates accumulates inline responses of the current and past
+	// fetch rounds keyed by digest; senders is the corroboration set.
+	// Entries for boundaries we have meanwhile passed are filtered at
+	// install time, not eagerly.
 	candidates map[[32]byte]*candidate
+	// manifests is the chunked path's corroboration table, keyed by the
+	// hash of the manifest ENCODING; same overflow defense as candidates.
+	manifests map[[32]byte]*manifestCandidate
+	// dl is the in-flight chunk download, nil when none.
+	dl *download
+	// chunkCache memoizes the chunk-serving state of the current
+	// snapshot so acks do not re-encode the payload per window.
+	chunkCache *serveChunks
 	lastServed map[types.ProcID]types.Time
+	lastAcked  map[types.ProcID]types.Time
 	lastProbe  types.Instance // applied position at the previous probe
 
-	requests int
-	served   int
-	installs int
-	rejected int
+	requests  int
+	served    int
+	installs  int
+	rejected  int
+	chServed  int
+	chRecv    int
+	chRejects int
 }
 
-// candidate is one payload digest's corroboration state.
+// candidate is one inline payload digest's corroboration state.
 type candidate struct {
 	snap     Snapshot
 	retained []log.Entry
 	senders  map[types.ProcID]struct{}
+}
+
+// manifestCandidate is one manifest encoding's corroboration state.
+// order records first-arrival order — the deterministic rotation list a
+// download pulls servers from.
+type manifestCandidate struct {
+	key     [32]byte
+	mf      Manifest
+	senders map[types.ProcID]struct{}
+	order   []types.ProcID
+}
+
+// download is the state of one in-flight chunked fetch.
+type download struct {
+	mf        Manifest
+	key       [32]byte
+	servers   []types.ProcID // corroborators, first-arrival order
+	serverIdx int            // rotated when the retry timer finds no progress
+	chunks    [][]byte
+	have      int
+	scan      int // firstMissing's monotone scan pointer
+	ackedEnd  int // end of the last requested range
+	lastHave  int // have at the previous retry firing
+	stalls    int // consecutive retry firings with no new chunk
+}
+
+// firstMissing returns the lowest un-received chunk index, -1 when the
+// download is complete.
+func (d *download) firstMissing() int {
+	for d.scan < len(d.chunks) && d.chunks[d.scan] != nil {
+		d.scan++
+	}
+	if d.scan == len(d.chunks) {
+		return -1
+	}
+	return d.scan
+}
+
+// serveChunks is the serve-side cache of the current snapshot's chunked
+// form.
+type serveChunks struct {
+	snapDigest [32]byte // which snapshot this cache was built from
+	payload    []byte
+	manifest   types.Value // form-tagged SNAP_RESP value
+	digest     [32]byte    // payload digest (the key acks carry)
+	count      int
+	instance   types.Instance
 }
 
 var _ proto.Handler = (*Transfer)(nil)
@@ -267,7 +342,9 @@ func NewTransfer(cfg TransferConfig) (*Transfer, error) {
 	t := &Transfer{
 		cfg:        cfg,
 		candidates: make(map[[32]byte]*candidate),
+		manifests:  make(map[[32]byte]*manifestCandidate),
 		lastServed: make(map[types.ProcID]types.Time),
+		lastAcked:  make(map[types.ProcID]types.Time),
 	}
 	if cfg.StallProbe > 0 {
 		cfg.Env.SetTimer(cfg.StallProbe, t.probe)
@@ -283,6 +360,10 @@ func (t *Transfer) OnMessage(from types.ProcID, m proto.Message) {
 		t.serve(from, m.Instance)
 	case proto.MsgSnapResponse:
 		t.consider(from, m)
+	case proto.MsgSnapAck:
+		t.onAck(from, m)
+	case proto.MsgSnapChunk:
+		t.onChunk(from, m)
 	default:
 		t.cfg.Next.OnMessage(from, m)
 	}
@@ -332,13 +413,41 @@ func (t *Transfer) request() {
 // apply position moves past the fetch's starting point on its own —
 // progress means replay is working after all, and renewed pressure (or a
 // renewed stall) simply starts a fresh fetch.
+//
+// With a chunk download in flight the retry re-acks the first missing
+// range instead of re-broadcasting the request — that is the loss
+// recovery path — and rotates to the next corroborating server first,
+// so a server that withholds chunks (crashed or Byzantine) delays the
+// download by one retry period, not forever. A download that makes NO
+// progress for TransferStallLimit consecutive firings is presumed
+// stale (the serve side drops acks for superseded payloads silently;
+// see the constant's comment) and abandoned: its manifest candidate is
+// dropped so only t+1 fresh senders can revive that exact payload, and
+// a fresh SNAP_REQ re-corroborates whatever the cluster serves now.
 func (t *Transfer) armRetry() {
 	t.cancelRetry = t.cfg.Env.SetTimer(t.cfg.RetryEvery, func() {
 		if !t.fetching || t.cfg.Log.Closed() || t.cfg.Log.Applied() > t.fetchFrom {
 			t.fetching = false
+			t.dl = nil
 			return
 		}
-		t.request()
+		if d := t.dl; d != nil {
+			if d.have == d.lastHave {
+				d.stalls++
+			} else {
+				d.lastHave, d.stalls = d.have, 0
+			}
+			if d.stalls >= TransferStallLimit {
+				delete(t.manifests, d.key)
+				t.dl = nil
+				t.request()
+			} else {
+				d.serverIdx = (d.serverIdx + 1) % len(d.servers)
+				t.requestChunks()
+			}
+		} else {
+			t.request()
+		}
 		t.armRetry()
 	})
 }
@@ -397,19 +506,146 @@ func (t *Transfer) serve(from types.ProcID, reqBoundary types.Instance) {
 			Aux: fmt.Sprintf("idx=%d inst=%v digest=%x", snap.Index, snap.Instance, snap.Digest[:8]),
 		})
 	}
+	payload := []byte(EncodeTransfer(snap, retained))
+	var val types.Value
+	if len(payload) <= TransferInlineMax {
+		// Small state: the historical single frame, form-tagged.
+		val = InlineTransfer(types.Value(payload))
+	} else {
+		sc := t.serveChunksFor(snap, payload)
+		if sc == nil {
+			return // beyond even the chunked bound; nothing to offer
+		}
+		val = sc.manifest
+	}
 	env.Send(from, proto.Message{
 		Kind:     proto.MsgSnapResponse,
 		Tag:      proto.Tag{Mod: proto.ModSnap},
 		Instance: snap.Instance,
-		Val:      EncodeTransfer(snap, retained),
+		Val:      val,
 	})
 }
 
-// consider validates one SNAP_RESP and installs once t+1 distinct peers
-// corroborate the same payload digest (snapshot AND retained suffix).
+// InlineTransfer form-tags a complete transfer payload as a SNAP_RESP
+// value (the small-state form the serve path sends; exported for tests
+// and tooling that fabricate responses).
+func InlineTransfer(payload types.Value) types.Value {
+	buf := make([]byte, 1+len(payload))
+	buf[0] = TransferFormInline
+	copy(buf[1:], []byte(payload))
+	return types.Value(buf)
+}
+
+// serveChunksFor returns (building and caching if needed) the chunk
+// serving state of the given snapshot; nil if the payload cannot be
+// chunked (past MaxManifestChunks).
+func (t *Transfer) serveChunksFor(snap Snapshot, payload []byte) *serveChunks {
+	if sc := t.chunkCache; sc != nil && sc.snapDigest == snap.Digest {
+		return sc
+	}
+	mf, err := BuildManifest(snap.Index, snap.Instance, payload)
+	if err != nil {
+		return nil
+	}
+	body := EncodeManifest(mf)
+	buf := make([]byte, 1+len(body))
+	buf[0] = TransferFormManifest
+	copy(buf[1:], body)
+	t.chunkCache = &serveChunks{
+		snapDigest: snap.Digest,
+		payload:    payload,
+		manifest:   types.Value(buf),
+		digest:     mf.Payload,
+		count:      mf.ChunkCount(),
+		instance:   snap.Instance,
+	}
+	return t.chunkCache
+}
+
+// onAck serves one requested chunk range of the current snapshot's
+// payload. A digest naming anything else is stale (the snapshot moved
+// on) and is ignored without offense; the range is clamped, and acks are
+// rate-limited per requester — one ack can yield at most
+// TransferChunkWindow chunk frames, so the amplification is bounded
+// both per message and per time.
+func (t *Transfer) onAck(from types.ProcID, m proto.Message) {
+	digest, f, w, err := DecodeAck(m.Val)
+	if err != nil {
+		t.rejectChunk()
+		return
+	}
+	snap, retained, ok := t.cfg.Applier.LatestTransfer()
+	if !ok {
+		return
+	}
+	sc := t.chunkCache
+	if sc == nil || sc.snapDigest != snap.Digest {
+		payload := []byte(EncodeTransfer(snap, retained))
+		if len(payload) <= TransferInlineMax {
+			return // current snapshot is inline-sized; no chunks to serve
+		}
+		if sc = t.serveChunksFor(snap, payload); sc == nil {
+			return
+		}
+	}
+	if digest != sc.digest {
+		return // stale ack for a superseded snapshot
+	}
+	env := t.cfg.Env
+	now := env.Now()
+	ackEvery := t.cfg.ServeEvery / 4
+	if last, ok := t.lastAcked[from]; ok && now-last < types.Time(ackEvery) {
+		return
+	}
+	t.lastAcked[from] = now
+	end := f + w
+	if end > sc.count {
+		end = sc.count
+	}
+	for i := f; i < end; i++ {
+		lo := i * TransferChunkSize
+		hi := lo + TransferChunkSize
+		if hi > len(sc.payload) {
+			hi = len(sc.payload)
+		}
+		env.Send(from, proto.Message{
+			Kind:     proto.MsgSnapChunk,
+			Tag:      proto.Tag{Mod: proto.ModSnap},
+			Instance: sc.instance,
+			Val:      EncodeChunk(sc.digest, i, sc.payload[lo:hi]),
+		})
+		t.chServed++
+		if mm := t.cfg.Metrics; mm != nil {
+			mm.ChunksServed.Inc()
+		}
+	}
+}
+
+// consider dispatches one SNAP_RESP on its form tag: inline payloads
+// corroborate and install directly, manifests corroborate and then
+// start a chunk download.
 func (t *Transfer) consider(from types.ProcID, m proto.Message) {
-	s, retained, payload, err := DecodeTransfer(m.Val)
-	if err != nil || s.Instance != m.Instance {
+	b := []byte(m.Val)
+	if len(b) == 0 {
+		t.reject()
+		return
+	}
+	switch b[0] {
+	case TransferFormInline:
+		t.considerInline(from, types.Value(b[1:]), m.Instance)
+	case TransferFormManifest:
+		t.considerManifest(from, b[1:], m.Instance)
+	default:
+		t.reject()
+	}
+}
+
+// considerInline validates one inline payload and installs once t+1
+// distinct peers corroborate the same payload digest (snapshot AND
+// retained suffix).
+func (t *Transfer) considerInline(from types.ProcID, v types.Value, inst types.Instance) {
+	s, retained, payload, err := DecodeTransfer(v)
+	if err != nil || s.Instance != inst {
 		t.reject()
 		return
 	}
@@ -436,6 +672,154 @@ func (t *Transfer) consider(from types.ProcID, m proto.Message) {
 		return
 	}
 	t.install(c.snap, c.retained)
+}
+
+// considerManifest corroborates one manifest and, at t+1 matching
+// senders, starts (or joins) the chunk download. The corroboration key
+// is the hash of the manifest ENCODING, so any disagreement — position,
+// length, a single chunk hash — forks the candidate.
+func (t *Transfer) considerManifest(from types.ProcID, body []byte, inst types.Instance) {
+	mf, err := DecodeManifest(body)
+	if err != nil || mf.Instance != inst {
+		t.reject()
+		return
+	}
+	if mf.Instance <= t.cfg.Log.Applied() || mf.Index < t.cfg.Applier.Applied() {
+		return // stale by the time it arrived; not an offense
+	}
+	key := sha256.Sum256(body)
+	c := t.manifests[key]
+	if c == nil {
+		if len(t.manifests) >= maxCandidates {
+			t.manifests = make(map[[32]byte]*manifestCandidate)
+			t.reject()
+		}
+		c = &manifestCandidate{key: key, mf: mf, senders: make(map[types.ProcID]struct{})}
+		t.manifests[key] = c
+	}
+	if _, dup := c.senders[from]; !dup {
+		c.senders[from] = struct{}{}
+		c.order = append(c.order, from)
+	}
+	if len(c.senders) < t.cfg.Env.Params().T+1 {
+		return
+	}
+	t.startDownload(c)
+}
+
+// startDownload begins fetching a corroborated manifest's chunks, or
+// adds new corroborators to the in-flight download. A corroborated
+// manifest for a LATER boundary replaces an in-flight download — the
+// cluster moved on and the old payload would be stale on arrival.
+func (t *Transfer) startDownload(c *manifestCandidate) {
+	if d := t.dl; d != nil {
+		if d.key == c.key {
+			d.servers = append([]types.ProcID(nil), c.order...)
+			return
+		}
+		if d.mf.Instance >= c.mf.Instance {
+			return
+		}
+	}
+	t.dl = &download{
+		mf:      c.mf,
+		key:     c.key,
+		servers: append([]types.ProcID(nil), c.order...),
+		chunks:  make([][]byte, c.mf.ChunkCount()),
+	}
+	t.requestChunks()
+}
+
+// requestChunks acks the next missing range to the download's current
+// server. The window is fixed; the server clamps the end.
+func (t *Transfer) requestChunks() {
+	d := t.dl
+	if d == nil {
+		return
+	}
+	f := d.firstMissing()
+	if f < 0 {
+		return
+	}
+	d.ackedEnd = f + TransferChunkWindow
+	t.cfg.Env.Send(d.servers[d.serverIdx], proto.Message{
+		Kind:     proto.MsgSnapAck,
+		Tag:      proto.Tag{Mod: proto.ModSnap},
+		Instance: d.mf.Instance,
+		Val:      EncodeAck(d.mf.Payload, f, TransferChunkWindow),
+	})
+}
+
+// onChunk stores one chunk of the in-flight download. Chunks for no (or
+// a superseded) download are stale, not offenses; a chunk whose length
+// or hash contradicts the corroborated manifest is a forgery and is
+// counted. When the window completes the next range is acked; when the
+// payload completes it is assembled and installed.
+func (t *Transfer) onChunk(from types.ProcID, m proto.Message) {
+	digest, idx, data, err := DecodeChunk(m.Val)
+	if err != nil {
+		t.rejectChunk()
+		return
+	}
+	d := t.dl
+	if d == nil || digest != d.mf.Payload {
+		return // stale (download done or replaced)
+	}
+	if idx >= d.mf.ChunkCount() || len(data) != d.mf.ChunkLen(idx) ||
+		sha256.Sum256(data) != d.mf.Hashes[idx] {
+		t.rejectChunk()
+		return
+	}
+	if d.chunks[idx] != nil {
+		return // duplicate delivery (re-requested range overlap)
+	}
+	d.chunks[idx] = append([]byte(nil), data...)
+	d.have++
+	t.chRecv++
+	if mm := t.cfg.Metrics; mm != nil {
+		mm.ChunksReceived.Inc()
+	}
+	if d.have == d.mf.ChunkCount() {
+		t.assemble(d)
+		return
+	}
+	if f := d.firstMissing(); f >= d.ackedEnd {
+		t.requestChunks()
+	}
+}
+
+// assemble concatenates a complete download, re-validates it end to end
+// (payload digest, decode, position against the manifest), and installs.
+// The t+1-corroborated manifest pinned every chunk hash, so a failure
+// past this point means corroboration itself was subverted — count it
+// and drop, never install.
+func (t *Transfer) assemble(d *download) {
+	t.dl = nil
+	payload := make([]byte, 0, d.mf.TotalLen)
+	for _, c := range d.chunks {
+		payload = append(payload, c...)
+	}
+	if sha256.Sum256(payload) != d.mf.Payload {
+		t.reject()
+		return
+	}
+	s, retained, _, err := DecodeTransfer(types.Value(payload))
+	if err != nil || s.Index != d.mf.Index || s.Instance != d.mf.Instance {
+		t.reject()
+		return
+	}
+	if s.Instance <= t.cfg.Log.Applied() || s.Index < t.cfg.Applier.Applied() {
+		return // overtaken while downloading; not an offense
+	}
+	t.install(s, retained)
+}
+
+// rejectChunk counts one discarded chunk-protocol frame.
+func (t *Transfer) rejectChunk() {
+	t.chRejects++
+	if mm := t.cfg.Metrics; mm != nil {
+		mm.ChunkRejected.Inc()
+	}
 }
 
 // install commits to a corroborated snapshot: state machine first
@@ -472,6 +856,7 @@ func (t *Transfer) install(s Snapshot, retained []log.Entry) {
 	// everything — fresher ones will re-accumulate if we are still
 	// behind, and keeping stale data only risks re-counting old senders.
 	t.candidates = make(map[[32]byte]*candidate)
+	t.manifests = make(map[[32]byte]*manifestCandidate)
 	t.stopFetch()
 	if t.cfg.OnInstall != nil {
 		t.cfg.OnInstall(s)
@@ -486,9 +871,10 @@ func (t *Transfer) reject() {
 	}
 }
 
-// stopFetch ends the in-flight fetch round.
+// stopFetch ends the in-flight fetch round and any chunk download.
 func (t *Transfer) stopFetch() {
 	t.fetching = false
+	t.dl = nil
 	if t.cancelRetry != nil {
 		t.cancelRetry()
 		t.cancelRetry = nil
@@ -507,3 +893,18 @@ func (t *Transfer) Installs() int { return t.installs }
 // Rejected returns how many responses failed validation (bad digest,
 // malformed bytes, or an install-time inconsistency).
 func (t *Transfer) Rejected() int { return t.rejected }
+
+// ChunksServed returns how many chunk frames this replica sent.
+func (t *Transfer) ChunksServed() int { return t.chServed }
+
+// ChunksReceived returns how many chunk frames were accepted into a
+// download.
+func (t *Transfer) ChunksReceived() int { return t.chRecv }
+
+// ChunkRejected returns how many chunk-protocol frames were discarded
+// (malformed, forged hash, off-manifest range).
+func (t *Transfer) ChunkRejected() int { return t.chRejects }
+
+// Downloading reports whether a chunk download is in flight (test and
+// introspection hook).
+func (t *Transfer) Downloading() bool { return t.dl != nil }

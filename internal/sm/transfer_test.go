@@ -260,7 +260,7 @@ func TestTransferInstallsOnCorroboration(t *testing.T) {
 	tr, _, _ := newTestTransfer(t, lagApp, lg)
 	resp := proto.Message{
 		Kind: proto.MsgSnapResponse, Tag: proto.Tag{Mod: proto.ModSnap},
-		Instance: s.Instance, Val: EncodeTransfer(s, retained),
+		Instance: s.Instance, Val: InlineTransfer(EncodeTransfer(s, retained)),
 	}
 	tr.OnMessage(2, resp)
 	if tr.Installs() != 0 {
@@ -291,12 +291,12 @@ func TestTransferRejectsForgedResponses(t *testing.T) {
 	tr, _, _ := newTestTransfer(t, lagApp, &fakeLog{})
 	v := []byte(EncodeTransfer(s, retained))
 	v[50] ^= 1 // corrupt the body
-	tr.OnMessage(2, proto.Message{Kind: proto.MsgSnapResponse, Tag: proto.Tag{Mod: proto.ModSnap}, Instance: s.Instance, Val: types.Value(v)})
+	tr.OnMessage(2, proto.Message{Kind: proto.MsgSnapResponse, Tag: proto.Tag{Mod: proto.ModSnap}, Instance: s.Instance, Val: InlineTransfer(types.Value(v))})
 	if tr.Rejected() != 1 || tr.Installs() != 0 {
 		t.Fatalf("forged response: rejected=%d installs=%d", tr.Rejected(), tr.Installs())
 	}
 	// Frame/payload boundary contradiction.
-	tr.OnMessage(2, proto.Message{Kind: proto.MsgSnapResponse, Tag: proto.Tag{Mod: proto.ModSnap}, Instance: s.Instance + 1, Val: EncodeTransfer(s, retained)})
+	tr.OnMessage(2, proto.Message{Kind: proto.MsgSnapResponse, Tag: proto.Tag{Mod: proto.ModSnap}, Instance: s.Instance + 1, Val: InlineTransfer(EncodeTransfer(s, retained))})
 	if tr.Rejected() != 2 {
 		t.Fatalf("boundary contradiction accepted: rejected=%d", tr.Rejected())
 	}
@@ -402,7 +402,7 @@ func TestTransferIdleRejoinGap(t *testing.T) {
 		}
 		rejoinTr.OnMessage(types.ProcID(2+i), proto.Message{
 			Kind: proto.MsgSnapResponse, Tag: proto.Tag{Mod: proto.ModSnap},
-			Instance: s.Instance, Val: EncodeTransfer(s, retained),
+			Instance: s.Instance, Val: InlineTransfer(EncodeTransfer(s, retained)),
 		})
 	}
 	if rejoinTr.Installs() != 1 {

@@ -1,0 +1,244 @@
+// Package storetest is the executable contract of store.Persister: one
+// suite, run against every implementation (memory, file, and whatever
+// backend comes next — mmap, S3), so a new backend inherits the same
+// gate the built-in ones pass. The suite covers the append/recover
+// round-trip, snapshot stamping and replacement, truncate-then-recover,
+// torn-tail recovery (for backends that expose a Tear hook), and
+// concurrent append + stamp under the race detector.
+package storetest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/log"
+	"repro/internal/store"
+	"repro/internal/types"
+)
+
+// Harness is one store under contract test.
+type Harness struct {
+	// P is the open Persister.
+	P store.Persister
+	// Reopen models a crash-restart: abandon P (without graceful
+	// shutdown) and return a fresh Persister over the same durable
+	// medium. The suite calls Recover on what it returns.
+	Reopen func() store.Persister
+	// Tear, if non-nil, corrupts the durable medium the way a crash
+	// mid-write would (a partial final record). Backends without a
+	// physical medium (memory) leave it nil and skip the torn-tail case.
+	Tear func()
+}
+
+// Factory builds a fresh harness rooted in per-test storage.
+type Factory func(t *testing.T) *Harness
+
+// entry fabricates a deterministic test entry.
+func entry(i int) log.Entry {
+	return log.Entry{
+		Index:    i,
+		Instance: types.Instance(i / 2),
+		Cmd:      types.Value(fmt.Sprintf("cmd-%04d-%s", i, "payload")),
+	}
+}
+
+// Contract runs the full persistence contract against factory's stores.
+func Contract(t *testing.T, factory Factory) {
+	t.Run("EmptyRecover", func(t *testing.T) {
+		h := factory(t)
+		rec, err := h.P.Recover()
+		if err != nil {
+			t.Fatalf("recover on empty store: %v", err)
+		}
+		if rec.SnapPayload != nil || len(rec.Entries) != 0 || rec.Boundary != 0 {
+			t.Fatalf("empty store recovered non-zero state: %+v", rec)
+		}
+	})
+
+	t.Run("AppendRecoverRoundTrip", func(t *testing.T) {
+		h := factory(t)
+		if _, err := h.P.Recover(); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		const n = 25
+		for i := 0; i < n; i++ {
+			if err := h.P.AppendEntry(entry(i)); err != nil {
+				t.Fatalf("append %d: %v", i, err)
+			}
+		}
+		if err := h.P.MarkApplied(13); err != nil {
+			t.Fatalf("mark: %v", err)
+		}
+		rec, err := h.Reopen().Recover()
+		if err != nil {
+			t.Fatalf("recover after reopen: %v", err)
+		}
+		if len(rec.Entries) != n {
+			t.Fatalf("recovered %d entries, want %d", len(rec.Entries), n)
+		}
+		for i, e := range rec.Entries {
+			if want := entry(i); e.Index != want.Index || e.Instance != want.Instance || e.Cmd != want.Cmd {
+				t.Fatalf("entry %d round-tripped as %+v, want %+v", i, e, want)
+			}
+		}
+		if rec.Boundary != 13 {
+			t.Fatalf("recovered boundary %v, want 13", rec.Boundary)
+		}
+		if rec.SnapPayload != nil {
+			t.Fatalf("phantom snapshot recovered: %d bytes", len(rec.SnapPayload))
+		}
+	})
+
+	t.Run("SnapshotStampAndReplace", func(t *testing.T) {
+		h := factory(t)
+		if _, err := h.P.Recover(); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		if err := h.P.StampSnapshot(4, 2, []byte("snap-one")); err != nil {
+			t.Fatalf("stamp: %v", err)
+		}
+		if err := h.P.StampSnapshot(9, 5, []byte("snap-two-later")); err != nil {
+			t.Fatalf("restamp: %v", err)
+		}
+		rec, err := h.Reopen().Recover()
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		if string(rec.SnapPayload) != "snap-two-later" {
+			t.Fatalf("recovered payload %q, want the newest stamp", rec.SnapPayload)
+		}
+		if rec.SnapIndex != 9 || rec.SnapInstance != 5 {
+			t.Fatalf("recovered snapshot position (%d, %v), want (9, 5)", rec.SnapIndex, rec.SnapInstance)
+		}
+		if rec.Boundary < 5 {
+			t.Fatalf("boundary %v not covered by snapshot instance 5", rec.Boundary)
+		}
+	})
+
+	t.Run("TruncateThenRecover", func(t *testing.T) {
+		h := factory(t)
+		if _, err := h.P.Recover(); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		for i := 0; i < 10; i++ {
+			if err := h.P.AppendEntry(entry(i)); err != nil {
+				t.Fatalf("append %d: %v", i, err)
+			}
+		}
+		if err := h.P.StampSnapshot(6, 3, []byte("covers [0,6)")); err != nil {
+			t.Fatalf("stamp: %v", err)
+		}
+		if err := h.P.TruncatePrefix(6); err != nil {
+			t.Fatalf("truncate: %v", err)
+		}
+		if err := h.P.MarkApplied(5); err != nil {
+			t.Fatalf("mark: %v", err)
+		}
+		rec, err := h.Reopen().Recover()
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		if len(rec.Entries) != 4 || rec.Entries[0].Index != 6 {
+			t.Fatalf("recovered %d entries starting at %v, want 4 starting at index 6",
+				len(rec.Entries), rec.Entries)
+		}
+		if string(rec.SnapPayload) != "covers [0,6)" {
+			t.Fatalf("snapshot lost across truncate: %q", rec.SnapPayload)
+		}
+	})
+
+	t.Run("TornFinalRecord", func(t *testing.T) {
+		h := factory(t)
+		if h.Tear == nil {
+			t.Skip("backend has no physical medium to tear")
+		}
+		if _, err := h.P.Recover(); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		for i := 0; i < 8; i++ {
+			if err := h.P.AppendEntry(entry(i)); err != nil {
+				t.Fatalf("append %d: %v", i, err)
+			}
+		}
+		if err := h.P.MarkApplied(4); err != nil {
+			t.Fatalf("mark: %v", err)
+		}
+		h.Tear()
+		p := h.Reopen()
+		rec, err := p.Recover()
+		if err != nil {
+			t.Fatalf("recover over torn tail: %v", err)
+		}
+		if len(rec.Entries) != 8 || rec.Boundary != 4 {
+			t.Fatalf("torn-tail recovery lost durable state: %d entries, boundary %v",
+				len(rec.Entries), rec.Boundary)
+		}
+		// The repaired store must accept appends cleanly and round-trip
+		// them — the tear must not leave a poisoned frame boundary.
+		if err := p.AppendEntry(entry(8)); err != nil {
+			t.Fatalf("append after repair: %v", err)
+		}
+		if err := p.MarkApplied(5); err != nil {
+			t.Fatalf("mark after repair: %v", err)
+		}
+		rec, err = h.Reopen().Recover()
+		if err != nil {
+			t.Fatalf("recover after repair: %v", err)
+		}
+		if len(rec.Entries) != 9 || rec.Boundary != 5 {
+			t.Fatalf("post-repair appends not durable: %d entries, boundary %v",
+				len(rec.Entries), rec.Boundary)
+		}
+	})
+
+	t.Run("ConcurrentAppendAndStamp", func(t *testing.T) {
+		h := factory(t)
+		if _, err := h.P.Recover(); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		const n = 200
+		var wg sync.WaitGroup
+		errs := make(chan error, 3)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := h.P.AppendEntry(entry(i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := h.P.StampSnapshot(i, types.Instance(i), []byte("concurrent stamp")); err != nil {
+					errs <- err
+					return
+				}
+				if err := h.P.MarkApplied(types.Instance(i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatalf("concurrent writer: %v", err)
+		}
+		rec, err := h.Reopen().Recover()
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		if len(rec.Entries) != n {
+			t.Fatalf("recovered %d entries, want %d", len(rec.Entries), n)
+		}
+		for i, e := range rec.Entries {
+			if e.Index != i {
+				t.Fatalf("entry %d recovered out of order: index %d", i, e.Index)
+			}
+		}
+	})
+}

@@ -66,6 +66,9 @@ const (
 	KindSnapRequest // lagging replica broadcast a snapshot fetch request
 	KindSnapServe   // replica served its latest snapshot to a laggard
 	KindSnapInstall // laggard installed a corroborated peer snapshot
+
+	// Process lifecycle (simulated power failures).
+	KindCrash // process powered off; volatile state lost
 )
 
 // String implements fmt.Stringer. It is a switch rather than a map lookup:
@@ -123,6 +126,8 @@ func (k Kind) String() string {
 		return "snap-serve"
 	case KindSnapInstall:
 		return "snap-install"
+	case KindCrash:
+		return "crash"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

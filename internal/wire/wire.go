@@ -14,7 +14,14 @@
 //	24      4     value length L (uint32, ≤ MaxValueLen)
 //	28      L     value bytes
 //
-// Version 4 extends version 3's vocabulary, not its layout: the header is
+// Version 5 extends version 4's vocabulary, not its layout: the kind
+// range grows to cover the chunked snapshot-transfer messages
+// (proto.MsgSnapChunk / proto.MsgSnapAck, module proto.ModSnap — see
+// sm's chunk codec and docs/persistence.md). They exist because a
+// transfer payload is bounded by MaxValueLen per frame: a machine state
+// larger than that now travels as a manifest (still a MsgSnapResponse)
+// plus a stream of self-validating chunks, instead of being simply
+// unshippable. Version 4 extends version 3's vocabulary, not its layout: the header is
 // byte-identical, but the kind range grows to cover the coalesced-relay
 // carrier messages of the reliable-broadcast layer (proto.MsgRBVector /
 // proto.MsgRBPull / proto.MsgRBPullResp, module proto.ModRBRelay — see
@@ -35,11 +42,10 @@
 // versions, enforcing each version's own vocabulary (a v2 frame naming a
 // KV kind is rejected, a v3 frame naming a relay kind likewise) and
 // mapping v1 frames to instance 0. A new binary therefore understands any
-// old peer — but it always sends version 4, which an old binary rejects,
+// old peer — but it always sends version 5, which an old binary rejects,
 // so a mixed-version cluster needs the old side upgraded (or a future
-// per-peer version negotiation). EncodeV1, EncodeV2 and EncodeV3 produce
-// the older frames for tests and tooling that exercise those decode
-// paths.
+// per-peer version negotiation). EncodeV1 through EncodeV4 produce the
+// older frames for tests and tooling that exercise those decode paths.
 //
 // Frames on the wire are length-prefixed by the transport; this package
 // only encodes message bodies.
@@ -53,10 +59,14 @@ import (
 	"repro/internal/types"
 )
 
-// Version is the current codec version byte (adds the coalesced-relay
-// vocabulary on top of the v3 KV/snapshot vocabulary; layout unchanged
-// since v2).
-const Version = 4
+// Version is the current codec version byte (adds the chunked
+// snapshot-transfer vocabulary on top of the v4 coalesced-relay
+// vocabulary; layout unchanged since v2).
+const Version = 5
+
+// VersionRelay is the coalesced-relay codec version, still accepted by
+// Decode.
+const VersionRelay = 4
 
 // VersionKV is the KV-client + snapshot-transfer codec version, still
 // accepted by Decode.
@@ -98,9 +108,20 @@ func payload(m proto.Message) ([]byte, error) {
 	return val, nil
 }
 
-// Encode serializes m in the current (version 4) format.
+// Encode serializes m in the current (version 5) format.
 func Encode(m proto.Message) ([]byte, error) {
 	return encode28(m, Version)
+}
+
+// EncodeV4 serializes m in the version-4 coalesced-relay format. It
+// refuses the chunked-transfer kinds that vocabulary cannot express;
+// like the other EncodeVn helpers it exists so tests and tooling can
+// exercise the back-compat decode path.
+func EncodeV4(m proto.Message) ([]byte, error) {
+	if m.Kind > proto.MsgRBPullResp {
+		return nil, fmt.Errorf("wire: version 4 cannot carry %v[%v]", m.Kind, m.Tag.Mod)
+	}
+	return encode28(m, VersionRelay)
 }
 
 // EncodeV3 serializes m in the version-3 KV/snapshot format. It refuses
@@ -189,9 +210,11 @@ func Decode(b []byte) (proto.Message, error) {
 	headerLen := headerLenV2
 	// Each version enforces its own vocabulary: frames claiming an old
 	// version must not smuggle in kinds that version never defined.
-	maxKind, maxMod := proto.MsgRBPullResp, proto.ModRBRelay
+	maxKind, maxMod := proto.MsgSnapAck, proto.ModRBRelay
 	switch b[0] {
 	case Version:
+	case VersionRelay:
+		maxKind = proto.MsgRBPullResp
 	case VersionKV:
 		maxKind, maxMod = proto.MsgSnapResponse, proto.ModSnap
 	case VersionLog:

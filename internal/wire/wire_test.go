@@ -346,6 +346,20 @@ func FuzzDecode(f *testing.F) {
 	forgedV3 := bytes.Clone(vec)
 	forgedV3[0] = VersionKV // relay kind smuggled into v3
 	f.Add(forgedV3)
+	// Chunk-streaming frames (wire v5): a chunk with a binary body, a
+	// 40-byte range ack, and the chunk kind smuggled into v4 (which must
+	// reject it).
+	chunkBody := make([]byte, 72)
+	for i := range chunkBody {
+		chunkBody[i] = byte(i * 11)
+	}
+	chunk, _ := Encode(proto.Message{Kind: proto.MsgSnapChunk, Tag: proto.Tag{Mod: proto.ModSnap}, Instance: 24, Val: types.Value(chunkBody)})
+	ack, _ := Encode(proto.Message{Kind: proto.MsgSnapAck, Tag: proto.Tag{Mod: proto.ModSnap}, Instance: 24, Val: types.Value(chunkBody[:40])})
+	f.Add(chunk)
+	f.Add(ack)
+	forgedV4 := bytes.Clone(chunk)
+	forgedV4[0] = VersionRelay // chunk kind smuggled into v4
+	f.Add(forgedV4)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
 		if err != nil {
@@ -360,6 +374,8 @@ func FuzzDecode(f *testing.F) {
 			enc = EncodeV2
 		case VersionKV:
 			enc = EncodeV3
+		case VersionRelay:
+			enc = EncodeV4
 		}
 		b, err2 := enc(m)
 		if err2 != nil {
@@ -622,7 +638,7 @@ func TestVectorFrameMalformed(t *testing.T) {
 		mutate func([]byte) []byte
 		substr string
 	}{
-		{"kind past vocabulary", func(b []byte) []byte { b[1] = byte(proto.MsgRBPullResp) + 1; return b }, "kind"},
+		{"kind past vocabulary", func(b []byte) []byte { b[1] = byte(proto.MsgSnapAck) + 1; return b }, "kind"},
 		{"module past vocabulary", func(b []byte) []byte { b[2] = byte(proto.ModRBRelay) + 1; return b }, "module"},
 		{"forged flags", func(b []byte) []byte { b[3] = 0x80; return b }, "flags"},
 		{"negative round", func(b []byte) []byte {
@@ -670,8 +686,13 @@ func TestSnapFrameMalformed(t *testing.T) {
 		mutate func([]byte) []byte
 		substr string
 	}{
-		{"kind past vocabulary", func(b []byte) []byte { b[1] = byte(proto.MsgRBPullResp) + 1; return b }, "kind"},
+		{"kind past vocabulary", func(b []byte) []byte { b[1] = byte(proto.MsgSnapAck) + 1; return b }, "kind"},
 		{"module past vocabulary", func(b []byte) []byte { b[2] = byte(proto.ModRBRelay) + 1; return b }, "module"},
+		{"chunk kind downgraded to v4", func(b []byte) []byte {
+			b[0] = VersionRelay
+			b[1] = byte(proto.MsgSnapChunk)
+			return b
+		}, "kind"},
 		{"negative boundary", func(b []byte) []byte {
 			binary.LittleEndian.PutUint64(b[16:], 1<<63)
 			return b
@@ -688,6 +709,130 @@ func TestSnapFrameMalformed(t *testing.T) {
 			_, err := Decode(b)
 			if err == nil {
 				t.Fatal("malformed snap frame accepted")
+			}
+			if !strings.Contains(err.Error(), tt.substr) {
+				t.Errorf("error %q does not mention %q", err, tt.substr)
+			}
+		})
+	}
+}
+
+// TestV5ChunkRoundTrip: the wire-v5 chunk-streaming kinds
+// (MsgSnapChunk carrying an opaque chunk body, MsgSnapAck carrying a
+// 40-byte range request) round-trip under the current encoder,
+// including bodies with interior NULs and high bytes — the chunk
+// payload is arbitrary snapshot bytes, not text.
+func TestV5ChunkRoundTrip(t *testing.T) {
+	binBody := make([]byte, 300)
+	for i := range binBody {
+		binBody[i] = byte(i * 7)
+	}
+	for _, m := range []proto.Message{
+		{Kind: proto.MsgSnapChunk, Tag: proto.Tag{Mod: proto.ModSnap}, Instance: 24, Val: types.Value(binBody)},
+		{Kind: proto.MsgSnapChunk, Tag: proto.Tag{Mod: proto.ModSnap}, Instance: 24, Val: ""},
+		{Kind: proto.MsgSnapAck, Tag: proto.Tag{Mod: proto.ModSnap}, Instance: 24, Val: types.Value(binBody[:40])},
+	} {
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", m.Kind, err)
+		}
+		if b[0] != Version {
+			t.Fatalf("Encode wrote version %d, want %d", b[0], Version)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if got != m {
+			t.Fatalf("round trip: got %+v want %+v", got, m)
+		}
+	}
+}
+
+// TestOldVersionsRejectChunkVocabulary: every pre-v5 version refuses
+// frames claiming the chunk kinds, whether forged on the wire or asked
+// of the old encoders directly — a Byzantine peer cannot smuggle chunk
+// traffic past a replica speaking an older dialect.
+func TestOldVersionsRejectChunkVocabulary(t *testing.T) {
+	for _, kind := range []proto.MsgKind{proto.MsgSnapChunk, proto.MsgSnapAck} {
+		frame, err := Encode(proto.Message{Kind: kind, Tag: proto.Tag{Mod: proto.ModSnap}, Instance: 3, Val: "body"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, version := range []byte{VersionRelay, VersionKV, VersionLog, VersionLegacy} {
+			forged := bytes.Clone(frame)
+			forged[0] = version
+			if version == VersionLegacy {
+				forged = forged[:headerLenV1]
+				binary.LittleEndian.PutUint32(forged[16:], 0)
+			}
+			if _, err := Decode(forged); err == nil {
+				t.Fatalf("v%d frame with kind %v accepted", version, kind)
+			}
+		}
+		if _, err := EncodeV4(proto.Message{Kind: kind, Tag: proto.Tag{Mod: proto.ModSnap}}); err == nil {
+			t.Fatalf("EncodeV4 accepted chunk kind %v", kind)
+		}
+		if _, err := EncodeV3(proto.Message{Kind: kind, Tag: proto.Tag{Mod: proto.ModSnap}}); err == nil {
+			t.Fatalf("EncodeV3 accepted chunk kind %v", kind)
+		}
+		if _, err := EncodeV2(proto.Message{Kind: kind, Tag: proto.Tag{Mod: proto.ModSnap}}); err == nil {
+			t.Fatalf("EncodeV2 accepted chunk kind %v", kind)
+		}
+		if _, err := EncodeV1(proto.Message{Kind: kind, Tag: proto.Tag{Mod: proto.ModSnap}}); err == nil {
+			t.Fatalf("EncodeV1 accepted chunk kind %v", kind)
+		}
+	}
+}
+
+// TestChunkFrameMalformed: the malformed-frame matrix against a v5
+// chunk frame — the megabyte-bearing frame a Byzantine peer is most
+// motivated to corrupt.
+func TestChunkFrameMalformed(t *testing.T) {
+	body := make([]byte, 128)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	valid, err := Encode(proto.Message{
+		Kind: proto.MsgSnapChunk, Tag: proto.Tag{Mod: proto.ModSnap},
+		Instance: 24, Val: types.Value(body),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func([]byte) []byte
+		substr string
+	}{
+		{"kind past vocabulary", func(b []byte) []byte { b[1] = byte(proto.MsgSnapAck) + 1; return b }, "kind"},
+		{"module past vocabulary", func(b []byte) []byte { b[2] = byte(proto.ModRBRelay) + 1; return b }, "module"},
+		{"ack kind downgraded to v4", func(b []byte) []byte {
+			b[0] = VersionRelay
+			b[1] = byte(proto.MsgSnapAck)
+			return b
+		}, "kind"},
+		{"negative instance", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[16:], 1<<63)
+			return b
+		}, "instance"},
+		{"length mismatch", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[24:], 9000)
+			return b
+		}, "mismatch"},
+		{"truncated body", func(b []byte) []byte { return b[:len(b)-5] }, "mismatch"},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xff) }, "mismatch"},
+		{"value length past limit", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[24:], MaxValueLen+1)
+			return b
+		}, "limit"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := tt.mutate(bytes.Clone(valid))
+			_, err := Decode(b)
+			if err == nil {
+				t.Fatal("malformed chunk frame accepted")
 			}
 			if !strings.Contains(err.Error(), tt.substr) {
 				t.Errorf("error %q does not mention %q", err, tt.substr)
